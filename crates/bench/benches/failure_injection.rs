@@ -1,0 +1,42 @@
+//! E11 — regenerates the failure-injection table and benches scenario
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::experiments::failure_exp::FailureExperiment;
+use picloud_bench::{print_once, quick_criterion};
+use picloud_network::failure::{aggregation_devices, ConnectivityReport, FailureMask};
+use picloud_network::topology::Topology;
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(
+        "E11 — failure injection",
+        &FailureExperiment::run(2013).to_string(),
+        &BANNER,
+    );
+    let topo = Topology::multi_root_tree(4, 14, 2);
+    c.bench_function("failure/connectivity_report", |b| {
+        b.iter(|| black_box(ConnectivityReport::measure(&topo)))
+    });
+    c.bench_function("failure/degrade_and_measure", |b| {
+        b.iter(|| {
+            let mut mask = FailureMask::none();
+            mask.fail_device(aggregation_devices(&topo)[0]);
+            let degraded = mask.apply(&topo);
+            black_box(ConnectivityReport::measure(&degraded.topology))
+        })
+    });
+    c.bench_function("failure/full_experiment", |b| {
+        b.iter(|| black_box(FailureExperiment::run(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! F2 — regenerates the Fig. 2 fabric comparison (multi-root tree,
+//! fat-tree re-cable, leaf-spine) and benches topology construction and
+//! the graph analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::experiments::fig2::Fig2;
+use picloud_bench::{print_once, quick_criterion};
+use picloud_network::topology::Topology;
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once("F2 / Fig. 2 — fabric comparison", &Fig2::run().to_string(), &BANNER);
+    c.bench_function("fig2/build_paper_fabric", |b| {
+        b.iter(|| black_box(Topology::multi_root_tree(4, 14, 2)))
+    });
+    c.bench_function("fig2/build_fat_tree_k6", |b| {
+        b.iter(|| black_box(Topology::fat_tree(6)))
+    });
+    let topo = Topology::multi_root_tree(4, 14, 2);
+    c.bench_function("fig2/bisection_bandwidth", |b| {
+        b.iter(|| black_box(topo.bisection_bandwidth()))
+    });
+    c.bench_function("fig2/full_comparison", |b| b.iter(|| black_box(Fig2::run())));
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E13 — regenerates the image-distribution strategy table and benches the
+//! strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::experiments::image_dist::ImageDistributionExperiment;
+use picloud_bench::{print_once, quick_criterion};
+use picloud_simcore::units::Bytes;
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(
+        "E13 — image distribution strategies",
+        &ImageDistributionExperiment::paper_scale().to_string(),
+        &BANNER,
+    );
+    c.bench_function("image_dist/16mib_all_strategies", |b| {
+        b.iter(|| black_box(ImageDistributionExperiment::run(Bytes::mib(16))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

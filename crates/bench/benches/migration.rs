@@ -1,0 +1,38 @@
+//! E6 — regenerates the cold vs pre-copy migration sweep and benches the
+//! migration models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::experiments::migration_exp::MigrationExperiment;
+use picloud_bench::{print_once, quick_criterion};
+use picloud_placement::migration::LiveMigrationModel;
+use picloud_simcore::units::Bytes;
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let both = format!(
+        "{}\n{}",
+        MigrationExperiment::paper_scale(),
+        MigrationExperiment::gigabit_recable()
+    );
+    print_once("E6 — cold vs pre-copy migration", &both, &BANNER);
+    let model = LiveMigrationModel::default();
+    c.bench_function("migration/cold_64mib", |b| {
+        b.iter(|| black_box(model.cold(Bytes::mib(64))))
+    });
+    c.bench_function("migration/precopy_64mib_1mbs", |b| {
+        b.iter(|| black_box(model.pre_copy(Bytes::mib(64), 1e6)))
+    });
+    c.bench_function("migration/full_sweep", |b| {
+        b.iter(|| black_box(MigrationExperiment::paper_scale()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

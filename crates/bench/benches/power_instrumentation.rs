@@ -1,0 +1,32 @@
+//! C2/E9 — regenerates the whole-cloud power sweep (single-socket claim)
+//! and benches the power integration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::experiments::power::PowerExperiment;
+use picloud_bench::{print_once, quick_criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let both = format!(
+        "{}\n{}",
+        PowerExperiment::paper_picloud(),
+        PowerExperiment::paper_testbed()
+    );
+    print_once("C2/E9 — whole-cloud power instrumentation", &both, &BANNER);
+    c.bench_function("power/picloud_sweep", |b| {
+        b.iter(|| black_box(PowerExperiment::paper_picloud()))
+    });
+    c.bench_function("power/testbed_sweep", |b| {
+        b.iter(|| black_box(PowerExperiment::paper_testbed()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

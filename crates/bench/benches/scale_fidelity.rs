@@ -1,0 +1,31 @@
+//! E10 — regenerates the scale-model fidelity table (shape correlation,
+//! capacity ratio, makespans) and benches it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::experiments::fidelity::FidelityExperiment;
+use picloud_bench::{print_once, quick_criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(
+        "E10 — scale-model fidelity (Pi vs x86)",
+        &FidelityExperiment::paper_scale().to_string(),
+        &BANNER,
+    );
+    c.bench_function("fidelity/paper_scale", |b| {
+        b.iter(|| black_box(FidelityExperiment::paper_scale()))
+    });
+    c.bench_function("fidelity/larger_cluster_224", |b| {
+        b.iter(|| black_box(FidelityExperiment::run(2013, 224)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

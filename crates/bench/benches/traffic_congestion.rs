@@ -1,0 +1,63 @@
+//! E7 — regenerates the traffic-locality congestion sweep (plus the
+//! allocator ablation) and benches generation and replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::experiments::traffic_exp::TrafficExperiment;
+use picloud_bench::{print_once, quick_criterion};
+use picloud_network::flowsim::{FlowSimulator, RateAllocator};
+use picloud_network::routing::RoutingPolicy;
+use picloud_network::topology::Topology;
+use picloud_simcore::{SeedFactory, SimDuration};
+use picloud_workloads::traffic::TrafficPattern;
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(
+        "E7 — DC traffic replay, locality sweep",
+        &TrafficExperiment::run(2013, SimDuration::from_secs(20)).to_string(),
+        &BANNER,
+    );
+    let topo = Topology::multi_root_tree(4, 14, 2);
+    let seeds = SeedFactory::new(2013);
+    let pattern = TrafficPattern::measured_dc().with_arrival_rate(4.0);
+    c.bench_function("traffic/generate_30s", |b| {
+        b.iter(|| black_box(pattern.generate(&topo, SimDuration::from_secs(30), &seeds)))
+    });
+    let workload = pattern.generate(&topo, SimDuration::from_secs(10), &seeds);
+    c.bench_function("traffic/replay_10s_maxmin", |b| {
+        b.iter(|| {
+            let mut sim = FlowSimulator::new(
+                topo.clone(),
+                RoutingPolicy::default(),
+                RateAllocator::MaxMin,
+            );
+            for (at, spec) in workload.events() {
+                sim.inject(spec.clone(), *at).expect("connected");
+            }
+            black_box(sim.run_to_completion())
+        })
+    });
+    c.bench_function("traffic/replay_10s_equal_share", |b| {
+        b.iter(|| {
+            let mut sim = FlowSimulator::new(
+                topo.clone(),
+                RoutingPolicy::default(),
+                RateAllocator::EqualShare,
+            );
+            for (at, spec) in workload.events() {
+                sim.inject(spec.clone(), *at).expect("connected");
+            }
+            black_box(sim.run_to_completion())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

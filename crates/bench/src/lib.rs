@@ -1,0 +1,28 @@
+//! Shared helpers for the PiCloud benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper (printed
+//! once, before timing starts) and then benchmarks the computation that
+//! produces it. `cargo bench -p picloud-bench` therefore doubles as the
+//! reproduction driver: its stdout is the paper's evaluation, re-derived.
+
+use std::sync::Once;
+
+/// Prints a regenerated artifact exactly once per process, so criterion's
+/// repeated calls do not spam the log.
+pub fn print_once(banner: &str, body: &str, once: &'static Once) {
+    once.call_once(|| {
+        println!("\n================================================================");
+        println!("{banner}");
+        println!("================================================================");
+        println!("{body}");
+    });
+}
+
+/// Criterion configuration shared by all targets: small sample counts —
+/// the workloads are deterministic, variance comes only from the host.
+pub fn quick_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}

@@ -1,0 +1,362 @@
+//! Container identity, configuration and lifecycle.
+//!
+//! Mirrors the LXC toolset the paper uses ("the script `lxc-start` spawns a
+//! container"): a container is created from an image, started, optionally
+//! frozen (cgroup freezer), stopped and destroyed. Transitions are a strict
+//! state machine — the management API surfaces invalid transitions as
+//! errors exactly as `lxc-*` would.
+
+use crate::image::ContainerImage;
+use picloud_simcore::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a container on its host.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ContainerId(pub u64);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ct-{}", self.0)
+    }
+}
+
+/// LXC lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContainerState {
+    /// Created but never started (`lxc-create`).
+    Created,
+    /// Running (`lxc-start`).
+    Running,
+    /// Frozen by the cgroup freezer (`lxc-freeze`); retains memory, uses no
+    /// CPU.
+    Frozen,
+    /// Stopped (`lxc-stop`); retains its rootfs, releases memory.
+    Stopped,
+}
+
+impl fmt::Display for ContainerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ContainerState::Created => "created",
+            ContainerState::Running => "running",
+            ContainerState::Frozen => "frozen",
+            ContainerState::Stopped => "stopped",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How the container's virtual NIC attaches to the physical network
+/// (§II-B: "by bridging or NATing the virtual hosts to the physical
+/// network").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NetMode {
+    /// veth pair bridged onto the host NIC; the container gets its own
+    /// DHCP address on the DC network.
+    #[default]
+    Bridged,
+    /// NAT behind the host's address.
+    Nat,
+}
+
+impl fmt::Display for NetMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetMode::Bridged => write!(f, "bridged"),
+            NetMode::Nat => write!(f, "nat"),
+        }
+    }
+}
+
+/// Configuration for a new container.
+///
+/// # Example
+///
+/// ```
+/// use picloud_container::container::{ContainerConfig, NetMode};
+/// use picloud_container::image::ContainerImage;
+/// use picloud_simcore::units::Bytes;
+///
+/// let cfg = ContainerConfig::new(ContainerImage::database())
+///     .with_memory_limit(Bytes::mib(64))
+///     .with_cpu_shares(512)
+///     .with_net_mode(NetMode::Nat);
+/// assert_eq!(cfg.cpu_shares, 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerConfig {
+    /// Image to instantiate.
+    pub image: ContainerImage,
+    /// cgroup memory limit; `None` means unlimited (bounded by the host).
+    pub memory_limit: Option<Bytes>,
+    /// cgroup `cpu.shares` weight (Linux default 1024).
+    pub cpu_shares: u32,
+    /// Virtual NIC attachment.
+    pub net_mode: NetMode,
+}
+
+impl ContainerConfig {
+    /// Creates a config with LXC defaults: no memory limit, 1024 CPU
+    /// shares, bridged networking.
+    pub fn new(image: ContainerImage) -> Self {
+        ContainerConfig {
+            image,
+            memory_limit: None,
+            cpu_shares: 1024,
+            net_mode: NetMode::Bridged,
+        }
+    }
+
+    /// Sets the cgroup memory limit (the paper's "soft per-VM resource
+    /// utilisation limits").
+    pub fn with_memory_limit(mut self, limit: Bytes) -> Self {
+        self.memory_limit = Some(limit);
+        self
+    }
+
+    /// Sets the cgroup CPU shares weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shares` is zero.
+    pub fn with_cpu_shares(mut self, shares: u32) -> Self {
+        assert!(shares > 0, "cpu shares must be positive");
+        self.cpu_shares = shares;
+        self
+    }
+
+    /// Sets the network attachment mode.
+    pub fn with_net_mode(mut self, mode: NetMode) -> Self {
+        self.net_mode = mode;
+        self
+    }
+
+    /// The memory this container pins when running: image idle footprint,
+    /// clamped by the cgroup limit.
+    pub fn effective_idle_memory(&self) -> Bytes {
+        match self.memory_limit {
+            Some(limit) if limit < self.image.idle_memory => limit,
+            _ => self.image.idle_memory,
+        }
+    }
+}
+
+/// Error for an invalid lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionError {
+    /// The state the container was in.
+    pub from: ContainerState,
+    /// The operation attempted.
+    pub verb: &'static str,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot {} a {} container", self.verb, self.from)
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// A container instance on a host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Container {
+    id: ContainerId,
+    name: String,
+    config: ContainerConfig,
+    state: ContainerState,
+}
+
+impl Container {
+    /// Creates a container in [`ContainerState::Created`].
+    pub fn new(id: ContainerId, name: impl Into<String>, config: ContainerConfig) -> Self {
+        Container {
+            id,
+            name: name.into(),
+            config,
+            state: ContainerState::Created,
+        }
+    }
+
+    /// This container's id.
+    pub fn id(&self) -> ContainerId {
+        self.id
+    }
+
+    /// Administrative name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &ContainerConfig {
+        &self.config
+    }
+
+    /// Adjusts the cgroup CPU shares at runtime (`lxc-cgroup cpu.shares`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shares` is zero.
+    pub fn set_cpu_shares(&mut self, shares: u32) {
+        assert!(shares > 0, "cpu shares must be positive");
+        self.config.cpu_shares = shares;
+    }
+
+    /// Adjusts the cgroup memory limit at runtime
+    /// (`lxc-cgroup memory.limit_in_bytes`); `None` removes the limit.
+    pub fn set_memory_limit(&mut self, limit: Option<Bytes>) {
+        self.config.memory_limit = limit;
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ContainerState {
+        self.state
+    }
+
+    /// Whether the container currently holds memory (running or frozen).
+    pub fn holds_memory(&self) -> bool {
+        matches!(self.state, ContainerState::Running | ContainerState::Frozen)
+    }
+
+    /// Whether the container currently competes for CPU.
+    pub fn is_running(&self) -> bool {
+        self.state == ContainerState::Running
+    }
+
+    /// `lxc-start`: Created/Stopped → Running.
+    ///
+    /// # Errors
+    ///
+    /// [`TransitionError`] from Running or Frozen.
+    pub fn start(&mut self) -> Result<(), TransitionError> {
+        match self.state {
+            ContainerState::Created | ContainerState::Stopped => {
+                self.state = ContainerState::Running;
+                Ok(())
+            }
+            from => Err(TransitionError { from, verb: "start" }),
+        }
+    }
+
+    /// `lxc-freeze`: Running → Frozen.
+    ///
+    /// # Errors
+    ///
+    /// [`TransitionError`] unless Running.
+    pub fn freeze(&mut self) -> Result<(), TransitionError> {
+        match self.state {
+            ContainerState::Running => {
+                self.state = ContainerState::Frozen;
+                Ok(())
+            }
+            from => Err(TransitionError { from, verb: "freeze" }),
+        }
+    }
+
+    /// `lxc-unfreeze`: Frozen → Running.
+    ///
+    /// # Errors
+    ///
+    /// [`TransitionError`] unless Frozen.
+    pub fn unfreeze(&mut self) -> Result<(), TransitionError> {
+        match self.state {
+            ContainerState::Frozen => {
+                self.state = ContainerState::Running;
+                Ok(())
+            }
+            from => Err(TransitionError { from, verb: "unfreeze" }),
+        }
+    }
+
+    /// `lxc-stop`: Running/Frozen → Stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`TransitionError`] from Created or Stopped.
+    pub fn stop(&mut self) -> Result<(), TransitionError> {
+        match self.state {
+            ContainerState::Running | ContainerState::Frozen => {
+                self.state = ContainerState::Stopped;
+                Ok(())
+            }
+            from => Err(TransitionError { from, verb: "stop" }),
+        }
+    }
+}
+
+impl fmt::Display for Container {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} '{}' [{}] ({})", self.id, self.name, self.state, self.config.image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ct() -> Container {
+        Container::new(
+            ContainerId(1),
+            "web",
+            ContainerConfig::new(ContainerImage::lighttpd()),
+        )
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut c = ct();
+        assert_eq!(c.state(), ContainerState::Created);
+        c.start().unwrap();
+        assert!(c.is_running() && c.holds_memory());
+        c.freeze().unwrap();
+        assert!(!c.is_running() && c.holds_memory());
+        c.unfreeze().unwrap();
+        c.stop().unwrap();
+        assert!(!c.holds_memory());
+        c.start().unwrap(); // restart from Stopped
+        assert!(c.is_running());
+    }
+
+    #[test]
+    fn invalid_transitions_error() {
+        let mut c = ct();
+        assert!(c.stop().is_err(), "stop before start");
+        assert!(c.freeze().is_err(), "freeze before start");
+        c.start().unwrap();
+        let err = c.start().unwrap_err();
+        assert_eq!(err.from, ContainerState::Running);
+        assert!(err.to_string().contains("cannot start"));
+        c.freeze().unwrap();
+        assert!(c.start().is_err(), "start while frozen");
+    }
+
+    #[test]
+    fn effective_idle_memory_clamped_by_limit() {
+        let unlimited = ContainerConfig::new(ContainerImage::hadoop_worker());
+        assert_eq!(unlimited.effective_idle_memory(), Bytes::mib(96));
+        let limited = ContainerConfig::new(ContainerImage::hadoop_worker())
+            .with_memory_limit(Bytes::mib(64));
+        assert_eq!(limited.effective_idle_memory(), Bytes::mib(64));
+        let loose = ContainerConfig::new(ContainerImage::lighttpd())
+            .with_memory_limit(Bytes::mib(128));
+        assert_eq!(loose.effective_idle_memory(), Bytes::mib(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shares_rejected() {
+        let _ = ContainerConfig::new(ContainerImage::lighttpd()).with_cpu_shares(0);
+    }
+
+    #[test]
+    fn display_mentions_state() {
+        let mut c = ct();
+        c.start().unwrap();
+        assert!(c.to_string().contains("running"));
+        assert!(NetMode::Bridged.to_string() == "bridged");
+    }
+}

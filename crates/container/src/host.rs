@@ -1,0 +1,676 @@
+//! The per-Pi container runtime.
+//!
+//! A [`ContainerHost`] is the Raspbian + LXC stack of Fig. 3 on one
+//! machine: it owns the node's guest RAM and SD-card space, enforces both
+//! when containers are created and started, and divides the CPU among
+//! running containers by cgroup shares. The §II-B density claim — three
+//! concurrent 30 MB containers on a 256 MB board — falls out of the RAM
+//! arithmetic and is locked in by tests.
+
+use crate::container::{Container, ContainerConfig, ContainerId, TransitionError};
+use picloud_hardware::cpu::{CpuClaim, ProcessorPool};
+use picloud_hardware::node::NodeSpec;
+use picloud_hardware::storage::{StorageFullError, StorageVolume};
+use picloud_simcore::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from host-level container operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// Starting the container would exceed guest RAM.
+    OutOfMemory {
+        /// Memory the container needs.
+        requested: Bytes,
+        /// Guest memory still free.
+        free: Bytes,
+    },
+    /// The image does not fit on the SD card.
+    OutOfDisk(StorageFullError),
+    /// No container with that id on this host.
+    UnknownContainer(ContainerId),
+    /// A name collision with an existing container.
+    DuplicateName(String),
+    /// An invalid lifecycle transition.
+    Transition(TransitionError),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::OutOfMemory { requested, free } => {
+                write!(f, "out of memory: need {requested}, {free} free")
+            }
+            HostError::OutOfDisk(e) => write!(f, "{e}"),
+            HostError::UnknownContainer(id) => write!(f, "no such container {id}"),
+            HostError::DuplicateName(n) => write!(f, "container name '{n}' already in use"),
+            HostError::Transition(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostError::OutOfDisk(e) => Some(e),
+            HostError::Transition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransitionError> for HostError {
+    fn from(e: TransitionError) -> Self {
+        HostError::Transition(e)
+    }
+}
+
+impl From<StorageFullError> for HostError {
+    fn from(e: StorageFullError) -> Self {
+        HostError::OutOfDisk(e)
+    }
+}
+
+/// One machine's LXC runtime: containers plus RAM/disk/CPU accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContainerHost {
+    spec: NodeSpec,
+    containers: BTreeMap<ContainerId, Container>,
+    /// Extra memory each running container has requested beyond idle
+    /// (workload working sets), capped by its cgroup limit.
+    working_set: BTreeMap<ContainerId, Bytes>,
+    storage: StorageVolume,
+    next_id: u64,
+}
+
+impl ContainerHost {
+    /// Creates an empty runtime on a node of the given spec.
+    pub fn new(spec: NodeSpec) -> Self {
+        let storage = StorageVolume::new(spec.storage.clone());
+        ContainerHost {
+            spec,
+            containers: BTreeMap::new(),
+            working_set: BTreeMap::new(),
+            storage,
+            next_id: 0,
+        }
+    }
+
+    /// The hardware this runtime runs on.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Guest memory currently pinned by running/frozen containers.
+    pub fn memory_in_use(&self) -> Bytes {
+        self.containers
+            .values()
+            .filter(|c| c.holds_memory())
+            .map(|c| {
+                c.config().effective_idle_memory()
+                    + self
+                        .working_set
+                        .get(&c.id())
+                        .copied()
+                        .unwrap_or(Bytes::ZERO)
+            })
+            .sum()
+    }
+
+    /// Guest memory still free for new containers.
+    pub fn memory_free(&self) -> Bytes {
+        self.spec.guest_ram().saturating_sub(self.memory_in_use())
+    }
+
+    /// SD-card space still free.
+    pub fn disk_free(&self) -> Bytes {
+        self.storage.free()
+    }
+
+    /// All containers, in id order.
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Running containers, in id order.
+    pub fn running(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values().filter(|c| c.is_running())
+    }
+
+    /// Looks up a container.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// `lxc-create`: provisions the rootfs on disk. The container does not
+    /// consume memory until started.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::DuplicateName`] or [`HostError::OutOfDisk`].
+    pub fn create(
+        &mut self,
+        name: impl Into<String>,
+        config: ContainerConfig,
+    ) -> Result<ContainerId, HostError> {
+        let name = name.into();
+        if self.containers.values().any(|c| c.name() == name) {
+            return Err(HostError::DuplicateName(name));
+        }
+        self.storage.allocate(config.image.disk_size)?;
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.containers.insert(id, Container::new(id, name, config));
+        Ok(id)
+    }
+
+    /// `lxc-start`: admits the container's idle memory, then transitions it.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`], [`HostError::OutOfMemory`] or an
+    /// invalid transition.
+    pub fn start(&mut self, id: ContainerId) -> Result<(), HostError> {
+        let need = {
+            let c = self
+                .containers
+                .get(&id)
+                .ok_or(HostError::UnknownContainer(id))?;
+            if c.holds_memory() {
+                // Already holds memory; let the transition layer complain.
+                Bytes::ZERO
+            } else {
+                c.config().effective_idle_memory()
+            }
+        };
+        if need > self.memory_free() {
+            return Err(HostError::OutOfMemory {
+                requested: need,
+                free: self.memory_free(),
+            });
+        }
+        self.containers
+            .get_mut(&id)
+            .expect("looked up above")
+            .start()?;
+        Ok(())
+    }
+
+    /// `lxc-freeze`.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`] or an invalid transition.
+    pub fn freeze(&mut self, id: ContainerId) -> Result<(), HostError> {
+        self.containers
+            .get_mut(&id)
+            .ok_or(HostError::UnknownContainer(id))?
+            .freeze()?;
+        Ok(())
+    }
+
+    /// `lxc-unfreeze`.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`] or an invalid transition.
+    pub fn unfreeze(&mut self, id: ContainerId) -> Result<(), HostError> {
+        self.containers
+            .get_mut(&id)
+            .ok_or(HostError::UnknownContainer(id))?
+            .unfreeze()?;
+        Ok(())
+    }
+
+    /// `lxc-stop`: releases memory (idle + working set), keeps the rootfs.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`] or an invalid transition.
+    pub fn stop(&mut self, id: ContainerId) -> Result<(), HostError> {
+        self.containers
+            .get_mut(&id)
+            .ok_or(HostError::UnknownContainer(id))?
+            .stop()?;
+        self.working_set.remove(&id);
+        Ok(())
+    }
+
+    /// `lxc-destroy`: removes the container and frees its disk. Running or
+    /// frozen containers are stopped first (as `lxc-destroy -f`).
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`].
+    pub fn destroy(&mut self, id: ContainerId) -> Result<Container, HostError> {
+        let mut c = self
+            .containers
+            .remove(&id)
+            .ok_or(HostError::UnknownContainer(id))?;
+        if c.holds_memory() {
+            c.stop().expect("running/frozen containers can stop");
+        }
+        self.working_set.remove(&id);
+        self.storage.release(c.config().image.disk_size);
+        Ok(c)
+    }
+
+    /// Grows (or shrinks) a running container's working set — the memory a
+    /// workload touches beyond the idle footprint. Admission is enforced
+    /// against both the cgroup limit and host RAM.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`] if absent, [`HostError::OutOfMemory`]
+    /// if the new total would not fit in guest RAM. Requests beyond the
+    /// cgroup limit are *clamped*, not failed — that is what the kernel's
+    /// memory controller does (reclaim), and the paper's limits are
+    /// explicitly "soft".
+    pub fn set_working_set(&mut self, id: ContainerId, extra: Bytes) -> Result<Bytes, HostError> {
+        let c = self
+            .containers
+            .get(&id)
+            .ok_or(HostError::UnknownContainer(id))?;
+        let idle = c.config().effective_idle_memory();
+        // Clamp to the cgroup limit if one is set.
+        let granted = match c.config().memory_limit {
+            Some(limit) => {
+                let headroom = limit.saturating_sub(idle);
+                if extra > headroom {
+                    headroom
+                } else {
+                    extra
+                }
+            }
+            None => extra,
+        };
+        let current = self.working_set.get(&id).copied().unwrap_or(Bytes::ZERO);
+        let others = self.memory_in_use().saturating_sub(if c.holds_memory() {
+            idle + current
+        } else {
+            Bytes::ZERO
+        });
+        let new_total = others + idle + granted;
+        if new_total > self.spec.guest_ram() {
+            return Err(HostError::OutOfMemory {
+                requested: granted,
+                free: self.spec.guest_ram().saturating_sub(others + idle),
+            });
+        }
+        self.working_set.insert(id, granted);
+        Ok(granted)
+    }
+
+    /// Adjusts a container's soft limits at runtime — the paper's
+    /// "specifying (soft) per-VM resource utilisation limits" use case.
+    /// `None` leaves the corresponding limit unchanged; pass
+    /// `Some(None)`-like semantics via [`ContainerHost::clear_memory_limit`].
+    ///
+    /// Lowering the memory limit reclaims working set down to the new
+    /// headroom (kernel reclaim on a soft limit); raising it only admits
+    /// more if guest RAM allows.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`] if absent;
+    /// [`HostError::OutOfMemory`] if raising the limit of a running
+    /// container would pin more idle memory than the host has free.
+    pub fn update_limits(
+        &mut self,
+        id: ContainerId,
+        cpu_shares: Option<u32>,
+        memory_limit: Option<Bytes>,
+    ) -> Result<(), HostError> {
+        let c = self
+            .containers
+            .get(&id)
+            .ok_or(HostError::UnknownContainer(id))?;
+        if let Some(new_limit) = memory_limit {
+            let old_pinned = if c.holds_memory() {
+                c.config().effective_idle_memory()
+                    + self.working_set.get(&id).copied().unwrap_or(Bytes::ZERO)
+            } else {
+                Bytes::ZERO
+            };
+            let new_idle = c.config().image.idle_memory.min(new_limit);
+            let new_ws = self
+                .working_set
+                .get(&id)
+                .copied()
+                .unwrap_or(Bytes::ZERO)
+                .min(new_limit.saturating_sub(new_idle));
+            let new_pinned = if c.holds_memory() {
+                new_idle + new_ws
+            } else {
+                Bytes::ZERO
+            };
+            let others = self.memory_in_use().saturating_sub(old_pinned);
+            if others + new_pinned > self.spec.guest_ram() {
+                return Err(HostError::OutOfMemory {
+                    requested: new_pinned,
+                    free: self.spec.guest_ram().saturating_sub(others),
+                });
+            }
+            let c = self.containers.get_mut(&id).expect("looked up above");
+            c.set_memory_limit(Some(new_limit));
+            self.working_set.insert(id, new_ws);
+        }
+        if let Some(shares) = cpu_shares {
+            if shares == 0 {
+                return Err(HostError::Transition(TransitionError {
+                    from: self.containers[&id].state(),
+                    verb: "set zero cpu shares on",
+                }));
+            }
+            self.containers
+                .get_mut(&id)
+                .expect("looked up above")
+                .set_cpu_shares(shares);
+        }
+        Ok(())
+    }
+
+    /// Removes a container's memory limit entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`] if absent.
+    pub fn clear_memory_limit(&mut self, id: ContainerId) -> Result<(), HostError> {
+        self.containers
+            .get_mut(&id)
+            .ok_or(HostError::UnknownContainer(id))?
+            .set_memory_limit(None);
+        Ok(())
+    }
+
+    /// Allocates the node's CPU among running containers by cgroup shares,
+    /// given each container's current demand in Hz. Returns
+    /// `(container, allocated_hz)` pairs in id order plus the resulting
+    /// node utilisation in `[0, 1]`.
+    pub fn allocate_cpu(&self, demands: &BTreeMap<ContainerId, f64>) -> (Vec<(ContainerId, f64)>, f64) {
+        let pool = ProcessorPool::new(self.spec.cores, self.spec.clock.as_hz() as f64);
+        let running: Vec<&Container> = self.running().collect();
+        let claims: Vec<CpuClaim> = running
+            .iter()
+            .map(|c| {
+                CpuClaim::with_weight(
+                    demands.get(&c.id()).copied().unwrap_or(0.0),
+                    f64::from(c.config().cpu_shares),
+                )
+            })
+            .collect();
+        let alloc = pool.allocate(&claims);
+        let util = pool.utilisation(&alloc);
+        (
+            running
+                .iter()
+                .zip(alloc)
+                .map(|(c, a)| (c.id(), a))
+                .collect(),
+            util,
+        )
+    }
+
+    /// How many *additional* containers of the given config could start
+    /// right now — the density question behind "we are able to comfortably
+    /// support three containers concurrently on a Raspberry Pi".
+    pub fn remaining_capacity(&self, config: &ContainerConfig) -> u32 {
+        let per = config.effective_idle_memory();
+        if per.is_zero() {
+            return u32::MAX;
+        }
+        let by_ram = self.memory_free().as_u64() / per.as_u64();
+        let by_disk = if config.image.disk_size.is_zero() {
+            u64::MAX
+        } else {
+            self.disk_free().as_u64() / config.image.disk_size.as_u64()
+        };
+        u32::try_from(by_ram.min(by_disk)).unwrap_or(u32::MAX)
+    }
+}
+
+impl fmt::Display for ContainerHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} containers ({} running), {} / {} guest RAM",
+            self.spec.model,
+            self.containers.len(),
+            self.running().count(),
+            self.memory_in_use(),
+            self.spec.guest_ram()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ContainerImage;
+
+    fn pi_host() -> ContainerHost {
+        ContainerHost::new(NodeSpec::pi_model_b_rev1())
+    }
+
+    fn web_cfg() -> ContainerConfig {
+        ContainerConfig::new(ContainerImage::lighttpd())
+    }
+
+    #[test]
+    fn three_containers_fit_on_256mb_pi() {
+        // The paper's density claim, verbatim.
+        let mut host = pi_host();
+        for i in 0..3 {
+            let id = host.create(format!("c{i}"), web_cfg()).unwrap();
+            host.start(id).unwrap();
+        }
+        assert_eq!(host.running().count(), 3);
+        assert_eq!(host.memory_in_use(), Bytes::mib(90));
+        assert!(host.memory_free() >= Bytes::mib(100), "comfortable headroom");
+    }
+
+    #[test]
+    fn seventh_idle_container_exhausts_guest_ram() {
+        // 192 MB guest / 30 MB idle = 6 containers; the 7th must fail.
+        let mut host = pi_host();
+        for i in 0..6 {
+            let id = host.create(format!("c{i}"), web_cfg()).unwrap();
+            host.start(id).unwrap();
+        }
+        let id = host.create("c6", web_cfg()).unwrap();
+        let err = host.start(id).unwrap_err();
+        assert!(matches!(err, HostError::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn rev2_board_doubles_density() {
+        let mut host = ContainerHost::new(NodeSpec::pi_model_b_rev2());
+        let cap = host.remaining_capacity(&web_cfg());
+        assert_eq!(cap, (512 - 64) / 30);
+        // And actually start that many.
+        for i in 0..cap {
+            let id = host.create(format!("c{i}"), web_cfg()).unwrap();
+            host.start(id).unwrap();
+        }
+        assert_eq!(host.running().count() as u32, cap);
+    }
+
+    #[test]
+    fn disk_accounting_limits_creation() {
+        let mut host = pi_host();
+        // 16 GiB SD / 1 GiB hadoop image = 16 creations.
+        let cfg = ContainerConfig::new(ContainerImage::hadoop_worker());
+        for i in 0..16 {
+            host.create(format!("h{i}"), cfg.clone()).unwrap();
+        }
+        let err = host.create("h16", cfg).unwrap_err();
+        assert!(matches!(err, HostError::OutOfDisk(_)));
+    }
+
+    #[test]
+    fn destroy_frees_disk_and_memory() {
+        let mut host = pi_host();
+        let id = host.create("c0", web_cfg()).unwrap();
+        host.start(id).unwrap();
+        let used_disk_before = host.disk_free();
+        host.destroy(id).unwrap();
+        assert_eq!(host.memory_in_use(), Bytes::ZERO);
+        assert!(host.disk_free() > used_disk_before);
+        assert!(matches!(
+            host.start(id),
+            Err(HostError::UnknownContainer(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut host = pi_host();
+        host.create("web", web_cfg()).unwrap();
+        assert!(matches!(
+            host.create("web", web_cfg()),
+            Err(HostError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn frozen_containers_keep_memory_stopped_release_it() {
+        let mut host = pi_host();
+        let id = host.create("c", web_cfg()).unwrap();
+        host.start(id).unwrap();
+        host.freeze(id).unwrap();
+        assert_eq!(host.memory_in_use(), Bytes::mib(30));
+        host.unfreeze(id).unwrap();
+        host.stop(id).unwrap();
+        assert_eq!(host.memory_in_use(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn working_set_clamped_by_cgroup_limit() {
+        let mut host = pi_host();
+        let cfg = web_cfg().with_memory_limit(Bytes::mib(64));
+        let id = host.create("db", cfg).unwrap();
+        host.start(id).unwrap();
+        // Ask for 100 MB beyond idle; cgroup caps at 64 - 30 = 34.
+        let granted = host.set_working_set(id, Bytes::mib(100)).unwrap();
+        assert_eq!(granted, Bytes::mib(34));
+        assert_eq!(host.memory_in_use(), Bytes::mib(64));
+    }
+
+    #[test]
+    fn working_set_bounded_by_host_ram() {
+        let mut host = pi_host();
+        let id = host.create("c", web_cfg()).unwrap();
+        host.start(id).unwrap();
+        // 192 guest - 30 idle = 162 headroom; ask for 200.
+        let err = host.set_working_set(id, Bytes::mib(200)).unwrap_err();
+        assert!(matches!(err, HostError::OutOfMemory { .. }));
+        // Exactly the headroom is fine.
+        host.set_working_set(id, Bytes::mib(162)).unwrap();
+        assert_eq!(host.memory_free(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn cpu_allocation_respects_shares() {
+        let mut host = pi_host();
+        let heavy = host
+            .create("heavy", web_cfg().with_cpu_shares(2048))
+            .unwrap();
+        let light = host
+            .create("light", web_cfg().with_cpu_shares(1024))
+            .unwrap();
+        host.start(heavy).unwrap();
+        host.start(light).unwrap();
+        let mut demands = BTreeMap::new();
+        demands.insert(heavy, 700e6);
+        demands.insert(light, 700e6);
+        let (alloc, util) = host.allocate_cpu(&demands);
+        assert!((util - 1.0).abs() < 1e-9, "saturated core");
+        let a: BTreeMap<ContainerId, f64> = alloc.into_iter().collect();
+        assert!((a[&heavy] / a[&light] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stopped_containers_get_no_cpu() {
+        let mut host = pi_host();
+        let id = host.create("c", web_cfg()).unwrap();
+        host.start(id).unwrap();
+        host.stop(id).unwrap();
+        let (alloc, util) = host.allocate_cpu(&BTreeMap::new());
+        assert!(alloc.is_empty());
+        assert_eq!(util, 0.0);
+    }
+
+    #[test]
+    fn unknown_container_errors() {
+        let mut host = pi_host();
+        let ghost = ContainerId(99);
+        assert!(matches!(host.start(ghost), Err(HostError::UnknownContainer(_))));
+        assert!(matches!(host.stop(ghost), Err(HostError::UnknownContainer(_))));
+        assert!(matches!(host.destroy(ghost), Err(HostError::UnknownContainer(_))));
+        assert!(matches!(
+            host.set_working_set(ghost, Bytes::ZERO),
+            Err(HostError::UnknownContainer(_))
+        ));
+    }
+
+    #[test]
+    fn update_limits_reclaims_working_set() {
+        let mut host = pi_host();
+        let id = host.create("db", web_cfg()).unwrap();
+        host.start(id).unwrap();
+        host.set_working_set(id, Bytes::mib(100)).unwrap();
+        assert_eq!(host.memory_in_use(), Bytes::mib(130));
+        // Clamp to 64 MB total: idle 30 stays, working set reclaimed to 34.
+        host.update_limits(id, None, Some(Bytes::mib(64))).unwrap();
+        assert_eq!(host.memory_in_use(), Bytes::mib(64));
+        // CPU shares update is visible in the config.
+        host.update_limits(id, Some(256), None).unwrap();
+        assert_eq!(host.container(id).unwrap().config().cpu_shares, 256);
+    }
+
+    #[test]
+    fn update_limits_rejects_unaffordable_raise() {
+        let mut host = pi_host();
+        // Two hadoop containers (96 MB each) fill 192 MB guest RAM exactly
+        // when one is limited to 96 and the other unlimited.
+        let a = host
+            .create("a", ContainerConfig::new(ContainerImage::hadoop_worker()).with_memory_limit(Bytes::mib(64)))
+            .unwrap();
+        let b = host
+            .create("b", ContainerConfig::new(ContainerImage::hadoop_worker()))
+            .unwrap();
+        host.start(a).unwrap();
+        host.start(b).unwrap(); // 64 + 96 = 160 pinned
+        // Raising a's limit to its full 96 MB idle needs 96+96=192: fits.
+        host.update_limits(a, None, Some(Bytes::mib(96))).unwrap();
+        assert_eq!(host.memory_free(), Bytes::ZERO);
+        // There is no headroom for more.
+        let err = host.update_limits(a, None, Some(Bytes::mib(128)));
+        // idle is min(96, 128) = 96, so this still fits — equal, not over.
+        assert!(err.is_ok());
+        let err = host.set_working_set(a, Bytes::mib(1)).unwrap_err();
+        assert!(matches!(err, HostError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn clear_memory_limit_restores_unlimited() {
+        let mut host = pi_host();
+        let id = host
+            .create("c", web_cfg().with_memory_limit(Bytes::mib(40)))
+            .unwrap();
+        host.clear_memory_limit(id).unwrap();
+        assert_eq!(host.container(id).unwrap().config().memory_limit, None);
+        assert!(matches!(
+            host.clear_memory_limit(ContainerId(99)),
+            Err(HostError::UnknownContainer(_))
+        ));
+    }
+
+    #[test]
+    fn display_summarises_host() {
+        let host = pi_host();
+        let s = host.to_string();
+        assert!(s.contains("Raspberry Pi Model B rev1"), "{s}");
+    }
+}

@@ -1,0 +1,48 @@
+//! OS-level virtualisation for the PiCloud: a model of Linux Containers.
+//!
+//! The paper rejects full virtualisation on the Pi — "full virtualisation
+//! technologies such as Xen are memory-intensive when compared to the 256MB
+//! RAM capacity of the original Raspberry Pi devices" — and instead runs
+//! LXC containers on the kernel's cgroups: "we can run three containers on
+//! a single Pi, each consuming 30MB RAM when idle". This crate models that
+//! layer:
+//!
+//! * [`image`] — container filesystem images (the web server, database and
+//!   Hadoop stacks of Fig. 3) with disk and idle-memory footprints.
+//! * [`container`] — container identity, configuration (memory limit, CPU
+//!   shares, bridged/NAT networking) and the LXC lifecycle state machine
+//!   (`lxc-create` / `lxc-start` / `lxc-freeze` / `lxc-stop` /
+//!   `lxc-destroy`).
+//! * [`host`] — the per-Pi container runtime: RAM and disk accounting,
+//!   cgroup CPU-share allocation, density limits.
+//! * [`virt`] — the containers-vs-hypervisor comparison of §II-B as a
+//!   memory-overhead model.
+//!
+//! # Example
+//!
+//! ```
+//! use picloud_container::host::ContainerHost;
+//! use picloud_container::container::ContainerConfig;
+//! use picloud_container::image::ContainerImage;
+//! use picloud_hardware::node::NodeSpec;
+//!
+//! // The paper's claim: three concurrent containers on a 256 MB Model B.
+//! let mut host = ContainerHost::new(NodeSpec::pi_model_b_rev1());
+//! for i in 0..3 {
+//!     let cfg = ContainerConfig::new(ContainerImage::lighttpd());
+//!     let id = host.create(format!("web-{i}"), cfg)?;
+//!     host.start(id)?;
+//! }
+//! assert_eq!(host.running().count(), 3);
+//! # Ok::<(), picloud_container::host::HostError>(())
+//! ```
+
+pub mod container;
+pub mod host;
+pub mod image;
+pub mod virt;
+
+pub use container::{ContainerConfig, ContainerId, ContainerState, NetMode};
+pub use host::{ContainerHost, HostError};
+pub use image::ContainerImage;
+pub use virt::VirtTechnology;

@@ -1,0 +1,263 @@
+//! Containers versus full virtualisation: the §II-B memory argument.
+//!
+//! The paper chooses LXC because "full virtualisation technologies such as
+//! Xen are memory-intensive when compared to the 256MB RAM capacity of the
+//! original Raspberry Pi". This module turns that argument into a model:
+//! each technology charges a fixed host overhead (hypervisor / dom0 versus
+//! nothing for cgroups) plus a per-instance overhead (a full guest kernel
+//! and device emulation versus a containerised process tree), from which
+//! instance density on any [`NodeSpec`] follows.
+
+use picloud_hardware::node::NodeSpec;
+use picloud_simcore::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtualisation technology's memory cost structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VirtTechnology {
+    /// Linux Containers on cgroups: no hypervisor, no guest kernel. The
+    /// paper's choice.
+    LinuxContainers,
+    /// Xen-style full virtualisation: hypervisor + dom0 resident on the
+    /// host, a full guest kernel per instance. ("there is an ongoing effort
+    /// trying to enable Xen on the ARM platform" — modelled as if it had
+    /// landed.)
+    FullVirtualisation,
+}
+
+impl VirtTechnology {
+    /// Memory the technology reserves on the host before any instance runs
+    /// (hypervisor + management domain).
+    pub fn host_overhead(self) -> Bytes {
+        match self {
+            VirtTechnology::LinuxContainers => Bytes::ZERO,
+            // Xen hypervisor (~16 MB) + trimmed dom0 (~48 MB).
+            VirtTechnology::FullVirtualisation => Bytes::mib(64),
+        }
+    }
+
+    /// Memory charged per instance on top of the application's own
+    /// footprint (guest kernel, page tables, device emulation).
+    pub fn per_instance_overhead(self) -> Bytes {
+        match self {
+            VirtTechnology::LinuxContainers => Bytes::ZERO,
+            VirtTechnology::FullVirtualisation => Bytes::mib(40),
+        }
+    }
+
+    /// Memory one instance pins, given the application's idle footprint.
+    pub fn instance_memory(self, app_idle: Bytes) -> Bytes {
+        app_idle + self.per_instance_overhead()
+    }
+
+    /// Maximum concurrent instances of an `app_idle`-sized application on
+    /// `node` — the density comparison of §II-B.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use picloud_container::virt::VirtTechnology;
+    /// use picloud_hardware::node::NodeSpec;
+    /// use picloud_simcore::units::Bytes;
+    ///
+    /// let pi = NodeSpec::pi_model_b_rev1();
+    /// let lxc = VirtTechnology::LinuxContainers.max_instances(&pi, Bytes::mib(30));
+    /// let xen = VirtTechnology::FullVirtualisation.max_instances(&pi, Bytes::mib(30));
+    /// assert!(lxc >= 3, "the paper's three containers fit");
+    /// assert!(xen < lxc, "full virtualisation fits fewer");
+    /// ```
+    pub fn max_instances(self, node: &NodeSpec, app_idle: Bytes) -> u32 {
+        let available = node.guest_ram().saturating_sub(self.host_overhead());
+        let per = self.instance_memory(app_idle);
+        if per.is_zero() {
+            return u32::MAX;
+        }
+        u32::try_from(available.as_u64() / per.as_u64()).unwrap_or(u32::MAX)
+    }
+}
+
+impl fmt::Display for VirtTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtTechnology::LinuxContainers => write!(f, "Linux Containers (LXC)"),
+            VirtTechnology::FullVirtualisation => write!(f, "full virtualisation (Xen-style)"),
+        }
+    }
+}
+
+/// One row of the density comparison: instances supported per technology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DensityComparison {
+    /// Node the comparison ran on.
+    pub node_model: String,
+    /// Application idle footprint used.
+    pub app_idle: Bytes,
+    /// Instances under LXC.
+    pub lxc_instances: u32,
+    /// Instances under full virtualisation.
+    pub full_virt_instances: u32,
+}
+
+impl DensityComparison {
+    /// Runs the comparison for `node` and an application of `app_idle`.
+    pub fn run(node: &NodeSpec, app_idle: Bytes) -> Self {
+        DensityComparison {
+            node_model: node.model.clone(),
+            app_idle,
+            lxc_instances: VirtTechnology::LinuxContainers.max_instances(node, app_idle),
+            full_virt_instances: VirtTechnology::FullVirtualisation.max_instances(node, app_idle),
+        }
+    }
+}
+
+/// The §III "fine-grained cloud" question: keep containers, or remove
+/// virtualisation "completely and rent out physical nodes rather than
+/// virtual ones"?
+///
+/// Bare-metal tenancy dedicates a whole board per tenant; containers
+/// bin-pack tenants onto boards. The comparison counts boards needed for a
+/// tenant mix — the fragmentation cost of bare metal is the whole story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TenancyModel {
+    /// One tenant per physical board (no virtualisation at all).
+    BareMetal,
+    /// Tenants bin-packed into containers (first-fit decreasing).
+    Containers,
+}
+
+impl fmt::Display for TenancyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenancyModel::BareMetal => write!(f, "bare metal"),
+            TenancyModel::Containers => write!(f, "containers"),
+        }
+    }
+}
+
+impl TenancyModel {
+    /// Boards of `node` needed to host tenants with the given RAM
+    /// footprints. Tenants larger than one board are rejected (`None`).
+    pub fn boards_needed(self, node: &NodeSpec, tenant_ram: &[Bytes]) -> Option<u32> {
+        let capacity = node.guest_ram();
+        if tenant_ram.iter().any(|r| *r > capacity) {
+            return None;
+        }
+        match self {
+            TenancyModel::BareMetal => u32::try_from(tenant_ram.len()).ok(),
+            TenancyModel::Containers => {
+                // First-fit decreasing bin packing.
+                let mut sizes: Vec<Bytes> = tenant_ram.to_vec();
+                sizes.sort_by(|a, b| b.cmp(a));
+                let mut bins: Vec<Bytes> = Vec::new(); // free space per board
+                for s in sizes {
+                    match bins.iter_mut().find(|free| **free >= s) {
+                        Some(free) => *free = free.saturating_sub(s),
+                        None => bins.push(capacity.saturating_sub(s)),
+                    }
+                }
+                u32::try_from(bins.len()).ok()
+            }
+        }
+    }
+}
+
+impl fmt::Display for DensityComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} idle: LXC fits {}, full virtualisation fits {}",
+            self.node_model, self.app_idle, self.lxc_instances, self.full_virt_instances
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_density_claim_holds_for_lxc_only() {
+        let pi = NodeSpec::pi_model_b_rev1();
+        let cmp = DensityComparison::run(&pi, Bytes::mib(30));
+        assert!(cmp.lxc_instances >= 3, "{cmp}");
+        assert!(cmp.full_virt_instances < 3, "{cmp}");
+    }
+
+    #[test]
+    fn full_virt_charges_host_and_instance_overhead() {
+        let v = VirtTechnology::FullVirtualisation;
+        assert_eq!(v.instance_memory(Bytes::mib(30)), Bytes::mib(70));
+        assert_eq!(v.host_overhead(), Bytes::mib(64));
+        let l = VirtTechnology::LinuxContainers;
+        assert_eq!(l.instance_memory(Bytes::mib(30)), Bytes::mib(30));
+        assert_eq!(l.host_overhead(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn x86_server_shrinks_the_gap_relatively() {
+        // On a 16 GB server both fit plenty; the *ratio* LXC/full-virt is
+        // far smaller than on the Pi — the paper's point that the overhead
+        // only bites on small boards.
+        let pi = NodeSpec::pi_model_b_rev1();
+        let x86 = NodeSpec::x86_commodity();
+        let ratio = |n: &NodeSpec| {
+            let c = DensityComparison::run(n, Bytes::mib(30));
+            c.lxc_instances as f64 / c.full_virt_instances.max(1) as f64
+        };
+        assert!(ratio(&pi) > ratio(&x86));
+    }
+
+    #[test]
+    fn containers_pack_tighter_than_bare_metal() {
+        let pi = NodeSpec::pi_model_b_rev1();
+        // 12 small tenants: 12 boards bare-metal, 2 boards containerised.
+        let tenants = vec![Bytes::mib(30); 12];
+        let bare = TenancyModel::BareMetal.boards_needed(&pi, &tenants).unwrap();
+        let packed = TenancyModel::Containers.boards_needed(&pi, &tenants).unwrap();
+        assert_eq!(bare, 12);
+        assert_eq!(packed, 2, "6 x 30 MiB per 192 MiB board");
+    }
+
+    #[test]
+    fn big_tenants_equalise_the_models() {
+        let pi = NodeSpec::pi_model_b_rev1();
+        // Tenants that nearly fill a board: packing cannot help.
+        let tenants = vec![Bytes::mib(150); 5];
+        assert_eq!(
+            TenancyModel::BareMetal.boards_needed(&pi, &tenants),
+            TenancyModel::Containers.boards_needed(&pi, &tenants)
+        );
+    }
+
+    #[test]
+    fn oversized_tenants_are_rejected() {
+        let pi = NodeSpec::pi_model_b_rev1();
+        let tenants = vec![Bytes::mib(500)];
+        assert_eq!(TenancyModel::BareMetal.boards_needed(&pi, &tenants), None);
+        assert_eq!(TenancyModel::Containers.boards_needed(&pi, &tenants), None);
+    }
+
+    #[test]
+    fn empty_tenant_list_needs_nothing() {
+        let pi = NodeSpec::pi_model_b_rev1();
+        assert_eq!(TenancyModel::Containers.boards_needed(&pi, &[]), Some(0));
+        assert_eq!(TenancyModel::BareMetal.boards_needed(&pi, &[]), Some(0));
+    }
+
+    #[test]
+    fn tenancy_display() {
+        assert_eq!(TenancyModel::BareMetal.to_string(), "bare metal");
+        assert_eq!(TenancyModel::Containers.to_string(), "containers");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = VirtTechnology::LinuxContainers.to_string();
+        assert!(s.contains("LXC"));
+        let pi = NodeSpec::pi_model_b_rev1();
+        assert!(DensityComparison::run(&pi, Bytes::mib(30))
+            .to_string()
+            .contains("LXC fits"));
+    }
+}

@@ -1,0 +1,174 @@
+//! **E15 — frequency scaling** (§III's power-measurement agenda applied to
+//! the cpufreq governors Raspbian ships).
+//!
+//! Replays a diurnal load trace through the three governors and integrates
+//! power over the virtual day: `performance` burns watts at night,
+//! `powersave` cannot serve the daytime peak, and `ondemand` tracks the
+//! trace — the textbook result, now measured on the Pi's own operating
+//! points.
+
+use crate::report::TextTable;
+use picloud_hardware::dvfs::{FrequencyGovernor, ScalableCpu};
+use picloud_simcore::units::Energy;
+use picloud_simcore::{SimDuration, SimTime, TimeWeightedGauge};
+use std::fmt;
+
+/// One governor's day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorOutcome {
+    /// The governor.
+    pub governor: FrequencyGovernor,
+    /// Energy for the 24 h trace, one board.
+    pub daily_energy: Energy,
+    /// Fraction of trace intervals whose load the governor could serve.
+    pub served_fraction: f64,
+}
+
+/// The governor sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsExperiment {
+    /// The diurnal load trace (one value per hour, fraction of max-clock
+    /// capacity).
+    pub trace: Vec<f64>,
+    /// One row per governor.
+    pub outcomes: Vec<GovernorOutcome>,
+}
+
+impl DvfsExperiment {
+    /// Runs the sweep over `trace` (one load sample per hour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn run(trace: &[f64]) -> DvfsExperiment {
+        assert!(!trace.is_empty(), "need a load trace");
+        let governors = [
+            FrequencyGovernor::Performance,
+            FrequencyGovernor::Powersave,
+            FrequencyGovernor::default(),
+        ];
+        let outcomes = governors
+            .iter()
+            .map(|&governor| {
+                let cpu = ScalableCpu::bcm2835().with_governor(governor);
+                let mut gauge = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
+                let mut served = 0usize;
+                for (hour, &load) in trace.iter().enumerate() {
+                    let at = SimTime::ZERO + SimDuration::from_secs(hour as u64 * 3600);
+                    gauge.set(at, cpu.power_at(load).as_watts());
+                    if cpu.can_serve(load) {
+                        served += 1;
+                    }
+                }
+                let end =
+                    SimTime::ZERO + SimDuration::from_secs(trace.len() as u64 * 3600);
+                GovernorOutcome {
+                    governor,
+                    daily_energy: Energy::joules(gauge.integral(end)),
+                    served_fraction: served as f64 / trace.len() as f64,
+                }
+            })
+            .collect();
+        DvfsExperiment {
+            trace: trace.to_vec(),
+            outcomes,
+        }
+    }
+
+    /// A typical diurnal web trace: quiet night, morning ramp, busy day.
+    pub fn paper_scale() -> DvfsExperiment {
+        let trace: Vec<f64> = (0..24)
+            .map(|h| match h {
+                0..=6 => 0.05,
+                7..=9 => 0.35,
+                10..=17 => 0.8,
+                18..=21 => 0.5,
+                _ => 0.15,
+            })
+            .collect();
+        DvfsExperiment::run(&trace)
+    }
+
+    /// Looks up a governor's row.
+    pub fn outcome(&self, governor: FrequencyGovernor) -> Option<&GovernorOutcome> {
+        self.outcomes.iter().find(|o| o.governor == governor)
+    }
+}
+
+impl fmt::Display for DvfsExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E15: cpufreq governors over a diurnal day (one board)")?;
+        let mut t = TextTable::new(vec![
+            "governor".into(),
+            "daily energy".into(),
+            "load served".into(),
+        ]);
+        for o in &self.outcomes {
+            t.row(vec![
+                o.governor.to_string(),
+                o.daily_energy.to_string(),
+                format!("{:.0}%", o.served_fraction * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> DvfsExperiment {
+        DvfsExperiment::paper_scale()
+    }
+
+    #[test]
+    fn performance_serves_everything_at_highest_energy() {
+        let e = exp();
+        let perf = e.outcome(FrequencyGovernor::Performance).unwrap();
+        assert_eq!(perf.served_fraction, 1.0);
+        for other in &e.outcomes {
+            assert!(perf.daily_energy.as_joules() >= other.daily_energy.as_joules());
+        }
+    }
+
+    #[test]
+    fn powersave_cannot_serve_the_day_peak() {
+        let e = exp();
+        let save = e.outcome(FrequencyGovernor::Powersave).unwrap();
+        assert!(save.served_fraction < 1.0, "{}", save.served_fraction);
+        // But it is the cheapest.
+        for other in &e.outcomes {
+            assert!(save.daily_energy.as_joules() <= other.daily_energy.as_joules());
+        }
+    }
+
+    #[test]
+    fn ondemand_serves_everything_cheaper_than_performance() {
+        let e = exp();
+        let ond = e.outcome(FrequencyGovernor::default()).unwrap();
+        let perf = e.outcome(FrequencyGovernor::Performance).unwrap();
+        assert_eq!(ond.served_fraction, 1.0);
+        assert!(
+            ond.daily_energy.as_joules() < perf.daily_energy.as_joules(),
+            "ondemand {} vs performance {}",
+            ond.daily_energy,
+            perf.daily_energy
+        );
+    }
+
+    #[test]
+    fn flat_peak_trace_equalises_ondemand_and_performance() {
+        let e = DvfsExperiment::run(&[1.0; 24]);
+        let ond = e.outcome(FrequencyGovernor::default()).unwrap();
+        let perf = e.outcome(FrequencyGovernor::Performance).unwrap();
+        assert!((ond.daily_energy.as_joules() - perf.daily_energy.as_joules()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_tabulates() {
+        let s = exp().to_string();
+        assert!(s.contains("ondemand"));
+        assert!(s.contains("daily energy"));
+    }
+}

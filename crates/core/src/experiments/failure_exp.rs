@@ -1,0 +1,240 @@
+//! **E11 — failure injection** (the Gill et al. failure study the paper
+//! cites as its reference 2, turned into an experiment).
+//!
+//! Sweeps failure scenarios over the paper fabric and its re-cables and
+//! reports surviving reachability plus the effect on in-flight traffic:
+//! flows whose path died are re-routed (re-injected on the surviving
+//! fabric) or declared stranded.
+
+use crate::report::TextTable;
+use picloud_network::failure::{aggregation_devices, ConnectivityReport, FailureMask};
+use picloud_network::flow::FlowSpec;
+use picloud_network::flowsim::{FlowSimulator, InjectError, RateAllocator};
+use picloud_network::routing::RoutingPolicy;
+use picloud_network::topology::Topology;
+use picloud_simcore::SeedFactory;
+use rand::seq::SliceRandom;
+use std::fmt;
+
+/// One failure scenario's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureScenario {
+    /// Scenario label.
+    pub name: String,
+    /// Fabric the scenario ran on.
+    pub fabric: String,
+    /// Links failed.
+    pub links_failed: usize,
+    /// Devices failed.
+    pub devices_failed: usize,
+    /// Host-pair reachability after the failure, in `[0, 1]`.
+    pub reachability: f64,
+    /// Of 100 random in-flight flows, how many found a surviving path.
+    pub flows_rerouted: usize,
+    /// How many were stranded (endpoint or partition loss).
+    pub flows_stranded: usize,
+}
+
+/// The failure-injection experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureExperiment {
+    /// All scenarios, in execution order.
+    pub scenarios: Vec<FailureScenario>,
+}
+
+impl FailureExperiment {
+    /// Applies `mask` to `topo` and replays 100 random host-pair flows on
+    /// the surviving fabric.
+    pub fn run_scenario(
+        name: &str,
+        topo: &Topology,
+        mask: &FailureMask,
+        seeds: &SeedFactory,
+    ) -> FailureScenario {
+        let degraded = mask.apply(topo);
+        let report = ConnectivityReport::measure(&degraded.topology);
+        // Pick 100 random pre-failure host pairs and try to re-inject them.
+        let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
+        let mut rng = seeds.stream(&format!("failure/{name}"));
+        let mut rerouted = 0;
+        let mut stranded = 0;
+        let mut sim = FlowSimulator::new(
+            degraded.topology.clone(),
+            RoutingPolicy::default(),
+            RateAllocator::MaxMin,
+        );
+        for _ in 0..100 {
+            let src = *hosts.choose(&mut rng).expect("hosts exist");
+            let dst = loop {
+                let d = *hosts.choose(&mut rng).expect("hosts exist");
+                if d != src {
+                    break d;
+                }
+            };
+            match (degraded.translate(src), degraded.translate(dst)) {
+                (Some(s), Some(d)) => {
+                    match sim.inject(
+                        FlowSpec::new(s, d, picloud_simcore::units::Bytes::kib(64)),
+                        sim.now(),
+                    ) {
+                        Ok(_) => rerouted += 1,
+                        Err(InjectError::NoRoute { .. }) => stranded += 1,
+                    }
+                }
+                _ => stranded += 1,
+            }
+        }
+        sim.run_to_completion();
+        FailureScenario {
+            name: name.to_owned(),
+            fabric: topo.name().to_owned(),
+            links_failed: mask.failed_link_count(),
+            devices_failed: mask.failed_device_count(),
+            reachability: report.reachability(),
+            flows_rerouted: rerouted,
+            flows_stranded: stranded,
+        }
+    }
+
+    /// The standard sweep: aggregation-root loss on the 1- and 2-root
+    /// trees, core loss on the fat-tree, random link attrition at 5/15/30 %
+    /// on the paper fabric.
+    pub fn run(seed: u64) -> FailureExperiment {
+        let seeds = SeedFactory::new(seed);
+        let mut scenarios = Vec::new();
+
+        // Root loss, 2-root paper fabric vs 1-root variant.
+        let two_roots = Topology::multi_root_tree(4, 14, 2);
+        let mut mask = FailureMask::none();
+        mask.fail_device(aggregation_devices(&two_roots)[0]);
+        scenarios.push(Self::run_scenario("one root down (of 2)", &two_roots, &mask, &seeds));
+
+        let one_root = Topology::multi_root_tree(4, 14, 1);
+        let mut mask = FailureMask::none();
+        mask.fail_device(aggregation_devices(&one_root)[0]);
+        scenarios.push(Self::run_scenario("the only root down", &one_root, &mask, &seeds));
+
+        // Core loss on the fat-tree re-cable.
+        let fat = Topology::fat_tree(6);
+        let mut mask = FailureMask::none();
+        let cores: Vec<_> = fat
+            .devices_where(|k| matches!(k, picloud_network::topology::DeviceKind::Core))
+            .map(|d| d.id)
+            .collect();
+        for &c in cores.iter().take(3) {
+            mask.fail_device(c);
+        }
+        scenarios.push(Self::run_scenario("3 of 9 cores down", &fat, &mask, &seeds));
+
+        // Random link attrition on the paper fabric. One shuffle, nested
+        // prefixes: the 15 % failure set strictly contains the 5 % set, so
+        // reachability is monotone by construction.
+        let topo = Topology::multi_root_tree(4, 14, 2);
+        let mut rng = seeds.stream("attrition");
+        let mut links: Vec<_> = topo.links().iter().map(|l| l.id).collect();
+        links.shuffle(&mut rng);
+        for pct in [5usize, 15, 30] {
+            let kill = links.len() * pct / 100;
+            let mut mask = FailureMask::none();
+            for l in links.iter().take(kill) {
+                mask.fail_link(*l);
+            }
+            scenarios.push(Self::run_scenario(
+                &format!("{pct}% random links down"),
+                &topo,
+                &mask,
+                &seeds,
+            ));
+        }
+        FailureExperiment { scenarios }
+    }
+
+    /// Looks up a scenario by name.
+    pub fn scenario(&self, name: &str) -> Option<&FailureScenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for FailureExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E11: failure injection")?;
+        let mut t = TextTable::new(vec![
+            "scenario".into(),
+            "fabric".into(),
+            "failed".into(),
+            "reachability".into(),
+            "flows rerouted".into(),
+            "stranded".into(),
+        ]);
+        for s in &self.scenarios {
+            t.row(vec![
+                s.name.clone(),
+                s.fabric.clone(),
+                format!("{}L/{}D", s.links_failed, s.devices_failed),
+                format!("{:.1}%", s.reachability * 100.0),
+                s.flows_rerouted.to_string(),
+                s.flows_stranded.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> FailureExperiment {
+        FailureExperiment::run(2013)
+    }
+
+    #[test]
+    fn redundant_root_saves_the_fabric() {
+        let e = exp();
+        let redundant = e.scenario("one root down (of 2)").expect("scenario");
+        let fragile = e.scenario("the only root down").expect("scenario");
+        assert!((redundant.reachability - 1.0).abs() < 1e-12);
+        assert_eq!(redundant.flows_stranded, 0);
+        assert!(fragile.reachability < 0.3);
+        assert!(fragile.flows_stranded > 0);
+    }
+
+    #[test]
+    fn fat_tree_shrugs_off_core_losses() {
+        let e = exp();
+        let fat = e.scenario("3 of 9 cores down").expect("scenario");
+        assert!((fat.reachability - 1.0).abs() < 1e-12);
+        assert_eq!(fat.flows_stranded, 0);
+    }
+
+    #[test]
+    fn attrition_degrades_monotonically() {
+        let e = exp();
+        let r = |name: &str| e.scenario(name).expect("scenario").reachability;
+        let r5 = r("5% random links down");
+        let r15 = r("15% random links down");
+        let r30 = r("30% random links down");
+        assert!(r5 >= r15 && r15 >= r30, "{r5} {r15} {r30}");
+        assert!(r30 < 1.0, "30% attrition must hurt");
+    }
+
+    #[test]
+    fn rerouted_plus_stranded_is_100() {
+        let e = exp();
+        for s in &e.scenarios {
+            assert_eq!(s.flows_rerouted + s.flows_stranded, 100, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(FailureExperiment::run(5), FailureExperiment::run(5));
+    }
+
+    #[test]
+    fn display_lists_scenarios() {
+        let s = exp().to_string();
+        assert!(s.contains("failure injection"));
+        assert!(s.contains("30% random links down"));
+    }
+}

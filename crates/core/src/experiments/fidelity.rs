@@ -1,0 +1,262 @@
+//! **E10 — scale-model fidelity** (§IV: "Isn't the Raspberry Pi just a
+//! 'toy' device?").
+//!
+//! The paper's defence of the scale model is that "hardware capacity can
+//! be linearly scaled down to a certain ratio (say 1:10)" while behaviour
+//! is preserved. The experiment makes that quantitative: drive the same
+//! heterogeneous web workload through a Pi cluster and an x86 cluster and
+//! compare
+//!
+//! * the **shape** — correlation of per-node utilisation patterns (should
+//!   be ≈ 1: the scale model reproduces relative behaviour), and
+//! * the **magnitude** — the raw capacity gap (should be the clock ratio,
+//!   about 1:4 per core against 2013 x86, more per box).
+//!
+//! A MapReduce makespan comparison closes the loop at whole-job level.
+
+use crate::report::TextTable;
+use picloud_hardware::node::NodeSpec;
+use picloud_hardware::storage::StorageSpec;
+use picloud_network::flowsim::{FlowSimulator, RateAllocator};
+use picloud_network::routing::RoutingPolicy;
+use picloud_network::topology::{DeviceId, LinkRates, Topology};
+use picloud_simcore::units::{Bandwidth, Bytes, Frequency};
+use picloud_simcore::SeedFactory;
+use picloud_workloads::httpd::{HttpRequest, HttpServerSpec};
+use picloud_workloads::mapreduce::MapReduceJob;
+use rand::Rng;
+use std::fmt;
+
+/// The fidelity result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityExperiment {
+    /// Per-node offered request rates (req/s), the shared workload.
+    pub offered_rps: Vec<f64>,
+    /// Pi per-node utilisation under that load.
+    pub pi_utilisation: Vec<f64>,
+    /// x86 per-node utilisation under the same load.
+    pub x86_utilisation: Vec<f64>,
+    /// Pearson correlation of the two utilisation vectors.
+    pub shape_correlation: f64,
+    /// Mean utilisation ratio Pi/x86 (the capacity scale factor).
+    pub capacity_ratio: f64,
+    /// Pi nodes saturated (utilisation ≥ 1).
+    pub pi_saturated: usize,
+    /// x86 nodes saturated.
+    pub x86_saturated: usize,
+    /// MapReduce makespan on the Pi cluster, seconds.
+    pub pi_makespan_secs: f64,
+    /// MapReduce makespan on the x86 cluster, seconds.
+    pub x86_makespan_secs: f64,
+}
+
+/// Pearson correlation of two equal-length samples.
+///
+/// Returns 0 for degenerate (constant) inputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation needs paired samples");
+    assert!(!a.is_empty(), "correlation needs data");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+impl FidelityExperiment {
+    /// Runs the comparison for `nodes` machines with per-node offered web
+    /// load drawn deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn run(seed: u64, nodes: usize) -> FidelityExperiment {
+        assert!(nodes > 0, "need nodes to compare");
+        let seeds = SeedFactory::new(seed);
+        let mut rng = seeds.stream("fidelity/load");
+        let server = HttpServerSpec::lighttpd();
+        let req = HttpRequest::dynamic_page();
+        // Offered load spans light to Pi-saturating.
+        let pi = NodeSpec::pi_model_b_rev1();
+        let x86 = NodeSpec::x86_commodity();
+        let pi_cap = server.max_throughput_rps(pi.clock.as_hz() as f64, &req);
+        let offered_rps: Vec<f64> = (0..nodes)
+            .map(|_| rng.gen_range(0.05..1.4) * pi_cap)
+            .collect();
+        let util = |spec: &NodeSpec| -> Vec<f64> {
+            offered_rps
+                .iter()
+                .map(|rps| {
+                    let demand = server.cpu_demand_hz(&req, *rps);
+                    // Single-threaded server: bounded by one core.
+                    (demand / spec.clock.as_hz() as f64).min(1.0)
+                })
+                .collect()
+        };
+        let pi_utilisation = util(&pi);
+        let x86_utilisation = util(&x86);
+        // Capacity ratio over unsaturated nodes (saturation clips shape).
+        let ratios: Vec<f64> = pi_utilisation
+            .iter()
+            .zip(&x86_utilisation)
+            .filter(|(p, _)| **p < 1.0)
+            .map(|(p, x)| p / x.max(1e-12))
+            .collect();
+        let capacity_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+
+        // Whole-job comparison: the same wordcount on both clusters. Each
+        // platform keeps its own NIC class (Fast Ethernet on the Pi,
+        // gigabit on the x86 testbed).
+        let job = MapReduceJob::wordcount(Bytes::mib(64));
+        let run_job = |clock: Frequency, storage: &StorageSpec, access: Bandwidth| {
+            let rates = LinkRates {
+                access,
+                fabric: Bandwidth::gbps(1),
+            };
+            let topo = Topology::multi_root_tree_with(4, 4, 2, rates);
+            let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+            let mut sim =
+                FlowSimulator::new(topo, RoutingPolicy::default(), RateAllocator::MaxMin);
+            job.plan(&hosts)
+                .execute(&mut sim, clock, storage)
+                .makespan()
+                .as_secs_f64()
+        };
+        let pi_makespan_secs = run_job(pi.clock, &pi.storage, pi.nic);
+        let x86_makespan_secs = run_job(x86.clock, &x86.storage, x86.nic);
+
+        FidelityExperiment {
+            shape_correlation: pearson(&pi_utilisation, &x86_utilisation),
+            capacity_ratio,
+            pi_saturated: pi_utilisation.iter().filter(|u| **u >= 1.0).count(),
+            x86_saturated: x86_utilisation.iter().filter(|u| **u >= 1.0).count(),
+            offered_rps,
+            pi_utilisation,
+            x86_utilisation,
+            pi_makespan_secs,
+            x86_makespan_secs,
+        }
+    }
+
+    /// The 56-node paper configuration.
+    pub fn paper_scale() -> FidelityExperiment {
+        FidelityExperiment::run(2013, 56)
+    }
+}
+
+impl fmt::Display for FidelityExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E10: scale-model fidelity ({} nodes)", self.offered_rps.len())?;
+        let mut t = TextTable::new(vec!["metric".into(), "value".into()]);
+        t.row(vec![
+            "utilisation shape correlation (Pi vs x86)".into(),
+            format!("{:.3}", self.shape_correlation),
+        ]);
+        t.row(vec![
+            "capacity ratio (Pi util / x86 util)".into(),
+            format!("{:.1}x", self.capacity_ratio),
+        ]);
+        t.row(vec![
+            "saturated nodes (Pi / x86)".into(),
+            format!("{} / {}", self.pi_saturated, self.x86_saturated),
+        ]);
+        t.row(vec![
+            "wordcount makespan (Pi / x86)".into(),
+            format!(
+                "{:.2}s / {:.2}s ({:.1}x)",
+                self.pi_makespan_secs,
+                self.x86_makespan_secs,
+                self.pi_makespan_secs / self.x86_makespan_secs
+            ),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> FidelityExperiment {
+        FidelityExperiment::paper_scale()
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let e = exp();
+        assert!(
+            e.shape_correlation > 0.9,
+            "the scale model must track relative load: r = {:.3}",
+            e.shape_correlation
+        );
+    }
+
+    #[test]
+    fn magnitude_is_scaled_by_roughly_the_clock_ratio() {
+        let e = exp();
+        let clock_ratio = 3e9 / 700e6;
+        assert!(
+            (e.capacity_ratio - clock_ratio).abs() < 0.5,
+            "capacity ratio {:.2} vs clock ratio {:.2}",
+            e.capacity_ratio,
+            clock_ratio
+        );
+    }
+
+    #[test]
+    fn only_the_pi_saturates() {
+        let e = exp();
+        assert!(e.pi_saturated > 0, "some offered loads exceed a Pi core");
+        assert_eq!(e.x86_saturated, 0, "x86 absorbs all of them");
+    }
+
+    #[test]
+    fn jobs_finish_faster_on_x86_but_both_finish() {
+        let e = exp();
+        assert!(e.pi_makespan_secs > e.x86_makespan_secs);
+        assert!(e.x86_makespan_secs > 0.0);
+        let ratio = e.pi_makespan_secs / e.x86_makespan_secs;
+        assert!(ratio > 2.0 && ratio < 20.0, "plausible job-level gap: {ratio:.1}");
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0, "constant input");
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn pearson_rejects_mismatch() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(FidelityExperiment::run(5, 20), FidelityExperiment::run(5, 20));
+    }
+
+    #[test]
+    fn display_reports_all_four_metrics() {
+        let s = exp().to_string();
+        assert!(s.contains("shape correlation"));
+        assert!(s.contains("capacity ratio"));
+        assert!(s.contains("saturated"));
+        assert!(s.contains("makespan"));
+    }
+}

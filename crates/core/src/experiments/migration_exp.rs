@@ -1,0 +1,208 @@
+//! **E6 — live migration study** (§VI future work, implemented).
+//!
+//! Sweeps container memory size and workload dirty rate, comparing cold
+//! stop-and-copy against pre-copy live migration on the Pi's 100 Mbit NIC
+//! and on a gigabit re-cable. The expected shape: pre-copy slashes
+//! downtime by orders of magnitude as long as the dirty rate stays below
+//! the link bandwidth, at the cost of extra bytes on the wire; past that
+//! threshold it degrades back towards cold migration.
+
+use crate::report::TextTable;
+use picloud_placement::migration::{LiveMigrationModel, MigrationOutcome};
+use picloud_simcore::units::{Bandwidth, Bytes};
+use std::fmt;
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPoint {
+    /// Instance memory.
+    pub ram: Bytes,
+    /// Dirty rate, bytes/s.
+    pub dirty_rate_bps: f64,
+    /// Cold migration result.
+    pub cold: MigrationOutcome,
+    /// Pre-copy result.
+    pub live: MigrationOutcome,
+}
+
+impl MigrationPoint {
+    /// Downtime improvement factor (cold / live).
+    pub fn downtime_speedup(&self) -> f64 {
+        let live = self.live.downtime.as_secs_f64();
+        if live <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cold.downtime.as_secs_f64() / live
+        }
+    }
+
+    /// Bytes overhead factor (live / cold).
+    pub fn traffic_overhead(&self) -> f64 {
+        self.live.bytes_transferred.as_u64() as f64
+            / self.cold.bytes_transferred.as_u64().max(1) as f64
+    }
+}
+
+/// The full sweep on one link rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationExperiment {
+    /// Link bandwidth used.
+    pub bandwidth: Bandwidth,
+    /// The sweep points.
+    pub points: Vec<MigrationPoint>,
+}
+
+impl MigrationExperiment {
+    /// Runs the sweep over the given memory sizes and dirty rates.
+    pub fn run(
+        bandwidth: Bandwidth,
+        rams: &[Bytes],
+        dirty_rates: &[f64],
+    ) -> MigrationExperiment {
+        let model = LiveMigrationModel {
+            bandwidth,
+            ..LiveMigrationModel::default()
+        };
+        let mut points = Vec::new();
+        for &ram in rams {
+            for &rate in dirty_rates {
+                points.push(MigrationPoint {
+                    ram,
+                    dirty_rate_bps: rate,
+                    cold: model.cold(ram),
+                    live: model.pre_copy(ram, rate),
+                });
+            }
+        }
+        MigrationExperiment { bandwidth, points }
+    }
+
+    /// The paper-scale sweep on the Pi NIC: container memories 32–192 MB
+    /// (the LXC range of Fig. 3), dirty rates idle to hot.
+    pub fn paper_scale() -> MigrationExperiment {
+        MigrationExperiment::run(
+            Bandwidth::mbps(100),
+            &[Bytes::mib(32), Bytes::mib(64), Bytes::mib(128), Bytes::mib(192)],
+            &[0.0, 250_000.0, 1_000_000.0, 4_000_000.0, 16_000_000.0],
+        )
+    }
+
+    /// The same sweep on a gigabit re-cable.
+    pub fn gigabit_recable() -> MigrationExperiment {
+        MigrationExperiment::run(
+            Bandwidth::gbps(1),
+            &[Bytes::mib(32), Bytes::mib(64), Bytes::mib(128), Bytes::mib(192)],
+            &[0.0, 250_000.0, 1_000_000.0, 4_000_000.0, 16_000_000.0],
+        )
+    }
+}
+
+impl fmt::Display for MigrationExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E6: cold vs pre-copy migration at {}", self.bandwidth)?;
+        let mut t = TextTable::new(vec![
+            "ram".into(),
+            "dirty rate".into(),
+            "cold downtime".into(),
+            "live downtime".into(),
+            "speedup".into(),
+            "traffic x".into(),
+            "rounds".into(),
+            "converged".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.ram.to_string(),
+                format!("{:.1} MB/s", p.dirty_rate_bps / 1e6),
+                p.cold.downtime.to_string(),
+                p.live.downtime.to_string(),
+                format!("{:.0}x", p.downtime_speedup()),
+                format!("{:.2}x", p.traffic_overhead()),
+                p.live.rounds.to_string(),
+                if p.live.converged { "yes" } else { "NO" }.into(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precopy_wins_big_at_modest_dirty_rates() {
+        let e = MigrationExperiment::paper_scale();
+        for p in e.points.iter().filter(|p| p.dirty_rate_bps <= 1e6) {
+            assert!(
+                p.downtime_speedup() > 10.0,
+                "ram {} rate {}: speedup {:.1}",
+                p.ram,
+                p.dirty_rate_bps,
+                p.downtime_speedup()
+            );
+            assert!(p.live.converged);
+        }
+    }
+
+    #[test]
+    fn hot_workloads_defeat_precopy_on_the_pi_nic() {
+        let e = MigrationExperiment::paper_scale();
+        // 16 MB/s dirtying > 12.5 MB/s of Fast Ethernet: never converges.
+        for p in e.points.iter().filter(|p| p.dirty_rate_bps >= 16e6) {
+            assert!(!p.live.converged, "ram {}: should not converge", p.ram);
+        }
+    }
+
+    #[test]
+    fn gigabit_recable_rescues_hot_workloads() {
+        let slow = MigrationExperiment::paper_scale();
+        let fast = MigrationExperiment::gigabit_recable();
+        let hot = |e: &MigrationExperiment| {
+            e.points
+                .iter()
+                .filter(|p| p.dirty_rate_bps >= 16e6)
+                .all(|p| p.live.converged)
+        };
+        assert!(!hot(&slow));
+        assert!(hot(&fast), "125 MB/s link absorbs 16 MB/s dirtying");
+    }
+
+    #[test]
+    fn traffic_overhead_grows_with_dirty_rate() {
+        let e = MigrationExperiment::paper_scale();
+        // For a fixed RAM size, overhead is nondecreasing in dirty rate.
+        let ram = Bytes::mib(64);
+        let overheads: Vec<f64> = e
+            .points
+            .iter()
+            .filter(|p| p.ram == ram)
+            .map(MigrationPoint::traffic_overhead)
+            .collect();
+        for w in overheads.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "{overheads:?}");
+        }
+        // Idle migration has no overhead.
+        assert!((overheads[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_downtime_scales_with_ram() {
+        let e = MigrationExperiment::paper_scale();
+        let idle: Vec<&MigrationPoint> = e
+            .points
+            .iter()
+            .filter(|p| p.dirty_rate_bps == 0.0)
+            .collect();
+        for w in idle.windows(2) {
+            assert!(w[1].cold.downtime > w[0].cold.downtime);
+        }
+    }
+
+    #[test]
+    fn display_marks_nonconvergence() {
+        let s = MigrationExperiment::paper_scale().to_string();
+        assert!(s.contains("NO"), "hot points marked: {s}");
+        assert!(s.contains("100.00Mbit/s"));
+    }
+}

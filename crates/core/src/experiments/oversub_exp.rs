@@ -1,0 +1,218 @@
+//! **E14 — oversubscription** (§III: consolidation "allows for...
+//! oversubscription to improve cost efficiency").
+//!
+//! Overcommitting CPU admits more tenants per board, betting they are not
+//! all busy at once. The experiment sweeps the overcommit factor and
+//! reports both sides of the bet:
+//!
+//! * **density** — tenants admitted on the 56-node cloud;
+//! * **risk** — the probability a node's simultaneously-active tenants
+//!   exceed its physical core, computed exactly from the binomial tail
+//!   (tenants are independently active with the traffic model's ON
+//!   fraction).
+
+use crate::report::TextTable;
+use picloud_placement::cluster::{ClusterView, PlacementRequest};
+use picloud_placement::scheduler::{PlacementPolicy, FirstFit};
+use picloud_simcore::units::Bytes;
+use std::fmt;
+
+/// One overcommit setting's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OversubPoint {
+    /// Admission capacity multiplier.
+    pub factor: f64,
+    /// Tenants admitted cluster-wide.
+    pub admitted: usize,
+    /// Tenants per node at the densest node.
+    pub max_per_node: usize,
+    /// Probability that a full node's active tenants exceed its physical
+    /// CPU at any instant.
+    pub overload_probability: f64,
+    /// Expected physical utilisation of a full node.
+    pub expected_utilisation: f64,
+}
+
+/// The oversubscription sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OversubscriptionExperiment {
+    /// Per-tenant CPU demand while active, Hz.
+    pub tenant_demand_hz: f64,
+    /// Probability a tenant is active at any instant.
+    pub activity: f64,
+    /// The sweep, ascending factor.
+    pub points: Vec<OversubPoint>,
+}
+
+/// Exact binomial tail `P(X > k)` for `X ~ Binomial(n, p)`.
+fn binomial_tail(n: u64, p: f64, k: u64) -> f64 {
+    if k >= n {
+        return 0.0;
+    }
+    // Iterative pmf to avoid factorials.
+    let q = 1.0 - p;
+    let mut pmf = q.powi(i32::try_from(n).expect("small n")); // P(X=0)
+    let mut cdf = pmf;
+    for i in 1..=k {
+        pmf *= (n - i + 1) as f64 / i as f64 * (p / q);
+        cdf += pmf;
+    }
+    (1.0 - cdf).clamp(0.0, 1.0)
+}
+
+impl OversubscriptionExperiment {
+    /// Runs the sweep over `factors`, with tenants demanding `demand_hz`
+    /// while active and active with probability `activity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < activity <= 1` and `demand_hz > 0`.
+    pub fn run(factors: &[f64], demand_hz: f64, activity: f64) -> OversubscriptionExperiment {
+        assert!(demand_hz > 0.0, "tenants must demand CPU");
+        assert!(
+            activity > 0.0 && activity <= 1.0,
+            "activity must be a probability"
+        );
+        let physical_hz = 700e6; // one Pi core
+        let points = factors
+            .iter()
+            .map(|&factor| {
+                let mut view = ClusterView::picloud_default().with_cpu_overcommit(factor);
+                let req = PlacementRequest::new(Bytes::mib(16), demand_hz);
+                let mut policy = FirstFit;
+                let mut admitted = 0usize;
+                while let Some(node) = policy.place(&view, &req) {
+                    view.commit(node, req);
+                    admitted += 1;
+                }
+                let max_per_node = view
+                    .nodes()
+                    .iter()
+                    .map(|n| view.placements_on(n.node).len())
+                    .max()
+                    .unwrap_or(0);
+                // A full node hosts `max_per_node` tenants; overload when
+                // active tenants x demand > physical capacity.
+                let tolerable = (physical_hz / demand_hz).floor() as u64;
+                let overload =
+                    binomial_tail(max_per_node as u64, activity, tolerable);
+                let expected_util = (max_per_node as f64 * activity * demand_hz
+                    / physical_hz)
+                    .min(1.0);
+                OversubPoint {
+                    factor,
+                    admitted,
+                    max_per_node,
+                    overload_probability: overload,
+                    expected_utilisation: expected_util,
+                }
+            })
+            .collect();
+        OversubscriptionExperiment {
+            tenant_demand_hz: demand_hz,
+            activity,
+            points,
+        }
+    }
+
+    /// The paper-scale sweep: tenants demand half a core, active 30 % of
+    /// the time (the traffic model's ON fraction, rounded), factors 1–4.
+    pub fn paper_scale() -> OversubscriptionExperiment {
+        OversubscriptionExperiment::run(&[1.0, 1.5, 2.0, 3.0, 4.0], 350e6, 0.3)
+    }
+}
+
+impl fmt::Display for OversubscriptionExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E14: CPU oversubscription ({:.0} MHz/tenant, {:.0}% active)",
+            self.tenant_demand_hz / 1e6,
+            self.activity * 100.0
+        )?;
+        let mut t = TextTable::new(vec![
+            "overcommit".into(),
+            "admitted".into(),
+            "max/node".into(),
+            "P(overload)".into(),
+            "E[utilisation]".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.1}x", p.factor),
+                p.admitted.to_string(),
+                p.max_per_node.to_string(),
+                format!("{:.4}", p.overload_probability),
+                format!("{:.0}%", p.expected_utilisation * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> OversubscriptionExperiment {
+        OversubscriptionExperiment::paper_scale()
+    }
+
+    #[test]
+    fn density_rises_with_overcommit() {
+        let e = exp();
+        let admitted: Vec<usize> = e.points.iter().map(|p| p.admitted).collect();
+        for w in admitted.windows(2) {
+            assert!(w[1] >= w[0], "{admitted:?}");
+        }
+        // 1x: 2 tenants/node (350 MHz each on 700 MHz); 4x: 8/node.
+        assert_eq!(e.points[0].max_per_node, 2);
+        assert_eq!(e.points.last().unwrap().max_per_node, 8);
+    }
+
+    #[test]
+    fn no_overcommit_means_no_overload() {
+        let e = exp();
+        assert_eq!(e.points[0].overload_probability, 0.0);
+    }
+
+    #[test]
+    fn risk_rises_with_overcommit() {
+        let e = exp();
+        let risks: Vec<f64> = e.points.iter().map(|p| p.overload_probability).collect();
+        for w in risks.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "{risks:?}");
+        }
+        let worst = *risks.last().unwrap();
+        assert!(worst > 0.05, "4x overcommit at 30% activity is risky: {worst}");
+        assert!(worst < 0.8, "but not certain: {worst}");
+    }
+
+    #[test]
+    fn binomial_tail_sanity() {
+        // P(X > 0) for Binomial(1, p) = p.
+        assert!((binomial_tail(1, 0.3, 0) - 0.3).abs() < 1e-12);
+        // P(X > n) = 0.
+        assert_eq!(binomial_tail(5, 0.5, 5), 0.0);
+        // P(X > 0) for Binomial(2, 0.5) = 0.75.
+        assert!((binomial_tail(2, 0.5, 0) - 0.75).abs() < 1e-12);
+        // Monotone in p.
+        assert!(binomial_tail(8, 0.4, 2) > binomial_tail(8, 0.2, 2));
+    }
+
+    #[test]
+    fn expected_utilisation_tracks_density() {
+        let e = exp();
+        // 8 tenants x 30% x 350 MHz / 700 MHz = 1.2 -> clamped to 1.0... at
+        // 4x; at 1x it is 2 x 0.3 x 0.5 = 0.3.
+        assert!((e.points[0].expected_utilisation - 0.3).abs() < 1e-9);
+        assert!(e.points.last().unwrap().expected_utilisation > 0.9);
+    }
+
+    #[test]
+    fn display_tabulates() {
+        let s = exp().to_string();
+        assert!(s.contains("oversubscription"));
+        assert!(s.contains("P(overload)"));
+    }
+}

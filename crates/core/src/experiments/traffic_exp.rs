@@ -1,0 +1,228 @@
+//! **E7 — realistic traffic & congestion** (§I's realism argument).
+//!
+//! Generates the measurement-calibrated traffic mix at several rack-
+//! locality settings and replays it on the paper fabric. Expected shape:
+//! as locality falls, bytes funnel through the ToR–aggregation uplinks,
+//! their utilisation rises, and flow completion times stretch. The
+//! rate-allocator ablation (max–min vs equal-share) runs on the hardest
+//! setting.
+
+use crate::report::TextTable;
+use picloud_network::flowsim::{FlowSimulator, RateAllocator};
+use picloud_network::routing::RoutingPolicy;
+use picloud_network::topology::{DeviceKind, LinkRates, Topology};
+use picloud_simcore::units::Bandwidth;
+use picloud_simcore::{SeedFactory, SimDuration};
+use picloud_workloads::traffic::TrafficPattern;
+use std::fmt;
+
+/// One locality setting's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficPoint {
+    /// Intra-rack fraction requested.
+    pub locality: f64,
+    /// Flows generated.
+    pub flows: usize,
+    /// Mean flow completion time, seconds.
+    pub mean_fct_secs: f64,
+    /// 99th percentile FCT, seconds.
+    pub p99_fct_secs: f64,
+    /// Mean utilisation across ToR-aggregation uplinks.
+    pub mean_uplink_utilisation: f64,
+    /// Peak mean utilisation on any single uplink.
+    pub peak_uplink_utilisation: f64,
+}
+
+/// The locality sweep plus allocator ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficExperiment {
+    /// One point per locality setting (descending locality).
+    pub points: Vec<TrafficPoint>,
+    /// Mean FCT at locality 0 under max–min fairness.
+    pub maxmin_mean_fct: f64,
+    /// Mean FCT at locality 0 under equal-share (the ablation).
+    pub equal_share_mean_fct: f64,
+}
+
+impl TrafficExperiment {
+    /// Replays `pattern` for `duration` on a fresh paper fabric and
+    /// summarises.
+    pub fn replay(
+        pattern: &TrafficPattern,
+        duration: SimDuration,
+        seeds: &SeedFactory,
+        allocator: RateAllocator,
+    ) -> TrafficPoint {
+        // 2013 commodity switching: 100 Mbit access, ~200 Mbit uplink
+        // budget per ToR-aggregation link — the 3.5:1 rack oversubscription
+        // that makes locality matter (VL2 reports 5:1 to 20:1 in practice).
+        let rates = LinkRates {
+            access: Bandwidth::mbps(100),
+            fabric: Bandwidth::mbps(200),
+        };
+        let topo = Topology::multi_root_tree_with(4, 14, 2, rates);
+        let workload = pattern.generate(&topo, duration, seeds);
+        let mut sim = FlowSimulator::new(topo, RoutingPolicy::default(), allocator);
+        for (at, spec) in workload.events() {
+            sim.inject(spec.clone(), *at).expect("fabric is connected");
+        }
+        sim.run_to_completion();
+        let topo = sim.topology();
+        let uplinks: Vec<_> = topo
+            .links()
+            .iter()
+            .filter(|l| {
+                matches!(
+                    (&topo.device(l.a).kind, &topo.device(l.b).kind),
+                    (DeviceKind::TopOfRack { .. }, DeviceKind::Aggregation)
+                        | (DeviceKind::Aggregation, DeviceKind::TopOfRack { .. })
+                )
+            })
+            .map(|l| l.id)
+            .collect();
+        let utils: Vec<f64> = uplinks
+            .iter()
+            .map(|&l| sim.mean_link_utilisation(l))
+            .collect();
+        let mean_uplink = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
+        let peak_uplink = utils.iter().copied().fold(0.0, f64::max);
+        let mut fcts: Vec<f64> = sim
+            .completed()
+            .iter()
+            .map(|c| c.fct().as_secs_f64())
+            .collect();
+        fcts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean_fct = fcts.iter().sum::<f64>() / fcts.len().max(1) as f64;
+        let p99 = fcts
+            .get(((fcts.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or(0.0);
+        TrafficPoint {
+            locality: pattern.intra_rack_fraction,
+            flows: fcts.len(),
+            mean_fct_secs: mean_fct,
+            p99_fct_secs: p99,
+            mean_uplink_utilisation: mean_uplink,
+            peak_uplink_utilisation: peak_uplink,
+        }
+    }
+
+    /// Runs the locality sweep `{1.0, 0.75, 0.5, 0.25, 0.0}` plus the
+    /// allocator ablation at locality 0.
+    pub fn run(seed: u64, duration: SimDuration) -> TrafficExperiment {
+        let seeds = SeedFactory::new(seed);
+        let base = TrafficPattern::measured_dc().with_arrival_rate(10.0);
+        let points: Vec<TrafficPoint> = [1.0, 0.75, 0.5, 0.25, 0.0]
+            .iter()
+            .map(|&loc| {
+                let p = base.clone().with_intra_rack_fraction(loc);
+                TrafficExperiment::replay(&p, duration, &seeds, RateAllocator::MaxMin)
+            })
+            .collect();
+        let hard = base.with_intra_rack_fraction(0.0);
+        let maxmin =
+            TrafficExperiment::replay(&hard, duration, &seeds, RateAllocator::MaxMin);
+        let equal =
+            TrafficExperiment::replay(&hard, duration, &seeds, RateAllocator::EqualShare);
+        TrafficExperiment {
+            points,
+            maxmin_mean_fct: maxmin.mean_fct_secs,
+            equal_share_mean_fct: equal.mean_fct_secs,
+        }
+    }
+
+    /// The bench harness configuration: 30 simulated seconds.
+    pub fn paper_scale() -> TrafficExperiment {
+        TrafficExperiment::run(2013, SimDuration::from_secs(30))
+    }
+}
+
+impl fmt::Display for TrafficExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E7: DC traffic replay — locality sweep")?;
+        let mut t = TextTable::new(vec![
+            "intra-rack".into(),
+            "flows".into(),
+            "mean FCT".into(),
+            "p99 FCT".into(),
+            "mean uplink util".into(),
+            "peak uplink util".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.0}%", p.locality * 100.0),
+                p.flows.to_string(),
+                format!("{:.3}s", p.mean_fct_secs),
+                format!("{:.3}s", p.p99_fct_secs),
+                format!("{:.1}%", p.mean_uplink_utilisation * 100.0),
+                format!("{:.1}%", p.peak_uplink_utilisation * 100.0),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "Allocator ablation at 0% locality: max-min mean FCT {:.3}s vs equal-share {:.3}s",
+            self.maxmin_mean_fct, self.equal_share_mean_fct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> TrafficExperiment {
+        TrafficExperiment::run(7, SimDuration::from_secs(10))
+    }
+
+    #[test]
+    fn uplink_utilisation_rises_as_locality_falls() {
+        let e = exp();
+        let first = e.points.first().unwrap(); // 100% local
+        let last = e.points.last().unwrap(); // 0% local
+        assert!(
+            last.mean_uplink_utilisation > first.mean_uplink_utilisation,
+            "uplinks carry more as traffic leaves the rack: {:.4} vs {:.4}",
+            last.mean_uplink_utilisation,
+            first.mean_uplink_utilisation
+        );
+        // Fully local traffic leaves the aggregation layer idle.
+        assert!(first.mean_uplink_utilisation < 0.01);
+    }
+
+    #[test]
+    fn all_points_completed_their_flows() {
+        let e = exp();
+        for p in &e.points {
+            assert!(p.flows > 100, "enough traffic to mean something: {}", p.flows);
+            assert!(p.mean_fct_secs > 0.0);
+            assert!(p.p99_fct_secs >= p.mean_fct_secs);
+        }
+    }
+
+    #[test]
+    fn max_min_beats_equal_share() {
+        let e = exp();
+        assert!(
+            e.maxmin_mean_fct <= e.equal_share_mean_fct + 1e-9,
+            "work conservation helps: {:.4} vs {:.4}",
+            e.maxmin_mean_fct,
+            e.equal_share_mean_fct
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TrafficExperiment::run(3, SimDuration::from_secs(10));
+        let b = TrafficExperiment::run(3, SimDuration::from_secs(10));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_has_the_sweep_and_ablation() {
+        let s = exp().to_string();
+        assert!(s.contains("locality sweep"));
+        assert!(s.contains("Allocator ablation"));
+        assert!(s.contains("100%"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # picloud — a scale model of a cloud data centre
+//!
+//! A faithful, executable reproduction of *The Glasgow Raspberry Pi Cloud:
+//! A Scale Model for Cloud Computing Infrastructures* (Tso, White, Jouet,
+//! Singer, Pezaros; CCRM @ ICDCS 2013). The physical testbed — 56
+//! Raspberry Pi Model B boards in four Lego racks, wired as a multi-root
+//! tree with an OpenFlow aggregation layer, each board running Raspbian +
+//! LXC under a `pimaster` management plane — is reproduced as a
+//! deterministic discrete-event scale model, layer by layer.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use picloud::PiCloud;
+//! use picloud_simcore::SimTime;
+//!
+//! // The paper's testbed: 56 Pis, 4 racks, 2 aggregation roots.
+//! let mut cloud = PiCloud::builder().build();
+//! assert_eq!(cloud.node_count(), 56);
+//!
+//! // Fig. 3's software stack on node 0: web + database + hadoop.
+//! let stack = cloud.deploy_standard_stack(picloud_hardware::node::NodeId(0), SimTime::ZERO)?;
+//! assert_eq!(stack.len(), 3);
+//! # Ok::<(), picloud_mgmt::api::ApiError>(())
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`cluster`] — [`PiCloud`] and its builder: hardware inventory, racks,
+//!   fabric, management plane, all wired together.
+//! * [`stack`] — the Fig. 3 per-node software stack.
+//! * [`experiments`] — one module per table/figure/claim in the paper (see
+//!   `DESIGN.md` for the index), each producing a typed, printable result.
+//! * [`orchestrator`] — end-to-end live migration across all four layers
+//!   (LXC freeze, fabric transfer, label retargeting).
+//! * [`report`] — plain-text table rendering shared by the experiments.
+
+pub mod cluster;
+pub mod experiments;
+pub mod orchestrator;
+pub mod report;
+pub mod stack;
+
+pub use cluster::{PiCloud, PiCloudBuilder, TopologyKind};
+pub use orchestrator::{MigrationOrchestrator, OrchestratedMigration};
+pub use stack::StandardStack;

@@ -1,0 +1,149 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment prints its result in the same aligned-column style so
+//! `EXPERIMENTS.md` and the bench harness output read uniformly.
+
+use std::fmt;
+
+/// A simple left-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use picloud::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Server".into(), "Cost".into()]);
+/// t.row(vec!["Testbed".into(), "$112,000".into()]);
+/// t.row(vec!["PiCloud".into(), "$1,960".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("PiCloud"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, " {cell:<width$} |")?;
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for width in &w {
+                write!(f, "{}+", "-".repeat(width + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        line(f, &self.headers)?;
+        rule(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+/// Formats a count with thousands separators (`112000` → `"112,000"`).
+pub fn with_commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["a".into(), "long-header".into()]);
+        t.row(vec!["wide-cell-here".into(), "x".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // All lines equally wide.
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(s.contains("wide-cell-here"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["x".into()]);
+        let s = t.to_string();
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn commas() {
+        assert_eq!(with_commas(0), "0");
+        assert_eq!(with_commas(999), "999");
+        assert_eq!(with_commas(1_000), "1,000");
+        assert_eq!(with_commas(112_000), "112,000");
+        assert_eq!(with_commas(1_234_567_890), "1,234,567,890");
+    }
+}

@@ -1,0 +1,221 @@
+//! The per-Pi software stack of Fig. 3.
+//!
+//! Fig. 3 stacks, bottom to top: ARM System-on-Chip → Raspbian Linux →
+//! Linux Containers (LXC) + libvirt/RESTful APIs → three application
+//! containers: a web server, a database and Hadoop. [`StandardStack`]
+//! deploys exactly that through the management API, so deploying it
+//! exercises the whole §II plumbing (image store → daemon → LXC → DHCP →
+//! DNS).
+
+use crate::cluster::PiCloud;
+use picloud_container::container::ContainerId;
+use picloud_hardware::node::NodeId;
+use picloud_mgmt::api::{ApiError, ApiRequest, ApiResponse};
+use picloud_simcore::SimTime;
+use std::fmt;
+
+/// One deployed application container of the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackMember {
+    /// Container id on its node.
+    pub container: ContainerId,
+    /// Image name (`lighttpd`, `database`, `hadoop-worker`).
+    pub image: String,
+    /// DNS name issued at spawn.
+    pub dns_name: String,
+    /// Leased address.
+    pub address: String,
+}
+
+/// The Fig. 3 trio on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StandardStack {
+    node: NodeId,
+    members: Vec<StackMember>,
+}
+
+impl StandardStack {
+    /// Deploys web + database + hadoop on `node` through the API.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ApiError`] encountered; on failure, containers spawned
+    /// so far are destroyed (deployment is all-or-nothing).
+    pub fn deploy(cloud: &mut PiCloud, node: NodeId, now: SimTime) -> Result<Self, ApiError> {
+        let images = ["lighttpd", "database", "hadoop-worker"];
+        let mut members = Vec::with_capacity(images.len());
+        for image in images {
+            let req = ApiRequest::SpawnContainer {
+                node,
+                name: format!("{image}-{}", node.0),
+                image: image.to_owned(),
+            };
+            match cloud.api(req, now) {
+                Ok(ApiResponse::Spawned {
+                    container,
+                    dns_name,
+                    address,
+                    ..
+                }) => members.push(StackMember {
+                    container,
+                    image: image.to_owned(),
+                    dns_name,
+                    address,
+                }),
+                Ok(other) => {
+                    unreachable!("spawn returned unexpected response {other:?}")
+                }
+                Err(e) => {
+                    // Roll back what we spawned.
+                    for m in &members {
+                        let _ = cloud.api(
+                            ApiRequest::DestroyContainer {
+                                node,
+                                container: m.container,
+                            },
+                            now,
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(StandardStack { node, members })
+    }
+
+    /// The node the stack runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of application containers (always 3 for the standard stack).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the stack is empty (never, for a successful deployment).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The deployed members, in Fig. 3 order (web, database, hadoop).
+    pub fn members(&self) -> &[StackMember] {
+        &self.members
+    }
+
+    /// ASCII rendering of Fig. 3 for this node.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<String> = self
+            .members
+            .iter()
+            .map(|m| format!("[{}]", m.image))
+            .collect();
+        out.push_str(&format!("  {}\n", names.join(" ")));
+        out.push_str("  [ libvirt-style RESTful API daemon ]\n");
+        out.push_str("  [ Linux Containers (LXC) ]\n");
+        out.push_str("  [ Raspbian Linux ]\n");
+        out.push_str("  [ ARM System on Chip ]\n");
+        out
+    }
+}
+
+impl fmt::Display for StandardStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "standard stack on {}: {}",
+            self.node,
+            self.members
+                .iter()
+                .map(|m| m.dns_name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picloud_container::container::ContainerState;
+
+    #[test]
+    fn standard_stack_deploys_fig3() {
+        let mut cloud = PiCloud::glasgow();
+        let stack = cloud
+            .deploy_standard_stack(NodeId(7), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(stack.len(), 3);
+        assert_eq!(stack.node(), NodeId(7));
+        assert!(!stack.is_empty());
+        let images: Vec<&str> = stack.members().iter().map(|m| m.image.as_str()).collect();
+        assert_eq!(images, ["lighttpd", "database", "hadoop-worker"]);
+        // All three running on the daemon.
+        let daemon = cloud.pimaster().daemon(NodeId(7)).unwrap();
+        assert_eq!(daemon.host().running().count(), 3);
+        // Each has DNS and an address.
+        for m in stack.members() {
+            assert!(cloud.pimaster().dns().resolve(&m.dns_name).is_some());
+            assert!(m.address.starts_with("10.0."));
+        }
+    }
+
+    #[test]
+    fn memory_budget_matches_paper_scale() {
+        // web 30 + db 48 + hadoop 96 = 174 MB of 192 MB guest RAM: tight
+        // but comfortable — the paper's "comfortably support three
+        // containers".
+        let mut cloud = PiCloud::glasgow();
+        cloud
+            .deploy_standard_stack(NodeId(0), SimTime::ZERO)
+            .unwrap();
+        let host = cloud.pimaster().daemon(NodeId(0)).unwrap().host();
+        assert!(host.memory_in_use() <= host.spec().guest_ram());
+        assert!(host.memory_free() >= picloud_simcore::units::Bytes::mib(18));
+    }
+
+    #[test]
+    fn failed_deployment_rolls_back() {
+        let mut cloud = PiCloud::glasgow();
+        // Fill node 3 so hadoop (96 MB) cannot fit: 4 web containers use
+        // 120 MB, leaving 72 MB; web+db of the stack take 78 more... the
+        // stack's lighttpd (30) fits into 72, database (48) fails.
+        for i in 0..4 {
+            cloud
+                .api(
+                    ApiRequest::SpawnContainer {
+                        node: NodeId(3),
+                        name: format!("filler-{i}"),
+                        image: "lighttpd".into(),
+                    },
+                    SimTime::ZERO,
+                )
+                .unwrap();
+        }
+        let err = cloud
+            .deploy_standard_stack(NodeId(3), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err.status_code(), 507);
+        // Only the fillers remain.
+        let daemon = cloud.pimaster().daemon(NodeId(3)).unwrap();
+        assert_eq!(daemon.host().containers().count(), 4);
+        assert!(daemon
+            .host()
+            .containers()
+            .all(|c| c.state() == ContainerState::Running));
+    }
+
+    #[test]
+    fn render_shows_all_layers() {
+        let mut cloud = PiCloud::glasgow();
+        let stack = cloud
+            .deploy_standard_stack(NodeId(0), SimTime::ZERO)
+            .unwrap();
+        let art = stack.render_ascii();
+        for layer in ["lighttpd", "database", "hadoop-worker", "LXC", "Raspbian", "ARM System on Chip"] {
+            assert!(art.contains(layer), "missing {layer} in\n{art}");
+        }
+        assert!(stack.to_string().contains("pi-0-0"));
+    }
+}

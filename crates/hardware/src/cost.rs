@@ -1,0 +1,209 @@
+//! Capital-cost models behind Table I and the §IV BoM discussion.
+//!
+//! The paper infers the Pi's bill of materials (the real one is under NDA)
+//! from comparable ARM boards: "Estimations place the processor as the most
+//! expensive component for around 10$, followed by the cost of Printed
+//! Circuit Board (PCB), RAM, the Ethernet connector and the rest of the
+//! components." [`BillOfMaterials::raspberry_pi_estimate`] encodes that
+//! ordering; [`TestbedCost`] aggregates per-unit cost into the Table I rows.
+
+use picloud_simcore::units::Money;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One line of a bill of materials.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BomLine {
+    /// Component name.
+    pub component: String,
+    /// Estimated cost of that component.
+    pub cost: Money,
+}
+
+/// An estimated bill of materials for a board.
+///
+/// # Example
+///
+/// ```
+/// use picloud_hardware::cost::BillOfMaterials;
+///
+/// let bom = BillOfMaterials::raspberry_pi_estimate();
+/// // The processor is the most expensive single component (§IV).
+/// assert_eq!(bom.most_expensive().unwrap().component, "BCM2835 SoC");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BillOfMaterials {
+    lines: Vec<BomLine>,
+}
+
+impl BillOfMaterials {
+    /// Builds a BoM from component lines.
+    pub fn new(lines: Vec<BomLine>) -> Self {
+        BillOfMaterials { lines }
+    }
+
+    /// The paper's inferred Raspberry Pi BoM: SoC ≈ $10 on top, then PCB,
+    /// RAM, Ethernet connector and sundries, summing below the $35 retail
+    /// price.
+    pub fn raspberry_pi_estimate() -> Self {
+        let line = |component: &str, cents: i64| BomLine {
+            component: component.to_owned(),
+            cost: Money::cents(cents),
+        };
+        BillOfMaterials::new(vec![
+            line("BCM2835 SoC", 10_00),
+            line("PCB", 5_00),
+            line("256MB RAM (PoP)", 4_50),
+            line("Ethernet connector + PHY", 3_50),
+            line("Power regulation", 2_00),
+            line("Connectors (HDMI/USB/GPIO)", 2_50),
+            line("Passives & assembly", 3_00),
+        ])
+    }
+
+    /// A hypothetical data-centre-tuned ARM chip per §IV: strip the
+    /// multimedia peripherals (GPU, video codecs, image pipeline) and add a
+    /// second Ethernet PHY. The SoC cost drops; the network cost rises.
+    pub fn dc_tuned_arm_estimate() -> Self {
+        let line = |component: &str, cents: i64| BomLine {
+            component: component.to_owned(),
+            cost: Money::cents(cents),
+        };
+        BillOfMaterials::new(vec![
+            line("DC-tuned ARM SoC (no multimedia)", 6_00),
+            line("PCB", 4_50),
+            line("256MB RAM (PoP)", 4_50),
+            line("2x Ethernet connector + PHY", 7_00),
+            line("Power regulation", 2_00),
+            line("Passives & assembly", 3_00),
+        ])
+    }
+
+    /// All lines, in the order given.
+    pub fn lines(&self) -> &[BomLine] {
+        &self.lines
+    }
+
+    /// Total component cost.
+    pub fn total(&self) -> Money {
+        self.lines.iter().map(|l| l.cost).sum()
+    }
+
+    /// The most expensive line, or `None` for an empty BoM.
+    pub fn most_expensive(&self) -> Option<&BomLine> {
+        self.lines.iter().max_by_key(|l| l.cost)
+    }
+}
+
+impl fmt::Display for BillOfMaterials {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.lines {
+            writeln!(f, "  {:<36} {}", l.component, l.cost)?;
+        }
+        write!(f, "  {:<36} {}", "TOTAL", self.total())
+    }
+}
+
+/// Capital cost of an `n`-machine testbed at a given unit price — one row
+/// of Table I's cost column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestbedCost {
+    /// Number of machines.
+    pub machines: u32,
+    /// Cost per machine.
+    pub unit_cost: Money,
+}
+
+impl TestbedCost {
+    /// Creates the cost row for `machines` at `unit_cost` each.
+    pub fn new(machines: u32, unit_cost: Money) -> Self {
+        TestbedCost {
+            machines,
+            unit_cost,
+        }
+    }
+
+    /// Total capital cost.
+    pub fn total(&self) -> Money {
+        self.unit_cost * i64::from(self.machines)
+    }
+
+    /// How many times cheaper `self` is than `other` (by total cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` has zero total cost.
+    pub fn cheaper_factor_vs(&self, other: &TestbedCost) -> f64 {
+        let own = self.total().as_cents();
+        assert!(own > 0, "cannot compare against a free testbed");
+        other.total().as_cents() as f64 / own as f64
+    }
+}
+
+impl fmt::Display for TestbedCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (@{} x {})",
+            self.total(),
+            self.unit_cost,
+            self.machines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cost_rows() {
+        let testbed = TestbedCost::new(56, Money::dollars(2_000));
+        let picloud = TestbedCost::new(56, Money::dollars(35));
+        assert_eq!(testbed.total(), Money::dollars(112_000));
+        assert_eq!(picloud.total(), Money::dollars(1_960));
+        let factor = picloud.cheaper_factor_vs(&testbed);
+        assert!((factor - 57.142857).abs() < 1e-3, "~57x cheaper, got {factor}");
+    }
+
+    #[test]
+    fn pi_bom_ordering_matches_paper() {
+        let bom = BillOfMaterials::raspberry_pi_estimate();
+        let top = bom.most_expensive().unwrap();
+        assert_eq!(top.component, "BCM2835 SoC");
+        assert_eq!(top.cost, Money::dollars(10));
+        // Components must cost less than the $35 retail price.
+        assert!(bom.total() < Money::dollars(35));
+    }
+
+    #[test]
+    fn dc_tuned_chip_is_cheaper_overall() {
+        let pi = BillOfMaterials::raspberry_pi_estimate();
+        let dc = BillOfMaterials::dc_tuned_arm_estimate();
+        assert!(dc.total() < pi.total(), "§IV: multimedia removal cuts SoC cost");
+        // ...even though it carries two Ethernet PHYs.
+        let eth = |b: &BillOfMaterials| {
+            b.lines()
+                .iter()
+                .find(|l| l.component.contains("Ethernet"))
+                .unwrap()
+                .cost
+        };
+        assert!(eth(&dc) > eth(&pi));
+    }
+
+    #[test]
+    fn empty_bom() {
+        let bom = BillOfMaterials::new(vec![]);
+        assert_eq!(bom.total(), Money::ZERO);
+        assert!(bom.most_expensive().is_none());
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let s = BillOfMaterials::raspberry_pi_estimate().to_string();
+        assert!(s.contains("TOTAL"));
+        let row = TestbedCost::new(56, Money::dollars(35)).to_string();
+        assert!(row.contains("$1960.00"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Weighted processor sharing.
+//!
+//! One arithmetic underlies both layers of CPU contention in the PiCloud:
+//! tasks time-sharing the Pi's single ARM core, and containers throttled by
+//! cgroup CPU *shares*. [`share_capacity`] implements weighted max–min fair
+//! allocation (progressive filling): every claimant gets capacity in
+//! proportion to its weight, no claimant gets more than its demand, and
+//! capacity left by under-demanding claimants is redistributed among the
+//! rest — the behaviour of the Linux CFS scheduler at the timescales the
+//! emulator cares about.
+
+use serde::{Deserialize, Serialize};
+
+/// One claimant on a processor: a demand (in Hz it could consume right now)
+/// and a scheduling weight (cgroup `cpu.shares`-style; default 1024).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuClaim {
+    /// Hz the claimant would consume if unconstrained.
+    pub demand_hz: f64,
+    /// Relative scheduling weight; must be positive.
+    pub weight: f64,
+}
+
+impl CpuClaim {
+    /// A claim with the Linux default weight of 1024.
+    pub fn new(demand_hz: f64) -> Self {
+        CpuClaim {
+            demand_hz,
+            weight: 1024.0,
+        }
+    }
+
+    /// A claim with an explicit weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not strictly positive and finite, or if
+    /// `demand_hz` is negative or non-finite.
+    pub fn with_weight(demand_hz: f64, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "CPU share weight must be positive"
+        );
+        assert!(
+            demand_hz.is_finite() && demand_hz >= 0.0,
+            "CPU demand must be non-negative"
+        );
+        CpuClaim { demand_hz, weight }
+    }
+}
+
+/// Allocates `capacity_hz` among `claims` by weighted max–min fairness.
+///
+/// Returns one allocation per claim, in order. Properties guaranteed:
+///
+/// * no claim receives more than its demand;
+/// * the total allocated never exceeds `capacity_hz`;
+/// * if total demand ≤ capacity, every claim is fully satisfied;
+/// * otherwise capacity is exhausted and divided in proportion to weight
+///   among the unsatisfied claims.
+///
+/// # Example
+///
+/// ```
+/// use picloud_hardware::cpu::{share_capacity, CpuClaim};
+///
+/// // Two equal-weight tasks saturating a 700 MHz core: 350 MHz each.
+/// let out = share_capacity(700e6, &[CpuClaim::new(700e6), CpuClaim::new(700e6)]);
+/// assert!((out[0] - 350e6).abs() < 1.0);
+/// assert!((out[1] - 350e6).abs() < 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `capacity_hz` is negative or non-finite.
+pub fn share_capacity(capacity_hz: f64, claims: &[CpuClaim]) -> Vec<f64> {
+    assert!(
+        capacity_hz.is_finite() && capacity_hz >= 0.0,
+        "capacity must be non-negative"
+    );
+    let n = claims.len();
+    let mut alloc = vec![0.0f64; n];
+    if n == 0 || capacity_hz == 0.0 {
+        return alloc;
+    }
+    let mut remaining = capacity_hz;
+    let mut active: Vec<usize> = (0..n).filter(|&i| claims[i].demand_hz > 0.0).collect();
+
+    // Progressive filling: repeatedly offer each active claimant its
+    // weight-proportional share; claimants whose demand is met drop out and
+    // release the surplus. Terminates in at most n rounds because every
+    // round either satisfies a claimant or is the last.
+    while !active.is_empty() && remaining > f64::EPSILON * capacity_hz {
+        let total_weight: f64 = active.iter().map(|&i| claims[i].weight).sum();
+        let mut any_satisfied = false;
+        let mut next_active = Vec::with_capacity(active.len());
+        let mut released = 0.0;
+        for &i in &active {
+            let offer = remaining * claims[i].weight / total_weight;
+            let want = claims[i].demand_hz - alloc[i];
+            if want <= offer {
+                alloc[i] = claims[i].demand_hz;
+                released += offer - want;
+                any_satisfied = true;
+            } else {
+                alloc[i] += offer;
+                next_active.push(i);
+            }
+        }
+        remaining = released;
+        active = next_active;
+        if !any_satisfied {
+            break; // everyone took a full proportional share; capacity spent
+        }
+    }
+    alloc
+}
+
+/// A multi-core processor as a shared-capacity pool.
+///
+/// The PiCloud emulator models a processor as a single pool of
+/// `cores × clock` Hz shared by all runnable claimants. For the Pi's
+/// single core this is exact; for the x86 comparator it slightly idealises
+/// cross-core migration, which is the right fidelity for utilisation and
+/// power studies (and errs in favour of the x86 baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorPool {
+    capacity_hz: f64,
+    per_core_hz: f64,
+}
+
+impl ProcessorPool {
+    /// Creates a pool of `cores` cores at `core_hz` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `core_hz` is not positive.
+    pub fn new(cores: u32, core_hz: f64) -> Self {
+        assert!(cores > 0, "a processor needs at least one core");
+        assert!(core_hz.is_finite() && core_hz > 0.0, "clock must be positive");
+        ProcessorPool {
+            capacity_hz: f64::from(cores) * core_hz,
+            per_core_hz: core_hz,
+        }
+    }
+
+    /// Total pool capacity in Hz.
+    pub fn capacity_hz(&self) -> f64 {
+        self.capacity_hz
+    }
+
+    /// Allocates the pool among `claims`, additionally capping each claim at
+    /// one core's worth of Hz (a single-threaded task cannot exceed one
+    /// core no matter how idle the others are).
+    pub fn allocate(&self, claims: &[CpuClaim]) -> Vec<f64> {
+        let capped: Vec<CpuClaim> = claims
+            .iter()
+            .map(|c| CpuClaim {
+                demand_hz: c.demand_hz.min(self.per_core_hz),
+                weight: c.weight,
+            })
+            .collect();
+        share_capacity(self.capacity_hz, &capped)
+    }
+
+    /// Utilisation in `[0, 1]` given the allocations returned by
+    /// [`ProcessorPool::allocate`].
+    pub fn utilisation(&self, allocations: &[f64]) -> f64 {
+        (allocations.iter().sum::<f64>() / self.capacity_hz).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn undersubscribed_everyone_satisfied() {
+        let out = share_capacity(700e6, &[CpuClaim::new(100e6), CpuClaim::new(200e6)]);
+        assert_eq!(out, vec![100e6, 200e6]);
+    }
+
+    #[test]
+    fn oversubscribed_splits_by_weight() {
+        let out = share_capacity(
+            600e6,
+            &[
+                CpuClaim::with_weight(600e6, 2048.0),
+                CpuClaim::with_weight(600e6, 1024.0),
+            ],
+        );
+        assert!((out[0] - 400e6).abs() < 1.0, "got {out:?}");
+        assert!((out[1] - 200e6).abs() < 1.0, "got {out:?}");
+    }
+
+    #[test]
+    fn surplus_from_small_claims_redistributes() {
+        // Claim 0 wants only 50; the rest of its share flows to 1 and 2.
+        let out = share_capacity(
+            300.0,
+            &[
+                CpuClaim::new(50.0),
+                CpuClaim::new(1000.0),
+                CpuClaim::new(1000.0),
+            ],
+        );
+        assert!((out[0] - 50.0).abs() < 1e-9);
+        assert!((out[1] - 125.0).abs() < 1e-6);
+        assert!((out[2] - 125.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conservation_never_exceeds_capacity() {
+        let claims: Vec<CpuClaim> = (1..=17)
+            .map(|i| CpuClaim::with_weight(f64::from(i) * 10.0, f64::from(i)))
+            .collect();
+        let out = share_capacity(500.0, &claims);
+        assert!(total(&out) <= 500.0 + 1e-6);
+        for (c, a) in claims.iter().zip(&out) {
+            assert!(*a <= c.demand_hz + 1e-9, "allocation exceeded demand");
+        }
+    }
+
+    #[test]
+    fn zero_demand_gets_zero() {
+        let out = share_capacity(100.0, &[CpuClaim::new(0.0), CpuClaim::new(100.0)]);
+        assert_eq!(out[0], 0.0);
+        assert!((out[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_claims_ok() {
+        assert!(share_capacity(100.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_gives_all_zero() {
+        let out = share_capacity(0.0, &[CpuClaim::new(10.0)]);
+        assert_eq!(out, vec![0.0]);
+    }
+
+    #[test]
+    fn pool_caps_single_claim_to_one_core() {
+        let pool = ProcessorPool::new(8, 3e9);
+        let out = pool.allocate(&[CpuClaim::new(10e9)]);
+        assert!((out[0] - 3e9).abs() < 1.0, "single task capped at one core");
+    }
+
+    #[test]
+    fn pool_utilisation() {
+        let pool = ProcessorPool::new(2, 1e9);
+        let out = pool.allocate(&[CpuClaim::new(1e9), CpuClaim::new(0.5e9)]);
+        let u = pool.utilisation(&out);
+        assert!((u - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn pool_rejects_zero_cores() {
+        let _ = ProcessorPool::new(0, 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn claim_rejects_zero_weight() {
+        let _ = CpuClaim::with_weight(1.0, 0.0);
+    }
+}

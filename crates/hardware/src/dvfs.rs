@@ -1,0 +1,201 @@
+//! CPU frequency scaling (cpufreq governors).
+//!
+//! The Pi's BCM2835 ships with Linux cpufreq support (the firmware's
+//! famous `force_turbo` / `arm_freq` knobs); §III's power-measurement
+//! agenda ("isolate individual components to measure their power
+//! consumption characteristics") needs a model of how the governor trades
+//! clock for watts. [`FrequencyGovernor`] maps offered load to an
+//! operating point; combined with a [`PowerModel`] it yields the
+//! energy/performance trade the experiments sweep.
+
+use crate::power::PowerModel;
+use picloud_simcore::units::{Frequency, Power};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cpufreq governor policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FrequencyGovernor {
+    /// Always the maximum clock (`performance`).
+    Performance,
+    /// Always the minimum clock (`powersave`).
+    Powersave,
+    /// Minimum clock until load crosses `up_threshold`, then maximum
+    /// (`ondemand`, as shipped: threshold defaults to 0.95 on Raspbian).
+    Ondemand {
+        /// Load fraction at which the governor jumps to max.
+        up_threshold: f64,
+    },
+}
+
+impl Default for FrequencyGovernor {
+    fn default() -> Self {
+        FrequencyGovernor::Ondemand { up_threshold: 0.95 }
+    }
+}
+
+impl fmt::Display for FrequencyGovernor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrequencyGovernor::Performance => write!(f, "performance"),
+            FrequencyGovernor::Powersave => write!(f, "powersave"),
+            FrequencyGovernor::Ondemand { up_threshold } => {
+                write!(f, "ondemand({:.0}%)", up_threshold * 100.0)
+            }
+        }
+    }
+}
+
+/// A scalable CPU: min/max clocks plus the governor choosing between them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalableCpu {
+    /// Lowest operating clock.
+    pub min_clock: Frequency,
+    /// Highest operating clock.
+    pub max_clock: Frequency,
+    /// Power at the *max* clock operating point.
+    pub power_at_max: PowerModel,
+    /// Governor in force.
+    pub governor: FrequencyGovernor,
+}
+
+impl ScalableCpu {
+    /// The Pi's BCM2835: 300 MHz idle floor to 700 MHz stock, with the
+    /// stock Raspbian `ondemand` governor and the 3.5 W board model.
+    pub fn bcm2835() -> ScalableCpu {
+        ScalableCpu {
+            min_clock: Frequency::mhz(300),
+            max_clock: Frequency::mhz(700),
+            power_at_max: PowerModel::raspberry_pi(3.5),
+            governor: FrequencyGovernor::default(),
+        }
+    }
+
+    /// Replaces the governor.
+    pub fn with_governor(mut self, governor: FrequencyGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// The clock chosen for an offered `load` (fraction of *max-clock*
+    /// capacity, clamped to `[0, 1]`).
+    pub fn clock_at(&self, load: f64) -> Frequency {
+        let load = load.clamp(0.0, 1.0);
+        match self.governor {
+            FrequencyGovernor::Performance => self.max_clock,
+            FrequencyGovernor::Powersave => self.min_clock,
+            FrequencyGovernor::Ondemand { up_threshold } => {
+                // `ondemand` compares load against capacity *at the current
+                // clock*; a demand that saturates the low clock triggers
+                // the jump. Low-clock capacity as a fraction of max:
+                let low_capacity =
+                    self.min_clock.as_hz() as f64 / self.max_clock.as_hz() as f64;
+                if load >= low_capacity * up_threshold {
+                    self.max_clock
+                } else {
+                    self.min_clock
+                }
+            }
+        }
+    }
+
+    /// Power drawn at an offered `load` under the governor. Dynamic power
+    /// follows `P ∝ f·V²` with voltage tracking frequency (the standard
+    /// DVFS model): the active term scales with the *square* of the clock
+    /// ratio per unit utilisation, so finishing work slowly at a low
+    /// clock really is cheaper per unit of work.
+    pub fn power_at(&self, load: f64) -> Power {
+        let load = load.clamp(0.0, 1.0);
+        let clock = self.clock_at(load);
+        let ratio = clock.as_hz() as f64 / self.max_clock.as_hz() as f64;
+        // Utilisation of the *chosen* clock: offered work / chosen capacity.
+        let util = (load / ratio).clamp(0.0, 1.0);
+        let idle = self.power_at_max.idle().as_watts();
+        let peak = self.power_at_max.nameplate().as_watts();
+        Power::watts(idle + (peak - idle) * ratio * ratio * util)
+    }
+
+    /// Whether the offered load can actually be served at the chosen clock
+    /// (powersave clips throughput).
+    pub fn can_serve(&self, load: f64) -> bool {
+        let clock = self.clock_at(load);
+        load <= clock.as_hz() as f64 / self.max_clock.as_hz() as f64 + 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_always_max() {
+        let cpu = ScalableCpu::bcm2835().with_governor(FrequencyGovernor::Performance);
+        assert_eq!(cpu.clock_at(0.0), Frequency::mhz(700));
+        assert_eq!(cpu.clock_at(1.0), Frequency::mhz(700));
+        assert!(cpu.can_serve(1.0));
+    }
+
+    #[test]
+    fn powersave_always_min_and_clips() {
+        let cpu = ScalableCpu::bcm2835().with_governor(FrequencyGovernor::Powersave);
+        assert_eq!(cpu.clock_at(1.0), Frequency::mhz(300));
+        assert!(cpu.can_serve(0.4), "3/7 of max capacity still fits");
+        assert!(!cpu.can_serve(0.9), "beyond the low clock's capacity");
+    }
+
+    #[test]
+    fn ondemand_jumps_at_threshold() {
+        let cpu = ScalableCpu::bcm2835();
+        // Low capacity = 3/7 ≈ 0.43; threshold 0.95 => jump near 0.41.
+        assert_eq!(cpu.clock_at(0.2), Frequency::mhz(300));
+        assert_eq!(cpu.clock_at(0.5), Frequency::mhz(700));
+        assert!(cpu.can_serve(0.2) && cpu.can_serve(0.95));
+    }
+
+    #[test]
+    fn governors_order_power_correctly_at_light_load() {
+        let load = 0.2;
+        let perf = ScalableCpu::bcm2835()
+            .with_governor(FrequencyGovernor::Performance)
+            .power_at(load);
+        let save = ScalableCpu::bcm2835()
+            .with_governor(FrequencyGovernor::Powersave)
+            .power_at(load);
+        let ond = ScalableCpu::bcm2835().power_at(load);
+        assert!(save.as_watts() < perf.as_watts(), "{save} < {perf}");
+        // ondemand sits at the low point for this load.
+        assert!((ond.as_watts() - save.as_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_monotone_in_load_per_governor() {
+        for gov in [
+            FrequencyGovernor::Performance,
+            FrequencyGovernor::Powersave,
+            FrequencyGovernor::default(),
+        ] {
+            let cpu = ScalableCpu::bcm2835().with_governor(gov);
+            let mut last = 0.0;
+            for i in 0..=10 {
+                let p = cpu.power_at(f64::from(i) / 10.0).as_watts();
+                assert!(p + 1e-9 >= last, "{gov}: power dipped at {i}");
+                last = p;
+            }
+        }
+    }
+
+    #[test]
+    fn full_load_power_matches_nameplate_for_performance() {
+        let cpu = ScalableCpu::bcm2835().with_governor(FrequencyGovernor::Performance);
+        assert!((cpu.power_at(1.0).as_watts() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names_governors() {
+        assert_eq!(FrequencyGovernor::Performance.to_string(), "performance");
+        assert_eq!(
+            FrequencyGovernor::default().to_string(),
+            "ondemand(95%)"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Hardware models for the PiCloud scale model.
+//!
+//! The paper's testbed is 56 Raspberry Pi Model B boards in four Lego racks;
+//! its evaluation (Table I) contrasts that hardware with commodity x86
+//! servers on capital cost, power draw and cooling need. This crate models
+//! exactly those quantities:
+//!
+//! * [`node`] — machine specifications ([`NodeSpec`]) with presets for the
+//!   Raspberry Pi Model A / Model B (rev 1 & 2) and a commodity x86 server,
+//!   plus [`NodeId`] identity.
+//! * [`cpu`] — weighted processor-sharing allocation, the arithmetic beneath
+//!   both the multi-tasked ARM core and cgroup CPU shares.
+//! * [`storage`] — SD-card and server-disk models with distinct sequential /
+//!   random throughput, the Pi's best-known bottleneck.
+//! * [`power`] — utilisation-linear power curves, cooling overhead (the
+//!   33 %-of-total figure the paper cites) and the single-socket feasibility
+//!   check for the whole PiCloud.
+//! * [`cost`] — bill-of-materials and testbed capital cost models behind
+//!   Table I.
+//! * [`dvfs`] — cpufreq governors (performance/powersave/ondemand) for the
+//!   §III power-measurement agenda.
+//! * [`rack`] — Lego racks of 14 Pis and standard racks for x86 nodes.
+//!
+//! # Example
+//!
+//! ```
+//! use picloud_hardware::node::NodeSpec;
+//!
+//! let pi = NodeSpec::pi_model_b_rev1();
+//! let x86 = NodeSpec::x86_commodity();
+//! assert!(x86.ram.as_u64() / pi.ram.as_u64() >= 10, "scale model ratio");
+//! ```
+
+pub mod cost;
+pub mod dvfs;
+pub mod cpu;
+pub mod node;
+pub mod power;
+pub mod rack;
+pub mod storage;
+
+pub use dvfs::{FrequencyGovernor, ScalableCpu};
+pub use node::{NodeClass, NodeId, NodeSpec};
+pub use power::{CoolingModel, PowerModel, PowerSocket};
+pub use rack::{Rack, RackId};

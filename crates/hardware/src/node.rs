@@ -1,0 +1,234 @@
+//! Machine specifications.
+//!
+//! A [`NodeSpec`] captures everything the rest of the emulator needs to know
+//! about a physical machine: CPU (core count and clock), RAM, NIC rate,
+//! storage device, power curve and unit cost. Presets reproduce the
+//! hardware the paper names: Raspberry Pi Model A and Model B (256 MB rev 1
+//! and 512 MB rev 2 — the paper notes the foundation "doubled the RAM
+//! size... while keeping the same price") and the $2,000 / 180 W commodity
+//! x86 server of Table I.
+
+use crate::power::PowerModel;
+use crate::storage::StorageSpec;
+use picloud_simcore::units::{Bandwidth, Bytes, Frequency, Money};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a machine within a cluster.
+///
+/// Ids are dense indices assigned by the cluster builder; display is
+/// `node-N`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Broad hardware family of a node — the axis Table I compares along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeClass {
+    /// An ARM single-board computer (the Raspberry Pi family).
+    ArmSbc,
+    /// A commodity x86 rack server.
+    X86Server,
+}
+
+impl fmt::Display for NodeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeClass::ArmSbc => write!(f, "ARM SBC"),
+            NodeClass::X86Server => write!(f, "x86 server"),
+        }
+    }
+}
+
+/// Full specification of a machine model.
+///
+/// # Example
+///
+/// ```
+/// use picloud_hardware::node::NodeSpec;
+/// use picloud_simcore::units::Bytes;
+///
+/// let pi = NodeSpec::pi_model_b_rev1();
+/// assert_eq!(pi.ram, Bytes::mib(256));
+/// assert_eq!(pi.cores, 1);
+/// assert_eq!(pi.unit_cost.as_dollars_f64(), 35.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Marketing / model name, e.g. `"Raspberry Pi Model B rev1"`.
+    pub model: String,
+    /// Hardware family.
+    pub class: NodeClass,
+    /// Number of CPU cores.
+    pub cores: u32,
+    /// Per-core clock frequency.
+    pub clock: Frequency,
+    /// Installed RAM.
+    pub ram: Bytes,
+    /// RAM reserved by the host OS (Raspbian + daemons on the Pi); the
+    /// remainder is available to containers.
+    pub os_reserved_ram: Bytes,
+    /// NIC line rate.
+    pub nic: Bandwidth,
+    /// Attached storage device.
+    pub storage: StorageSpec,
+    /// Power curve.
+    pub power: PowerModel,
+    /// Unit purchase cost.
+    pub unit_cost: Money,
+}
+
+impl NodeSpec {
+    /// RAM left for guest containers after the host OS reservation.
+    pub fn guest_ram(&self) -> Bytes {
+        self.ram.saturating_sub(self.os_reserved_ram)
+    }
+
+    /// Aggregate cycles per second across all cores.
+    pub fn total_compute_hz(&self) -> u64 {
+        self.clock.as_hz() * u64::from(self.cores)
+    }
+
+    /// Raspberry Pi Model A: 256 MB RAM, no built-in Ethernet in reality —
+    /// modelled here with a USB 10 Mbit adapter so it can still join the
+    /// fabric — and the $25 price the paper quotes ("available for as
+    /// little as $25").
+    pub fn pi_model_a() -> NodeSpec {
+        NodeSpec {
+            model: "Raspberry Pi Model A".to_owned(),
+            class: NodeClass::ArmSbc,
+            cores: 1,
+            clock: Frequency::mhz(700),
+            ram: Bytes::mib(256),
+            os_reserved_ram: Bytes::mib(64),
+            nic: Bandwidth::mbps(10),
+            storage: StorageSpec::sd_card_16gb(),
+            power: PowerModel::raspberry_pi(2.5),
+            unit_cost: Money::dollars(25),
+        }
+    }
+
+    /// Raspberry Pi Model B revision 1: the original 256 MB board the
+    /// paper's virtualisation discussion is calibrated against ("the 256MB
+    /// RAM capacity of the original Raspberry Pi devices").
+    pub fn pi_model_b_rev1() -> NodeSpec {
+        NodeSpec {
+            model: "Raspberry Pi Model B rev1".to_owned(),
+            class: NodeClass::ArmSbc,
+            cores: 1,
+            clock: Frequency::mhz(700),
+            ram: Bytes::mib(256),
+            os_reserved_ram: Bytes::mib(64),
+            nic: Bandwidth::mbps(100),
+            storage: StorageSpec::sd_card_16gb(),
+            power: PowerModel::raspberry_pi(3.5),
+            unit_cost: Money::dollars(35),
+        }
+    }
+
+    /// Raspberry Pi Model B revision 2: RAM doubled to 512 MB at the same
+    /// price, as the paper notes ("the Raspberry Pi foundation doubled the
+    /// RAM size on every Raspberry Pi while keeping the same price").
+    pub fn pi_model_b_rev2() -> NodeSpec {
+        NodeSpec {
+            ram: Bytes::mib(512),
+            model: "Raspberry Pi Model B rev2".to_owned(),
+            ..NodeSpec::pi_model_b_rev1()
+        }
+    }
+
+    /// The commodity x86 server of Table I: $2,000 and 180 W nameplate.
+    /// Core count, clock, RAM and disk are sized to a typical 2013 1U box.
+    pub fn x86_commodity() -> NodeSpec {
+        NodeSpec {
+            model: "Commodity x86 1U server".to_owned(),
+            class: NodeClass::X86Server,
+            cores: 8,
+            clock: Frequency::ghz(3),
+            ram: Bytes::gib(16),
+            os_reserved_ram: Bytes::gib(1),
+            nic: Bandwidth::gbps(1),
+            storage: StorageSpec::server_sata_disk(),
+            power: PowerModel::x86_server(180.0),
+            unit_cost: Money::dollars(2_000),
+        }
+    }
+}
+
+impl fmt::Display for NodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} core(s) @ {}, {} RAM, {} NIC)",
+            self.model, self.cores, self.clock, self.ram, self.nic
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_b_rev1_matches_paper_figures() {
+        let pi = NodeSpec::pi_model_b_rev1();
+        assert_eq!(pi.ram, Bytes::mib(256));
+        assert_eq!(pi.unit_cost, Money::dollars(35));
+        assert!((pi.power.nameplate().as_watts() - 3.5).abs() < 1e-9);
+        assert_eq!(pi.cores, 1);
+        assert_eq!(pi.clock, Frequency::mhz(700));
+    }
+
+    #[test]
+    fn rev2_doubles_ram_same_price() {
+        let r1 = NodeSpec::pi_model_b_rev1();
+        let r2 = NodeSpec::pi_model_b_rev2();
+        assert_eq!(r2.ram.as_u64(), 2 * r1.ram.as_u64());
+        assert_eq!(r2.unit_cost, r1.unit_cost);
+    }
+
+    #[test]
+    fn x86_matches_table1() {
+        let x = NodeSpec::x86_commodity();
+        assert_eq!(x.unit_cost, Money::dollars(2_000));
+        assert!((x.power.nameplate().as_watts() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guest_ram_excludes_os_reservation() {
+        let pi = NodeSpec::pi_model_b_rev1();
+        assert_eq!(pi.guest_ram(), Bytes::mib(192));
+    }
+
+    #[test]
+    fn total_compute_scales_with_cores() {
+        let x = NodeSpec::x86_commodity();
+        assert_eq!(x.total_compute_hz(), 8 * 3_000_000_000);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "node-7");
+        assert_eq!(NodeId::from(3).index(), 3);
+    }
+}

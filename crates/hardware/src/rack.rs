@@ -1,0 +1,252 @@
+//! Physical rack model.
+//!
+//! The paper's Pis are "housed in racks constructed using Lego bricks"
+//! (Fig. 1), four racks of 14 boards each. A [`Rack`] tracks slot occupancy
+//! and renders the ASCII view used to reproduce Fig. 1 in the quickstart
+//! example.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a rack within the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RackId(pub u16);
+
+impl RackId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack-{}", self.0)
+    }
+}
+
+/// Construction material — cosmetic, but Fig. 1 earns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RackKind {
+    /// Lego-brick rack holding Raspberry Pis (the paper's Fig. 1).
+    #[default]
+    Lego,
+    /// A standard 19-inch rack for x86 servers.
+    NineteenInch,
+}
+
+impl fmt::Display for RackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RackKind::Lego => write!(f, "Lego"),
+            RackKind::NineteenInch => write!(f, "19-inch"),
+        }
+    }
+}
+
+/// A rack with a fixed number of machine slots.
+///
+/// # Example
+///
+/// ```
+/// use picloud_hardware::node::NodeId;
+/// use picloud_hardware::rack::{Rack, RackId};
+///
+/// let mut rack = Rack::lego(RackId(0));
+/// assert_eq!(rack.capacity(), 14);
+/// rack.install(NodeId(0)).unwrap();
+/// assert_eq!(rack.occupied(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rack {
+    id: RackId,
+    kind: RackKind,
+    slots: Vec<Option<NodeId>>,
+}
+
+/// Error installing a machine into a rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RackError {
+    /// Every slot is occupied.
+    Full,
+    /// The node is already installed in this rack.
+    AlreadyInstalled(NodeId),
+}
+
+impl fmt::Display for RackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RackError::Full => write!(f, "rack is full"),
+            RackError::AlreadyInstalled(n) => write!(f, "{n} is already installed"),
+        }
+    }
+}
+
+impl std::error::Error for RackError {}
+
+impl Rack {
+    /// The paper's Lego rack: 14 Pi slots.
+    pub fn lego(id: RackId) -> Self {
+        Rack::with_capacity(id, RackKind::Lego, 14)
+    }
+
+    /// A 42U 19-inch rack (one server per U).
+    pub fn nineteen_inch(id: RackId) -> Self {
+        Rack::with_capacity(id, RackKind::NineteenInch, 42)
+    }
+
+    /// A rack with explicit slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(id: RackId, kind: RackKind, capacity: usize) -> Self {
+        assert!(capacity > 0, "a rack needs at least one slot");
+        Rack {
+            id,
+            kind,
+            slots: vec![None; capacity],
+        }
+    }
+
+    /// This rack's id.
+    pub fn id(&self) -> RackId {
+        self.id
+    }
+
+    /// Construction kind.
+    pub fn kind(&self) -> RackKind {
+        self.kind
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no free slot remains.
+    pub fn is_full(&self) -> bool {
+        self.occupied() == self.capacity()
+    }
+
+    /// Installs `node` into the first free slot, returning the slot index.
+    ///
+    /// # Errors
+    ///
+    /// [`RackError::Full`] if no slot is free;
+    /// [`RackError::AlreadyInstalled`] if the node is already present.
+    pub fn install(&mut self, node: NodeId) -> Result<usize, RackError> {
+        if self.slots.iter().flatten().any(|&n| n == node) {
+            return Err(RackError::AlreadyInstalled(node));
+        }
+        match self.slots.iter_mut().enumerate().find(|(_, s)| s.is_none()) {
+            Some((i, slot)) => {
+                *slot = Some(node);
+                Ok(i)
+            }
+            None => Err(RackError::Full),
+        }
+    }
+
+    /// Removes `node`, returning whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        for slot in &mut self.slots {
+            if *slot == Some(node) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Nodes installed, in slot order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots.iter().flatten().copied()
+    }
+
+    /// Whether `node` is installed here.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.slots.iter().flatten().any(|&n| n == node)
+    }
+
+    /// A small ASCII rendering of the rack (used to reproduce Fig. 1).
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("+--- {} ({}) ---+\n", self.id, self.kind);
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Some(n) => out.push_str(&format!("| {i:2}: {n:<10}|\n")),
+                None => out.push_str(&format!("| {i:2}: (empty)   |\n")),
+            }
+        }
+        out.push_str("+---------------+");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lego_rack_holds_14() {
+        let mut rack = Rack::lego(RackId(0));
+        for i in 0..14 {
+            rack.install(NodeId(i)).unwrap();
+        }
+        assert!(rack.is_full());
+        assert_eq!(rack.install(NodeId(99)), Err(RackError::Full));
+    }
+
+    #[test]
+    fn duplicate_install_rejected() {
+        let mut rack = Rack::lego(RackId(1));
+        rack.install(NodeId(5)).unwrap();
+        assert_eq!(
+            rack.install(NodeId(5)),
+            Err(RackError::AlreadyInstalled(NodeId(5)))
+        );
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut rack = Rack::lego(RackId(0));
+        rack.install(NodeId(1)).unwrap();
+        assert!(rack.remove(NodeId(1)));
+        assert!(!rack.remove(NodeId(1)));
+        assert_eq!(rack.occupied(), 0);
+        assert!(!rack.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn install_reuses_freed_slots() {
+        let mut rack = Rack::lego(RackId(0));
+        rack.install(NodeId(0)).unwrap();
+        rack.install(NodeId(1)).unwrap();
+        rack.remove(NodeId(0));
+        let slot = rack.install(NodeId(2)).unwrap();
+        assert_eq!(slot, 0, "first free slot reused");
+    }
+
+    #[test]
+    fn ascii_render_lists_nodes() {
+        let mut rack = Rack::lego(RackId(3));
+        rack.install(NodeId(42)).unwrap();
+        let art = rack.render_ascii();
+        assert!(art.contains("rack-3"));
+        assert!(art.contains("node-42"));
+        assert!(art.contains("(empty)"));
+    }
+
+    #[test]
+    fn nineteen_inch_has_42u() {
+        assert_eq!(Rack::nineteen_inch(RackId(0)).capacity(), 42);
+    }
+}

@@ -1,0 +1,275 @@
+//! Storage device models.
+//!
+//! Each Pi boots and serves from a SanDisk 16 GB SD card — by far the
+//! slowest component in the board and the reason the paper restricts the
+//! application layer to "lightweight httpd servers, hadoop etc.". The model
+//! distinguishes sequential from random access and read from write, because
+//! SD cards are dramatically asymmetric (random writes are orders of
+//! magnitude slower than sequential reads).
+
+use picloud_simcore::units::{Bandwidth, Bytes};
+use picloud_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Access pattern of an I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Large contiguous transfers (image flashing, HDFS block streaming).
+    Sequential,
+    /// Small scattered transfers (database pages, container metadata).
+    Random,
+}
+
+/// Direction of an I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoDirection {
+    /// Reading from the device.
+    Read,
+    /// Writing to the device.
+    Write,
+}
+
+/// A storage device: capacity plus a 2×2 throughput matrix
+/// (sequential/random × read/write) and a fixed per-request latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageSpec {
+    /// Marketing name.
+    pub model: String,
+    /// Usable capacity.
+    pub capacity: Bytes,
+    /// Sequential read throughput.
+    pub seq_read: Bandwidth,
+    /// Sequential write throughput.
+    pub seq_write: Bandwidth,
+    /// Random read throughput.
+    pub rand_read: Bandwidth,
+    /// Random write throughput.
+    pub rand_write: Bandwidth,
+    /// Fixed setup latency charged once per request.
+    pub access_latency: SimDuration,
+}
+
+impl StorageSpec {
+    /// The SanDisk 16 GB class-4 SD card the paper's Pis boot from.
+    /// Figures are typical for 2013-era class-4 cards.
+    pub fn sd_card_16gb() -> StorageSpec {
+        StorageSpec {
+            model: "SanDisk 16GB SD (class 4)".to_owned(),
+            capacity: Bytes::gib(16),
+            seq_read: Bandwidth::mbps(160), // 20 MB/s
+            seq_write: Bandwidth::mbps(40), // 5 MB/s
+            rand_read: Bandwidth::mbps(24), // 3 MB/s
+            rand_write: Bandwidth::mbps(4), // 0.5 MB/s — the classic SD pain
+            access_latency: SimDuration::from_micros(800),
+        }
+    }
+
+    /// A 7200 rpm SATA disk typical of the Table I commodity server.
+    pub fn server_sata_disk() -> StorageSpec {
+        StorageSpec {
+            model: "1TB 7200rpm SATA".to_owned(),
+            capacity: Bytes::gib(1024),
+            seq_read: Bandwidth::mbps(1_200), // 150 MB/s
+            seq_write: Bandwidth::mbps(1_120),
+            rand_read: Bandwidth::mbps(16), // seek-bound
+            rand_write: Bandwidth::mbps(16),
+            access_latency: SimDuration::from_millis(8),
+        }
+    }
+
+    /// Throughput for a given pattern and direction.
+    pub fn throughput(&self, pattern: AccessPattern, dir: IoDirection) -> Bandwidth {
+        match (pattern, dir) {
+            (AccessPattern::Sequential, IoDirection::Read) => self.seq_read,
+            (AccessPattern::Sequential, IoDirection::Write) => self.seq_write,
+            (AccessPattern::Random, IoDirection::Read) => self.rand_read,
+            (AccessPattern::Random, IoDirection::Write) => self.rand_write,
+        }
+    }
+
+    /// Time to service one request of `size`: fixed access latency plus
+    /// transfer at the pattern/direction throughput.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use picloud_hardware::storage::{AccessPattern, IoDirection, StorageSpec};
+    /// use picloud_simcore::units::Bytes;
+    ///
+    /// let sd = StorageSpec::sd_card_16gb();
+    /// let read = sd.service_time(Bytes::mib(1), AccessPattern::Sequential, IoDirection::Read);
+    /// let write = sd.service_time(Bytes::mib(1), AccessPattern::Random, IoDirection::Write);
+    /// assert!(write > read * 10, "random SD writes are much slower than sequential reads");
+    /// ```
+    pub fn service_time(
+        &self,
+        size: Bytes,
+        pattern: AccessPattern,
+        dir: IoDirection,
+    ) -> SimDuration {
+        self.access_latency
+            .saturating_add(self.throughput(pattern, dir).transfer_time(size))
+    }
+}
+
+impl fmt::Display for StorageSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.model, self.capacity)
+    }
+}
+
+/// Tracks used space on one device, rejecting overcommit.
+///
+/// # Example
+///
+/// ```
+/// use picloud_hardware::storage::{StorageSpec, StorageVolume};
+/// use picloud_simcore::units::Bytes;
+///
+/// let mut vol = StorageVolume::new(StorageSpec::sd_card_16gb());
+/// vol.allocate(Bytes::gib(4)).unwrap();
+/// assert_eq!(vol.free(), Bytes::gib(12));
+/// assert!(vol.allocate(Bytes::gib(13)).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageVolume {
+    spec: StorageSpec,
+    used: Bytes,
+}
+
+/// Error returned when a volume cannot fit an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFullError {
+    /// Bytes requested.
+    pub requested: Bytes,
+    /// Bytes actually free.
+    pub free: Bytes,
+}
+
+impl fmt::Display for StorageFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "storage full: requested {} but only {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for StorageFullError {}
+
+impl StorageVolume {
+    /// Creates an empty volume on `spec`.
+    pub fn new(spec: StorageSpec) -> Self {
+        StorageVolume {
+            spec,
+            used: Bytes::ZERO,
+        }
+    }
+
+    /// The underlying device.
+    pub fn spec(&self) -> &StorageSpec {
+        &self.spec
+    }
+
+    /// Bytes in use.
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Bytes free.
+    pub fn free(&self) -> Bytes {
+        self.spec.capacity.saturating_sub(self.used)
+    }
+
+    /// Reserves `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageFullError`] if fewer than `size` bytes are free.
+    pub fn allocate(&mut self, size: Bytes) -> Result<(), StorageFullError> {
+        if size > self.free() {
+            return Err(StorageFullError {
+                requested: size,
+                free: self.free(),
+            });
+        }
+        self.used += size;
+        Ok(())
+    }
+
+    /// Releases `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if releasing more than is in use — that is an accounting bug.
+    pub fn release(&mut self, size: Bytes) {
+        assert!(size <= self.used, "released more storage than allocated");
+        self.used -= size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sd_card_asymmetry() {
+        let sd = StorageSpec::sd_card_16gb();
+        assert!(sd.seq_read > sd.seq_write);
+        assert!(sd.seq_write > sd.rand_write);
+        assert!(
+            sd.throughput(AccessPattern::Random, IoDirection::Write)
+                < sd.throughput(AccessPattern::Sequential, IoDirection::Read)
+        );
+    }
+
+    #[test]
+    fn service_time_includes_latency() {
+        let sd = StorageSpec::sd_card_16gb();
+        let tiny = sd.service_time(Bytes::new(1), AccessPattern::Random, IoDirection::Read);
+        assert!(tiny >= sd.access_latency);
+    }
+
+    #[test]
+    fn server_disk_faster_sequential_but_seek_bound_random() {
+        let disk = StorageSpec::server_sata_disk();
+        let sd = StorageSpec::sd_card_16gb();
+        assert!(disk.seq_read > sd.seq_read);
+        // The disk's 8 ms seek makes small random reads slower than SD.
+        let small = Bytes::kib(4);
+        let disk_t = disk.service_time(small, AccessPattern::Random, IoDirection::Read);
+        let sd_t = sd.service_time(small, AccessPattern::Random, IoDirection::Read);
+        assert!(disk_t > sd_t);
+    }
+
+    #[test]
+    fn volume_accounting() {
+        let mut vol = StorageVolume::new(StorageSpec::sd_card_16gb());
+        assert_eq!(vol.used(), Bytes::ZERO);
+        vol.allocate(Bytes::gib(10)).unwrap();
+        vol.allocate(Bytes::gib(6)).unwrap();
+        assert_eq!(vol.free(), Bytes::ZERO);
+        let err = vol.allocate(Bytes::new(1)).unwrap_err();
+        assert_eq!(err.free, Bytes::ZERO);
+        vol.release(Bytes::gib(16));
+        assert_eq!(vol.free(), Bytes::gib(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "more storage than allocated")]
+    fn over_release_panics() {
+        let mut vol = StorageVolume::new(StorageSpec::sd_card_16gb());
+        vol.release(Bytes::new(1));
+    }
+
+    #[test]
+    fn error_display() {
+        let err = StorageFullError {
+            requested: Bytes::gib(2),
+            free: Bytes::gib(1),
+        };
+        assert!(err.to_string().contains("storage full"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The RESTful management vocabulary.
+//!
+//! The testbed's daemons speak HTTP; the scale model elides the socket but
+//! keeps the interface: typed requests with REST verb/resource semantics,
+//! typed responses, and errors that map onto HTTP status codes. Everything
+//! serialises to JSON (the wire format a bespoke 2013 REST API would use),
+//! so a transcript of a model run is byte-for-byte a plausible API log.
+
+use crate::monitor::{ClusterSnapshot, ContainerInfo, NodeSample};
+use picloud_container::container::ContainerId;
+use picloud_container::host::HostError;
+use picloud_hardware::node::NodeId;
+use picloud_simcore::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A management request, as the control panel or an administrator's script
+/// would issue it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiRequest {
+    /// `GET /cluster` — the aggregate dashboard numbers.
+    ClusterSummary,
+    /// `GET /nodes` — every node's telemetry.
+    ListNodes,
+    /// `GET /nodes/{node}` — one node's telemetry.
+    NodeStatus(NodeId),
+    /// `POST /nodes/{node}/containers` — spawn (create + start) an
+    /// instance of a registered image.
+    SpawnContainer {
+        /// Target node.
+        node: NodeId,
+        /// Administrative name for the new container.
+        name: String,
+        /// Registered image name.
+        image: String,
+    },
+    /// `POST /nodes/{node}/containers/{ct}/stop`.
+    StopContainer {
+        /// Node the container lives on.
+        node: NodeId,
+        /// The container.
+        container: ContainerId,
+    },
+    /// `DELETE /nodes/{node}/containers/{ct}`.
+    DestroyContainer {
+        /// Node the container lives on.
+        node: NodeId,
+        /// The container.
+        container: ContainerId,
+    },
+    /// `PUT /nodes/{node}/containers/{ct}/limits` — the paper's "(soft)
+    /// per-VM resource utilisation limits".
+    SetVmLimits {
+        /// Node the container lives on.
+        node: NodeId,
+        /// The container.
+        container: ContainerId,
+        /// New cgroup CPU shares, if changing.
+        cpu_shares: Option<u32>,
+        /// New cgroup memory limit, if changing.
+        memory_limit: Option<Bytes>,
+    },
+    /// `GET /images` — registered golden images.
+    ListImages,
+    /// `POST /images/{name}/patch` — bump the golden version.
+    PatchImage {
+        /// Image to patch.
+        name: String,
+    },
+}
+
+/// A successful management response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiResponse {
+    /// Aggregate cluster state.
+    Summary {
+        /// Nodes registered.
+        nodes: usize,
+        /// Containers across the cluster.
+        containers: usize,
+        /// Running containers.
+        running: usize,
+        /// Mean CPU utilisation in `[0, 1]`.
+        mean_cpu: f64,
+    },
+    /// Every node's sample.
+    Nodes(ClusterSnapshot),
+    /// One node's sample.
+    Node(NodeSample),
+    /// A container was spawned.
+    Spawned {
+        /// Where it runs.
+        node: NodeId,
+        /// Its id.
+        container: ContainerId,
+        /// Its DNS name.
+        dns_name: String,
+        /// Its leased address (bridged networking).
+        address: String,
+    },
+    /// A container changed state or limits.
+    ContainerUpdated {
+        /// Where it runs.
+        node: NodeId,
+        /// Its id.
+        container: ContainerId,
+        /// Its current info.
+        info: ContainerInfo,
+    },
+    /// A container was destroyed.
+    Destroyed {
+        /// Where it ran.
+        node: NodeId,
+        /// Its id.
+        container: ContainerId,
+    },
+    /// Registered image names and versions.
+    Images(Vec<(String, u32)>),
+    /// An image was patched to a new version.
+    Patched {
+        /// The image.
+        name: String,
+        /// Its new version.
+        version: u32,
+    },
+}
+
+/// A management error with its HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiError {
+    /// 404 — node, container or image does not exist.
+    NotFound(String),
+    /// 409 — the operation conflicts with current state (bad lifecycle
+    /// transition, duplicate name).
+    Conflict(String),
+    /// 507 — the node cannot fit the request (RAM or disk).
+    InsufficientStorage(String),
+    /// 400 — malformed request.
+    BadRequest(String),
+}
+
+impl ApiError {
+    /// The HTTP status code this error maps to.
+    pub fn status_code(&self) -> u16 {
+        match self {
+            ApiError::NotFound(_) => 404,
+            ApiError::Conflict(_) => 409,
+            ApiError::InsufficientStorage(_) => 507,
+            ApiError::BadRequest(_) => 400,
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (code, msg) = match self {
+            ApiError::NotFound(m) => (404, m),
+            ApiError::Conflict(m) => (409, m),
+            ApiError::InsufficientStorage(m) => (507, m),
+            ApiError::BadRequest(m) => (400, m),
+        };
+        write!(f, "{code}: {msg}")
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<HostError> for ApiError {
+    fn from(e: HostError) -> Self {
+        match &e {
+            HostError::OutOfMemory { .. } | HostError::OutOfDisk(_) => {
+                ApiError::InsufficientStorage(e.to_string())
+            }
+            HostError::UnknownContainer(_) => ApiError::NotFound(e.to_string()),
+            HostError::DuplicateName(_) | HostError::Transition(_) => {
+                ApiError::Conflict(e.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picloud_container::container::TransitionError;
+    use picloud_container::ContainerState;
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(ApiError::NotFound("x".into()).status_code(), 404);
+        assert_eq!(ApiError::Conflict("x".into()).status_code(), 409);
+        assert_eq!(ApiError::InsufficientStorage("x".into()).status_code(), 507);
+        assert_eq!(ApiError::BadRequest("x".into()).status_code(), 400);
+    }
+
+    #[test]
+    fn host_errors_map_to_http() {
+        let oom = HostError::OutOfMemory {
+            requested: Bytes::mib(64),
+            free: Bytes::mib(2),
+        };
+        assert_eq!(ApiError::from(oom).status_code(), 507);
+        let unknown = HostError::UnknownContainer(ContainerId(4));
+        assert_eq!(ApiError::from(unknown).status_code(), 404);
+        let dup = HostError::DuplicateName("web".into());
+        assert_eq!(ApiError::from(dup).status_code(), 409);
+        let trans = HostError::Transition(TransitionError {
+            from: ContainerState::Running,
+            verb: "start",
+        });
+        assert_eq!(ApiError::from(trans).status_code(), 409);
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let req = ApiRequest::SpawnContainer {
+            node: NodeId(3),
+            name: "web-1".into(),
+            image: "lighttpd".into(),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ApiRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn error_display_includes_code() {
+        let e = ApiError::NotFound("no such node".into());
+        assert_eq!(e.to_string(), "404: no such node");
+    }
+}

@@ -1,0 +1,271 @@
+//! The per-Pi management daemon.
+//!
+//! §II-A: "There is an API daemon on each Pi providing a RESTful management
+//! interface for facilitating virtual host management and interacting with
+//! a head node (the pimaster)." The daemon wraps the node's LXC runtime
+//! with the telemetry the pimaster polls: CPU load, memory occupancy and
+//! container inventory.
+
+use picloud_container::container::{ContainerConfig, ContainerId, ContainerState};
+use picloud_container::host::{ContainerHost, HostError};
+use picloud_hardware::node::{NodeId, NodeSpec};
+use picloud_simcore::units::Bytes;
+use picloud_simcore::{SimTime, TimeWeightedGauge};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::monitor::{ContainerInfo, NodeSample};
+
+/// One node's daemon: runtime + telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeDaemon {
+    node: NodeId,
+    rack: u16,
+    name: String,
+    host: ContainerHost,
+    /// Current CPU demand per container, Hz.
+    demands: BTreeMap<ContainerId, f64>,
+    cpu_gauge: TimeWeightedGauge,
+}
+
+impl NodeDaemon {
+    /// Starts a daemon for node `node` in `rack` running on `spec`.
+    pub fn new(node: NodeId, rack: u16, name: impl Into<String>, spec: NodeSpec, now: SimTime) -> Self {
+        NodeDaemon {
+            node,
+            rack,
+            name: name.into(),
+            host: ContainerHost::new(spec),
+            demands: BTreeMap::new(),
+            cpu_gauge: TimeWeightedGauge::new(now, 0.0),
+        }
+    }
+
+    /// The node this daemon manages.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's rack.
+    pub fn rack(&self) -> u16 {
+        self.rack
+    }
+
+    /// The node's DNS name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying runtime (read-only).
+    pub fn host(&self) -> &ContainerHost {
+        &self.host
+    }
+
+    /// The underlying runtime (mutable, for direct workload drivers).
+    pub fn host_mut(&mut self) -> &mut ContainerHost {
+        &mut self.host
+    }
+
+    /// Creates and starts a container in one step — the panel's
+    /// "spawn new VM instance" button.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HostError`] from creation or start; a container created but
+    /// unable to start is destroyed again (no half-spawned state).
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        config: ContainerConfig,
+    ) -> Result<ContainerId, HostError> {
+        let id = self.host.create(name, config)?;
+        if let Err(e) = self.host.start(id) {
+            self.host
+                .destroy(id)
+                .expect("freshly created container can be destroyed");
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Sets a container's current CPU demand (Hz) — driven by the workload
+    /// layer.
+    pub fn set_demand(&mut self, id: ContainerId, demand_hz: f64) {
+        self.demands.insert(id, demand_hz.max(0.0));
+    }
+
+    /// Recomputes CPU allocation and updates the load gauge; returns
+    /// utilisation in `[0, 1]`.
+    pub fn refresh_load(&mut self, now: SimTime) -> f64 {
+        let (_, util) = self.host.allocate_cpu(&self.demands);
+        self.cpu_gauge.set(now, util);
+        util
+    }
+
+    /// The telemetry sample the pimaster polls.
+    pub fn sample(&mut self, now: SimTime) -> NodeSample {
+        let util = self.refresh_load(now);
+        let containers: Vec<ContainerInfo> = self
+            .host
+            .containers()
+            .map(|c| ContainerInfo {
+                id: c.id(),
+                name: c.name().to_owned(),
+                image: c.config().image.name.clone(),
+                state: c.state(),
+            })
+            .collect();
+        NodeSample {
+            node: self.node,
+            rack: self.rack,
+            name: self.name.clone(),
+            cpu_utilisation: util,
+            cpu_mean_utilisation: self.cpu_gauge.mean(now),
+            memory_used: self.host.memory_in_use(),
+            memory_total: self.host.spec().guest_ram(),
+            running_containers: self.host.running().count(),
+            containers,
+        }
+    }
+
+    /// Stops a container, dropping its demand entry.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HostError`] from the runtime.
+    pub fn stop(&mut self, id: ContainerId) -> Result<(), HostError> {
+        self.host.stop(id)?;
+        self.demands.remove(&id);
+        Ok(())
+    }
+
+    /// Destroys a container, dropping its demand entry.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HostError`] from the runtime.
+    pub fn destroy(&mut self, id: ContainerId) -> Result<(), HostError> {
+        self.host.destroy(id)?;
+        self.demands.remove(&id);
+        Ok(())
+    }
+
+    /// Sets soft per-VM limits (§II-C).
+    ///
+    /// # Errors
+    ///
+    /// Any [`HostError`] from the runtime.
+    pub fn set_limits(
+        &mut self,
+        id: ContainerId,
+        cpu_shares: Option<u32>,
+        memory_limit: Option<Bytes>,
+    ) -> Result<(), HostError> {
+        self.host.update_limits(id, cpu_shares, memory_limit)
+    }
+
+    /// States of all containers, for quick assertions and the panel.
+    pub fn container_states(&self) -> Vec<(ContainerId, ContainerState)> {
+        self.host
+            .containers()
+            .map(|c| (c.id(), c.state()))
+            .collect()
+    }
+}
+
+impl fmt::Display for NodeDaemon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "daemon@{} ({})", self.name, self.host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picloud_container::image::ContainerImage;
+
+    fn daemon() -> NodeDaemon {
+        NodeDaemon::new(
+            NodeId(0),
+            0,
+            "pi-0-0.picloud",
+            NodeSpec::pi_model_b_rev1(),
+            SimTime::ZERO,
+        )
+    }
+
+    fn web() -> ContainerConfig {
+        ContainerConfig::new(ContainerImage::lighttpd())
+    }
+
+    #[test]
+    fn spawn_creates_running_container() {
+        let mut d = daemon();
+        let id = d.spawn("web-0", web()).unwrap();
+        assert_eq!(
+            d.container_states(),
+            vec![(id, ContainerState::Running)]
+        );
+    }
+
+    #[test]
+    fn failed_spawn_leaves_no_debris() {
+        let mut d = daemon();
+        // Fill RAM with 6 containers, then a 7th spawn fails at start.
+        for i in 0..6 {
+            d.spawn(format!("c{i}"), web()).unwrap();
+        }
+        let err = d.spawn("c6", web()).unwrap_err();
+        assert!(matches!(err, HostError::OutOfMemory { .. }));
+        assert_eq!(d.host().containers().count(), 6, "no half-spawned container");
+    }
+
+    #[test]
+    fn sample_reflects_load() {
+        let mut d = daemon();
+        let id = d.spawn("web-0", web()).unwrap();
+        d.set_demand(id, 350e6); // half the 700 MHz core
+        let s = d.sample(SimTime::from_secs(1));
+        assert!((s.cpu_utilisation - 0.5).abs() < 1e-9);
+        assert_eq!(s.memory_used, Bytes::mib(30));
+        assert_eq!(s.running_containers, 1);
+        assert_eq!(s.containers.len(), 1);
+        assert_eq!(s.containers[0].image, "lighttpd");
+    }
+
+    #[test]
+    fn mean_utilisation_is_time_weighted() {
+        let mut d = daemon();
+        let id = d.spawn("web-0", web()).unwrap();
+        d.set_demand(id, 700e6);
+        d.refresh_load(SimTime::ZERO); // 100% from t=0
+        d.set_demand(id, 0.0);
+        d.refresh_load(SimTime::from_secs(10)); // 0% from t=10
+        let s = d.sample(SimTime::from_secs(20));
+        assert!((s.cpu_mean_utilisation - 0.5).abs() < 0.01, "{}", s.cpu_mean_utilisation);
+    }
+
+    #[test]
+    fn stop_and_destroy_clear_demand() {
+        let mut d = daemon();
+        let id = d.spawn("web-0", web()).unwrap();
+        d.set_demand(id, 700e6);
+        d.stop(id).unwrap();
+        let s = d.sample(SimTime::from_secs(1));
+        assert_eq!(s.cpu_utilisation, 0.0);
+        assert_eq!(s.running_containers, 0);
+        d.destroy(id).unwrap();
+        assert_eq!(d.host().containers().count(), 0);
+    }
+
+    #[test]
+    fn set_limits_delegates() {
+        let mut d = daemon();
+        let id = d.spawn("web-0", web()).unwrap();
+        d.set_limits(id, Some(512), Some(Bytes::mib(48))).unwrap();
+        let c = d.host().container(id).unwrap();
+        assert_eq!(c.config().cpu_shares, 512);
+        assert_eq!(c.config().memory_limit, Some(Bytes::mib(48)));
+    }
+}

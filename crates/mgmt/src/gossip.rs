@@ -1,0 +1,368 @@
+//! A peer-to-peer management plane — §III's "radical departure".
+//!
+//! "We are experimenting with new UIs for control of the Cloud, and the
+//! flexibility of owning our own testbed allows us to consider radical
+//! departures to the norm, such as a peer-to-peer Cloud management
+//! system." This module implements the standard alternative to the
+//! centralised pimaster: **push anti-entropy gossip**. Every node holds a
+//! heartbeat-versioned summary of every other node; each round it pushes
+//! its view to `fanout` random peers, which merge by taking the freshest
+//! heartbeat per origin. Epidemic dissemination converges in O(log n)
+//! rounds, has no single point of failure, and costs `n × fanout` messages
+//! per round — the exact trade-offs against the pimaster that the
+//! experiment layer measures.
+
+use picloud_hardware::node::NodeId;
+use picloud_simcore::SeedFactory;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One node's self-reported summary, heartbeat-versioned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// The origin node.
+    pub node: NodeId,
+    /// Monotonic heartbeat sequence stamped by the origin.
+    pub heartbeat: u64,
+    /// CPU utilisation at that heartbeat.
+    pub cpu_utilisation: f64,
+    /// Running containers at that heartbeat.
+    pub running_containers: u32,
+}
+
+/// Statistics from a gossip run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipStats {
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Summaries carried across all messages (bandwidth proxy).
+    pub summaries_shipped: u64,
+}
+
+/// A cluster of gossiping management daemons.
+///
+/// # Example
+///
+/// ```
+/// use picloud_mgmt::gossip::GossipNetwork;
+/// use picloud_simcore::SeedFactory;
+///
+/// let mut net = GossipNetwork::new(56, 2, &SeedFactory::new(7));
+/// let stats = net.run_to_convergence(64).expect("gossip converges");
+/// assert!(stats.rounds <= 12, "O(log n) dissemination");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GossipNetwork {
+    /// Per-node view: node index → (origin → summary).
+    views: Vec<BTreeMap<NodeId, NodeSummary>>,
+    alive: Vec<bool>,
+    fanout: usize,
+    seeds: SeedFactory,
+    round: u32,
+    messages: u64,
+    summaries_shipped: u64,
+}
+
+impl GossipNetwork {
+    /// Creates `n` nodes, each initially knowing only itself (heartbeat 1),
+    /// gossiping to `fanout` peers per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `fanout` is zero.
+    pub fn new(n: usize, fanout: usize, seeds: &SeedFactory) -> Self {
+        assert!(n > 0, "gossip needs nodes");
+        assert!(fanout > 0, "gossip needs a positive fanout");
+        let views = (0..n)
+            .map(|i| {
+                let node = NodeId(i as u32);
+                let mut m = BTreeMap::new();
+                m.insert(
+                    node,
+                    NodeSummary {
+                        node,
+                        heartbeat: 1,
+                        cpu_utilisation: 0.0,
+                        running_containers: 0,
+                    },
+                );
+                m
+            })
+            .collect();
+        GossipNetwork {
+            views,
+            alive: vec![true; n],
+            fanout,
+            seeds: seeds.child("gossip"),
+            round: 0,
+            messages: 0,
+            summaries_shipped: 0,
+        }
+    }
+
+    /// Number of nodes (alive or failed).
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the network has no nodes (never; `new` requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Marks a node failed: it stops gossiping and receiving.
+    pub fn fail_node(&mut self, node: NodeId) {
+        if let Some(a) = self.alive.get_mut(node.index()) {
+            *a = false;
+        }
+    }
+
+    /// Updates a node's self-summary (bumping its heartbeat) — what the
+    /// local daemon does when its load changes.
+    pub fn update_self(&mut self, node: NodeId, cpu: f64, running: u32) {
+        let view = &mut self.views[node.index()];
+        let entry = view.entry(node).or_insert(NodeSummary {
+            node,
+            heartbeat: 0,
+            cpu_utilisation: 0.0,
+            running_containers: 0,
+        });
+        entry.heartbeat += 1;
+        entry.cpu_utilisation = cpu;
+        entry.running_containers = running;
+    }
+
+    /// One node's current view (origin → summary).
+    pub fn view_of(&self, node: NodeId) -> &BTreeMap<NodeId, NodeSummary> {
+        &self.views[node.index()]
+    }
+
+    /// Executes one synchronous gossip round: every alive node pushes its
+    /// view to `fanout` distinct random alive peers.
+    pub fn step(&mut self) {
+        self.round += 1;
+        let n = self.views.len();
+        let mut rng = self.seeds.indexed_stream("round", u64::from(self.round));
+        // Collect sends first (synchronous round semantics), then merge.
+        let mut deliveries: Vec<(usize, Vec<NodeSummary>)> = Vec::new();
+        for src in 0..n {
+            if !self.alive[src] {
+                continue;
+            }
+            let payload: Vec<NodeSummary> = self.views[src].values().copied().collect();
+            let mut chosen = 0usize;
+            let mut guard = 0usize;
+            let mut picked: Vec<usize> = Vec::with_capacity(self.fanout);
+            while chosen < self.fanout && guard < 16 * n {
+                guard += 1;
+                let peer = rng.gen_range(0..n);
+                if peer == src || !self.alive[peer] || picked.contains(&peer) {
+                    continue;
+                }
+                picked.push(peer);
+                chosen += 1;
+            }
+            for peer in picked {
+                self.messages += 1;
+                self.summaries_shipped += payload.len() as u64;
+                deliveries.push((peer, payload.clone()));
+            }
+        }
+        for (peer, payload) in deliveries {
+            let view = &mut self.views[peer];
+            for s in payload {
+                match view.get(&s.node) {
+                    Some(existing) if existing.heartbeat >= s.heartbeat => {}
+                    _ => {
+                        view.insert(s.node, s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether every alive node knows a summary for every alive node.
+    pub fn is_converged(&self) -> bool {
+        let alive: Vec<NodeId> = (0..self.views.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.alive[n.index()])
+            .collect();
+        alive.iter().all(|&holder| {
+            alive
+                .iter()
+                .all(|origin| self.views[holder.index()].contains_key(origin))
+        })
+    }
+
+    /// Runs rounds until converged, or `None` if `max_rounds` elapse first.
+    pub fn run_to_convergence(&mut self, max_rounds: u32) -> Option<GossipStats> {
+        for _ in 0..max_rounds {
+            if self.is_converged() {
+                return Some(self.stats());
+            }
+            self.step();
+        }
+        if self.is_converged() {
+            Some(self.stats())
+        } else {
+            None
+        }
+    }
+
+    /// Mean *view staleness*: over alive holders and alive origins, how far
+    /// the held heartbeat lags the origin's own heartbeat. 0 = perfectly
+    /// fresh.
+    pub fn mean_staleness(&self) -> f64 {
+        let alive: Vec<NodeId> = (0..self.views.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.alive[n.index()])
+            .collect();
+        let mut lag = 0u64;
+        let mut count = 0u64;
+        for &holder in &alive {
+            for &origin in &alive {
+                let truth = self.views[origin.index()]
+                    .get(&origin)
+                    .map_or(0, |s| s.heartbeat);
+                let held = self.views[holder.index()]
+                    .get(&origin)
+                    .map_or(0, |s| s.heartbeat);
+                lag += truth.saturating_sub(held);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            lag as f64 / count as f64
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> GossipStats {
+        GossipStats {
+            rounds: self.round,
+            messages: self.messages,
+            summaries_shipped: self.summaries_shipped,
+        }
+    }
+}
+
+impl fmt::Display for GossipNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gossip: {} nodes ({} alive), fanout {}, round {}",
+            self.views.len(),
+            self.alive.iter().filter(|a| **a).count(),
+            self.fanout,
+            self.round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize, fanout: usize, seed: u64) -> GossipNetwork {
+        GossipNetwork::new(n, fanout, &SeedFactory::new(seed))
+    }
+
+    #[test]
+    fn converges_in_logarithmic_rounds() {
+        let mut g = net(56, 2, 1);
+        let stats = g.run_to_convergence(64).expect("converges");
+        assert!(stats.rounds <= 12, "rounds {}", stats.rounds);
+        assert!(g.is_converged());
+    }
+
+    #[test]
+    fn higher_fanout_converges_faster_but_costs_messages() {
+        let run = |fanout: usize| net(56, fanout, 3).run_to_convergence(64).expect("converges");
+        let slow = run(1);
+        let fast = run(4);
+        assert!(fast.rounds <= slow.rounds);
+        assert!(fast.messages / u64::from(fast.rounds) > slow.messages / u64::from(slow.rounds));
+    }
+
+    #[test]
+    fn survives_node_failures() {
+        let mut g = net(56, 2, 5);
+        for i in 0..14u32 {
+            g.fail_node(NodeId(i)); // a whole rack dies
+        }
+        let stats = g.run_to_convergence(64).expect("survivors converge");
+        assert!(stats.rounds < 20);
+        // Failed nodes do not block convergence of the rest.
+        assert!(g.is_converged());
+    }
+
+    #[test]
+    fn updates_propagate_and_staleness_decays() {
+        let mut g = net(20, 2, 7);
+        g.run_to_convergence(64).expect("initial convergence");
+        g.update_self(NodeId(3), 0.9, 5);
+        let before = g.mean_staleness();
+        assert!(before > 0.0, "fresh update not yet known");
+        for _ in 0..10 {
+            g.step();
+        }
+        let after = g.mean_staleness();
+        assert!(after < before, "gossip spreads the update: {after} < {before}");
+        // The new value is actually what peers hold.
+        let held = g.view_of(NodeId(15)).get(&NodeId(3)).expect("knows node 3");
+        assert_eq!(held.running_containers, 5);
+        assert!((held.cpu_utilisation - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_heartbeats_never_overwrite_fresh_ones() {
+        let mut g = net(4, 3, 9);
+        g.run_to_convergence(32).expect("converges");
+        g.update_self(NodeId(0), 0.5, 1);
+        g.update_self(NodeId(0), 0.7, 2); // heartbeat 3 now
+        for _ in 0..5 {
+            g.step();
+        }
+        for holder in 0..4u32 {
+            let s = g.view_of(NodeId(holder)).get(&NodeId(0)).expect("known");
+            assert_eq!(s.heartbeat, 3);
+            assert_eq!(s.running_containers, 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = net(30, 2, 11).run_to_convergence(64).expect("converges");
+        let b = net(30, 2, 11).run_to_convergence(64).expect("converges");
+        assert_eq!(a, b);
+        let c = net(30, 2, 12).run_to_convergence(64).expect("converges");
+        assert!(a != c || a.rounds == c.rounds); // different seed may differ
+    }
+
+    #[test]
+    fn single_node_is_trivially_converged() {
+        let mut g = net(1, 1, 1);
+        let stats = g.run_to_convergence(1).expect("trivial");
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive fanout")]
+    fn zero_fanout_rejected() {
+        let _ = net(4, 0, 1);
+    }
+
+    #[test]
+    fn display_counts_alive() {
+        let mut g = net(4, 1, 1);
+        g.fail_node(NodeId(0));
+        assert!(g.to_string().contains("4 nodes (3 alive)"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Image management: "image upgrading, patching, and spawning" (§II-A).
+//!
+//! The pimaster hosts the golden images; each node tracks which version it
+//! has pulled. Patching bumps the golden version; an upgrade pass computes
+//! which nodes are stale and how many bytes the distribution costs — the
+//! "mundane yet crucial" administration the paper says a real testbed
+//! forces you to confront.
+
+use picloud_container::image::ContainerImage;
+use picloud_hardware::node::NodeId;
+use picloud_simcore::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from the image store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// No image registered under that name.
+    UnknownImage(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::UnknownImage(n) => write!(f, "no image named '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// What an upgrade pass would distribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpgradePlan {
+    /// Image being distributed.
+    pub image_name: String,
+    /// The version nodes will end on.
+    pub target_version: u32,
+    /// Nodes needing the pull.
+    pub stale_nodes: Vec<NodeId>,
+    /// Bytes each stale node must download.
+    pub bytes_per_node: Bytes,
+}
+
+impl UpgradePlan {
+    /// Total distribution traffic.
+    pub fn total_bytes(&self) -> Bytes {
+        self.bytes_per_node * self.stale_nodes.len() as u64
+    }
+}
+
+/// The pimaster's golden-image registry plus per-node version tracking.
+///
+/// # Example
+///
+/// ```
+/// use picloud_container::image::ContainerImage;
+/// use picloud_hardware::node::NodeId;
+/// use picloud_mgmt::images::ImageStore;
+///
+/// let mut store = ImageStore::new();
+/// store.register(ContainerImage::lighttpd());
+/// store.record_pull("lighttpd", NodeId(0));
+/// store.patch("lighttpd")?;
+/// let plan = store.upgrade_plan("lighttpd")?;
+/// assert_eq!(plan.stale_nodes, vec![NodeId(0)]);
+/// # Ok::<(), picloud_mgmt::images::ImageError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ImageStore {
+    golden: BTreeMap<String, ContainerImage>,
+    /// name → node → version pulled.
+    pulled: BTreeMap<String, BTreeMap<NodeId, u32>>,
+}
+
+impl ImageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ImageStore::default()
+    }
+
+    /// A store preloaded with the Fig. 3 stack (httpd, database, hadoop)
+    /// plus the minimal Raspbian base.
+    pub fn with_standard_images() -> Self {
+        let mut store = ImageStore::new();
+        store.register(ContainerImage::raspbian_minimal());
+        store.register(ContainerImage::lighttpd());
+        store.register(ContainerImage::database());
+        store.register(ContainerImage::hadoop_worker());
+        store
+    }
+
+    /// Registers (or replaces) a golden image.
+    pub fn register(&mut self, image: ContainerImage) {
+        self.golden.insert(image.name.clone(), image);
+    }
+
+    /// The golden image for `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::UnknownImage`] if unregistered.
+    pub fn golden(&self, name: &str) -> Result<&ContainerImage, ImageError> {
+        self.golden
+            .get(name)
+            .ok_or_else(|| ImageError::UnknownImage(name.to_owned()))
+    }
+
+    /// Image names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.golden.keys().map(String::as_str)
+    }
+
+    /// Spawning support: the image a node should instantiate (the golden
+    /// version), recording that the node now has it.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::UnknownImage`] if unregistered.
+    pub fn spawn(&mut self, name: &str, node: NodeId) -> Result<ContainerImage, ImageError> {
+        let img = self.golden(name)?.clone();
+        self.record_pull_version(name, node, img.version);
+        Ok(img)
+    }
+
+    /// Records that `node` holds the *current* golden version of `name`.
+    pub fn record_pull(&mut self, name: &str, node: NodeId) {
+        let version = self.golden.get(name).map_or(1, |i| i.version);
+        self.record_pull_version(name, node, version);
+    }
+
+    fn record_pull_version(&mut self, name: &str, node: NodeId, version: u32) {
+        self.pulled
+            .entry(name.to_owned())
+            .or_default()
+            .insert(node, version);
+    }
+
+    /// Patches the golden image (version bump), leaving nodes stale.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::UnknownImage`] if unregistered.
+    pub fn patch(&mut self, name: &str) -> Result<u32, ImageError> {
+        let img = self
+            .golden
+            .get_mut(name)
+            .ok_or_else(|| ImageError::UnknownImage(name.to_owned()))?;
+        *img = img.patched();
+        Ok(img.version)
+    }
+
+    /// Plans the distribution needed to bring every node that ever pulled
+    /// `name` up to the golden version.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::UnknownImage`] if unregistered.
+    pub fn upgrade_plan(&self, name: &str) -> Result<UpgradePlan, ImageError> {
+        let golden = self.golden(name)?;
+        let stale_nodes: Vec<NodeId> = self
+            .pulled
+            .get(name)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .filter(|(_, v)| **v < golden.version)
+                    .map(|(n, _)| *n)
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(UpgradePlan {
+            image_name: name.to_owned(),
+            target_version: golden.version,
+            stale_nodes,
+            bytes_per_node: golden.disk_size,
+        })
+    }
+
+    /// Applies an upgrade plan: marks its nodes current.
+    pub fn apply_upgrade(&mut self, plan: &UpgradePlan) {
+        for node in &plan.stale_nodes {
+            self.record_pull_version(&plan.image_name, *node, plan.target_version);
+        }
+    }
+
+    /// The version `node` holds of `name`, if it ever pulled it.
+    pub fn version_on(&self, name: &str, node: NodeId) -> Option<u32> {
+        self.pulled.get(name).and_then(|m| m.get(&node)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_images_present() {
+        let store = ImageStore::with_standard_images();
+        let names: Vec<&str> = store.names().collect();
+        assert_eq!(
+            names,
+            ["database", "hadoop-worker", "lighttpd", "raspbian-minimal"]
+        );
+    }
+
+    #[test]
+    fn spawn_records_version() {
+        let mut store = ImageStore::with_standard_images();
+        let img = store.spawn("lighttpd", NodeId(4)).unwrap();
+        assert_eq!(img.version, 1);
+        assert_eq!(store.version_on("lighttpd", NodeId(4)), Some(1));
+    }
+
+    #[test]
+    fn patch_then_upgrade_cycle() {
+        let mut store = ImageStore::with_standard_images();
+        for n in 0..4 {
+            store.record_pull("database", NodeId(n));
+        }
+        let v2 = store.patch("database").unwrap();
+        assert_eq!(v2, 2);
+        let plan = store.upgrade_plan("database").unwrap();
+        assert_eq!(plan.stale_nodes.len(), 4);
+        assert_eq!(plan.target_version, 2);
+        assert_eq!(
+            plan.total_bytes(),
+            ContainerImage::database().disk_size * 4
+        );
+        store.apply_upgrade(&plan);
+        let after = store.upgrade_plan("database").unwrap();
+        assert!(after.stale_nodes.is_empty());
+        assert_eq!(store.version_on("database", NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn nodes_pulling_after_patch_are_current() {
+        let mut store = ImageStore::with_standard_images();
+        store.patch("lighttpd").unwrap();
+        store.spawn("lighttpd", NodeId(9)).unwrap();
+        let plan = store.upgrade_plan("lighttpd").unwrap();
+        assert!(plan.stale_nodes.is_empty());
+    }
+
+    #[test]
+    fn unknown_image_errors() {
+        let mut store = ImageStore::new();
+        assert!(matches!(
+            store.golden("nope"),
+            Err(ImageError::UnknownImage(_))
+        ));
+        assert!(store.patch("nope").is_err());
+        assert!(store.spawn("nope", NodeId(0)).is_err());
+        assert!(store.upgrade_plan("nope").is_err());
+        assert!(ImageError::UnknownImage("x".into())
+            .to_string()
+            .contains("no image"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The PiCloud management plane: the `pimaster` and its node daemons.
+//!
+//! §II-C: "we rely upon a bespoke administration API supported by daemons
+//! on the pimaster and on individual Pi devices. An outward-facing
+//! webserver on pimaster provides a web-based control panel to users and
+//! administrators... This website interacts with the local daemons, and
+//! controls workloads running on the Pi devices using RESTful interfaces.
+//! Typical use-case scenarios include remote monitoring of the CPU load on
+//! some/all Pi nodes, spawning new VM instances and specifying (soft)
+//! per-VM resource utilisation limits."
+//!
+//! * [`api`] — the typed RESTful request/response vocabulary (the HTTP
+//!   socket is elided; verbs, resources and status codes are preserved).
+//! * [`daemon`] — the per-Pi daemon wrapping the LXC runtime with
+//!   telemetry.
+//! * [`dhcp`] — DHCP leasing and DNS naming policy ("A system administrator
+//!   can implement customised IP and naming policies through DHCP and DNS
+//!   services running on the pimaster").
+//! * [`images`] — image management: "image upgrading, patching, and
+//!   spawning".
+//! * [`gossip`] — the §III "peer-to-peer Cloud management system"
+//!   research direction: push anti-entropy gossip as the decentralised
+//!   alternative to the pimaster.
+//! * [`monitor`] — cluster-wide telemetry collection.
+//! * [`panel`] — the Fig. 4 web control panel as a serialisable data model.
+//! * [`pimaster`] — the head node tying all of it together.
+//!
+//! # Example
+//!
+//! ```
+//! use picloud_mgmt::api::ApiRequest;
+//! use picloud_mgmt::pimaster::Pimaster;
+//! use picloud_hardware::node::NodeSpec;
+//! use picloud_simcore::SimTime;
+//!
+//! let mut master = Pimaster::new();
+//! for _ in 0..4 {
+//!     master.register_node(NodeSpec::pi_model_b_rev1(), 0, SimTime::ZERO);
+//! }
+//! let resp = master.handle(ApiRequest::ClusterSummary, SimTime::ZERO);
+//! assert!(resp.is_ok());
+//! ```
+
+pub mod api;
+pub mod daemon;
+pub mod dhcp;
+pub mod gossip;
+pub mod images;
+pub mod monitor;
+pub mod panel;
+pub mod pimaster;
+
+pub use api::{ApiError, ApiRequest, ApiResponse};
+pub use daemon::NodeDaemon;
+pub use dhcp::{DhcpServer, DnsService, IpAddr4};
+pub use gossip::{GossipNetwork, GossipStats};
+pub use images::ImageStore;
+pub use monitor::{ClusterSnapshot, NodeSample};
+pub use panel::{ControlPanel, PanelView};
+pub use pimaster::Pimaster;

@@ -1,0 +1,201 @@
+//! Cluster-wide telemetry.
+//!
+//! "Typical use-case scenarios include remote monitoring of the CPU load
+//! on some/all Pi nodes" (§II-C). A [`NodeSample`] is what one daemon
+//! reports; a [`ClusterSnapshot`] is the pimaster's poll of every daemon,
+//! with the aggregates the control panel and the placement experiments
+//! read.
+
+use picloud_container::container::{ContainerId, ContainerState};
+use picloud_hardware::node::NodeId;
+use picloud_simcore::units::Bytes;
+use picloud_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One container as the panel lists it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerInfo {
+    /// Container id on its node.
+    pub id: ContainerId,
+    /// Administrative name.
+    pub name: String,
+    /// Image name.
+    pub image: String,
+    /// Lifecycle state.
+    pub state: ContainerState,
+}
+
+/// One node's telemetry report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSample {
+    /// Which node.
+    pub node: NodeId,
+    /// Its rack.
+    pub rack: u16,
+    /// Its DNS name.
+    pub name: String,
+    /// Instantaneous CPU utilisation in `[0, 1]`.
+    pub cpu_utilisation: f64,
+    /// Time-weighted mean CPU utilisation since boot.
+    pub cpu_mean_utilisation: f64,
+    /// Guest memory in use.
+    pub memory_used: Bytes,
+    /// Guest memory capacity.
+    pub memory_total: Bytes,
+    /// Containers currently running.
+    pub running_containers: usize,
+    /// Every container on the node.
+    pub containers: Vec<ContainerInfo>,
+}
+
+impl NodeSample {
+    /// Memory utilisation in `[0, 1]`.
+    pub fn memory_utilisation(&self) -> f64 {
+        if self.memory_total.is_zero() {
+            return 0.0;
+        }
+        self.memory_used.as_u64() as f64 / self.memory_total.as_u64() as f64
+    }
+}
+
+/// The pimaster's poll of the whole cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// When the poll ran.
+    pub taken_at: SimTime,
+    /// Per-node samples, in node order.
+    pub samples: Vec<NodeSample>,
+}
+
+impl ClusterSnapshot {
+    /// Number of nodes polled.
+    pub fn node_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total containers across the cluster.
+    pub fn total_containers(&self) -> usize {
+        self.samples.iter().map(|s| s.containers.len()).sum()
+    }
+
+    /// Total running containers.
+    pub fn total_running(&self) -> usize {
+        self.samples.iter().map(|s| s.running_containers).sum()
+    }
+
+    /// Mean CPU utilisation across nodes (unweighted — nodes are
+    /// homogeneous in the PiCloud).
+    pub fn mean_cpu(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.cpu_utilisation).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The hottest node, or `None` when empty.
+    pub fn hottest_node(&self) -> Option<&NodeSample> {
+        self.samples.iter().max_by(|a, b| {
+            a.cpu_utilisation
+                .partial_cmp(&b.cpu_utilisation)
+                .expect("utilisation is finite")
+                .then(b.node.cmp(&a.node))
+        })
+    }
+
+    /// Nodes above `threshold` CPU utilisation.
+    pub fn overloaded(&self, threshold: f64) -> Vec<NodeId> {
+        self.samples
+            .iter()
+            .filter(|s| s.cpu_utilisation > threshold)
+            .map(|s| s.node)
+            .collect()
+    }
+
+    /// Total guest memory in use across the cluster.
+    pub fn total_memory_used(&self) -> Bytes {
+        self.samples.iter().map(|s| s.memory_used).sum()
+    }
+}
+
+impl fmt::Display for ClusterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot@{}: {} nodes, {} containers ({} running), mean CPU {:.0}%",
+            self.taken_at,
+            self.node_count(),
+            self.total_containers(),
+            self.total_running(),
+            self.mean_cpu() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: u32, cpu: f64, running: usize) -> NodeSample {
+        NodeSample {
+            node: NodeId(node),
+            rack: (node / 14) as u16,
+            name: format!("pi-{}-{}.picloud", node / 14, node % 14),
+            cpu_utilisation: cpu,
+            cpu_mean_utilisation: cpu,
+            memory_used: Bytes::mib(30 * running as u64),
+            memory_total: Bytes::mib(192),
+            running_containers: running,
+            containers: Vec::new(),
+        }
+    }
+
+    fn snapshot() -> ClusterSnapshot {
+        ClusterSnapshot {
+            taken_at: SimTime::from_secs(10),
+            samples: vec![sample(0, 0.2, 1), sample(1, 0.9, 3), sample(2, 0.5, 2)],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = snapshot();
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.total_running(), 6);
+        assert!((s.mean_cpu() - (0.2 + 0.9 + 0.5) / 3.0).abs() < 1e-12);
+        assert_eq!(s.hottest_node().unwrap().node, NodeId(1));
+        assert_eq!(s.overloaded(0.8), vec![NodeId(1)]);
+        assert_eq!(s.total_memory_used(), Bytes::mib(30 * 6));
+    }
+
+    #[test]
+    fn memory_utilisation() {
+        let s = sample(0, 0.0, 3);
+        assert!((s.memory_utilisation() - 90.0 / 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_calm() {
+        let s = ClusterSnapshot {
+            taken_at: SimTime::ZERO,
+            samples: Vec::new(),
+        };
+        assert_eq!(s.mean_cpu(), 0.0);
+        assert!(s.hottest_node().is_none());
+        assert!(s.overloaded(0.0).is_empty());
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let s = snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("cpu_utilisation"));
+        let back: ClusterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn display_summarises() {
+        assert!(snapshot().to_string().contains("3 nodes"));
+    }
+}

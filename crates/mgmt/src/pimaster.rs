@@ -1,0 +1,531 @@
+//! The `pimaster` head node.
+//!
+//! Owns the node daemons, the DHCP and DNS services and the image store,
+//! and dispatches the RESTful [`ApiRequest`] vocabulary — the component an
+//! administrator actually talks to (§II-A, §II-C).
+
+use crate::api::{ApiError, ApiRequest, ApiResponse};
+use crate::daemon::NodeDaemon;
+use crate::dhcp::{ClientId, DhcpServer, DnsService};
+use crate::images::ImageStore;
+use crate::monitor::{ClusterSnapshot, ContainerInfo};
+use picloud_container::container::{ContainerConfig, ContainerId};
+use picloud_hardware::node::{NodeId, NodeSpec};
+use picloud_simcore::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The head node: daemons + DHCP + DNS + images.
+#[derive(Debug, Clone, Default)]
+pub struct Pimaster {
+    daemons: BTreeMap<NodeId, NodeDaemon>,
+    dhcp: DhcpServer,
+    dns: DnsService,
+    images: ImageStore,
+    next_node: u32,
+    next_client: u64,
+    /// Slot counter per rack for the naming policy.
+    rack_slots: BTreeMap<u16, u16>,
+}
+
+impl Pimaster {
+    /// Creates a pimaster with the standard image set and empty cluster.
+    pub fn new() -> Self {
+        Pimaster {
+            images: ImageStore::with_standard_images(),
+            ..Pimaster::default()
+        }
+    }
+
+    /// Registers a new node in `rack`: starts its daemon, leases it an
+    /// address and enters it into DNS. Returns its id.
+    pub fn register_node(&mut self, spec: NodeSpec, rack: u16, now: SimTime) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let slot = self.rack_slots.entry(rack).or_insert(0);
+        let name = DnsService::node_name(rack, *slot);
+        *slot += 1;
+        let client = ClientId(self.next_client);
+        self.next_client += 1;
+        let lease = self
+            .dhcp
+            .request(client, u8::try_from(rack).unwrap_or(u8::MAX), now)
+            .expect("node registration must lease");
+        self.dns.register(name.clone(), lease.addr);
+        self.daemons
+            .insert(id, NodeDaemon::new(id, rack, name, spec, now));
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.daemons.len()
+    }
+
+    /// A node's daemon (read-only).
+    pub fn daemon(&self, node: NodeId) -> Option<&NodeDaemon> {
+        self.daemons.get(&node)
+    }
+
+    /// A node's daemon (mutable, for workload drivers).
+    pub fn daemon_mut(&mut self, node: NodeId) -> Option<&mut NodeDaemon> {
+        self.daemons.get_mut(&node)
+    }
+
+    /// All daemons in node order.
+    pub fn daemons(&self) -> impl Iterator<Item = &NodeDaemon> {
+        self.daemons.values()
+    }
+
+    /// The DNS zone.
+    pub fn dns(&self) -> &DnsService {
+        &self.dns
+    }
+
+    /// The image store.
+    pub fn images(&self) -> &ImageStore {
+        &self.images
+    }
+
+    /// The image store (mutable).
+    pub fn images_mut(&mut self) -> &mut ImageStore {
+        &mut self.images
+    }
+
+    /// Polls every daemon — the panel's refresh.
+    pub fn snapshot(&mut self, now: SimTime) -> ClusterSnapshot {
+        let samples = self
+            .daemons
+            .values_mut()
+            .map(|d| d.sample(now))
+            .collect();
+        ClusterSnapshot {
+            taken_at: now,
+            samples,
+        }
+    }
+
+    /// Dispatches one management request at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError`] with REST semantics (404 unknown resources, 409
+    /// conflicts, 507 capacity).
+    pub fn handle(&mut self, req: ApiRequest, now: SimTime) -> Result<ApiResponse, ApiError> {
+        match req {
+            ApiRequest::ClusterSummary => {
+                let snap = self.snapshot(now);
+                Ok(ApiResponse::Summary {
+                    nodes: snap.node_count(),
+                    containers: snap.total_containers(),
+                    running: snap.total_running(),
+                    mean_cpu: snap.mean_cpu(),
+                })
+            }
+            ApiRequest::ListNodes => Ok(ApiResponse::Nodes(self.snapshot(now))),
+            ApiRequest::NodeStatus(node) => {
+                let daemon = self
+                    .daemons
+                    .get_mut(&node)
+                    .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
+                Ok(ApiResponse::Node(daemon.sample(now)))
+            }
+            ApiRequest::SpawnContainer { node, name, image } => {
+                self.spawn(node, name, &image, now)
+            }
+            ApiRequest::StopContainer { node, container } => {
+                let daemon = self
+                    .daemons
+                    .get_mut(&node)
+                    .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
+                daemon.stop(container)?;
+                let info = Self::info_of(daemon, container)?;
+                Ok(ApiResponse::ContainerUpdated {
+                    node,
+                    container,
+                    info,
+                })
+            }
+            ApiRequest::DestroyContainer { node, container } => {
+                let node_name = self
+                    .daemons
+                    .get(&node)
+                    .map(|d| d.name().to_owned())
+                    .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
+                let ct_name = self
+                    .daemons
+                    .get(&node)
+                    .and_then(|d| d.host().container(container))
+                    .map(|c| c.name().to_owned());
+                let daemon = self.daemons.get_mut(&node).expect("checked above");
+                daemon.destroy(container)?;
+                if let Some(ct_name) = ct_name {
+                    self.dns
+                        .unregister(&DnsService::container_name(&ct_name, &node_name));
+                }
+                Ok(ApiResponse::Destroyed { node, container })
+            }
+            ApiRequest::SetVmLimits {
+                node,
+                container,
+                cpu_shares,
+                memory_limit,
+            } => {
+                if cpu_shares.is_none() && memory_limit.is_none() {
+                    return Err(ApiError::BadRequest(
+                        "limits request changes nothing".to_owned(),
+                    ));
+                }
+                let daemon = self
+                    .daemons
+                    .get_mut(&node)
+                    .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
+                daemon.set_limits(container, cpu_shares, memory_limit)?;
+                let info = Self::info_of(daemon, container)?;
+                Ok(ApiResponse::ContainerUpdated {
+                    node,
+                    container,
+                    info,
+                })
+            }
+            ApiRequest::ListImages => Ok(ApiResponse::Images(
+                self.images
+                    .names()
+                    .map(|n| {
+                        let v = self.images.golden(n).expect("listed image exists").version;
+                        (n.to_owned(), v)
+                    })
+                    .collect(),
+            )),
+            ApiRequest::PatchImage { name } => {
+                let version = self
+                    .images
+                    .patch(&name)
+                    .map_err(|e| ApiError::NotFound(e.to_string()))?;
+                Ok(ApiResponse::Patched { name, version })
+            }
+        }
+    }
+
+    fn spawn(
+        &mut self,
+        node: NodeId,
+        name: String,
+        image: &str,
+        now: SimTime,
+    ) -> Result<ApiResponse, ApiError> {
+        let rack = self
+            .daemons
+            .get(&node)
+            .map(|d| d.rack())
+            .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
+        let img = self
+            .images
+            .spawn(image, node)
+            .map_err(|e| ApiError::NotFound(e.to_string()))?;
+        let daemon = self.daemons.get_mut(&node).expect("checked above");
+        let container = daemon.spawn(name.clone(), ContainerConfig::new(img))?;
+        let node_name = daemon.name().to_owned();
+        // Bridged networking: the container leases its own address.
+        let client = ClientId(self.next_client);
+        self.next_client += 1;
+        let lease = self
+            .dhcp
+            .request(client, u8::try_from(rack).unwrap_or(u8::MAX), now)
+            .map_err(|e| ApiError::InsufficientStorage(e.to_string()))?;
+        let dns_name = DnsService::container_name(&name, &node_name);
+        self.dns.register(dns_name.clone(), lease.addr);
+        Ok(ApiResponse::Spawned {
+            node,
+            container,
+            dns_name,
+            address: lease.addr.to_string(),
+        })
+    }
+
+    fn info_of(daemon: &NodeDaemon, container: ContainerId) -> Result<ContainerInfo, ApiError> {
+        let c = daemon
+            .host()
+            .container(container)
+            .ok_or_else(|| ApiError::NotFound(format!("no such container {container}")))?;
+        Ok(ContainerInfo {
+            id: c.id(),
+            name: c.name().to_owned(),
+            image: c.config().image.name.clone(),
+            state: c.state(),
+        })
+    }
+}
+
+impl fmt::Display for Pimaster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pimaster: {} nodes, {} DNS records, {} images",
+            self.daemons.len(),
+            self.dns.len(),
+            self.images.names().count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picloud_container::container::ContainerState;
+    use picloud_simcore::units::Bytes;
+
+    fn master_with(n: u32) -> Pimaster {
+        let mut m = Pimaster::new();
+        for i in 0..n {
+            m.register_node(NodeSpec::pi_model_b_rev1(), (i / 14) as u16, SimTime::ZERO);
+        }
+        m
+    }
+
+    #[test]
+    fn registration_names_and_addresses() {
+        let m = master_with(56);
+        assert_eq!(m.node_count(), 56);
+        // Naming policy: pi-<rack>-<slot>.
+        assert!(m.dns().resolve("pi-0-0.picloud").is_some());
+        assert!(m.dns().resolve("pi-3-13.picloud").is_some());
+        assert!(m.dns().resolve("pi-4-0.picloud").is_none());
+        // Rack subnets.
+        let a = m.dns().resolve("pi-0-0.picloud").unwrap();
+        let b = m.dns().resolve("pi-3-0.picloud").unwrap();
+        assert_eq!(a.0[2], 0);
+        assert_eq!(b.0[2], 3);
+    }
+
+    #[test]
+    fn spawn_via_api_wires_dhcp_and_dns() {
+        let mut m = master_with(4);
+        let resp = m
+            .handle(
+                ApiRequest::SpawnContainer {
+                    node: NodeId(2),
+                    name: "web-0".into(),
+                    image: "lighttpd".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let ApiResponse::Spawned {
+            node,
+            dns_name,
+            address,
+            ..
+        } = &resp
+        else {
+            panic!("expected Spawned, got {resp:?}");
+        };
+        assert_eq!(*node, NodeId(2));
+        assert_eq!(dns_name, "web-0.pi-0-2.picloud");
+        assert!(m.dns().resolve(dns_name).is_some());
+        assert!(address.starts_with("10.0.0."));
+    }
+
+    #[test]
+    fn spawn_unknown_image_404s() {
+        let mut m = master_with(1);
+        let err = m
+            .handle(
+                ApiRequest::SpawnContainer {
+                    node: NodeId(0),
+                    name: "x".into(),
+                    image: "windows-server".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err.status_code(), 404);
+    }
+
+    #[test]
+    fn spawn_until_507() {
+        let mut m = master_with(1);
+        for i in 0..6 {
+            m.handle(
+                ApiRequest::SpawnContainer {
+                    node: NodeId(0),
+                    name: format!("c{i}"),
+                    image: "lighttpd".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let err = m
+            .handle(
+                ApiRequest::SpawnContainer {
+                    node: NodeId(0),
+                    name: "c6".into(),
+                    image: "lighttpd".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err.status_code(), 507);
+    }
+
+    #[test]
+    fn stop_destroy_and_dns_cleanup() {
+        let mut m = master_with(1);
+        let resp = m
+            .handle(
+                ApiRequest::SpawnContainer {
+                    node: NodeId(0),
+                    name: "web-0".into(),
+                    image: "lighttpd".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let ApiResponse::Spawned {
+            container, dns_name, ..
+        } = resp
+        else {
+            panic!()
+        };
+        let resp = m
+            .handle(
+                ApiRequest::StopContainer {
+                    node: NodeId(0),
+                    container,
+                },
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        let ApiResponse::ContainerUpdated { info, .. } = resp else {
+            panic!()
+        };
+        assert_eq!(info.state, ContainerState::Stopped);
+        m.handle(
+            ApiRequest::DestroyContainer {
+                node: NodeId(0),
+                container,
+            },
+            SimTime::from_secs(2),
+        )
+        .unwrap();
+        assert!(m.dns().resolve(&dns_name).is_none(), "DNS record cleaned up");
+    }
+
+    #[test]
+    fn set_limits_via_api() {
+        let mut m = master_with(1);
+        let ApiResponse::Spawned { container, .. } = m
+            .handle(
+                ApiRequest::SpawnContainer {
+                    node: NodeId(0),
+                    name: "db".into(),
+                    image: "database".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        m.handle(
+            ApiRequest::SetVmLimits {
+                node: NodeId(0),
+                container,
+                cpu_shares: Some(2048),
+                memory_limit: Some(Bytes::mib(64)),
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let c = m.daemon(NodeId(0)).unwrap().host().container(container).unwrap();
+        assert_eq!(c.config().cpu_shares, 2048);
+        // Empty limit change is a 400.
+        let err = m
+            .handle(
+                ApiRequest::SetVmLimits {
+                    node: NodeId(0),
+                    container,
+                    cpu_shares: None,
+                    memory_limit: None,
+                },
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err.status_code(), 400);
+    }
+
+    #[test]
+    fn cluster_summary_counts() {
+        let mut m = master_with(3);
+        for node in 0..3u32 {
+            m.handle(
+                ApiRequest::SpawnContainer {
+                    node: NodeId(node),
+                    name: format!("web-{node}"),
+                    image: "lighttpd".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let ApiResponse::Summary {
+            nodes,
+            containers,
+            running,
+            ..
+        } = m.handle(ApiRequest::ClusterSummary, SimTime::from_secs(1)).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(nodes, 3);
+        assert_eq!(containers, 3);
+        assert_eq!(running, 3);
+    }
+
+    #[test]
+    fn image_patch_via_api() {
+        let mut m = master_with(1);
+        let ApiResponse::Patched { version, .. } = m
+            .handle(
+                ApiRequest::PatchImage {
+                    name: "lighttpd".into(),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(version, 2);
+        let ApiResponse::Images(images) = m.handle(ApiRequest::ListImages, SimTime::ZERO).unwrap()
+        else {
+            panic!()
+        };
+        assert!(images.contains(&("lighttpd".to_owned(), 2)));
+    }
+
+    #[test]
+    fn unknown_node_404s_everywhere() {
+        let mut m = master_with(1);
+        let ghost = NodeId(9);
+        for req in [
+            ApiRequest::NodeStatus(ghost),
+            ApiRequest::StopContainer {
+                node: ghost,
+                container: ContainerId(0),
+            },
+            ApiRequest::DestroyContainer {
+                node: ghost,
+                container: ContainerId(0),
+            },
+        ] {
+            assert_eq!(m.handle(req, SimTime::ZERO).unwrap_err().status_code(), 404);
+        }
+    }
+
+    #[test]
+    fn display_summarises() {
+        assert!(master_with(2).to_string().contains("2 nodes"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Path selection.
+//!
+//! The paper's fabric is "fully programmable" through OpenFlow; the
+//! forwarding behaviours the reproduction needs are (a) deterministic
+//! single shortest-path routing (what a spanning tree would give the
+//! original Ethernet fabric) and (b) ECMP across all equal-cost shortest
+//! paths (what the SDN controller installs in the fat-tree). The
+//! [`Router`] precomputes candidate paths lazily per `(src, dst)` pair and
+//! picks deterministically per flow.
+
+use crate::flow::FlowId;
+use crate::graph;
+use crate::topology::{DeviceId, LinkId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How paths are chosen for flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Always the single lowest-link-id shortest path — models a spanning
+    /// tree / static routing fabric with no multipath.
+    SingleShortest,
+    /// Equal-cost multipath over all shortest paths (up to the cap),
+    /// selected by a deterministic hash of the flow id.
+    Ecmp {
+        /// Maximum equal-cost paths to enumerate per pair.
+        max_paths: usize,
+    },
+}
+
+impl Default for RoutingPolicy {
+    fn default() -> Self {
+        RoutingPolicy::Ecmp { max_paths: 16 }
+    }
+}
+
+/// A path cache + selector over one topology.
+///
+/// # Example
+///
+/// ```
+/// use picloud_network::routing::{Router, RoutingPolicy};
+/// use picloud_network::topology::Topology;
+/// use picloud_network::flow::FlowId;
+///
+/// let topo = Topology::multi_root_tree(2, 2, 2);
+/// let mut router = Router::new(RoutingPolicy::default());
+/// let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
+/// let path = router.route(&topo, hosts[0], hosts[3], FlowId(1)).unwrap();
+/// assert!(!path.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    cache: HashMap<(DeviceId, DeviceId), Vec<Vec<LinkId>>>,
+}
+
+impl Router {
+    /// Creates a router with the given policy.
+    pub fn new(policy: RoutingPolicy) -> Self {
+        Router {
+            policy,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Chooses a path for `flow` from `src` to `dst`, or `None` if
+    /// unreachable. Results are deterministic in `(src, dst, flow)`.
+    pub fn route(
+        &mut self,
+        topo: &Topology,
+        src: DeviceId,
+        dst: DeviceId,
+        flow: FlowId,
+    ) -> Option<Vec<LinkId>> {
+        let policy = self.policy;
+        let candidates = self.candidates(topo, src, dst);
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = match policy {
+            RoutingPolicy::SingleShortest => 0,
+            RoutingPolicy::Ecmp { .. } => {
+                // SplitMix64 over the flow id: cheap, deterministic, well
+                // mixed — stands in for the 5-tuple hash real switches use.
+                let mut z = flow.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                (z % candidates.len() as u64) as usize
+            }
+        };
+        Some(candidates[pick].clone())
+    }
+
+    /// All candidate paths for a pair (cached after first computation).
+    pub fn candidates(&mut self, topo: &Topology, src: DeviceId, dst: DeviceId) -> &[Vec<LinkId>] {
+        let limit = match self.policy {
+            RoutingPolicy::SingleShortest => 1,
+            RoutingPolicy::Ecmp { max_paths } => max_paths.max(1),
+        };
+        self.cache
+            .entry((src, dst))
+            .or_insert_with(|| graph::all_shortest_paths(topo, src, dst, limit))
+    }
+
+    /// Discards the path cache; call after the topology changes (a
+    /// re-cable, a link failure).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use std::collections::HashSet;
+
+    #[test]
+    fn single_shortest_is_stable_across_flows() {
+        let topo = Topology::multi_root_tree(2, 1, 2);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut router = Router::new(RoutingPolicy::SingleShortest);
+        let p1 = router.route(&topo, hosts[0], hosts[1], FlowId(1)).unwrap();
+        let p2 = router.route(&topo, hosts[0], hosts[1], FlowId(999)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_across_roots() {
+        let topo = Topology::multi_root_tree(2, 1, 4);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut router = Router::new(RoutingPolicy::Ecmp { max_paths: 8 });
+        let used: HashSet<Vec<LinkId>> = (0..64)
+            .map(|i| router.route(&topo, hosts[0], hosts[1], FlowId(i)).unwrap())
+            .collect();
+        assert!(used.len() >= 3, "ECMP should hit several of the 4 paths, hit {}", used.len());
+    }
+
+    #[test]
+    fn route_is_deterministic_per_flow() {
+        let topo = Topology::fat_tree(4);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut r1 = Router::new(RoutingPolicy::default());
+        let mut r2 = Router::new(RoutingPolicy::default());
+        for i in 0..32 {
+            assert_eq!(
+                r1.route(&topo, hosts[0], hosts[15], FlowId(i)),
+                r2.route(&topo, hosts[0], hosts[15], FlowId(i))
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut topo = Topology::new("disc");
+        let a = topo.add_device(crate::topology::DeviceKind::Host { rack: 0 }, "a");
+        let b = topo.add_device(crate::topology::DeviceKind::Host { rack: 1 }, "b");
+        let mut router = Router::new(RoutingPolicy::default());
+        assert_eq!(router.route(&topo, a, b, FlowId(0)), None);
+    }
+
+    #[test]
+    fn invalidate_clears_cache() {
+        let topo = Topology::multi_root_tree(2, 1, 1);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut router = Router::new(RoutingPolicy::SingleShortest);
+        let _ = router.route(&topo, hosts[0], hosts[1], FlowId(0));
+        router.invalidate();
+        // Re-route still works after invalidation.
+        assert!(router.route(&topo, hosts[0], hosts[1], FlowId(0)).is_some());
+    }
+}

@@ -1,0 +1,28 @@
+//! VM/container placement, consolidation and migration for the PiCloud.
+//!
+//! §III names these as the testbed's first research targets: "Virtual
+//! Machine (VM) management is an important aspect of Cloud Computing, since
+//! it allows for consolidation to reduce power consumption, and
+//! oversubscription to improve cost efficiency. The way in which VMs are
+//! allocated is crucial" — and §IV warns that "imperfect VM migration or a
+//! naive consolidation algorithm may improve server resource usage at the
+//! expense of frequent episodes of network congestion". This crate provides
+//! the algorithms those experiments exercise:
+//!
+//! * [`cluster`] — the scheduler's view of node capacity ([`ClusterView`]).
+//! * [`scheduler`] — first-fit, best-fit, worst-fit, seeded-random and
+//!   network-aware placement policies behind one [`PlacementPolicy`] trait.
+//! * [`consolidate`] — a packing pass that drains lightly-loaded nodes so
+//!   they can be powered off, reporting both the power saved *and* the
+//!   migration traffic it causes (the paper's cross-layer ripple effect).
+//! * [`migration`] — cold and pre-copy live migration timing models.
+
+pub mod cluster;
+pub mod consolidate;
+pub mod migration;
+pub mod scheduler;
+
+pub use cluster::{ClusterView, NodeState, PlacementRequest, PlacementTicket};
+pub use consolidate::{ConsolidationPlan, Consolidator};
+pub use migration::{LiveMigrationModel, MigrationOutcome};
+pub use scheduler::{PlacementError, PlacementPolicy, PolicyKind};

@@ -1,0 +1,277 @@
+//! Migration timing models: cold stop-and-copy versus pre-copy live
+//! migration.
+//!
+//! The paper's conclusion names this as immediate future work: "we will
+//! implement sophisticated live migration within the PiCloud, to enable the
+//! study of important Cloud resource management aspects in depth." The
+//! standard pre-copy algorithm (Clark et al., NSDI'05 — the algorithm Xen
+//! and libvirt implement) transfers RAM while the instance keeps running,
+//! then repeatedly re-transfers the pages dirtied during the previous
+//! round, stopping when the dirty remainder is small enough to copy within
+//! an acceptable pause:
+//!
+//! * **Cold**: downtime = the whole transfer. Simple, long outage.
+//! * **Pre-copy**: downtime = final round only — provided the workload's
+//!   dirty rate is below the link bandwidth; otherwise rounds stop
+//!   converging and the model falls back to a stop-and-copy of whatever
+//!   remains (as real implementations do).
+
+use picloud_simcore::units::{Bandwidth, Bytes};
+use picloud_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of one modelled migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// Wall-clock time from start to the instance running on the target.
+    pub total_time: SimDuration,
+    /// Time the instance was paused (the SLA-relevant number).
+    pub downtime: SimDuration,
+    /// Bytes moved across the fabric.
+    pub bytes_transferred: Bytes,
+    /// Pre-copy rounds used (0 for cold migration).
+    pub rounds: u32,
+    /// Whether pre-copy converged below the downtime target, or gave up
+    /// and stop-and-copied the remainder.
+    pub converged: bool,
+}
+
+impl fmt::Display for MigrationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} (downtime {}), {} over {} round(s)",
+            self.total_time, self.downtime, self.bytes_transferred, self.rounds
+        )
+    }
+}
+
+/// Parameters of the pre-copy algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveMigrationModel {
+    /// Network bandwidth available to the migration stream.
+    pub bandwidth: Bandwidth,
+    /// Stop when the dirty remainder would pause the instance for at most
+    /// this long.
+    pub downtime_target: SimDuration,
+    /// Give up iterating after this many rounds and stop-and-copy.
+    pub max_rounds: u32,
+    /// Fixed overhead to activate the instance on the target (handshake,
+    /// ARP/label update).
+    pub activation_overhead: SimDuration,
+}
+
+impl Default for LiveMigrationModel {
+    fn default() -> Self {
+        LiveMigrationModel {
+            // The Pi's Fast Ethernet NIC.
+            bandwidth: Bandwidth::mbps(100),
+            downtime_target: SimDuration::from_millis(300),
+            max_rounds: 10,
+            activation_overhead: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl LiveMigrationModel {
+    /// Cold stop-and-copy migration of `ram` of state.
+    pub fn cold(&self, ram: Bytes) -> MigrationOutcome {
+        let transfer = self.bandwidth.transfer_time(ram);
+        let total = transfer.saturating_add(self.activation_overhead);
+        MigrationOutcome {
+            total_time: total,
+            downtime: total,
+            bytes_transferred: ram,
+            rounds: 0,
+            converged: true,
+        }
+    }
+
+    /// Pre-copy live migration of `ram` of state with the workload
+    /// dirtying memory at `dirty_rate_bps` (bytes/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirty_rate_bps` is negative or non-finite, or if the
+    /// model's bandwidth is zero.
+    pub fn pre_copy(&self, ram: Bytes, dirty_rate_bps: f64) -> MigrationOutcome {
+        assert!(
+            dirty_rate_bps.is_finite() && dirty_rate_bps >= 0.0,
+            "dirty rate must be non-negative"
+        );
+        assert!(!self.bandwidth.is_zero(), "migration needs bandwidth");
+        let bw_bytes = self.bandwidth.as_bps() as f64 / 8.0;
+        let target_bytes = bw_bytes * self.downtime_target.as_secs_f64();
+
+        let mut to_send = ram.as_u64() as f64;
+        let mut total_sent = 0.0f64;
+        let mut elapsed = 0.0f64;
+        let mut rounds = 0u32;
+        let mut converged = false;
+        loop {
+            rounds += 1;
+            let round_time = to_send / bw_bytes;
+            total_sent += to_send;
+            elapsed += round_time;
+            // Pages dirtied while this round streamed, capped at the RAM
+            // size (a page dirtied twice still only needs one re-send).
+            let dirtied = (dirty_rate_bps * round_time).min(ram.as_u64() as f64);
+            if dirtied <= target_bytes {
+                // Final stop-and-copy of the dirty remainder.
+                let down = dirtied / bw_bytes;
+                total_sent += dirtied;
+                elapsed += down;
+                converged = true;
+                let downtime = SimDuration::from_secs_f64(down)
+                    .saturating_add(self.activation_overhead);
+                return MigrationOutcome {
+                    total_time: SimDuration::from_secs_f64(elapsed)
+                        .saturating_add(self.activation_overhead),
+                    downtime,
+                    bytes_transferred: Bytes::new(total_sent.round() as u64),
+                    rounds,
+                    converged,
+                };
+            }
+            if rounds >= self.max_rounds || dirtied >= to_send {
+                // Not converging (dirty rate ≥ effective bandwidth):
+                // stop-and-copy whatever is dirty.
+                let down = dirtied / bw_bytes;
+                total_sent += dirtied;
+                elapsed += down;
+                let downtime = SimDuration::from_secs_f64(down)
+                    .saturating_add(self.activation_overhead);
+                return MigrationOutcome {
+                    total_time: SimDuration::from_secs_f64(elapsed)
+                        .saturating_add(self.activation_overhead),
+                    downtime,
+                    bytes_transferred: Bytes::new(total_sent.round() as u64),
+                    rounds,
+                    converged,
+                };
+            }
+            to_send = dirtied;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LiveMigrationModel {
+        LiveMigrationModel::default()
+    }
+
+    #[test]
+    fn cold_downtime_equals_total() {
+        let out = model().cold(Bytes::mib(64));
+        assert_eq!(out.downtime, out.total_time);
+        assert_eq!(out.bytes_transferred, Bytes::mib(64));
+        assert_eq!(out.rounds, 0);
+        // 64 MiB over 100 Mbit/s ≈ 5.37 s.
+        assert!((out.total_time.as_secs_f64() - 5.42).abs() < 0.15);
+    }
+
+    #[test]
+    fn precopy_slashes_downtime_for_modest_dirty_rates() {
+        let ram = Bytes::mib(64);
+        let cold = model().cold(ram);
+        let live = model().pre_copy(ram, 1_000_000.0); // 1 MB/s dirtying
+        assert!(live.converged);
+        assert!(
+            live.downtime.as_secs_f64() < cold.downtime.as_secs_f64() / 10.0,
+            "live {} vs cold {}",
+            live.downtime,
+            cold.downtime
+        );
+        // ...at the price of more bytes on the wire.
+        assert!(live.bytes_transferred > cold.bytes_transferred);
+        assert!(live.total_time > cold.total_time.mul_f64(0.9));
+    }
+
+    #[test]
+    fn idle_instance_migrates_in_one_round() {
+        let out = model().pre_copy(Bytes::mib(32), 0.0);
+        assert_eq!(out.rounds, 1);
+        assert!(out.converged);
+        // Downtime is just the activation overhead.
+        assert_eq!(out.downtime, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn hot_instance_fails_to_converge() {
+        // Dirtying at 20 MB/s over a 12.5 MB/s link never converges.
+        let out = model().pre_copy(Bytes::mib(64), 20_000_000.0);
+        assert!(!out.converged);
+        assert!(out.downtime > model().downtime_target);
+    }
+
+    #[test]
+    fn max_rounds_bounds_transfer() {
+        let out = model().pre_copy(Bytes::mib(64), 11_000_000.0); // just below bw
+        assert!(out.rounds <= model().max_rounds);
+        // Even unconverged, bytes are bounded by (rounds+1) * ram.
+        let bound = Bytes::mib(64).as_u64() * u64::from(out.rounds + 1);
+        assert!(out.bytes_transferred.as_u64() <= bound);
+    }
+
+    #[test]
+    fn converged_runs_meet_the_downtime_target() {
+        // Downtime is NOT monotone in dirty rate (an extra round can leave
+        // a smaller final remainder); the guarantee pre-copy actually makes
+        // is that converged runs pause no longer than target + activation.
+        let m = model();
+        let ram = Bytes::mib(64);
+        for rate in [0.0, 5e5, 1e6, 5e6, 1e7] {
+            let out = m.pre_copy(ram, rate);
+            if out.converged {
+                let bound = m.downtime_target + m.activation_overhead;
+                assert!(
+                    out.downtime <= bound,
+                    "rate {rate}: downtime {} exceeds {bound}",
+                    out.downtime
+                );
+            } else {
+                assert!(out.downtime > m.downtime_target);
+            }
+        }
+    }
+
+    #[test]
+    fn total_time_monotone_in_dirty_rate() {
+        let m = model();
+        let ram = Bytes::mib(64);
+        let totals: Vec<f64> = [0.0, 5e5, 1e6, 5e6, 1e7]
+            .iter()
+            .map(|&r| m.pre_copy(ram, r).total_time.as_secs_f64())
+            .collect();
+        for w in totals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "total time must not shrink: {totals:?}");
+        }
+    }
+
+    #[test]
+    fn gigabit_fabric_migrates_faster() {
+        let fast = LiveMigrationModel {
+            bandwidth: Bandwidth::gbps(1),
+            ..model()
+        };
+        let slow = model().pre_copy(Bytes::mib(64), 1e6);
+        let quick = fast.pre_copy(Bytes::mib(64), 1e6);
+        assert!(quick.total_time < slow.total_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty rate")]
+    fn negative_dirty_rate_rejected() {
+        model().pre_copy(Bytes::mib(1), -1.0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        let s = model().cold(Bytes::mib(8)).to_string();
+        assert!(s.contains("downtime"), "{s}");
+    }
+}

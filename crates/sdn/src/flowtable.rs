@@ -1,0 +1,456 @@
+//! OpenFlow match/action rules and the per-switch flow table.
+//!
+//! Deliberately scoped to OpenFlow 1.0-era semantics (the standard when the
+//! paper was written): exact-match or wildcard fields, a priority, forward/
+//! drop/punt actions and idle/hard timeouts. Matching returns the
+//! highest-priority matching rule, ties broken by insertion order (lowest
+//! cookie first) for determinism.
+
+use picloud_network::topology::{DeviceId, LinkId};
+use picloud_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A packet/flow header as the fabric sees it: endpoints plus an optional
+/// flat label (used by [`crate::ipless`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source host.
+    pub src: DeviceId,
+    /// Destination host.
+    pub dst: DeviceId,
+    /// Flat routing label (e.g. a container identity), if the deployment
+    /// uses label addressing.
+    pub label: Option<u64>,
+}
+
+impl FlowKey {
+    /// A plain src/dst key with no label.
+    pub fn pair(src: DeviceId, dst: DeviceId) -> Self {
+        FlowKey {
+            src,
+            dst,
+            label: None,
+        }
+    }
+}
+
+/// Which header fields a rule matches on; `None` is a wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct MatchFields {
+    /// Match on the source host.
+    pub src: Option<DeviceId>,
+    /// Match on the destination host.
+    pub dst: Option<DeviceId>,
+    /// Match on the flat label.
+    pub label: Option<u64>,
+}
+
+impl MatchFields {
+    /// Matches everything (the table-miss candidate).
+    pub fn any() -> Self {
+        MatchFields::default()
+    }
+
+    /// Exact src+dst match — the reactive controller's default granularity.
+    pub fn exact_pair(src: DeviceId, dst: DeviceId) -> Self {
+        MatchFields {
+            src: Some(src),
+            dst: Some(dst),
+            label: None,
+        }
+    }
+
+    /// Destination-only match — one rule per destination, the proactive
+    /// controller's granularity.
+    pub fn to_dst(dst: DeviceId) -> Self {
+        MatchFields {
+            dst: Some(dst),
+            ..MatchFields::default()
+        }
+    }
+
+    /// Label-only match — the IP-less granularity.
+    pub fn to_label(label: u64) -> Self {
+        MatchFields {
+            label: Some(label),
+            ..MatchFields::default()
+        }
+    }
+
+    /// Whether `key` satisfies these fields.
+    pub fn matches(&self, key: FlowKey) -> bool {
+        self.src.is_none_or(|s| s == key.src)
+            && self.dst.is_none_or(|d| d == key.dst)
+            && self.label.is_none_or(|l| Some(l) == key.label)
+    }
+}
+
+/// What a matching rule does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward out over a link.
+    Forward(LinkId),
+    /// Drop the traffic.
+    Drop,
+    /// Punt to the controller (table-miss behaviour made explicit).
+    SendToController,
+}
+
+/// One prioritised rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// Match condition.
+    pub fields: MatchFields,
+    /// Action on match.
+    pub action: Action,
+    /// Priority; higher wins.
+    pub priority: u16,
+    /// Remove if unmatched for this long (`None` = no idle timeout).
+    pub idle_timeout: Option<SimDuration>,
+    /// Remove unconditionally after this long (`None` = permanent).
+    pub hard_timeout: Option<SimDuration>,
+}
+
+impl FlowRule {
+    /// A permanent rule at default priority 100.
+    pub fn new(fields: MatchFields, action: Action) -> Self {
+        FlowRule {
+            fields,
+            action,
+            priority: 100,
+            idle_timeout: None,
+            hard_timeout: None,
+        }
+    }
+
+    /// Sets the priority.
+    pub fn with_priority(mut self, priority: u16) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the idle timeout.
+    pub fn with_idle_timeout(mut self, t: SimDuration) -> Self {
+        self.idle_timeout = Some(t);
+        self
+    }
+
+    /// Sets the hard timeout.
+    pub fn with_hard_timeout(mut self, t: SimDuration) -> Self {
+        self.hard_timeout = Some(t);
+        self
+    }
+}
+
+/// A rule installed in a table, with its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstalledRule {
+    /// The rule itself.
+    pub rule: FlowRule,
+    /// Monotonic cookie assigned at install time (tie-break + identity).
+    pub cookie: u64,
+    /// When the rule was installed.
+    pub installed_at: SimTime,
+    /// When the rule last matched.
+    pub last_matched: SimTime,
+    /// Number of matches so far.
+    pub matches: u64,
+}
+
+/// A per-switch flow table.
+///
+/// # Example
+///
+/// ```
+/// use picloud_network::topology::{DeviceId, LinkId};
+/// use picloud_sdn::flowtable::{Action, FlowKey, FlowRule, FlowTable, MatchFields};
+/// use picloud_simcore::SimTime;
+///
+/// let mut table = FlowTable::new();
+/// table.install(
+///     FlowRule::new(MatchFields::to_dst(DeviceId(9)), Action::Forward(LinkId(3))),
+///     SimTime::ZERO,
+/// );
+/// let action = table.lookup(FlowKey::pair(DeviceId(1), DeviceId(9)), SimTime::ZERO);
+/// assert_eq!(action, Some(Action::Forward(LinkId(3))));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowTable {
+    rules: Vec<InstalledRule>,
+    next_cookie: u64,
+    /// TCAM capacity; `None` = unbounded (the default model).
+    capacity: Option<usize>,
+    /// Rules evicted to make room (TCAM pressure indicator).
+    evictions: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty, unbounded table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Creates a table bounded at `capacity` rules — a real switch's TCAM.
+    /// When full, installing evicts the least-recently-matched rule
+    /// (the common OpenFlow agent policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a TCAM needs at least one entry");
+        FlowTable {
+            capacity: Some(capacity),
+            ..FlowTable::default()
+        }
+    }
+
+    /// Rules evicted due to TCAM pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Installs a rule, returning its cookie. On a full bounded table, the
+    /// least-recently-matched rule is evicted first.
+    pub fn install(&mut self, rule: FlowRule, now: SimTime) -> u64 {
+        if let Some(cap) = self.capacity {
+            while self.rules.len() >= cap {
+                let victim = self
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| (r.last_matched, r.cookie))
+                    .map(|(i, _)| i)
+                    .expect("table is non-empty when at capacity");
+                self.rules.remove(victim);
+                self.evictions += 1;
+            }
+        }
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+        self.rules.push(InstalledRule {
+            rule,
+            cookie,
+            installed_at: now,
+            last_matched: now,
+            matches: 0,
+        });
+        cookie
+    }
+
+    /// Looks up `key`, returning the winning action and updating counters.
+    /// Expired rules are evicted first.
+    pub fn lookup(&mut self, key: FlowKey, now: SimTime) -> Option<Action> {
+        self.expire(now);
+        let best = self
+            .rules
+            .iter_mut()
+            .filter(|r| r.rule.fields.matches(key))
+            .max_by(|a, b| {
+                a.rule
+                    .priority
+                    .cmp(&b.rule.priority)
+                    // Tie-break: earliest installed (lowest cookie) wins.
+                    .then(b.cookie.cmp(&a.cookie))
+            })?;
+        best.matches += 1;
+        best.last_matched = now;
+        Some(best.rule.action)
+    }
+
+    /// Removes rules whose timeouts have elapsed at `now`.
+    pub fn expire(&mut self, now: SimTime) {
+        self.rules.retain(|r| {
+            let hard_ok = r
+                .rule
+                .hard_timeout
+                .is_none_or(|t| now.saturating_duration_since(r.installed_at) < t);
+            let idle_ok = r
+                .rule
+                .idle_timeout
+                .is_none_or(|t| now.saturating_duration_since(r.last_matched) < t);
+            hard_ok && idle_ok
+        });
+    }
+
+    /// Removes every rule for which `pred` returns true; returns how many
+    /// were removed. This is the controller's `FLOW_MOD DELETE`.
+    pub fn remove_where(&mut self, pred: impl Fn(&FlowRule) -> bool) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| !pred(&r.rule));
+        before - self.rules.len()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates installed rules in cookie order.
+    pub fn rules(&self) -> impl Iterator<Item = &InstalledRule> {
+        self.rules.iter()
+    }
+}
+
+impl fmt::Display for FlowTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow table ({} rules)", self.rules.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::pair(DeviceId(1), DeviceId(2))
+    }
+
+    #[test]
+    fn wildcard_and_exact_matching() {
+        assert!(MatchFields::any().matches(key()));
+        assert!(MatchFields::exact_pair(DeviceId(1), DeviceId(2)).matches(key()));
+        assert!(!MatchFields::exact_pair(DeviceId(2), DeviceId(1)).matches(key()));
+        assert!(MatchFields::to_dst(DeviceId(2)).matches(key()));
+        assert!(!MatchFields::to_label(7).matches(key()), "no label on key");
+        let labelled = FlowKey {
+            label: Some(7),
+            ..key()
+        };
+        assert!(MatchFields::to_label(7).matches(labelled));
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut t = FlowTable::new();
+        t.install(
+            FlowRule::new(MatchFields::any(), Action::Drop).with_priority(1),
+            SimTime::ZERO,
+        );
+        t.install(
+            FlowRule::new(MatchFields::to_dst(DeviceId(2)), Action::Forward(LinkId(5)))
+                .with_priority(200),
+            SimTime::ZERO,
+        );
+        assert_eq!(t.lookup(key(), SimTime::ZERO), Some(Action::Forward(LinkId(5))));
+    }
+
+    #[test]
+    fn equal_priority_first_installed_wins() {
+        let mut t = FlowTable::new();
+        t.install(
+            FlowRule::new(MatchFields::any(), Action::Forward(LinkId(1))),
+            SimTime::ZERO,
+        );
+        t.install(
+            FlowRule::new(MatchFields::any(), Action::Forward(LinkId(2))),
+            SimTime::ZERO,
+        );
+        assert_eq!(t.lookup(key(), SimTime::ZERO), Some(Action::Forward(LinkId(1))));
+    }
+
+    #[test]
+    fn counters_update_on_match() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(MatchFields::any(), Action::Drop), SimTime::ZERO);
+        t.lookup(key(), SimTime::from_secs(5));
+        t.lookup(key(), SimTime::from_secs(9));
+        let r = t.rules().next().unwrap();
+        assert_eq!(r.matches, 2);
+        assert_eq!(r.last_matched, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new();
+        t.install(
+            FlowRule::new(MatchFields::any(), Action::Drop)
+                .with_hard_timeout(SimDuration::from_secs(10)),
+            SimTime::ZERO,
+        );
+        assert!(t.lookup(key(), SimTime::from_secs(9)).is_some());
+        assert_eq!(t.lookup(key(), SimTime::from_secs(10)), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_refreshes_on_match() {
+        let mut t = FlowTable::new();
+        t.install(
+            FlowRule::new(MatchFields::any(), Action::Drop)
+                .with_idle_timeout(SimDuration::from_secs(10)),
+            SimTime::ZERO,
+        );
+        // Keep it alive by matching at t=8, then it survives to t=17.
+        assert!(t.lookup(key(), SimTime::from_secs(8)).is_some());
+        assert!(t.lookup(key(), SimTime::from_secs(17)).is_some());
+        // But 10 idle seconds after the last match it is gone.
+        assert_eq!(t.lookup(key(), SimTime::from_secs(27)), None);
+    }
+
+    #[test]
+    fn remove_where_counts() {
+        let mut t = FlowTable::new();
+        t.install(
+            FlowRule::new(MatchFields::to_dst(DeviceId(1)), Action::Drop),
+            SimTime::ZERO,
+        );
+        t.install(
+            FlowRule::new(MatchFields::to_dst(DeviceId(2)), Action::Drop),
+            SimTime::ZERO,
+        );
+        let removed = t.remove_where(|r| r.fields.dst == Some(DeviceId(1)));
+        assert_eq!(removed, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn bounded_table_evicts_lru() {
+        let mut t = FlowTable::with_capacity(2);
+        t.install(
+            FlowRule::new(MatchFields::to_dst(DeviceId(1)), Action::Drop),
+            SimTime::ZERO,
+        );
+        t.install(
+            FlowRule::new(MatchFields::to_dst(DeviceId(2)), Action::Drop),
+            SimTime::ZERO,
+        );
+        // Touch rule 1 so rule 2 is the LRU victim.
+        t.lookup(FlowKey::pair(DeviceId(0), DeviceId(1)), SimTime::from_secs(1));
+        t.install(
+            FlowRule::new(MatchFields::to_dst(DeviceId(3)), Action::Drop),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evictions(), 1);
+        // Rule for dst 2 was evicted; 1 and 3 remain.
+        assert!(t
+            .lookup(FlowKey::pair(DeviceId(0), DeviceId(2)), SimTime::from_secs(2))
+            .is_none());
+        assert!(t
+            .lookup(FlowKey::pair(DeviceId(0), DeviceId(1)), SimTime::from_secs(2))
+            .is_some());
+        assert!(t
+            .lookup(FlowKey::pair(DeviceId(0), DeviceId(3)), SimTime::from_secs(2))
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = FlowTable::with_capacity(0);
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.lookup(key(), SimTime::ZERO), None);
+        assert_eq!(t.to_string(), "flow table (0 rules)");
+    }
+}

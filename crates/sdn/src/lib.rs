@@ -1,0 +1,42 @@
+//! An OpenFlow-style SDN control plane for the PiCloud fabric.
+//!
+//! The paper's aggregation layer is OpenFlow-enabled precisely so that "the
+//! topology \[is\] fully programmable and compatible with the leading-edge
+//! Software Defined Networking (SDN) research": a logically centralised
+//! controller computes network-wide policy and enforces it by installing
+//! rules on the switches along each path. This crate models that stack:
+//!
+//! * [`flowtable`] — match fields, actions, prioritised flow rules with
+//!   idle/hard timeouts, and the per-switch flow table.
+//! * [`switch`] — an OpenFlow switch: table lookup, table-miss to
+//!   controller, rule counters.
+//! * [`controller`] — the centralised controller: global topology view,
+//!   reactive (install-on-miss) and proactive (preinstall) modes, and the
+//!   path-setup latency model.
+//! * [`ipless`] — the §III research direction: flat-label routing where a
+//!   migration only retargets the label, versus IP routing where a
+//!   migration invalidates every rule that names the moved endpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use picloud_network::topology::Topology;
+//! use picloud_sdn::controller::{InstallMode, SdnController};
+//!
+//! let topo = Topology::multi_root_tree(4, 14, 2);
+//! let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
+//! let mut ctrl = SdnController::new(topo, InstallMode::Reactive);
+//! let first = ctrl.route(hosts[0], hosts[55]);
+//! let second = ctrl.route(hosts[0], hosts[55]);
+//! assert!(first.setup_latency > second.setup_latency, "second flow hits cached rules");
+//! ```
+
+pub mod controller;
+pub mod flowtable;
+pub mod ipless;
+pub mod switch;
+
+pub use controller::{InstallMode, RouteOutcome, SdnController};
+pub use flowtable::{Action, FlowRule, FlowTable, MatchFields};
+pub use ipless::{AddressingMode, IplessFabric, Label};
+pub use switch::OpenFlowSwitch;

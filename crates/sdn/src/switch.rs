@@ -1,0 +1,138 @@
+//! An OpenFlow switch.
+//!
+//! Wraps a [`FlowTable`] with the switch's identity and the statistics the
+//! pimaster dashboard reads (table occupancy, miss counts). Forwarding
+//! itself is a table lookup; a miss is punted to the controller, exactly
+//! the OpenFlow 1.0 pipeline.
+
+use crate::flowtable::{Action, FlowKey, FlowRule, FlowTable};
+use picloud_network::topology::DeviceId;
+use picloud_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One OpenFlow switch in the fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenFlowSwitch {
+    device: DeviceId,
+    table: FlowTable,
+    misses: u64,
+    hits: u64,
+}
+
+impl OpenFlowSwitch {
+    /// Creates a switch with an empty table for fabric device `device`.
+    pub fn new(device: DeviceId) -> Self {
+        OpenFlowSwitch {
+            device,
+            table: FlowTable::new(),
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// The fabric device this switch is.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Classifies `key`: a hit returns the action, a miss is counted and
+    /// returns `None` (punt to controller).
+    pub fn classify(&mut self, key: FlowKey, now: SimTime) -> Option<Action> {
+        match self.table.lookup(key, now) {
+            Some(Action::SendToController) | None => {
+                self.misses += 1;
+                None
+            }
+            Some(action) => {
+                self.hits += 1;
+                Some(action)
+            }
+        }
+    }
+
+    /// Installs a rule (a controller `FLOW_MOD ADD`).
+    pub fn install(&mut self, rule: FlowRule, now: SimTime) -> u64 {
+        self.table.install(rule, now)
+    }
+
+    /// Removes matching rules (a controller `FLOW_MOD DELETE`); returns the
+    /// count removed.
+    pub fn remove_where(&mut self, pred: impl Fn(&FlowRule) -> bool) -> usize {
+        self.table.remove_where(pred)
+    }
+
+    /// The flow table (read-only).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Table-miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Table-hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+impl fmt::Display for OpenFlowSwitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "switch@{}: {} rules, {} hits, {} misses",
+            self.device,
+            self.table.len(),
+            self.hits,
+            self.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowtable::MatchFields;
+    use picloud_network::topology::LinkId;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut sw = OpenFlowSwitch::new(DeviceId(3));
+        let key = FlowKey::pair(DeviceId(1), DeviceId(2));
+        assert_eq!(sw.classify(key, SimTime::ZERO), None);
+        assert_eq!(sw.misses(), 1);
+        sw.install(
+            FlowRule::new(
+                MatchFields::exact_pair(DeviceId(1), DeviceId(2)),
+                Action::Forward(LinkId(0)),
+            ),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            sw.classify(key, SimTime::ZERO),
+            Some(Action::Forward(LinkId(0)))
+        );
+        assert_eq!(sw.hits(), 1);
+    }
+
+    #[test]
+    fn send_to_controller_counts_as_miss() {
+        let mut sw = OpenFlowSwitch::new(DeviceId(3));
+        sw.install(
+            FlowRule::new(MatchFields::any(), Action::SendToController),
+            SimTime::ZERO,
+        );
+        let key = FlowKey::pair(DeviceId(1), DeviceId(2));
+        assert_eq!(sw.classify(key, SimTime::ZERO), None);
+        assert_eq!(sw.misses(), 1);
+        assert_eq!(sw.hits(), 0);
+    }
+
+    #[test]
+    fn display_reports_counters() {
+        let sw = OpenFlowSwitch::new(DeviceId(9));
+        assert!(sw.to_string().contains("switch@dev-9"));
+    }
+}

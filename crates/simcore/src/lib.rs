@@ -1,0 +1,47 @@
+//! Deterministic discrete-event simulation core for the PiCloud scale model.
+//!
+//! This crate provides the substrate every other PiCloud crate is built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution virtual clock.
+//! * [`Engine`] — a discrete-event engine generic over a user-supplied world
+//!   state, with a strict deterministic ordering guarantee: events fire in
+//!   `(time, sequence)` order, so two runs with the same seed are
+//!   bit-identical.
+//! * [`SeedFactory`] — labelled, reproducible [`rand_chacha::ChaCha12Rng`]
+//!   streams so that adding a new consumer of randomness never perturbs
+//!   existing streams.
+//! * [`metrics`] — time-weighted gauges, counters and histograms used by all
+//!   experiment harnesses.
+//! * [`units`] — newtypes for bytes, bandwidth, power, cost and frequency
+//!   shared across the hardware and network models.
+//!
+//! # Example
+//!
+//! ```
+//! use picloud_simcore::{Engine, SimDuration, SimTime};
+//!
+//! struct World { ticks: u32 }
+//!
+//! let mut engine = Engine::new(World { ticks: 0 });
+//! engine.schedule_in(SimDuration::from_millis(5), |world: &mut World, ctx| {
+//!     world.ticks += 1;
+//!     // Events may schedule follow-up events through the context.
+//!     ctx.schedule_in(SimDuration::from_millis(5), |world: &mut World, _| {
+//!         world.ticks += 1;
+//!     });
+//! });
+//! engine.run();
+//! assert_eq!(engine.world().ticks, 2);
+//! assert_eq!(engine.now(), SimTime::ZERO + SimDuration::from_millis(10));
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use engine::{Engine, EventContext, EventId};
+pub use metrics::{Counter, Histogram, MetricSet, TimeWeightedGauge};
+pub use rng::SeedFactory;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,186 @@
+//! Key-value database workload, bound by SD-card random I/O.
+//!
+//! Fig. 3's second container is a database. On a Pi the database's fate is
+//! decided by the SD card: random writes run at a fraction of a megabyte
+//! per second. The model combines a CPU cost per operation with a storage
+//! access through [`StorageSpec`], and exposes cache-hit-ratio-aware
+//! throughput, which the examples use to show *why* the paper calls the
+//! supportable application set "a subset of software".
+
+use picloud_hardware::storage::{AccessPattern, IoDirection, StorageSpec};
+use picloud_simcore::units::{Bytes, Cycles, Frequency};
+use picloud_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DbOp {
+    /// Point read of one page.
+    Get,
+    /// Point write of one page (write-ahead log + page).
+    Put,
+    /// A short range scan (sequential read of several pages).
+    Scan,
+}
+
+/// A key-value store's cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvStoreSpec {
+    /// Page size used for I/O.
+    pub page_size: Bytes,
+    /// Pages touched by a scan.
+    pub scan_pages: u32,
+    /// CPU work per operation (hashing, (de)serialisation).
+    pub cpu_per_op: Cycles,
+    /// Fraction of reads served from the in-memory cache, in `[0, 1]`.
+    pub cache_hit_ratio: f64,
+}
+
+impl KvStoreSpec {
+    /// A small embedded store tuned for the Pi (4 KiB pages, modest cache).
+    pub fn embedded_on_pi() -> Self {
+        KvStoreSpec {
+            page_size: Bytes::kib(4),
+            scan_pages: 16,
+            cpu_per_op: Cycles::mega(1),
+            cache_hit_ratio: 0.6,
+        }
+    }
+
+    /// Sets the cache hit ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` is within `[0, 1]`.
+    pub fn with_cache_hit_ratio(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && (0.0..=1.0).contains(&ratio),
+            "cache hit ratio must be in [0, 1]"
+        );
+        self.cache_hit_ratio = ratio;
+        self
+    }
+
+    /// Expected service time of one operation on `storage` with CPU at
+    /// `clock`, averaging over cache hits for reads.
+    pub fn mean_service_time(
+        &self,
+        op: DbOp,
+        storage: &StorageSpec,
+        clock: Frequency,
+    ) -> SimDuration {
+        let cpu = clock.time_for(self.cpu_per_op);
+        let io = match op {
+            DbOp::Get => storage
+                .service_time(self.page_size, AccessPattern::Random, IoDirection::Read)
+                .mul_f64(1.0 - self.cache_hit_ratio),
+            DbOp::Put => {
+                // WAL append (sequential) + page write (random).
+                storage.service_time(self.page_size, AccessPattern::Sequential, IoDirection::Write)
+                    + storage.service_time(self.page_size, AccessPattern::Random, IoDirection::Write)
+            }
+            DbOp::Scan => storage.service_time(
+                Bytes::new(self.page_size.as_u64() * u64::from(self.scan_pages)),
+                AccessPattern::Sequential,
+                IoDirection::Read,
+            ),
+        };
+        cpu.saturating_add(io)
+    }
+
+    /// Sustainable operations per second for a single-threaded store.
+    pub fn max_throughput_ops(
+        &self,
+        op: DbOp,
+        storage: &StorageSpec,
+        clock: Frequency,
+    ) -> f64 {
+        let t = self.mean_service_time(op, storage, clock).as_secs_f64();
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / t
+        }
+    }
+}
+
+impl fmt::Display for KvStoreSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kv-store ({} pages, {:.0}% cache hits)",
+            self.page_size,
+            self.cache_hit_ratio * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pi() -> (StorageSpec, Frequency) {
+        (StorageSpec::sd_card_16gb(), Frequency::mhz(700))
+    }
+
+    #[test]
+    fn puts_are_much_slower_than_gets_on_sd() {
+        let (sd, clock) = pi();
+        let spec = KvStoreSpec::embedded_on_pi();
+        let get = spec.max_throughput_ops(DbOp::Get, &sd, clock);
+        let put = spec.max_throughput_ops(DbOp::Put, &sd, clock);
+        assert!(
+            get > put * 3.0,
+            "random SD writes throttle puts: get {get:.0} vs put {put:.0}"
+        );
+    }
+
+    #[test]
+    fn cache_hits_raise_read_throughput() {
+        let (sd, clock) = pi();
+        let cold = KvStoreSpec::embedded_on_pi().with_cache_hit_ratio(0.0);
+        let warm = KvStoreSpec::embedded_on_pi().with_cache_hit_ratio(0.95);
+        assert!(
+            warm.max_throughput_ops(DbOp::Get, &sd, clock)
+                > 2.0 * cold.max_throughput_ops(DbOp::Get, &sd, clock)
+        );
+    }
+
+    #[test]
+    fn perfect_cache_leaves_only_cpu() {
+        let (sd, clock) = pi();
+        let spec = KvStoreSpec::embedded_on_pi().with_cache_hit_ratio(1.0);
+        let t = spec.mean_service_time(DbOp::Get, &sd, clock);
+        let cpu_only = clock.time_for(spec.cpu_per_op);
+        assert_eq!(t, cpu_only);
+    }
+
+    #[test]
+    fn server_disk_beats_sd_on_scans() {
+        let spec = KvStoreSpec::embedded_on_pi();
+        let sd_scan = spec.mean_service_time(
+            DbOp::Scan,
+            &StorageSpec::sd_card_16gb(),
+            Frequency::mhz(700),
+        );
+        let disk_scan = spec.mean_service_time(
+            DbOp::Scan,
+            &StorageSpec::server_sata_disk(),
+            Frequency::ghz(3),
+        );
+        // 64 KiB sequential: SATA streams it faster despite its seek cost.
+        assert!(disk_scan < sd_scan.mul_f64(3.0), "shapes stay comparable");
+    }
+
+    #[test]
+    #[should_panic(expected = "cache hit ratio")]
+    fn bad_ratio_rejected() {
+        let _ = KvStoreSpec::embedded_on_pi().with_cache_hit_ratio(1.5);
+    }
+
+    #[test]
+    fn display_mentions_cache() {
+        assert!(KvStoreSpec::embedded_on_pi().to_string().contains("60%"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Lightweight web-server workload.
+//!
+//! The paper's first example application is a "lightweight httpd server"
+//! running inside a container. The model charges each request a CPU cost
+//! (parse + handler) and a response transfer, and exposes an M/M/1 latency
+//! estimate so placement and consolidation experiments can score SLA
+//! impact without running a full queueing simulation per candidate.
+
+use picloud_simcore::units::{Bytes, Cycles};
+use picloud_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A class of HTTP request served by a [`HttpServerSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Request bytes on the wire (headers + body).
+    pub request_size: Bytes,
+    /// Response bytes on the wire.
+    pub response_size: Bytes,
+    /// CPU work to produce the response.
+    pub cpu_cost: Cycles,
+}
+
+impl HttpRequest {
+    /// A static-page GET: small request, ~16 KiB response, cheap handler.
+    pub fn static_page() -> Self {
+        HttpRequest {
+            request_size: Bytes::new(400),
+            response_size: Bytes::kib(16),
+            cpu_cost: Cycles::mega(2),
+        }
+    }
+
+    /// A dynamic page with template rendering: costlier CPU, larger body.
+    pub fn dynamic_page() -> Self {
+        HttpRequest {
+            request_size: Bytes::new(600),
+            response_size: Bytes::kib(64),
+            cpu_cost: Cycles::mega(20),
+        }
+    }
+
+    /// A small API call: tiny payloads, moderate CPU.
+    pub fn api_call() -> Self {
+        HttpRequest {
+            request_size: Bytes::new(300),
+            response_size: Bytes::kib(2),
+            cpu_cost: Cycles::mega(5),
+        }
+    }
+}
+
+/// A web server's capacity model.
+///
+/// # Example
+///
+/// ```
+/// use picloud_workloads::httpd::{HttpRequest, HttpServerSpec};
+///
+/// let server = HttpServerSpec::lighttpd();
+/// // A 700 MHz Pi core serving 2 Mcyc static pages: 350 req/s at best.
+/// let cap = server.max_throughput_rps(700e6, &HttpRequest::static_page());
+/// assert!((cap - 350.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpServerSpec {
+    /// Server software name.
+    pub name: String,
+    /// Fixed per-request server overhead (accept, parse, log).
+    pub per_request_overhead: Cycles,
+}
+
+impl HttpServerSpec {
+    /// The lighttpd-class server the paper runs.
+    pub fn lighttpd() -> Self {
+        HttpServerSpec {
+            name: "lighttpd".to_owned(),
+            per_request_overhead: Cycles::ZERO,
+        }
+    }
+
+    /// A heavier server (per-request bookkeeping), for contrast.
+    pub fn apache_like() -> Self {
+        HttpServerSpec {
+            name: "apache-like".to_owned(),
+            per_request_overhead: Cycles::mega(3),
+        }
+    }
+
+    /// Total cycles to serve one request of class `req`.
+    pub fn cycles_per_request(&self, req: &HttpRequest) -> Cycles {
+        self.per_request_overhead + req.cpu_cost
+    }
+
+    /// Maximum request rate sustainable with `cpu_hz` of allocated CPU.
+    ///
+    /// Returns 0 for zero-cost requests served with zero CPU.
+    pub fn max_throughput_rps(&self, cpu_hz: f64, req: &HttpRequest) -> f64 {
+        let cyc = self.cycles_per_request(req).as_u64() as f64;
+        if cyc <= 0.0 {
+            return f64::INFINITY;
+        }
+        (cpu_hz / cyc).max(0.0)
+    }
+
+    /// Mean response latency (service + queueing) at `arrival_rps` under an
+    /// M/M/1 approximation with service rate set by the CPU allocation.
+    ///
+    /// Returns `None` when the server is saturated (`arrival ≥ capacity`),
+    /// in which case latency is unbounded.
+    pub fn mm1_latency(
+        &self,
+        cpu_hz: f64,
+        req: &HttpRequest,
+        arrival_rps: f64,
+    ) -> Option<SimDuration> {
+        let mu = self.max_throughput_rps(cpu_hz, req);
+        if arrival_rps >= mu || mu <= 0.0 {
+            return None;
+        }
+        Some(SimDuration::from_secs_f64(1.0 / (mu - arrival_rps)))
+    }
+
+    /// CPU demand in Hz needed to serve `arrival_rps` of `req`.
+    pub fn cpu_demand_hz(&self, req: &HttpRequest, arrival_rps: f64) -> f64 {
+        self.cycles_per_request(req).as_u64() as f64 * arrival_rps.max(0.0)
+    }
+}
+
+impl fmt::Display for HttpServerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_core_serves_hundreds_of_static_pages() {
+        let s = HttpServerSpec::lighttpd();
+        let rps = s.max_throughput_rps(700e6, &HttpRequest::static_page());
+        assert!(rps > 100.0 && rps < 1000.0, "plausible Pi figure, got {rps}");
+    }
+
+    #[test]
+    fn x86_core_is_an_order_of_magnitude_faster() {
+        let s = HttpServerSpec::lighttpd();
+        let pi = s.max_throughput_rps(700e6, &HttpRequest::dynamic_page());
+        let x86 = s.max_throughput_rps(3e9, &HttpRequest::dynamic_page());
+        let ratio = x86 / pi;
+        assert!((ratio - 3e9 / 700e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mm1_latency_grows_towards_saturation() {
+        let s = HttpServerSpec::lighttpd();
+        let req = HttpRequest::static_page();
+        let low = s.mm1_latency(700e6, &req, 50.0).unwrap();
+        let high = s.mm1_latency(700e6, &req, 300.0).unwrap();
+        assert!(high > low);
+        assert_eq!(s.mm1_latency(700e6, &req, 350.0), None, "saturated");
+        assert_eq!(s.mm1_latency(700e6, &req, 400.0), None, "overloaded");
+    }
+
+    #[test]
+    fn apache_overhead_reduces_throughput() {
+        let light = HttpServerSpec::lighttpd();
+        let heavy = HttpServerSpec::apache_like();
+        let req = HttpRequest::static_page();
+        assert!(
+            heavy.max_throughput_rps(700e6, &req) < light.max_throughput_rps(700e6, &req)
+        );
+    }
+
+    #[test]
+    fn cpu_demand_matches_throughput_inverse() {
+        let s = HttpServerSpec::lighttpd();
+        let req = HttpRequest::api_call();
+        let demand = s.cpu_demand_hz(&req, 100.0);
+        // Serving at exactly that allocation should give capacity 100 rps.
+        let cap = s.max_throughput_rps(demand, &req);
+        assert!((cap - 100.0).abs() < 1e-6);
+        assert_eq!(s.cpu_demand_hz(&req, -5.0), 0.0, "negative rates clamp");
+    }
+}

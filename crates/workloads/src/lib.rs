@@ -1,0 +1,30 @@
+//! Cloud application workloads for the PiCloud.
+//!
+//! The paper emulates "current DC workloads" with "a subset of software
+//! (lightweight httpd servers, hadoop etc.)" and stresses that realistic,
+//! *changing* traffic patterns are what simulators fail to capture. This
+//! crate provides:
+//!
+//! * [`httpd`] — a lightweight web-server model: per-request CPU cost and
+//!   response flows, with an M/M/1-style latency estimate under a given CPU
+//!   allocation.
+//! * [`database`] — a key-value store bound by SD-card random I/O.
+//! * [`mapreduce`] — a Hadoop-like job: map tasks, an all-to-all shuffle
+//!   (the network-heavy phase), reduce tasks; planned onto cluster nodes
+//!   and realisable as flows on the fabric.
+//! * [`traffic`] — a deterministic DC traffic-pattern generator with
+//!   heavy-tailed flow sizes and a tunable rack-locality mix, following the
+//!   measurement literature the paper cites (Benson et al., VL2).
+//! * [`websim`] — a discrete-event M/D/1 web-server simulation on the
+//!   event engine, validating the closed-form httpd estimates.
+
+pub mod database;
+pub mod httpd;
+pub mod mapreduce;
+pub mod traffic;
+pub mod websim;
+
+pub use httpd::{HttpRequest, HttpServerSpec};
+pub use mapreduce::{MapReduceJob, MapReducePlan};
+pub use traffic::{TrafficPattern, TrafficWorkload};
+pub use websim::{simulate as simulate_webserver, WebSimConfig, WebSimReport};

@@ -1,0 +1,128 @@
+//! `picloud` — command-line driver for the reproduction.
+//!
+//! Regenerates any table/figure/experiment of the paper on demand:
+//!
+//! ```sh
+//! cargo run --bin picloud -- list
+//! cargo run --bin picloud -- table1
+//! cargo run --bin picloud -- all
+//! cargo run --bin picloud -- traffic --seed 7
+//! ```
+
+use picloud::experiments::{
+    dvfs_exp::DvfsExperiment, failure_exp::FailureExperiment, fidelity::FidelityExperiment,
+    fig2::Fig2, fig3::Fig3, fig4::Fig4, image_dist::ImageDistributionExperiment,
+    migration_exp::MigrationExperiment, oversub_exp::OversubscriptionExperiment,
+    p2p_mgmt::P2pMgmtExperiment, placement_exp::PlacementExperiment, power::PowerExperiment,
+    sdn_exp::SdnExperiment, sla_exp::SlaExperiment, table1::Table1,
+    traffic_exp::TrafficExperiment,
+};
+use picloud::PiCloud;
+use picloud_simcore::SimDuration;
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "Table I: cost breakdown of a 56-server testbed"),
+    ("fig1", "Fig. 1: the four Lego racks"),
+    ("fig2", "Fig. 2: fabric comparison (tree / fat-tree / Clos)"),
+    ("fig3", "Fig. 3: software stack & container density"),
+    ("fig4", "Fig. 4: management control panel workflow"),
+    ("power", "C2/E9: whole-cloud power & the single-socket claim"),
+    ("placement", "E5: placement policies & consolidation ledger"),
+    ("migration", "E6: cold vs pre-copy migration sweep"),
+    ("traffic", "E7: DC traffic locality/congestion sweep"),
+    ("sdn", "E8: SDN disciplines & IP-less routing"),
+    ("fidelity", "E10: scale-model fidelity (Pi vs x86)"),
+    ("failures", "E11: failure injection"),
+    ("p2p", "E12: centralised vs gossip management"),
+    ("imagedist", "E13: image distribution strategies"),
+    ("oversub", "E14: CPU oversubscription"),
+    ("sla", "E16: placement density vs web latency (SLA)"),
+    ("dvfs", "E15: cpufreq governors"),
+];
+
+fn run_one(name: &str, seed: u64) -> bool {
+    match name {
+        "table1" => println!("{}", Table1::paper()),
+        "fig1" => {
+            let cloud = PiCloud::glasgow();
+            println!("{cloud}\n{}", cloud.render_racks());
+        }
+        "fig2" => println!("{}", Fig2::run()),
+        "fig3" => println!("{}", Fig3::run()),
+        "fig4" => println!("{}", Fig4::run()),
+        "power" => println!(
+            "{}\n{}",
+            PowerExperiment::paper_picloud(),
+            PowerExperiment::paper_testbed()
+        ),
+        "placement" => println!("{}", PlacementExperiment::run(seed, 150, 20)),
+        "migration" => println!(
+            "{}\n{}",
+            MigrationExperiment::paper_scale(),
+            MigrationExperiment::gigabit_recable()
+        ),
+        "traffic" => println!("{}", TrafficExperiment::run(seed, SimDuration::from_secs(30))),
+        "sdn" => println!("{}", SdnExperiment::paper_scale()),
+        "fidelity" => println!("{}", FidelityExperiment::run(seed, 56)),
+        "failures" => println!("{}", FailureExperiment::run(seed)),
+        "p2p" => println!("{}", P2pMgmtExperiment::run(seed, 56)),
+        "imagedist" => println!("{}", ImageDistributionExperiment::paper_scale()),
+        "oversub" => println!("{}", OversubscriptionExperiment::paper_scale()),
+        "sla" => println!("{}", SlaExperiment::run(seed, 168, 0.05)),
+        "dvfs" => println!("{}", DvfsExperiment::paper_scale()),
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2013u64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" | "help" => {
+                targets = vec!["list".into()];
+                break;
+            }
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("list".into());
+    }
+    for target in targets {
+        match target.as_str() {
+            "list" => {
+                println!("picloud — the Glasgow Raspberry Pi Cloud, reproduced\n");
+                println!("usage: picloud [--seed N] <experiment>... | all | list\n");
+                for (name, desc) in EXPERIMENTS {
+                    println!("  {name:<10} {desc}");
+                }
+            }
+            "all" => {
+                for (name, _) in EXPERIMENTS {
+                    println!("########## {name} ##########");
+                    run_one(name, seed);
+                    println!();
+                }
+            }
+            name => {
+                if !run_one(name, seed) {
+                    eprintln!("unknown experiment '{name}'; try 'picloud list'");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the PiCloud reproduction workspace.
+//!
+//! Re-exports every member crate so that integration tests and examples can
+//! use a single dependency. Library users should depend on [`picloud`]
+//! directly.
+
+pub use picloud;
+pub use picloud_container as container;
+pub use picloud_hardware as hardware;
+pub use picloud_mgmt as mgmt;
+pub use picloud_network as network;
+pub use picloud_placement as placement;
+pub use picloud_sdn as sdn;
+pub use picloud_simcore as simcore;
+pub use picloud_workloads as workloads;

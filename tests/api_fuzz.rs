@@ -1,0 +1,104 @@
+//! Management-API fuzzing: random operation sequences against the
+//! pimaster must never panic, corrupt accounting, or leak DNS records.
+//!
+//! This is the "murky details of practical DC management" (§IV) test: the
+//! API is exactly where operators throw malformed, mistimed and redundant
+//! operations at the system.
+
+use picloud_container::container::ContainerId;
+use picloud_hardware::node::{NodeId, NodeSpec};
+use picloud_mgmt::api::{ApiRequest, ApiResponse};
+use picloud_mgmt::pimaster::Pimaster;
+use picloud_simcore::units::Bytes;
+use picloud_simcore::SimTime;
+use proptest::prelude::*;
+
+/// An arbitrary API operation over a small id space (so collisions and
+/// invalid references occur often).
+fn arb_request() -> impl Strategy<Value = ApiRequest> {
+    let node = 0u32..6;
+    let container = 0u64..12;
+    let image = prop::sample::select(vec![
+        "lighttpd".to_owned(),
+        "database".to_owned(),
+        "hadoop-worker".to_owned(),
+        "raspbian-minimal".to_owned(),
+        "no-such-image".to_owned(),
+    ]);
+    prop_oneof![
+        Just(ApiRequest::ClusterSummary),
+        Just(ApiRequest::ListNodes),
+        node.clone().prop_map(|n| ApiRequest::NodeStatus(NodeId(n))),
+        (node.clone(), 0u32..12, image.clone()).prop_map(|(n, c, image)| {
+            ApiRequest::SpawnContainer {
+                node: NodeId(n),
+                name: format!("ct-{c}"),
+                image,
+            }
+        }),
+        (node.clone(), container.clone()).prop_map(|(n, c)| ApiRequest::StopContainer {
+            node: NodeId(n),
+            container: ContainerId(c),
+        }),
+        (node.clone(), container.clone()).prop_map(|(n, c)| ApiRequest::DestroyContainer {
+            node: NodeId(n),
+            container: ContainerId(c),
+        }),
+        (node, container, prop::option::of(1u32..4096), prop::option::of(8u64..256)).prop_map(
+            |(n, c, shares, mem)| ApiRequest::SetVmLimits {
+                node: NodeId(n),
+                container: ContainerId(c),
+                cpu_shares: shares,
+                memory_limit: mem.map(Bytes::mib),
+            }
+        ),
+        Just(ApiRequest::ListImages),
+        image.prop_map(|name| ApiRequest::PatchImage { name }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_api_sequences_preserve_invariants(
+        ops in prop::collection::vec(arb_request(), 1..120),
+    ) {
+        let mut master = Pimaster::new();
+        for i in 0..4 {
+            master.register_node(NodeSpec::pi_model_b_rev1(), i % 2, SimTime::ZERO);
+        }
+        let mut spawned_names: Vec<String> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let now = SimTime::from_secs(i as u64);
+            let result = master.handle(op, now);
+            if let Ok(ApiResponse::Spawned { dns_name, .. }) = &result {
+                spawned_names.push(dns_name.clone());
+            }
+            // Errors are allowed; panics and broken accounting are not.
+            for daemon in master.daemons() {
+                let host = daemon.host();
+                prop_assert!(
+                    host.memory_in_use() <= host.spec().guest_ram(),
+                    "memory overcommitted on {}",
+                    daemon.node()
+                );
+            }
+        }
+        // Snapshot still works and is internally consistent.
+        let snap = master.snapshot(SimTime::from_secs(10_000));
+        prop_assert_eq!(snap.node_count(), 4);
+        prop_assert!(snap.total_running() <= snap.total_containers());
+        // Every *live* container's DNS name resolves; destroyed ones may
+        // have been unregistered.
+        for daemon in master.daemons() {
+            for c in daemon.host().containers() {
+                let name =
+                    picloud_mgmt::dhcp::DnsService::container_name(c.name(), daemon.name());
+                prop_assert!(
+                    master.dns().resolve(&name).is_some(),
+                    "live container {name} missing from DNS"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration: the migration orchestrator driving real cluster state,
+//! consolidation executing through orchestrated migrations, and the
+//! management plane staying consistent throughout.
+
+use picloud::{MigrationOrchestrator, PiCloud};
+use picloud_hardware::node::NodeId;
+use picloud_mgmt::api::{ApiRequest, ApiResponse};
+use picloud_network::flowsim::RateAllocator;
+use picloud_network::routing::RoutingPolicy;
+use picloud_placement::cluster::{ClusterView, PlacementRequest};
+use picloud_placement::consolidate::Consolidator;
+use picloud_placement::scheduler::{place_all, WorstFit};
+use picloud_sdn::ipless::{AddressingMode, IplessFabric};
+use picloud_simcore::units::Bytes;
+use picloud_simcore::{SimDuration, SimTime};
+
+fn spawn(cloud: &mut PiCloud, node: u32, name: &str, image: &str) -> picloud_container::container::ContainerId {
+    let ApiResponse::Spawned { container, .. } = cloud
+        .api(
+            ApiRequest::SpawnContainer {
+                node: NodeId(node),
+                name: name.into(),
+                image: image.into(),
+            },
+            SimTime::ZERO,
+        )
+        .expect("spawn")
+    else {
+        panic!("unexpected response")
+    };
+    container
+}
+
+#[test]
+fn serial_migrations_drain_a_rack() {
+    // Spawn one container on each node of rack 0, then orchestrate all 14
+    // onto rack 1 and verify the cluster state end to end.
+    let mut cloud = PiCloud::glasgow();
+    let mut sim = cloud.flow_simulator(RoutingPolicy::default(), RateAllocator::MaxMin);
+    let mut fabric = IplessFabric::new(cloud.topology().clone(), AddressingMode::FlatLabel);
+    let orch = MigrationOrchestrator::default();
+
+    let containers: Vec<_> = (0..14u32)
+        .map(|n| (n, spawn(&mut cloud, n, &format!("svc-{n}"), "lighttpd")))
+        .collect();
+    let mut when = SimTime::ZERO;
+    for (node, ct) in containers {
+        let out = orch
+            .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(node), ct, NodeId(node + 14), when)
+            .unwrap_or_else(|e| panic!("migrating from node {node}: {e}"));
+        when = when + out.network_time + SimDuration::from_millis(10);
+    }
+    // Rack 0 empty, rack 1 full.
+    for n in 0..14u32 {
+        assert_eq!(
+            cloud.pimaster().daemon(NodeId(n)).unwrap().host().containers().count(),
+            0,
+            "node {n} should be drained"
+        );
+        let target = cloud.pimaster().daemon(NodeId(n + 14)).unwrap();
+        assert_eq!(target.host().running().count(), 1);
+        assert_eq!(target.host().memory_in_use(), Bytes::mib(30));
+    }
+    // The panel agrees.
+    let snap = cloud.pimaster_mut().snapshot(when);
+    assert_eq!(snap.total_running(), 14);
+}
+
+#[test]
+fn consolidation_plan_executes_through_the_orchestrator() {
+    // Plan a consolidation on the capacity view, then execute each move as
+    // a real orchestrated migration, and check power-off eligibility.
+    let mut cloud = PiCloud::glasgow();
+    let mut sim = cloud.flow_simulator(RoutingPolicy::default(), RateAllocator::MaxMin);
+    let mut fabric = IplessFabric::new(cloud.topology().clone(), AddressingMode::FlatLabel);
+    let orch = MigrationOrchestrator::default();
+
+    // Spread 20 containers across 20 nodes (view + real cluster in sync).
+    let mut view = ClusterView::picloud_default();
+    let reqs = vec![PlacementRequest::new(Bytes::mib(30), 50e6); 20];
+    let mut policy = WorstFit;
+    let tickets = place_all(&mut view, &mut policy, &reqs).expect("fits");
+    let mut real: std::collections::BTreeMap<_, _> = std::collections::BTreeMap::new();
+    for t in &tickets {
+        let (_, node, _) = view.placements().find(|(tt, _, _)| tt == t).expect("ticket");
+        let ct = spawn(&mut cloud, node.0, &format!("c-{t}"), "lighttpd");
+        real.insert(*t, (node, ct));
+    }
+    let plan = Consolidator::default().plan(&mut view);
+    assert!(!plan.moves.is_empty());
+    let mut when = SimTime::ZERO;
+    for mv in &plan.moves {
+        let (node, ct) = real[&mv.ticket];
+        assert_eq!(node, mv.from, "view and cluster agree on source");
+        let out = orch
+            .migrate(&mut cloud, &mut sim, &mut fabric, mv.from, ct, mv.to, when)
+            .expect("orchestrated move succeeds");
+        real.insert(mv.ticket, (mv.to, out.new_container));
+        when = when + out.network_time + SimDuration::from_millis(10);
+    }
+    // Every freed node is genuinely empty in the real cluster.
+    for node in &plan.nodes_freed {
+        assert_eq!(
+            cloud.pimaster().daemon(*node).unwrap().host().containers().count(),
+            0,
+            "{node} still hosts containers"
+        );
+    }
+    // Nothing was lost: 20 containers still running cluster-wide.
+    let snap = cloud.pimaster_mut().snapshot(when);
+    assert_eq!(snap.total_running(), 20);
+}
+
+#[test]
+fn migrations_respect_capacity_under_pressure() {
+    // Target almost full: the orchestrator must refuse rather than
+    // overcommit, and the refused container keeps running at the source.
+    let mut cloud = PiCloud::glasgow();
+    let mut sim = cloud.flow_simulator(RoutingPolicy::default(), RateAllocator::MaxMin);
+    let mut fabric = IplessFabric::new(cloud.topology().clone(), AddressingMode::FlatLabel);
+    // Fill node 1 to the brim: 2 hadoop workers (96 each) = 192.
+    spawn(&mut cloud, 1, "hog-a", "hadoop-worker");
+    spawn(&mut cloud, 1, "hog-b", "hadoop-worker");
+    let victim = spawn(&mut cloud, 0, "mover", "database");
+    let err = MigrationOrchestrator::default()
+        .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(0), victim, NodeId(1), SimTime::ZERO)
+        .unwrap_err();
+    assert_eq!(err.status_code(), 507);
+    assert!(cloud
+        .pimaster()
+        .daemon(NodeId(0))
+        .unwrap()
+        .host()
+        .container(victim)
+        .unwrap()
+        .is_running());
+}

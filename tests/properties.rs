@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core invariants.
+//!
+//! Unit tests pin specific behaviours; these pin the *laws* the scale
+//! model relies on, across randomly generated inputs.
+
+use picloud_hardware::cpu::{share_capacity, CpuClaim};
+use picloud_network::flow::FlowSpec;
+use picloud_network::flowsim::{FlowSimulator, RateAllocator};
+use picloud_network::routing::RoutingPolicy;
+use picloud_network::topology::Topology;
+use picloud_placement::migration::LiveMigrationModel;
+use picloud_simcore::engine::Engine;
+use picloud_simcore::metrics::Histogram;
+use picloud_simcore::units::{Bandwidth, Bytes};
+use picloud_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // CPU sharing: the allocator is a weighted max-min fair allocator.
+    // ------------------------------------------------------------------
+    #[test]
+    fn cpu_share_conservation_and_caps(
+        capacity in 1.0e6..1.0e10f64,
+        demands in prop::collection::vec((0.0..1.0e9f64, 1.0..4096.0f64), 0..24),
+    ) {
+        let claims: Vec<CpuClaim> = demands
+            .iter()
+            .map(|(d, w)| CpuClaim::with_weight(*d, *w))
+            .collect();
+        let alloc = share_capacity(capacity, &claims);
+        prop_assert_eq!(alloc.len(), claims.len());
+        let total: f64 = alloc.iter().sum();
+        prop_assert!(total <= capacity * (1.0 + 1e-9), "over-allocated {total} of {capacity}");
+        for (a, c) in alloc.iter().zip(&claims) {
+            prop_assert!(*a <= c.demand_hz + 1e-6, "exceeded demand");
+            prop_assert!(*a >= 0.0);
+        }
+        // If undersubscribed, everyone is fully satisfied.
+        let demand_sum: f64 = claims.iter().map(|c| c.demand_hz).sum();
+        if demand_sum <= capacity {
+            for (a, c) in alloc.iter().zip(&claims) {
+                prop_assert!((a - c.demand_hz).abs() < 1e-3 * c.demand_hz.max(1.0));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Units: bandwidth transfer round-trips.
+    // ------------------------------------------------------------------
+    #[test]
+    fn bandwidth_transfer_roundtrip(
+        mbps in 1u64..10_000,
+        kib in 1u64..1_000_000,
+    ) {
+        let bw = Bandwidth::mbps(mbps);
+        let data = Bytes::kib(kib);
+        let t = bw.transfer_time(data);
+        let back = bw.data_in(t);
+        let diff = data.as_u64().abs_diff(back.as_u64());
+        prop_assert!(diff <= 2, "lost {diff} bytes in round trip");
+    }
+
+    // ------------------------------------------------------------------
+    // Histogram: quantiles are monotone and bounded by min/max.
+    // ------------------------------------------------------------------
+    #[test]
+    fn histogram_quantiles_monotone(
+        samples in prop::collection::vec(-1.0e6..1.0e6f64, 1..200),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let h: Histogram = samples.iter().copied().collect();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let vlo = h.quantile(lo).unwrap();
+        let vhi = h.quantile(hi).unwrap();
+        prop_assert!(vlo <= vhi);
+        prop_assert!(vlo >= h.min().unwrap());
+        prop_assert!(vhi <= h.max().unwrap());
+        let mean = h.mean().unwrap();
+        prop_assert!(mean >= h.min().unwrap() - 1e-9 && mean <= h.max().unwrap() + 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Engine: events always fire in nondecreasing time order.
+    // ------------------------------------------------------------------
+    #[test]
+    fn engine_fires_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut engine = Engine::new(Vec::<u64>::new());
+        for &t in &times {
+            engine.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _| {
+                w.push(t);
+            });
+        }
+        engine.run();
+        let fired = engine.world();
+        prop_assert_eq!(fired.len(), times.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    // ------------------------------------------------------------------
+    // Flow simulator: byte conservation and termination with random flows.
+    // ------------------------------------------------------------------
+    #[test]
+    fn flowsim_conserves_bytes(
+        flows in prop::collection::vec(
+            (0usize..56, 0usize..56, 1u64..4096, 0u64..5_000),
+            1..40,
+        ),
+    ) {
+        let topo = Topology::multi_root_tree(4, 14, 2);
+        let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
+        let mut sim = FlowSimulator::new(topo, RoutingPolicy::default(), RateAllocator::MaxMin);
+        let mut injected = 0usize;
+        let mut flows = flows;
+        flows.sort_by_key(|f| f.3);
+        for (src, dst, kib, at_ms) in flows {
+            if src == dst {
+                continue;
+            }
+            sim.inject(
+                FlowSpec::new(hosts[src], hosts[dst], Bytes::kib(kib)),
+                SimTime::ZERO + SimDuration::from_millis(at_ms),
+            )
+            .expect("connected fabric");
+            injected += 1;
+        }
+        sim.run_to_completion();
+        prop_assert_eq!(sim.completed().len(), injected);
+        prop_assert_eq!(sim.active_count(), 0);
+        // FCT is never negative and finishes after start.
+        for c in sim.completed() {
+            prop_assert!(c.finished >= c.started);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Migration: live downtime never exceeds cold downtime; byte count is
+    // bounded by (rounds + 1) x RAM.
+    // ------------------------------------------------------------------
+    #[test]
+    fn live_migration_dominates_cold(
+        ram_mib in 1u64..512,
+        dirty_mb_s in 0.0..50.0f64,
+        bw_mbps in 10u64..10_000,
+    ) {
+        let model = LiveMigrationModel {
+            bandwidth: Bandwidth::mbps(bw_mbps),
+            ..LiveMigrationModel::default()
+        };
+        let ram = Bytes::mib(ram_mib);
+        let cold = model.cold(ram);
+        let live = model.pre_copy(ram, dirty_mb_s * 1e6);
+        prop_assert!(
+            live.downtime <= cold.downtime,
+            "live {} vs cold {}",
+            live.downtime,
+            cold.downtime
+        );
+        let bound = ram.as_u64().saturating_mul(u64::from(live.rounds) + 1);
+        prop_assert!(live.bytes_transferred.as_u64() <= bound + 1);
+        prop_assert!(live.total_time >= cold.total_time.mul_f64(0.999));
+    }
+
+    // ------------------------------------------------------------------
+    // Topology builders: connected, and every host has exactly one access
+    // link.
+    // ------------------------------------------------------------------
+    #[test]
+    fn built_topologies_are_sane(racks in 1u16..8, hosts in 1u16..20, roots in 1u16..4) {
+        let topo = Topology::multi_root_tree(racks, hosts, roots);
+        prop_assert!(topo.is_connected());
+        prop_assert_eq!(topo.hosts().count(), (racks as usize) * (hosts as usize));
+        for h in topo.hosts() {
+            prop_assert_eq!(topo.neighbours(h.id).len(), 1, "host has one NIC");
+        }
+    }
+
+    #[test]
+    fn fat_trees_are_sane(half in 1u16..5) {
+        let k = half * 2;
+        let topo = Topology::fat_tree(k);
+        prop_assert!(topo.is_connected());
+        prop_assert_eq!(topo.hosts().count(), (k as usize).pow(3) / 4);
+    }
+}

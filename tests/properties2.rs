@@ -1,0 +1,160 @@
+//! Second batch of property-based tests: management plane, SDN tables,
+//! consolidation and tenancy invariants.
+
+use picloud_container::virt::TenancyModel;
+use picloud_hardware::node::{NodeId, NodeSpec};
+use picloud_mgmt::dhcp::{ClientId, DhcpServer};
+use picloud_mgmt::gossip::GossipNetwork;
+use picloud_placement::cluster::{ClusterView, PlacementRequest};
+use picloud_placement::consolidate::Consolidator;
+use picloud_sdn::flowtable::{Action, FlowKey, FlowRule, FlowTable, MatchFields};
+use picloud_simcore::units::Bytes;
+use picloud_simcore::{SeedFactory, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // DHCP: active leases never share an address; leases stay in the
+    // requested rack's subnet.
+    // ------------------------------------------------------------------
+    #[test]
+    fn dhcp_leases_are_unique_and_rack_scoped(
+        ops in prop::collection::vec((0u64..40, 0u8..4, prop::bool::ANY), 1..120),
+    ) {
+        let mut dhcp = DhcpServer::new();
+        let mut t = 0u64;
+        for (client, rack, release) in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            if release {
+                dhcp.release(ClientId(client));
+            } else {
+                let lease = dhcp.request(ClientId(client), rack, now).expect("pool is large");
+                prop_assert_eq!(lease.addr.0[2], rack, "lease in the rack subnet");
+            }
+            // Uniqueness across all active leases.
+            let addrs: Vec<_> = (0..40u64)
+                .filter_map(|c| dhcp.lease_of(ClientId(c)))
+                .map(|l| l.addr)
+                .collect();
+            let set: BTreeSet<_> = addrs.iter().copied().collect();
+            prop_assert_eq!(set.len(), addrs.len(), "duplicate active address");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gossip: converges for any size/fanout within the round budget, and
+    // message count is exactly alive x fanout per round (when enough
+    // peers exist).
+    // ------------------------------------------------------------------
+    #[test]
+    fn gossip_always_converges(
+        n in 2usize..80,
+        fanout in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut net = GossipNetwork::new(n, fanout, &SeedFactory::new(seed));
+        let stats = net.run_to_convergence(256).expect("push gossip converges");
+        prop_assert!(net.is_converged());
+        // Push gossip infects in O(log n) rounds per origin; full *view*
+        // convergence (all n origins known everywhere) adds a log-factor
+        // tail, worst at fanout 1. 3·log2(n) + 10 is a safe sublinear cap.
+        let bound = (n as f64).log2().ceil() as u32 * 3 + 10;
+        prop_assert!(stats.rounds <= bound, "rounds {} for n {}", stats.rounds, n);
+        if n > fanout {
+            prop_assert_eq!(
+                stats.messages,
+                u64::from(stats.rounds) * (n as u64) * (fanout as u64)
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow tables: the winning rule always matches the key, and bounded
+    // tables never exceed capacity.
+    // ------------------------------------------------------------------
+    #[test]
+    fn flowtable_respects_capacity_and_match(
+        capacity in 1usize..16,
+        installs in prop::collection::vec((0u32..8, 0u32..8, 0u16..4), 1..60),
+    ) {
+        use picloud_network::topology::{DeviceId, LinkId};
+        let mut table = FlowTable::with_capacity(capacity);
+        let mut t = 0u64;
+        for (dst, link, priority) in installs {
+            t += 1;
+            table.install(
+                FlowRule::new(
+                    MatchFields::to_dst(DeviceId(dst)),
+                    Action::Forward(LinkId(link)),
+                )
+                .with_priority(priority),
+                SimTime::from_secs(t),
+            );
+            prop_assert!(table.len() <= capacity);
+        }
+        // Any hit is genuinely a match.
+        for dst in 0..8u32 {
+            let key = FlowKey::pair(DeviceId(100), DeviceId(dst));
+            if table.lookup(key, SimTime::from_secs(t + 1)).is_some() {
+                let matched = table
+                    .rules()
+                    .any(|r| r.rule.fields.matches(key));
+                prop_assert!(matched);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Consolidation: never loses a placement, never overfills a receiver,
+    // and every freed node is powered off and empty.
+    // ------------------------------------------------------------------
+    #[test]
+    fn consolidation_preserves_placements(
+        sizes in prop::collection::vec(8u64..80, 1..80),
+        donor_threshold in 0.2f64..0.8,
+    ) {
+        let mut view = ClusterView::picloud_default();
+        let mut placed = 0usize;
+        // Round-robin commits of varied sizes, skipping what doesn't fit.
+        for (i, mib) in sizes.iter().enumerate() {
+            let node = NodeId((i % 56) as u32);
+            let req = PlacementRequest::new(Bytes::mib(*mib), 0.0);
+            if view.node(node).fits(&req) {
+                view.commit(node, req);
+                placed += 1;
+            }
+        }
+        let before = view.placement_count();
+        prop_assert_eq!(before, placed);
+        let plan = Consolidator::new(donor_threshold, 0.9).plan(&mut view);
+        prop_assert_eq!(view.placement_count(), before, "no placement lost");
+        for n in view.nodes() {
+            if n.powered_on {
+                prop_assert!(n.ram_utilisation() <= 0.9 + 1e-9, "receiver overfilled");
+            }
+        }
+        for freed in &plan.nodes_freed {
+            prop_assert!(!view.node(*freed).powered_on);
+            prop_assert!(view.placements_on(*freed).is_empty());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tenancy: containers never need more boards than bare metal, and
+    // both respect the trivial lower bound ceil(total / capacity).
+    // ------------------------------------------------------------------
+    #[test]
+    fn tenancy_packing_bounds(tenants in prop::collection::vec(1u64..190, 0..60)) {
+        let pi = NodeSpec::pi_model_b_rev1();
+        let sizes: Vec<Bytes> = tenants.iter().map(|m| Bytes::mib(*m)).collect();
+        let bare = TenancyModel::BareMetal.boards_needed(&pi, &sizes).expect("all fit a board");
+        let packed = TenancyModel::Containers.boards_needed(&pi, &sizes).expect("all fit a board");
+        prop_assert!(packed <= bare);
+        let total: u64 = tenants.iter().sum();
+        let lower = total.div_ceil(192);
+        prop_assert!(u64::from(packed) >= lower, "packed {} below lower bound {}", packed, lower);
+        prop_assert_eq!(u64::from(bare), tenants.len() as u64);
+    }
+}
