@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
         DvfsExperiment::paper_scale(),
         SlaExperiment::paper_scale()
     );
-    print_once("E14/E15 — oversubscription & cpufreq governors", &body, &BANNER);
+    print_once(
+        "E14/E15 — oversubscription & cpufreq governors",
+        &body,
+        &BANNER,
+    );
     c.bench_function("oversub/full_sweep", |b| {
         b.iter(|| black_box(OversubscriptionExperiment::paper_scale()))
     });

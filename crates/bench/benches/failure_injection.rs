@@ -32,6 +32,11 @@ fn bench(c: &mut Criterion) {
     c.bench_function("failure/full_experiment", |b| {
         b.iter(|| black_box(FailureExperiment::run(1)))
     });
+    // One crash → detect → reschedule → restart cycle on the 56-node
+    // fabric: the unit of work the self-healing controller performs.
+    c.bench_function("failure/detect_and_recover", |b| {
+        b.iter(|| black_box(picloud::recovery::single_crash_cycle(1)))
+    });
 }
 
 criterion_group! {

@@ -12,7 +12,11 @@ use std::sync::Once;
 static BANNER: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
-    print_once("F2 / Fig. 2 — fabric comparison", &Fig2::run().to_string(), &BANNER);
+    print_once(
+        "F2 / Fig. 2 — fabric comparison",
+        &Fig2::run().to_string(),
+        &BANNER,
+    );
     c.bench_function("fig2/build_paper_fabric", |b| {
         b.iter(|| black_box(Topology::multi_root_tree(4, 14, 2)))
     });
@@ -23,7 +27,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig2/bisection_bandwidth", |b| {
         b.iter(|| black_box(topo.bisection_bandwidth()))
     });
-    c.bench_function("fig2/full_comparison", |b| b.iter(|| black_box(Fig2::run())));
+    c.bench_function("fig2/full_comparison", |b| {
+        b.iter(|| black_box(Fig2::run()))
+    });
 }
 
 criterion_group! {

@@ -13,8 +13,14 @@ use std::sync::Once;
 static BANNER: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
-    print_once("F3 / Fig. 3 — software stack & density", &Fig3::run().to_string(), &BANNER);
-    c.bench_function("fig3/density_experiment", |b| b.iter(|| black_box(Fig3::run())));
+    print_once(
+        "F3 / Fig. 3 — software stack & density",
+        &Fig3::run().to_string(),
+        &BANNER,
+    );
+    c.bench_function("fig3/density_experiment", |b| {
+        b.iter(|| black_box(Fig3::run()))
+    });
     c.bench_function("fig3/deploy_standard_stack", |b| {
         b.iter(|| {
             let mut cloud = PiCloud::glasgow();

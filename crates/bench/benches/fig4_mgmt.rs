@@ -15,7 +15,11 @@ use std::sync::Once;
 static BANNER: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
-    print_once("F4 / Fig. 4 — management control panel", &Fig4::run().to_string(), &BANNER);
+    print_once(
+        "F4 / Fig. 4 — management control panel",
+        &Fig4::run().to_string(),
+        &BANNER,
+    );
     c.bench_function("fig4/full_workflow", |b| b.iter(|| black_box(Fig4::run())));
     // Panel refresh cost on a loaded 56-node cloud.
     let mut cloud = PiCloud::glasgow();

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a container on its host.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(pub u64);
 
 impl fmt::Display for ContainerId {
@@ -238,7 +236,10 @@ impl Container {
                 self.state = ContainerState::Running;
                 Ok(())
             }
-            from => Err(TransitionError { from, verb: "start" }),
+            from => Err(TransitionError {
+                from,
+                verb: "start",
+            }),
         }
     }
 
@@ -253,7 +254,10 @@ impl Container {
                 self.state = ContainerState::Frozen;
                 Ok(())
             }
-            from => Err(TransitionError { from, verb: "freeze" }),
+            from => Err(TransitionError {
+                from,
+                verb: "freeze",
+            }),
         }
     }
 
@@ -268,7 +272,10 @@ impl Container {
                 self.state = ContainerState::Running;
                 Ok(())
             }
-            from => Err(TransitionError { from, verb: "unfreeze" }),
+            from => Err(TransitionError {
+                from,
+                verb: "unfreeze",
+            }),
         }
     }
 
@@ -290,7 +297,11 @@ impl Container {
 
 impl fmt::Display for Container {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} '{}' [{}] ({})", self.id, self.name, self.state, self.config.image)
+        write!(
+            f,
+            "{} '{}' [{}] ({})",
+            self.id, self.name, self.state, self.config.image
+        )
     }
 }
 
@@ -338,11 +349,11 @@ mod tests {
     fn effective_idle_memory_clamped_by_limit() {
         let unlimited = ContainerConfig::new(ContainerImage::hadoop_worker());
         assert_eq!(unlimited.effective_idle_memory(), Bytes::mib(96));
-        let limited = ContainerConfig::new(ContainerImage::hadoop_worker())
-            .with_memory_limit(Bytes::mib(64));
+        let limited =
+            ContainerConfig::new(ContainerImage::hadoop_worker()).with_memory_limit(Bytes::mib(64));
         assert_eq!(limited.effective_idle_memory(), Bytes::mib(64));
-        let loose = ContainerConfig::new(ContainerImage::lighttpd())
-            .with_memory_limit(Bytes::mib(128));
+        let loose =
+            ContainerConfig::new(ContainerImage::lighttpd()).with_memory_limit(Bytes::mib(128));
         assert_eq!(loose.effective_idle_memory(), Bytes::mib(30));
     }
 

@@ -388,7 +388,10 @@ impl ContainerHost {
     /// given each container's current demand in Hz. Returns
     /// `(container, allocated_hz)` pairs in id order plus the resulting
     /// node utilisation in `[0, 1]`.
-    pub fn allocate_cpu(&self, demands: &BTreeMap<ContainerId, f64>) -> (Vec<(ContainerId, f64)>, f64) {
+    pub fn allocate_cpu(
+        &self,
+        demands: &BTreeMap<ContainerId, f64>,
+    ) -> (Vec<(ContainerId, f64)>, f64) {
         let pool = ProcessorPool::new(self.spec.cores, self.spec.clock.as_hz() as f64);
         let running: Vec<&Container> = self.running().collect();
         let claims: Vec<CpuClaim> = running
@@ -467,7 +470,10 @@ mod tests {
         }
         assert_eq!(host.running().count(), 3);
         assert_eq!(host.memory_in_use(), Bytes::mib(90));
-        assert!(host.memory_free() >= Bytes::mib(100), "comfortable headroom");
+        assert!(
+            host.memory_free() >= Bytes::mib(100),
+            "comfortable headroom"
+        );
     }
 
     #[test]
@@ -605,9 +611,18 @@ mod tests {
     fn unknown_container_errors() {
         let mut host = pi_host();
         let ghost = ContainerId(99);
-        assert!(matches!(host.start(ghost), Err(HostError::UnknownContainer(_))));
-        assert!(matches!(host.stop(ghost), Err(HostError::UnknownContainer(_))));
-        assert!(matches!(host.destroy(ghost), Err(HostError::UnknownContainer(_))));
+        assert!(matches!(
+            host.start(ghost),
+            Err(HostError::UnknownContainer(_))
+        ));
+        assert!(matches!(
+            host.stop(ghost),
+            Err(HostError::UnknownContainer(_))
+        ));
+        assert!(matches!(
+            host.destroy(ghost),
+            Err(HostError::UnknownContainer(_))
+        ));
         assert!(matches!(
             host.set_working_set(ghost, Bytes::ZERO),
             Err(HostError::UnknownContainer(_))
@@ -635,14 +650,18 @@ mod tests {
         // Two hadoop containers (96 MB each) fill 192 MB guest RAM exactly
         // when one is limited to 96 and the other unlimited.
         let a = host
-            .create("a", ContainerConfig::new(ContainerImage::hadoop_worker()).with_memory_limit(Bytes::mib(64)))
+            .create(
+                "a",
+                ContainerConfig::new(ContainerImage::hadoop_worker())
+                    .with_memory_limit(Bytes::mib(64)),
+            )
             .unwrap();
         let b = host
             .create("b", ContainerConfig::new(ContainerImage::hadoop_worker()))
             .unwrap();
         host.start(a).unwrap();
         host.start(b).unwrap(); // 64 + 96 = 160 pinned
-        // Raising a's limit to its full 96 MB idle needs 96+96=192: fits.
+                                // Raising a's limit to its full 96 MB idle needs 96+96=192: fits.
         host.update_limits(a, None, Some(Bytes::mib(96))).unwrap();
         assert_eq!(host.memory_free(), Bytes::ZERO);
         // There is no headroom for more.

@@ -116,6 +116,8 @@ mod tests {
 
     #[test]
     fn display_names_version() {
-        assert!(ContainerImage::lighttpd().to_string().contains("lighttpd:v1"));
+        assert!(ContainerImage::lighttpd()
+            .to_string()
+            .contains("lighttpd:v1"));
     }
 }

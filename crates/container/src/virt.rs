@@ -213,8 +213,12 @@ mod tests {
         let pi = NodeSpec::pi_model_b_rev1();
         // 12 small tenants: 12 boards bare-metal, 2 boards containerised.
         let tenants = vec![Bytes::mib(30); 12];
-        let bare = TenancyModel::BareMetal.boards_needed(&pi, &tenants).unwrap();
-        let packed = TenancyModel::Containers.boards_needed(&pi, &tenants).unwrap();
+        let bare = TenancyModel::BareMetal
+            .boards_needed(&pi, &tenants)
+            .unwrap();
+        let packed = TenancyModel::Containers
+            .boards_needed(&pi, &tenants)
+            .unwrap();
         assert_eq!(bare, 12);
         assert_eq!(packed, 2, "6 x 30 MiB per 192 MiB board");
     }

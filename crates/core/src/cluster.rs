@@ -143,7 +143,9 @@ impl PiCloudBuilder {
                 )
             });
             for &device in hosts {
-                let node = pimaster.register_node(self.spec.clone(), rack_idx, SimTime::ZERO);
+                let node = pimaster
+                    .register_node(self.spec.clone(), rack_idx, SimTime::ZERO)
+                    .expect("builder shapes fit their rack subnets");
                 rack.install(node).expect("rack sized to fit its hosts");
                 debug_assert_eq!(node.index(), node_to_device.len());
                 node_to_device.push(device);
@@ -256,11 +258,7 @@ impl PiCloud {
     }
 
     /// A fresh flow-level simulator over this cloud's fabric.
-    pub fn flow_simulator(
-        &self,
-        policy: RoutingPolicy,
-        allocator: RateAllocator,
-    ) -> FlowSimulator {
+    pub fn flow_simulator(&self, policy: RoutingPolicy, allocator: RateAllocator) -> FlowSimulator {
         FlowSimulator::new(self.topology.clone(), policy, allocator)
     }
 
@@ -321,7 +319,10 @@ impl PiCloud {
             .devices_where(|k| matches!(k, DeviceKind::Aggregation | DeviceKind::Core))
             .map(|d| d.name.as_str())
             .collect();
-        out.push_str(&format!("       |\n  aggregation/core: {}\n", aggs.join(", ")));
+        out.push_str(&format!(
+            "       |\n  aggregation/core: {}\n",
+            aggs.join(", ")
+        ));
         for (rack_idx, hosts) in self.topology.hosts_by_rack() {
             let tor = self
                 .topology

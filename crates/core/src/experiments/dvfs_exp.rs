@@ -60,8 +60,7 @@ impl DvfsExperiment {
                         served += 1;
                     }
                 }
-                let end =
-                    SimTime::ZERO + SimDuration::from_secs(trace.len() as u64 * 3600);
+                let end = SimTime::ZERO + SimDuration::from_secs(trace.len() as u64 * 3600);
                 GovernorOutcome {
                     governor,
                     daily_energy: Energy::joules(gauge.integral(end)),

@@ -107,12 +107,22 @@ impl FailureExperiment {
         let two_roots = Topology::multi_root_tree(4, 14, 2);
         let mut mask = FailureMask::none();
         mask.fail_device(aggregation_devices(&two_roots)[0]);
-        scenarios.push(Self::run_scenario("one root down (of 2)", &two_roots, &mask, &seeds));
+        scenarios.push(Self::run_scenario(
+            "one root down (of 2)",
+            &two_roots,
+            &mask,
+            &seeds,
+        ));
 
         let one_root = Topology::multi_root_tree(4, 14, 1);
         let mut mask = FailureMask::none();
         mask.fail_device(aggregation_devices(&one_root)[0]);
-        scenarios.push(Self::run_scenario("the only root down", &one_root, &mask, &seeds));
+        scenarios.push(Self::run_scenario(
+            "the only root down",
+            &one_root,
+            &mask,
+            &seeds,
+        ));
 
         // Core loss on the fat-tree re-cable.
         let fat = Topology::fat_tree(6);

@@ -129,8 +129,7 @@ impl FidelityExperiment {
             };
             let topo = Topology::multi_root_tree_with(4, 4, 2, rates);
             let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
-            let mut sim =
-                FlowSimulator::new(topo, RoutingPolicy::default(), RateAllocator::MaxMin);
+            let mut sim = FlowSimulator::new(topo, RoutingPolicy::default(), RateAllocator::MaxMin);
             job.plan(&hosts)
                 .execute(&mut sim, clock, storage)
                 .makespan()
@@ -160,7 +159,11 @@ impl FidelityExperiment {
 
 impl fmt::Display for FidelityExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E10: scale-model fidelity ({} nodes)", self.offered_rps.len())?;
+        writeln!(
+            f,
+            "E10: scale-model fidelity ({} nodes)",
+            self.offered_rps.len()
+        )?;
         let mut t = TextTable::new(vec!["metric".into(), "value".into()]);
         t.row(vec![
             "utilisation shape correlation (Pi vs x86)".into(),
@@ -230,7 +233,10 @@ mod tests {
         assert!(e.pi_makespan_secs > e.x86_makespan_secs);
         assert!(e.x86_makespan_secs > 0.0);
         let ratio = e.pi_makespan_secs / e.x86_makespan_secs;
-        assert!(ratio > 2.0 && ratio < 20.0, "plausible job-level gap: {ratio:.1}");
+        assert!(
+            ratio > 2.0 && ratio < 20.0,
+            "plausible job-level gap: {ratio:.1}"
+        );
     }
 
     #[test]
@@ -248,7 +254,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(FidelityExperiment::run(5, 20), FidelityExperiment::run(5, 20));
+        assert_eq!(
+            FidelityExperiment::run(5, 20),
+            FidelityExperiment::run(5, 20)
+        );
     }
 
     #[test]

@@ -104,12 +104,11 @@ impl fmt::Display for Fig3 {
             ]);
         }
         write!(f, "{t}")?;
-        writeln!(f, "Ablation: LXC vs full virtualisation (instances that fit)")?;
-        let mut t = TextTable::new(vec![
-            "board".into(),
-            "LXC".into(),
-            "full virt".into(),
-        ]);
+        writeln!(
+            f,
+            "Ablation: LXC vs full virtualisation (instances that fit)"
+        )?;
+        let mut t = TextTable::new(vec!["board".into(), "LXC".into(), "full virt".into()]);
         for c in &self.virt_ablation {
             t.row(vec![
                 c.node_model.clone(),

@@ -218,7 +218,9 @@ impl ImageDistributionExperiment {
 
     /// Looks up a strategy row by prefix.
     pub fn strategy(&self, prefix: &str) -> Option<&DistributionOutcome> {
-        self.outcomes.iter().find(|o| o.strategy.starts_with(prefix))
+        self.outcomes
+            .iter()
+            .find(|o| o.strategy.starts_with(prefix))
     }
 }
 
@@ -294,7 +296,11 @@ mod tests {
         );
         // Only the 3 seed copies cross the uplinks (each crossing two
         // uplinks: ToR->agg and agg->ToR).
-        assert!(rack.uplink_image_crossings <= 6.5, "{}", rack.uplink_image_crossings);
+        assert!(
+            rack.uplink_image_crossings <= 6.5,
+            "{}",
+            rack.uplink_image_crossings
+        );
     }
 
     #[test]

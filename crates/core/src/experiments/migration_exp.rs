@@ -54,11 +54,7 @@ pub struct MigrationExperiment {
 
 impl MigrationExperiment {
     /// Runs the sweep over the given memory sizes and dirty rates.
-    pub fn run(
-        bandwidth: Bandwidth,
-        rams: &[Bytes],
-        dirty_rates: &[f64],
-    ) -> MigrationExperiment {
+    pub fn run(bandwidth: Bandwidth, rams: &[Bytes], dirty_rates: &[f64]) -> MigrationExperiment {
         let model = LiveMigrationModel {
             bandwidth,
             ..LiveMigrationModel::default()
@@ -82,7 +78,12 @@ impl MigrationExperiment {
     pub fn paper_scale() -> MigrationExperiment {
         MigrationExperiment::run(
             Bandwidth::mbps(100),
-            &[Bytes::mib(32), Bytes::mib(64), Bytes::mib(128), Bytes::mib(192)],
+            &[
+                Bytes::mib(32),
+                Bytes::mib(64),
+                Bytes::mib(128),
+                Bytes::mib(192),
+            ],
             &[0.0, 250_000.0, 1_000_000.0, 4_000_000.0, 16_000_000.0],
         )
     }
@@ -91,7 +92,12 @@ impl MigrationExperiment {
     pub fn gigabit_recable() -> MigrationExperiment {
         MigrationExperiment::run(
             Bandwidth::gbps(1),
-            &[Bytes::mib(32), Bytes::mib(64), Bytes::mib(128), Bytes::mib(192)],
+            &[
+                Bytes::mib(32),
+                Bytes::mib(64),
+                Bytes::mib(128),
+                Bytes::mib(192),
+            ],
             &[0.0, 250_000.0, 1_000_000.0, 4_000_000.0, 16_000_000.0],
         )
     }

@@ -20,6 +20,7 @@
 //! | §III oversubscription | [`oversub_exp`] |
 //! | §III power / cpufreq governors | [`dvfs_exp`] |
 //! | §IV SLA vs density | [`sla_exp`] |
+//! | §I failure recovery / self-healing | [`recovery_exp`] |
 //!
 //! Every experiment is deterministic given its seed, returns a typed
 //! result, and `Display`s as an aligned text table so the bench harness
@@ -37,6 +38,7 @@ pub mod oversub_exp;
 pub mod p2p_mgmt;
 pub mod placement_exp;
 pub mod power;
+pub mod recovery_exp;
 pub mod sdn_exp;
 pub mod sla_exp;
 pub mod table1;

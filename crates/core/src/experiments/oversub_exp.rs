@@ -13,7 +13,7 @@
 
 use crate::report::TextTable;
 use picloud_placement::cluster::{ClusterView, PlacementRequest};
-use picloud_placement::scheduler::{PlacementPolicy, FirstFit};
+use picloud_placement::scheduler::{FirstFit, PlacementPolicy};
 use picloud_simcore::units::Bytes;
 use std::fmt;
 
@@ -94,11 +94,9 @@ impl OversubscriptionExperiment {
                 // A full node hosts `max_per_node` tenants; overload when
                 // active tenants x demand > physical capacity.
                 let tolerable = (physical_hz / demand_hz).floor() as u64;
-                let overload =
-                    binomial_tail(max_per_node as u64, activity, tolerable);
-                let expected_util = (max_per_node as f64 * activity * demand_hz
-                    / physical_hz)
-                    .min(1.0);
+                let overload = binomial_tail(max_per_node as u64, activity, tolerable);
+                let expected_util =
+                    (max_per_node as f64 * activity * demand_hz / physical_hz).min(1.0);
                 OversubPoint {
                     factor,
                     admitted,
@@ -184,7 +182,10 @@ mod tests {
             assert!(w[1] >= w[0] - 1e-12, "{risks:?}");
         }
         let worst = *risks.last().unwrap();
-        assert!(worst > 0.05, "4x overcommit at 30% activity is risky: {worst}");
+        assert!(
+            worst > 0.05,
+            "4x overcommit at 30% activity is risky: {worst}"
+        );
         assert!(worst < 0.8, "but not certain: {worst}");
     }
 

@@ -99,7 +99,11 @@ impl P2pMgmtExperiment {
 
 impl fmt::Display for P2pMgmtExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E12: centralised vs P2P management ({} nodes)", self.nodes)?;
+        writeln!(
+            f,
+            "E12: centralised vs P2P management ({} nodes)",
+            self.nodes
+        )?;
         let mut t = TextTable::new(vec![
             "configuration".into(),
             "messages".into(),

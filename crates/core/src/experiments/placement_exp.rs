@@ -80,9 +80,7 @@ impl PlacementExperiment {
     pub fn run(seed: u64, n_requests: usize, n_groups: u32) -> PlacementExperiment {
         assert!(n_groups > 0, "need at least one service group");
         let requests: Vec<PlacementRequest> = (0..n_requests)
-            .map(|i| {
-                PlacementRequest::new(Bytes::mib(30), 50e6).with_group(i as u32 % n_groups)
-            })
+            .map(|i| PlacementRequest::new(Bytes::mib(30), 50e6).with_group(i as u32 % n_groups))
             .collect();
         let topo = Topology::multi_root_tree(4, 14, 2);
         let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
@@ -92,8 +90,7 @@ impl PlacementExperiment {
         for kind in PolicyKind::all() {
             let mut view = ClusterView::picloud_default();
             let mut policy = kind.build(seed);
-            place_all(&mut view, &mut *policy, &requests)
-                .expect("batch fits the 56-node cluster");
+            place_all(&mut view, &mut *policy, &requests).expect("batch fits the 56-node cluster");
             placement.push(Self::score_placement(kind, &view, n_groups));
 
             // Consolidate and realise the migrations on the fabric.
@@ -105,12 +102,8 @@ impl PlacementExperiment {
             );
             for m in &plan.moves {
                 sim.inject(
-                    FlowSpec::new(
-                        hosts[m.from.index()],
-                        hosts[m.to.index()],
-                        m.ram,
-                    )
-                    .with_tag("migration"),
+                    FlowSpec::new(hosts[m.from.index()], hosts[m.to.index()], m.ram)
+                        .with_tag("migration"),
                     SimTime::ZERO,
                 )
                 .expect("cluster fabric is connected");
@@ -197,7 +190,11 @@ impl PlacementExperiment {
 
 impl fmt::Display for PlacementExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E5: placement of {} requests, then consolidation", self.requests)?;
+        writeln!(
+            f,
+            "E5: placement of {} requests, then consolidation",
+            self.requests
+        )?;
         let mut t = TextTable::new(vec![
             "policy".into(),
             "nodes used".into(),
@@ -213,7 +210,10 @@ impl fmt::Display for PlacementExperiment {
             ]);
         }
         write!(f, "{t}")?;
-        writeln!(f, "Consolidation ledger (power saved vs congestion caused):")?;
+        writeln!(
+            f,
+            "Consolidation ledger (power saved vs congestion caused):"
+        )?;
         let mut t = TextTable::new(vec![
             "policy".into(),
             "freed".into(),

@@ -1,0 +1,157 @@
+//! **E17 — failure recovery** (self-healing under seeded churn).
+//!
+//! An hour and a half of accelerated churn — node crashes, link flaps
+//! and daemon hangs drawn from seeded MTBF/MTTR distributions — hits the
+//! paper fabric while the heartbeat detector and recovery controller of
+//! [`crate::recovery`] keep the container fleet alive. The report is the
+//! operator's scorecard: MTTD, MTTR, downtime, lost requests, fleet
+//! availability and what the churn cost the fabric and the RPC plane.
+
+use crate::recovery::{run_recovery, RecoveryConfig, RecoveryReport};
+use crate::report::TextTable;
+use picloud_faults::{ChurnConfig, FaultTimeline};
+use picloud_network::topology::Topology;
+use picloud_simcore::{SeedFactory, SimDuration};
+use std::fmt;
+
+/// The failure-recovery experiment: the timeline it injected and the
+/// report the control loop earned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryExperiment {
+    /// The injected fault schedule.
+    pub timeline: FaultTimeline,
+    /// What the control loop achieved against it.
+    pub report: RecoveryReport,
+}
+
+impl RecoveryExperiment {
+    /// Runs 90 minutes of accelerated churn against the 4 × 14 paper
+    /// cluster. Deterministic in `seed`.
+    pub fn run(seed: u64) -> RecoveryExperiment {
+        Self::run_for(seed, SimDuration::from_secs(90 * 60))
+    }
+
+    /// Same, with a caller-chosen horizon.
+    pub fn run_for(seed: u64, horizon: SimDuration) -> RecoveryExperiment {
+        let config = RecoveryConfig::lan_default();
+        let seeds = SeedFactory::new(seed).child("recovery-exp");
+        // Same shape the recovery sim builds internally.
+        let topo = Topology::multi_root_tree(4, 14, 2);
+        let nodes: Vec<_> = (0..56).map(picloud_hardware::node::NodeId).collect();
+        let links: Vec<_> = topo.links().iter().map(|l| l.id).collect();
+        let timeline =
+            FaultTimeline::churn(&ChurnConfig::accelerated(), &nodes, &links, horizon, &seeds);
+        let report = run_recovery(&config, &timeline, horizon, seed);
+        RecoveryExperiment { timeline, report }
+    }
+}
+
+impl fmt::Display for RecoveryExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = &self.report;
+        writeln!(
+            f,
+            "E17: failure recovery — {} events over {} ({} crashes, {} link flaps, {} hangs)",
+            self.timeline.len(),
+            r.horizon,
+            r.crashes,
+            self.timeline.link_flap_count(),
+            r.daemon_hangs
+        )?;
+        let mut t = TextTable::new(vec!["metric".into(), "value".into()]);
+        let opt = |d: Option<SimDuration>| d.map_or("n/a".to_owned(), |d| d.to_string());
+        t.row(vec!["containers deployed".into(), r.containers.to_string()]);
+        t.row(vec!["nodes declared dead".into(), r.detections.to_string()]);
+        t.row(vec![
+            "false suspicions".into(),
+            r.false_suspicions.to_string(),
+        ]);
+        t.row(vec!["dead nodes rejoined".into(), r.rejoins.to_string()]);
+        t.row(vec![
+            "containers rescheduled".into(),
+            r.rescheduled.to_string(),
+        ]);
+        t.row(vec!["containers stranded".into(), r.stranded.to_string()]);
+        t.row(vec!["local restarts".into(), r.local_restarts.to_string()]);
+        t.row(vec!["MTTD".into(), opt(r.mean_time_to_detect)]);
+        t.row(vec!["MTTR".into(), opt(r.mean_time_to_restore)]);
+        t.row(vec![
+            "worst single downtime".into(),
+            r.worst_downtime.to_string(),
+        ]);
+        t.row(vec!["total downtime".into(), r.total_downtime.to_string()]);
+        t.row(vec!["requests lost".into(), r.lost_requests.to_string()]);
+        t.row(vec![
+            "availability".into(),
+            format!("{:.4}%", r.availability * 100.0),
+        ]);
+        t.row(vec![
+            "min reachability".into(),
+            format!("{:.1}%", r.min_reachability * 100.0),
+        ]);
+        t.row(vec![
+            "mgmt RPCs (ok/timeout)".into(),
+            format!("{}/{}", r.rpc.replies, r.rpc.timeouts),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A shorter horizon keeps the suite quick; the churn rates are the
+    // same, so every recovery path still fires.
+    fn exp() -> RecoveryExperiment {
+        RecoveryExperiment::run_for(2013, SimDuration::from_secs(20 * 60))
+    }
+
+    #[test]
+    fn churn_exercises_the_whole_loop() {
+        let e = exp();
+        let r = &e.report;
+        assert!(r.crashes > 0, "churn must crash nodes");
+        assert!(r.link_downs > 0, "churn must flap links");
+        assert!(r.detections > 0, "the detector must notice");
+        assert!(r.rescheduled > 0, "victims must fail over");
+        assert!(r.min_reachability < 1.0, "link churn must dent the fabric");
+        assert!(r.rpc.timeouts > 0, "dead nodes must cost RPC timeouts");
+    }
+
+    #[test]
+    fn availability_is_high_but_not_perfect() {
+        let r = exp().report;
+        assert!(
+            r.availability > 0.9,
+            "self-healing keeps the fleet up: {}",
+            r.availability
+        );
+        assert!(r.availability < 1.0, "churn is not free");
+        assert!(r.lost_requests > 0);
+    }
+
+    #[test]
+    fn detection_precedes_restoration() {
+        let r = exp().report;
+        let mttd = r.mean_time_to_detect.expect("crashes detected");
+        let mttr = r.mean_time_to_restore.expect("containers restored");
+        assert!(mttr >= mttd, "MTTR {mttr} must include MTTD {mttd}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RecoveryExperiment::run_for(5, SimDuration::from_secs(600));
+        let b = RecoveryExperiment::run_for(5, SimDuration::from_secs(600));
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn display_reports_the_scorecard() {
+        let s = exp().to_string();
+        assert!(s.contains("E17: failure recovery"));
+        assert!(s.contains("MTTD"));
+        assert!(s.contains("availability"));
+    }
+}

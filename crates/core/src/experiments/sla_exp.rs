@@ -71,8 +71,7 @@ impl SlaExperiment {
             .map(|kind| {
                 let mut view = ClusterView::picloud_default().with_cpu_overcommit(4.0);
                 let mut policy = kind.build(seed);
-                let tickets =
-                    place_all(&mut view, &mut *policy, &requests).expect("batch fits");
+                let tickets = place_all(&mut view, &mut *policy, &requests).expect("batch fits");
                 // Group containers by node.
                 let mut by_node: BTreeMap<_, Vec<usize>> = BTreeMap::new();
                 for (i, t) in tickets.iter().enumerate() {
@@ -234,7 +233,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(SlaExperiment::run(4, 100, 0.05), SlaExperiment::run(4, 100, 0.05));
+        assert_eq!(
+            SlaExperiment::run(4, 100, 0.05),
+            SlaExperiment::run(4, 100, 0.05)
+        );
     }
 
     #[test]

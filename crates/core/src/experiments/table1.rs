@@ -130,7 +130,11 @@ impl fmt::Display for Table1 {
                 if r.needs_cooling { "Yes" } else { "No" }.into(),
             ]);
         }
-        writeln!(f, "TABLE I: Cost breakdown of a testbed consisting {} servers", self.rows[0].machines)?;
+        writeln!(
+            f,
+            "TABLE I: Cost breakdown of a testbed consisting {} servers",
+            self.rows[0].machines
+        )?;
         write!(f, "{t}")?;
         writeln!(
             f,
@@ -177,15 +181,11 @@ mod tests {
     fn cooling_overhead_is_half_of_it_power() {
         let t = Table1::paper();
         let testbed = &t.rows[0];
-        let overhead = testbed.total_power_with_cooling.as_watts()
-            - testbed.total_power.as_watts();
+        let overhead = testbed.total_power_with_cooling.as_watts() - testbed.total_power.as_watts();
         // f/(1-f) at 33% ≈ 0.4925 of IT power.
         assert!((overhead / testbed.total_power.as_watts() - 0.33 / 0.67).abs() < 1e-9);
         // The PiCloud row adds nothing.
-        assert_eq!(
-            t.rows[1].total_power_with_cooling,
-            t.rows[1].total_power
-        );
+        assert_eq!(t.rows[1].total_power_with_cooling, t.rows[1].total_power);
     }
 
     #[test]

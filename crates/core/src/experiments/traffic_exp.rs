@@ -120,10 +120,8 @@ impl TrafficExperiment {
             })
             .collect();
         let hard = base.with_intra_rack_fraction(0.0);
-        let maxmin =
-            TrafficExperiment::replay(&hard, duration, &seeds, RateAllocator::MaxMin);
-        let equal =
-            TrafficExperiment::replay(&hard, duration, &seeds, RateAllocator::EqualShare);
+        let maxmin = TrafficExperiment::replay(&hard, duration, &seeds, RateAllocator::MaxMin);
+        let equal = TrafficExperiment::replay(&hard, duration, &seeds, RateAllocator::EqualShare);
         TrafficExperiment {
             points,
             maxmin_mean_fct: maxmin.mean_fct_secs,
@@ -194,7 +192,11 @@ mod tests {
     fn all_points_completed_their_flows() {
         let e = exp();
         for p in &e.points {
-            assert!(p.flows > 100, "enough traffic to mean something: {}", p.flows);
+            assert!(
+                p.flows > 100,
+                "enough traffic to mean something: {}",
+                p.flows
+            );
             assert!(p.mean_fct_secs > 0.0);
             assert!(p.p99_fct_secs >= p.mean_fct_secs);
         }

@@ -33,14 +33,18 @@
 //!   `DESIGN.md` for the index), each producing a typed, printable result.
 //! * [`orchestrator`] — end-to-end live migration across all four layers
 //!   (LXC freeze, fabric transfer, label retargeting).
+//! * [`recovery`] — the self-healing loop: fault injection, heartbeat
+//!   failure detection and automatic container failover.
 //! * [`report`] — plain-text table rendering shared by the experiments.
 
 pub mod cluster;
 pub mod experiments;
 pub mod orchestrator;
+pub mod recovery;
 pub mod report;
 pub mod stack;
 
 pub use cluster::{PiCloud, PiCloudBuilder, TopologyKind};
 pub use orchestrator::{MigrationOrchestrator, OrchestratedMigration};
+pub use recovery::{run_recovery, single_crash_cycle, RecoveryConfig, RecoveryReport};
 pub use stack::StandardStack;

@@ -94,7 +94,10 @@ impl MigrationOrchestrator {
     ///
     /// Panics unless `weight` is finite and positive.
     pub fn with_network_weight(mut self, weight: f64) -> Self {
-        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
         self.network_weight = weight;
         self
     }
@@ -292,11 +295,20 @@ mod tests {
             .expect("migrates");
         // Source is empty; target runs the service.
         assert_eq!(
-            cloud.pimaster().daemon(NodeId(0)).unwrap().host().containers().count(),
+            cloud
+                .pimaster()
+                .daemon(NodeId(0))
+                .unwrap()
+                .host()
+                .containers()
+                .count(),
             0
         );
         let target = cloud.pimaster().daemon(NodeId(20)).unwrap();
-        let moved = target.host().container(result.new_container).expect("exists");
+        let moved = target
+            .host()
+            .container(result.new_container)
+            .expect("exists");
         assert!(moved.is_running());
         assert_eq!(moved.name(), "svc");
         // Memory followed the container.
@@ -324,12 +336,28 @@ mod tests {
         .expect("routeable");
         let orch = MigrationOrchestrator::default();
         let contended = orch
-            .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(0), ct, NodeId(20), SimTime::ZERO)
+            .migrate(
+                &mut cloud,
+                &mut sim,
+                &mut fabric,
+                NodeId(0),
+                ct,
+                NodeId(20),
+                SimTime::ZERO,
+            )
             .expect("migrates");
         // Compare to an uncontended run.
         let (mut cloud2, mut sim2, mut fabric2, ct2) = setup();
         let clean = orch
-            .migrate(&mut cloud2, &mut sim2, &mut fabric2, NodeId(0), ct2, NodeId(20), SimTime::ZERO)
+            .migrate(
+                &mut cloud2,
+                &mut sim2,
+                &mut fabric2,
+                NodeId(0),
+                ct2,
+                NodeId(20),
+                SimTime::ZERO,
+            )
             .expect("migrates");
         assert!(
             contended.network_time > clean.network_time.mul_f64(1.3),
@@ -357,7 +385,15 @@ mod tests {
         }
         let orch = MigrationOrchestrator::default();
         let err = orch
-            .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(0), ct, NodeId(20), SimTime::ZERO)
+            .migrate(
+                &mut cloud,
+                &mut sim,
+                &mut fabric,
+                NodeId(0),
+                ct,
+                NodeId(20),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err.status_code(), 507);
         // Source container still running.
@@ -384,7 +420,15 @@ mod tests {
             )
             .expect("stop");
         let err = MigrationOrchestrator::default()
-            .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(0), ct, NodeId(20), SimTime::ZERO)
+            .migrate(
+                &mut cloud,
+                &mut sim,
+                &mut fabric,
+                NodeId(0),
+                ct,
+                NodeId(20),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err.status_code(), 409);
     }
@@ -394,7 +438,15 @@ mod tests {
         let (mut cloud, mut sim, mut fabric, ct) = setup();
         let orch = MigrationOrchestrator::default();
         let err = orch
-            .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(99), ct, NodeId(1), SimTime::ZERO)
+            .migrate(
+                &mut cloud,
+                &mut sim,
+                &mut fabric,
+                NodeId(99),
+                ct,
+                NodeId(1),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err.status_code(), 404);
         let err = orch
@@ -427,7 +479,15 @@ mod tests {
             .expect("routeable");
             MigrationOrchestrator::default()
                 .with_network_weight(weight)
-                .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(0), ct, NodeId(20), SimTime::ZERO)
+                .migrate(
+                    &mut cloud,
+                    &mut sim,
+                    &mut fabric,
+                    NodeId(0),
+                    ct,
+                    NodeId(20),
+                    SimTime::ZERO,
+                )
                 .expect("migrates")
                 .network_time
         };
@@ -449,7 +509,15 @@ mod tests {
             fabric.open_session(cloud.device_of(NodeId(i)), label);
         }
         let result = MigrationOrchestrator::default()
-            .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(0), ct, NodeId(30), SimTime::ZERO)
+            .migrate(
+                &mut cloud,
+                &mut sim,
+                &mut fabric,
+                NodeId(0),
+                ct,
+                NodeId(30),
+                SimTime::ZERO,
+            )
             .expect("migrates");
         assert_eq!(result.network_identity.flows_disrupted, 0);
         assert!(result.network_identity.rules_touched >= 1);

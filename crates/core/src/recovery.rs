@@ -1,0 +1,573 @@
+//! Self-healing container recovery under injected faults.
+//!
+//! The paper motivates the testbed with exactly this class of question:
+//! "how failures of network components affect the data centre operation"
+//! (§I, citing Gill et al.) and pitches the PiCloud as the safe place to
+//! rehearse them. This module closes the loop the hardware layers only
+//! gesture at: a [`FaultTimeline`] injects node crashes, link flaps and
+//! daemon hangs into a running cluster; a heartbeat [`FailureDetector`]
+//! on the management plane notices; and a recovery controller reschedules
+//! every victim container onto survivors via the placement scheduler,
+//! restarts it from the image store through the ordinary management API
+//! (which re-leases DHCP and re-registers DNS for free), and books the
+//! blackout in an [`OutageLedger`].
+//!
+//! The controller is deliberately *not* omniscient: it talks to nodes
+//! over the fallible [`RpcPlane`], so detection takes real (simulated)
+//! time, hung daemons can be failed over spuriously, and a replacement
+//! target that crashed a moment ago is discovered the hard way — by a
+//! spawn RPC timing out and the placement loop moving on.
+
+use crate::cluster::PiCloud;
+use picloud_faults::{
+    DetectorConfig, FailureDetector, FaultEvent, FaultKind, FaultTimeline, NodeHealth, RpcConfig,
+    RpcPlane, RpcStats,
+};
+use picloud_hardware::node::NodeId;
+use picloud_mgmt::api::{ApiRequest, ApiResponse};
+use picloud_network::failure::{ConnectivityReport, FailureMask};
+use picloud_placement::{
+    ClusterView, PlacementPolicy, PlacementRequest, PlacementTicket, PolicyKind,
+};
+use picloud_simcore::units::Bytes;
+use picloud_simcore::{Engine, EventContext, SimDuration, SimTime};
+use picloud_workloads::blackout::OutageLedger;
+use std::collections::BTreeMap;
+
+/// Tuning for the detection/recovery control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Heartbeat failure-detector thresholds.
+    pub detector: DetectorConfig,
+    /// Management-RPC timing (timeouts, backoff).
+    pub rpc: RpcConfig,
+    /// Placement policy for replacement containers.
+    pub policy: PolicyKind,
+    /// Containers deployed per node before the faults start.
+    pub containers_per_node: usize,
+    /// Image-fetch + cold-start delay between deciding to restart a
+    /// victim and it serving again.
+    pub restart_latency: SimDuration,
+    /// Steady per-container request rate, for pricing blackouts.
+    pub request_rate_hz: f64,
+}
+
+impl RecoveryConfig {
+    /// The stock control loop: LAN-tuned detector and RPC, worst-fit
+    /// replacement (spreading replacements limits correlated loss when
+    /// the next node dies), two lighttpd containers per Pi, a 2 s
+    /// restart.
+    pub fn lan_default() -> Self {
+        RecoveryConfig {
+            detector: DetectorConfig::lan_default(),
+            rpc: RpcConfig::lan_default(),
+            policy: PolicyKind::WorstFit,
+            containers_per_node: 2,
+            restart_latency: SimDuration::from_secs(2),
+            request_rate_hz: 25.0,
+        }
+    }
+}
+
+/// Everything the failure-recovery run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Observation horizon.
+    pub horizon: SimDuration,
+    /// Containers deployed before the churn.
+    pub containers: usize,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Node repairs injected.
+    pub repairs: u64,
+    /// Daemon hangs injected.
+    pub daemon_hangs: u64,
+    /// Link-down events injected.
+    pub link_downs: u64,
+    /// Link-up events injected.
+    pub link_ups: u64,
+    /// Nodes the detector declared dead.
+    pub detections: u64,
+    /// Suspicions that cleared before a death verdict (hangs, slow RPC).
+    pub false_suspicions: u64,
+    /// Dead nodes that later rejoined (Dead → Recovered).
+    pub rejoins: u64,
+    /// Victim containers restarted on a survivor.
+    pub rescheduled: u64,
+    /// Victim containers no survivor could hold.
+    pub stranded: u64,
+    /// Containers that came back with their own node before the detector
+    /// ever declared it dead (repair beat detection).
+    pub local_restarts: u64,
+    /// Mean crash → declared-dead delay (MTTD), if any crash was detected.
+    pub mean_time_to_detect: Option<SimDuration>,
+    /// Mean crash → serving-again delay (MTTR), if any container recovered.
+    pub mean_time_to_restore: Option<SimDuration>,
+    /// Longest single container blackout.
+    pub worst_downtime: SimDuration,
+    /// Total container-downtime across the fleet.
+    pub total_downtime: SimDuration,
+    /// Requests lost to blackouts at the configured rate.
+    pub lost_requests: u64,
+    /// `1 − downtime / (containers × horizon)`.
+    pub availability: f64,
+    /// Worst host-pair reachability seen during link churn.
+    pub min_reachability: f64,
+    /// Management-RPC traffic totals.
+    pub rpc: RpcStats,
+    /// Simulation events fired.
+    pub events_fired: u64,
+}
+
+/// One deployed container, as the controller tracks it.
+#[derive(Debug, Clone)]
+struct Deployment {
+    name: String,
+    image: String,
+    container: picloud_container::container::ContainerId,
+    ticket: PlacementTicket,
+    req: PlacementRequest,
+}
+
+/// The engine world: the cloud plus the fault and control planes.
+struct RecoveryWorld {
+    cloud: PiCloud,
+    detector: FailureDetector,
+    rpc: RpcPlane,
+    view: ClusterView,
+    policy: Box<dyn PlacementPolicy>,
+    mask: FailureMask,
+    ledger: OutageLedger,
+    deployments: BTreeMap<NodeId, Vec<Deployment>>,
+    /// Ground-truth crash instants for crashes not yet declared dead.
+    crashed_at: BTreeMap<NodeId, SimTime>,
+    config: RecoveryConfig,
+    horizon_end: SimTime,
+    // Counters for the report.
+    crashes: u64,
+    repairs: u64,
+    daemon_hangs: u64,
+    link_downs: u64,
+    link_ups: u64,
+    detections: u64,
+    rejoins: u64,
+    rescheduled: u64,
+    stranded: u64,
+    local_restarts: u64,
+    detect_delay_sum: SimDuration,
+    detect_delay_count: u64,
+    min_reachability: f64,
+}
+
+impl RecoveryWorld {
+    /// Dispatches one injected fault into the planes it touches.
+    fn apply_fault(&mut self, event: FaultEvent, now: SimTime) {
+        match event.kind {
+            FaultKind::NodeCrash { node } => {
+                self.crashes += 1;
+                self.rpc.node_down(node);
+                self.crashed_at.insert(node, now);
+                // Ground truth: everything hosted there goes dark now,
+                // whatever the detector believes.
+                if let Some(ds) = self.deployments.get(&node) {
+                    for d in ds {
+                        self.ledger.open(&d.name, now);
+                    }
+                }
+            }
+            FaultKind::NodeRepair { node } => {
+                self.repairs += 1;
+                self.rpc.node_up(node);
+                if self.detector.health(node) != NodeHealth::Dead {
+                    // Repair beat the detector: the node reboots with its
+                    // containers, so their blackout ends here and no
+                    // failover ever happens.
+                    self.crashed_at.remove(&node);
+                    if let Some(ds) = self.deployments.get(&node) {
+                        for d in ds {
+                            if self.ledger.close(&d.name, now).is_some() {
+                                self.local_restarts += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            FaultKind::LinkDown { link } => {
+                self.link_downs += 1;
+                self.mask.fail_link(link);
+                self.note_reachability();
+            }
+            FaultKind::LinkUp { link } => {
+                self.link_ups += 1;
+                self.mask.repair_link(link);
+                self.note_reachability();
+            }
+            FaultKind::DaemonHang { node, lasting } => {
+                self.daemon_hangs += 1;
+                self.rpc.hang_daemon(node, now + lasting);
+            }
+        }
+    }
+
+    /// Re-measures fabric reachability under the current mask and keeps
+    /// the worst value seen.
+    fn note_reachability(&mut self) {
+        let degraded = self.mask.apply(self.cloud.topology());
+        let r = ConnectivityReport::measure(&degraded.topology).reachability();
+        if r < self.min_reachability {
+            self.min_reachability = r;
+        }
+    }
+
+    /// One heartbeat round: poll every daemon over RPC, feed the
+    /// detector, recover anything newly declared dead, and reschedule
+    /// the next round.
+    fn sweep(&mut self, ctx: &mut EventContext<RecoveryWorld>) {
+        let now = ctx.now();
+        let nodes: Vec<NodeId> = self.cloud.node_ids().collect();
+        for node in nodes {
+            if self.rpc.call(node, now).is_ok() {
+                let before = self.detector.health(node);
+                self.detector.heartbeat(node, now);
+                if before == NodeHealth::Dead {
+                    // Dead → Recovered: the node rejoins the placement
+                    // pool, empty (its containers moved on).
+                    self.view.uncordon(node);
+                    self.rejoins += 1;
+                }
+            }
+        }
+        for dead in self.detector.sweep(now) {
+            self.detections += 1;
+            if let Some(crashed) = self.crashed_at.remove(&dead) {
+                self.detect_delay_sum = self
+                    .detect_delay_sum
+                    .saturating_add(now.saturating_duration_since(crashed));
+                self.detect_delay_count += 1;
+            }
+            self.recover(dead, now, ctx);
+        }
+        if now < self.horizon_end {
+            ctx.schedule_in(self.config.detector.heartbeat_interval, |w, ctx| {
+                w.sweep(ctx)
+            });
+        }
+    }
+
+    /// Failover for one declared-dead node: garbage-collect its container
+    /// records (DNS included), free its placements, and schedule every
+    /// victim's restart on a survivor after the restart latency.
+    fn recover(&mut self, dead: NodeId, now: SimTime, ctx: &mut EventContext<RecoveryWorld>) {
+        self.view.cordon(dead);
+        let victims = self.deployments.remove(&dead).unwrap_or_default();
+        for d in victims {
+            self.view.release(d.ticket);
+            // Management-plane GC: unregister the victim's DNS record and
+            // drop the dead node's bookkeeping for it. (If the "death"
+            // was a false positive — a long hang — this destroys a live
+            // container: the price of acting on a detector.)
+            let _ = self.cloud.api(
+                ApiRequest::DestroyContainer {
+                    node: dead,
+                    container: d.container,
+                },
+                now,
+            );
+            let (name, image, req) = (d.name, d.image, d.req);
+            ctx.schedule_in(
+                self.config.restart_latency,
+                move |w: &mut RecoveryWorld, ctx| {
+                    w.respawn(name, image, req, ctx.now());
+                },
+            );
+        }
+    }
+
+    /// Restarts one victim on a survivor chosen by the placement policy.
+    /// An unresponsive pick (crashed since the last sweep, or hung) costs
+    /// a failed spawn RPC and the loop moves to the next candidate.
+    fn respawn(&mut self, name: String, image: String, req: PlacementRequest, now: SimTime) {
+        let mut tried_off: Vec<NodeId> = Vec::new();
+        let target = loop {
+            match self.policy.place(&self.view, &req) {
+                None => break None,
+                Some(t) if self.rpc.call(t, now).is_ok() => break Some(t),
+                Some(t) => {
+                    // Spawn RPC timed out: exclude the node for this
+                    // search only (the detector owns its lasting state).
+                    self.view.cordon(t);
+                    tried_off.push(t);
+                }
+            }
+        };
+        for n in tried_off {
+            if self.detector.health(n) != NodeHealth::Dead {
+                self.view.uncordon(n);
+            }
+        }
+        let Some(target) = target else {
+            self.stranded += 1;
+            return;
+        };
+        let ticket = self.view.commit(target, req);
+        match self.cloud.api(
+            ApiRequest::SpawnContainer {
+                node: target,
+                name: name.clone(),
+                image: image.clone(),
+            },
+            now,
+        ) {
+            Ok(ApiResponse::Spawned { container, .. }) => {
+                // The API re-leased DHCP and re-registered DNS on the way.
+                self.ledger.close(&name, now);
+                self.rescheduled += 1;
+                self.deployments
+                    .entry(target)
+                    .or_default()
+                    .push(Deployment {
+                        name,
+                        image,
+                        container,
+                        ticket,
+                        req,
+                    });
+            }
+            _ => {
+                self.view.release(ticket);
+                self.stranded += 1;
+            }
+        }
+    }
+}
+
+/// Runs `timeline` against a freshly built paper cluster (4 racks × 14
+/// Pis) for `horizon` of simulated time and reports what the control
+/// loop achieved. Two runs with the same arguments are identical.
+///
+/// # Panics
+///
+/// Panics if the initial deployment does not fit the cluster (only
+/// possible with an oversized `containers_per_node`).
+pub fn run_recovery(
+    config: &RecoveryConfig,
+    timeline: &FaultTimeline,
+    horizon: SimDuration,
+    seed: u64,
+) -> RecoveryReport {
+    let mut cloud = PiCloud::builder().seed(seed).build();
+    let node_count = cloud.node_count();
+    let racks = cloud.racks().len().max(1);
+    let mut view = ClusterView::homogeneous(
+        node_count as u32,
+        (node_count / racks) as u32,
+        cloud.node_spec(),
+    );
+    let mut detector = FailureDetector::new(config.detector);
+    let rpc = RpcPlane::new(config.rpc, &cloud.seeds().child("recovery"));
+    let mut deployments: BTreeMap<NodeId, Vec<Deployment>> = BTreeMap::new();
+
+    // The steady-state fleet: lighttpd everywhere, as §II-B deploys.
+    let req = PlacementRequest::new(Bytes::mib(30), 100e6);
+    let nodes: Vec<NodeId> = cloud.node_ids().collect();
+    for &node in &nodes {
+        detector.register(node, SimTime::ZERO);
+        for c in 0..config.containers_per_node {
+            let name = format!("web-{}-{c}", node.0);
+            let resp = cloud
+                .api(
+                    ApiRequest::SpawnContainer {
+                        node,
+                        name: name.clone(),
+                        image: "lighttpd".to_owned(),
+                    },
+                    SimTime::ZERO,
+                )
+                .expect("initial fleet fits the cluster");
+            let ApiResponse::Spawned { container, .. } = resp else {
+                unreachable!("spawn returns Spawned");
+            };
+            let ticket = view.commit(node, req);
+            deployments.entry(node).or_default().push(Deployment {
+                name,
+                image: "lighttpd".to_owned(),
+                container,
+                ticket,
+                req,
+            });
+        }
+    }
+
+    let containers = node_count * config.containers_per_node;
+    let horizon_end = SimTime::ZERO + horizon;
+    let policy_seed = seed;
+    let world = RecoveryWorld {
+        detector,
+        rpc,
+        view,
+        policy: config.policy.build(policy_seed),
+        mask: FailureMask::none(),
+        ledger: OutageLedger::new(config.request_rate_hz),
+        deployments,
+        crashed_at: BTreeMap::new(),
+        config: *config,
+        horizon_end,
+        crashes: 0,
+        repairs: 0,
+        daemon_hangs: 0,
+        link_downs: 0,
+        link_ups: 0,
+        detections: 0,
+        rejoins: 0,
+        rescheduled: 0,
+        stranded: 0,
+        local_restarts: 0,
+        detect_delay_sum: SimDuration::ZERO,
+        detect_delay_count: 0,
+        min_reachability: ConnectivityReport::measure(cloud.topology()).reachability(),
+        cloud,
+    };
+
+    let mut engine = Engine::new(world);
+    timeline.install(&mut engine, |w: &mut RecoveryWorld, ctx, event| {
+        w.apply_fault(event, ctx.now());
+    });
+    let interval = config.detector.heartbeat_interval;
+    engine.schedule_at(SimTime::ZERO + interval, |w: &mut RecoveryWorld, ctx| {
+        w.sweep(ctx)
+    });
+    engine.run_until(horizon_end);
+    let events_fired = engine.events_fired();
+
+    let mut w = engine.into_world();
+    w.ledger.close_all_unrecovered(horizon_end);
+    RecoveryReport {
+        horizon,
+        containers,
+        crashes: w.crashes,
+        repairs: w.repairs,
+        daemon_hangs: w.daemon_hangs,
+        link_downs: w.link_downs,
+        link_ups: w.link_ups,
+        detections: w.detections,
+        false_suspicions: w.detector.false_suspicions(),
+        rejoins: w.rejoins,
+        rescheduled: w.rescheduled,
+        stranded: w.stranded,
+        local_restarts: w.local_restarts,
+        mean_time_to_detect: if w.detect_delay_count == 0 {
+            None
+        } else {
+            Some(w.detect_delay_sum / w.detect_delay_count)
+        },
+        mean_time_to_restore: w.ledger.mean_time_to_restore(),
+        worst_downtime: w.ledger.worst_downtime(horizon_end),
+        total_downtime: w.ledger.total_downtime(),
+        lost_requests: w.ledger.lost_requests(),
+        availability: w.ledger.availability(horizon, containers),
+        min_reachability: w.min_reachability,
+        rpc: w.rpc.stats(),
+        events_fired,
+    }
+}
+
+/// One scripted crash → detect → reschedule → restart cycle on the full
+/// 56-node fabric — the unit the `failure/detect_and_recover` bench
+/// times, and a convenient smoke test.
+pub fn single_crash_cycle(seed: u64) -> RecoveryReport {
+    let mut timeline = FaultTimeline::new();
+    timeline.push(
+        SimTime::from_secs(10),
+        FaultKind::NodeCrash { node: NodeId(3) },
+    );
+    timeline.push(
+        SimTime::from_secs(40),
+        FaultKind::NodeRepair { node: NodeId(3) },
+    );
+    run_recovery(
+        &RecoveryConfig::lan_default(),
+        &timeline,
+        SimDuration::from_secs(60),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_crash_recovers_every_victim() {
+        let r = single_crash_cycle(7);
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.detections, 1);
+        assert_eq!(r.rescheduled, 2, "both containers fail over");
+        assert_eq!(r.stranded, 0);
+        assert_eq!(r.rejoins, 1, "the repaired node rejoins");
+        let mttd = r.mean_time_to_detect.expect("crash was detected");
+        // k-missed detection: between suspect (3 s) and a couple of
+        // sweeps past dead_missed (8 s).
+        assert!(
+            mttd >= SimDuration::from_secs(3) && mttd <= SimDuration::from_secs(12),
+            "{mttd}"
+        );
+        let mttr = r.mean_time_to_restore.expect("containers restored");
+        assert!(mttr >= mttd, "restoration includes detection");
+        assert!(r.availability > 0.99 && r.availability < 1.0);
+        assert!(r.lost_requests > 0);
+    }
+
+    #[test]
+    fn repair_before_detection_restarts_locally() {
+        // Down for 2 s — well under the 8 s death verdict.
+        let mut tl = FaultTimeline::new();
+        tl.push(
+            SimTime::from_secs(10),
+            FaultKind::NodeCrash { node: NodeId(5) },
+        );
+        tl.push(
+            SimTime::from_secs(12),
+            FaultKind::NodeRepair { node: NodeId(5) },
+        );
+        let r = run_recovery(
+            &RecoveryConfig::lan_default(),
+            &tl,
+            SimDuration::from_secs(30),
+            1,
+        );
+        assert_eq!(r.detections, 0);
+        assert_eq!(r.rescheduled, 0);
+        assert_eq!(r.local_restarts, 2);
+        assert!(r.availability < 1.0, "the 2 s blackout still counts");
+    }
+
+    #[test]
+    fn long_hang_causes_spurious_failover() {
+        // A 20 s hang exceeds the 8 s death verdict: the controller
+        // fails the node's containers over even though it never crashed.
+        let mut tl = FaultTimeline::new();
+        tl.push(
+            SimTime::from_secs(10),
+            FaultKind::DaemonHang {
+                node: NodeId(9),
+                lasting: SimDuration::from_secs(20),
+            },
+        );
+        let r = run_recovery(
+            &RecoveryConfig::lan_default(),
+            &tl,
+            SimDuration::from_secs(60),
+            1,
+        );
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.detections, 1);
+        assert_eq!(r.rescheduled, 2);
+        assert!(r.mean_time_to_detect.is_none(), "no real crash to time");
+        assert_eq!(r.rejoins, 1, "the hung node comes back");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(single_crash_cycle(42), single_crash_cycle(42));
+    }
+}

@@ -123,7 +123,9 @@ mod tests {
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().collect();
         // All lines equally wide.
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
         assert!(s.contains("wide-cell-here"));
     }
 

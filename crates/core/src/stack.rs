@@ -213,7 +213,14 @@ mod tests {
             .deploy_standard_stack(NodeId(0), SimTime::ZERO)
             .unwrap();
         let art = stack.render_ascii();
-        for layer in ["lighttpd", "database", "hadoop-worker", "LXC", "Raspbian", "ARM System on Chip"] {
+        for layer in [
+            "lighttpd",
+            "database",
+            "hadoop-worker",
+            "LXC",
+            "Raspbian",
+            "ARM System on Chip",
+        ] {
             assert!(art.contains(layer), "missing {layer} in\n{art}");
         }
         assert!(stack.to_string().contains("pi-0-0"));

@@ -1,0 +1,369 @@
+//! Heartbeat failure detection: the pimaster's view of who is alive.
+//!
+//! Each registered node is expected to heartbeat every
+//! [`DetectorConfig::heartbeat_interval`]. The detector combines two
+//! signals into one verdict:
+//!
+//! * **k-missed heartbeats** — the crisp rule operators configure:
+//!   `suspect_missed` silent intervals ⇒ `Suspected`, `dead_missed` ⇒
+//!   `Dead`.
+//! * **phi accrual** (Hayashibara et al.) — a continuous suspicion score
+//!   `phi = log10(e) · elapsed / mean_interval` over the *observed*
+//!   inter-arrival mean, so a node whose daemon is merely slow accrues
+//!   suspicion gradually instead of flipping on one late packet. Crossing
+//!   [`DetectorConfig::phi_threshold`] also suspects the node.
+//!
+//! Nodes move through `Up → Suspected → Dead → Recovered`; a heartbeat
+//! clears suspicion, resurrects the dead into `Recovered`, and one more
+//! beat settles `Recovered` back to `Up`.
+
+use picloud_hardware::node::NodeId;
+use picloud_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// log10(e), the phi-accrual scale factor for exponential inter-arrivals.
+const LOG10_E: f64 = std::f64::consts::LOG10_E;
+
+/// Where a node stands in the failure-detection lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// Heartbeating normally.
+    Up,
+    /// Missed enough heartbeats (or accrued enough phi) to be suspect;
+    /// not yet acted upon.
+    Suspected,
+    /// Declared dead; the recovery controller may act.
+    Dead,
+    /// Heartbeating again after having been declared dead.
+    Recovered,
+}
+
+impl fmt::Display for NodeHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeHealth::Up => "up",
+            NodeHealth::Suspected => "suspected",
+            NodeHealth::Dead => "dead",
+            NodeHealth::Recovered => "recovered",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Expected heartbeat period.
+    pub heartbeat_interval: SimDuration,
+    /// Missed intervals before `Up → Suspected`.
+    pub suspect_missed: u32,
+    /// Missed intervals before `Suspected → Dead`.
+    pub dead_missed: u32,
+    /// Phi score that also triggers suspicion.
+    pub phi_threshold: f64,
+}
+
+impl DetectorConfig {
+    /// Sensible switched-LAN defaults for the 1 s poll loop the panel
+    /// already uses: suspect after 3 silent seconds, declare death after 8.
+    pub fn lan_default() -> Self {
+        DetectorConfig {
+            heartbeat_interval: SimDuration::from_secs(1),
+            suspect_missed: 3,
+            dead_missed: 8,
+            phi_threshold: 8.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct NodeRecord {
+    last_heartbeat: SimTime,
+    /// EWMA of observed inter-arrival, seconds.
+    mean_interval: f64,
+    health: NodeHealth,
+    declared_dead_at: Option<SimTime>,
+}
+
+/// The heartbeat failure detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    nodes: BTreeMap<NodeId, NodeRecord>,
+    /// `Suspected → Up` transitions: suspicions that proved false.
+    false_suspicions: u64,
+}
+
+impl FailureDetector {
+    /// Creates a detector with `config` and no nodes.
+    pub fn new(config: DetectorConfig) -> Self {
+        assert!(
+            config.suspect_missed > 0 && config.dead_missed > config.suspect_missed,
+            "death must require more missed beats than suspicion"
+        );
+        FailureDetector {
+            config,
+            nodes: BTreeMap::new(),
+            false_suspicions: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Registers a node as `Up` with a synthetic heartbeat at `now`.
+    pub fn register(&mut self, node: NodeId, now: SimTime) {
+        self.nodes.insert(
+            node,
+            NodeRecord {
+                last_heartbeat: now,
+                mean_interval: self.config.heartbeat_interval.as_secs_f64(),
+                health: NodeHealth::Up,
+                declared_dead_at: None,
+            },
+        );
+    }
+
+    /// Records a heartbeat from `node` at `now`.
+    ///
+    /// Clears suspicion; resurrects a `Dead` node into `Recovered`, and a
+    /// further beat settles `Recovered` back into `Up`.
+    pub fn heartbeat(&mut self, node: NodeId, now: SimTime) {
+        let Some(rec) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        let gap = now
+            .saturating_duration_since(rec.last_heartbeat)
+            .as_secs_f64();
+        if gap > 0.0 {
+            rec.mean_interval = 0.8 * rec.mean_interval + 0.2 * gap;
+        }
+        rec.last_heartbeat = now;
+        rec.health = match rec.health {
+            NodeHealth::Up => NodeHealth::Up,
+            NodeHealth::Suspected => {
+                self.false_suspicions += 1;
+                NodeHealth::Up
+            }
+            NodeHealth::Dead => NodeHealth::Recovered,
+            NodeHealth::Recovered => NodeHealth::Up,
+        };
+    }
+
+    /// The phi-accrual suspicion score for `node` at `now`; `0.0` for an
+    /// unknown node, rising without bound the longer the silence.
+    pub fn phi(&self, node: NodeId, now: SimTime) -> f64 {
+        let Some(rec) = self.nodes.get(&node) else {
+            return 0.0;
+        };
+        let elapsed = now
+            .saturating_duration_since(rec.last_heartbeat)
+            .as_secs_f64();
+        let mean = rec
+            .mean_interval
+            .max(self.config.heartbeat_interval.as_secs_f64() * 1e-3);
+        LOG10_E * elapsed / mean
+    }
+
+    /// Re-evaluates `node` at `now`, applying lifecycle transitions, and
+    /// returns its health. Unknown nodes report `Dead`.
+    pub fn poll(&mut self, node: NodeId, now: SimTime) -> NodeHealth {
+        let phi = self.phi(node, now);
+        let Some(rec) = self.nodes.get_mut(&node) else {
+            return NodeHealth::Dead;
+        };
+        let silent = now.saturating_duration_since(rec.last_heartbeat);
+        let missed = (silent.as_nanos() / self.config.heartbeat_interval.as_nanos().max(1)) as u32;
+        // Two sequential checks, so a node silent far past the death
+        // threshold walks Up → Suspected → Dead within one evaluation.
+        if matches!(rec.health, NodeHealth::Up | NodeHealth::Recovered)
+            && (missed >= self.config.suspect_missed || phi >= self.config.phi_threshold)
+        {
+            rec.health = NodeHealth::Suspected;
+        }
+        if rec.health == NodeHealth::Suspected && missed >= self.config.dead_missed {
+            rec.health = NodeHealth::Dead;
+            rec.declared_dead_at = Some(now);
+        }
+        rec.health
+    }
+
+    /// Polls every node and returns those that transitioned to `Dead`
+    /// during this sweep — the recovery controller's work queue.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<NodeId> {
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let mut newly_dead = Vec::new();
+        for node in ids {
+            let before = self.health(node);
+            let after = self.poll(node, now);
+            if after == NodeHealth::Dead && before != NodeHealth::Dead {
+                newly_dead.push(node);
+            }
+        }
+        newly_dead
+    }
+
+    /// A node's current verdict without re-evaluating timers.
+    pub fn health(&self, node: NodeId) -> NodeHealth {
+        self.nodes.get(&node).map_or(NodeHealth::Dead, |r| r.health)
+    }
+
+    /// When the node was last declared dead, if ever.
+    pub fn declared_dead_at(&self, node: NodeId) -> Option<SimTime> {
+        self.nodes.get(&node).and_then(|r| r.declared_dead_at)
+    }
+
+    /// All nodes currently verdicted `Dead`, in id order.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, r)| r.health == NodeHealth::Dead)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Suspicions later cleared by a heartbeat (`Suspected → Up`).
+    pub fn false_suspicions(&self) -> u64 {
+        self.false_suspicions
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether any nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl fmt::Display for FailureDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let count = |h: NodeHealth| self.nodes.values().filter(|r| r.health == h).count();
+        write!(
+            f,
+            "detector: {} nodes ({} up, {} suspected, {} dead, {} recovered)",
+            self.nodes.len(),
+            count(NodeHealth::Up),
+            count(NodeHealth::Suspected),
+            count(NodeHealth::Dead),
+            count(NodeHealth::Recovered),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> FailureDetector {
+        let mut d = FailureDetector::new(DetectorConfig::lan_default());
+        d.register(NodeId(0), SimTime::ZERO);
+        d
+    }
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn healthy_node_stays_up() {
+        let mut d = detector();
+        for s in 1..30 {
+            d.heartbeat(NodeId(0), secs(s));
+            assert_eq!(d.poll(NodeId(0), secs(s)), NodeHealth::Up);
+        }
+        assert_eq!(d.false_suspicions(), 0);
+    }
+
+    #[test]
+    fn silence_walks_the_lifecycle() {
+        let mut d = detector();
+        d.heartbeat(NodeId(0), secs(1));
+        assert_eq!(d.poll(NodeId(0), secs(2)), NodeHealth::Up);
+        assert_eq!(d.poll(NodeId(0), secs(4)), NodeHealth::Suspected);
+        assert_eq!(d.poll(NodeId(0), secs(7)), NodeHealth::Suspected);
+        assert_eq!(d.poll(NodeId(0), secs(9)), NodeHealth::Dead);
+        assert_eq!(d.declared_dead_at(NodeId(0)), Some(secs(9)));
+        assert_eq!(d.dead_nodes(), vec![NodeId(0)]);
+        // Resurrection: Dead → Recovered → Up.
+        d.heartbeat(NodeId(0), secs(20));
+        assert_eq!(d.health(NodeId(0)), NodeHealth::Recovered);
+        d.heartbeat(NodeId(0), secs(21));
+        assert_eq!(d.health(NodeId(0)), NodeHealth::Up);
+    }
+
+    #[test]
+    fn short_hang_is_a_false_suspicion_not_a_death() {
+        let mut d = detector();
+        d.heartbeat(NodeId(0), secs(1));
+        assert_eq!(d.poll(NodeId(0), secs(5)), NodeHealth::Suspected);
+        d.heartbeat(NodeId(0), secs(6)); // daemon un-wedges
+        assert_eq!(d.health(NodeId(0)), NodeHealth::Up);
+        assert_eq!(d.false_suspicions(), 1);
+    }
+
+    #[test]
+    fn phi_grows_with_silence_and_triggers_suspicion() {
+        let mut d = detector();
+        d.heartbeat(NodeId(0), secs(1));
+        assert!(d.phi(NodeId(0), secs(1)) < 1.0);
+        let early = d.phi(NodeId(0), secs(3));
+        let late = d.phi(NodeId(0), secs(30));
+        assert!(early < late, "{early} < {late}");
+        // With the observed mean near 1 s, phi crosses 8 near 18.4 s of
+        // silence even if the k-missed rule were lax.
+        let mut lax = FailureDetector::new(DetectorConfig {
+            suspect_missed: 1000,
+            dead_missed: 2000,
+            ..DetectorConfig::lan_default()
+        });
+        lax.register(NodeId(0), SimTime::ZERO);
+        lax.heartbeat(NodeId(0), secs(1));
+        assert_eq!(lax.poll(NodeId(0), secs(10)), NodeHealth::Up);
+        assert_eq!(lax.poll(NodeId(0), secs(30)), NodeHealth::Suspected);
+    }
+
+    #[test]
+    fn sweep_reports_each_death_once() {
+        let mut d = FailureDetector::new(DetectorConfig::lan_default());
+        d.register(NodeId(0), SimTime::ZERO);
+        d.register(NodeId(1), SimTime::ZERO);
+        d.heartbeat(NodeId(1), secs(8)); // node 1 alive, node 0 silent
+        let dead = d.sweep(secs(9));
+        assert_eq!(dead, vec![NodeId(0)]);
+        assert!(d.sweep(secs(10)).is_empty(), "no duplicate verdicts");
+    }
+
+    #[test]
+    fn unknown_nodes_are_dead() {
+        let mut d = detector();
+        assert_eq!(d.health(NodeId(9)), NodeHealth::Dead);
+        assert_eq!(d.poll(NodeId(9), secs(1)), NodeHealth::Dead);
+        assert_eq!(d.phi(NodeId(9), secs(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more missed beats")]
+    fn degenerate_config_rejected() {
+        let _ = FailureDetector::new(DetectorConfig {
+            suspect_missed: 5,
+            dead_missed: 5,
+            ..DetectorConfig::lan_default()
+        });
+    }
+
+    #[test]
+    fn display_counts_states() {
+        let mut d = detector();
+        d.register(NodeId(1), SimTime::ZERO);
+        d.poll(NodeId(0), secs(20));
+        let _ = d.poll(NodeId(0), secs(20));
+        assert!(d.to_string().contains("2 nodes"));
+    }
+}

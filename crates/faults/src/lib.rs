@@ -1,0 +1,31 @@
+//! Fault injection and failure detection for the PiCloud scale model.
+//!
+//! The paper's testbed exists precisely because "the consequences of
+//! failures ... can be studied on real hardware without risking a
+//! production system" — boards crash, SD cards die, cables get knocked
+//! out. This crate models that churn as first-class simulation input:
+//!
+//! * [`timeline`] — a [`FaultTimeline`]: node crashes, link flaps and
+//!   daemon hangs with repair events, either scripted or drawn from
+//!   seeded MTBF/MTTR distributions so two runs with the same seed see
+//!   bit-identical churn.
+//! * [`detector`] — a [`FailureDetector`]: the pimaster-side heartbeat
+//!   monitor, combining k-missed-heartbeat counting with a phi-accrual
+//!   suspicion score, moving nodes through
+//!   `Up → Suspected → Dead → Recovered`.
+//! * [`rpc`] — an [`RpcPlane`]: the fallible pimaster↔daemon management
+//!   plane with sim-time timeouts and exponential backoff under
+//!   deterministic jitter.
+//!
+//! The recovery controller that consumes all three lives in
+//! `picloud::recovery`; this crate deliberately knows nothing about
+//! containers or placement so the failure model stays reusable by any
+//! layer.
+
+pub mod detector;
+pub mod rpc;
+pub mod timeline;
+
+pub use detector::{DetectorConfig, FailureDetector, NodeHealth};
+pub use rpc::{RpcConfig, RpcError, RpcPlane, RpcStats};
+pub use timeline::{ChurnConfig, FaultEvent, FaultKind, FaultTimeline};

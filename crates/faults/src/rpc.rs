@@ -1,0 +1,286 @@
+//! The fallible pimaster↔daemon management plane.
+//!
+//! §II-A's RESTful daemons answer over a real switched network; this
+//! module gives those calls failure semantics in sim-time. A call to a
+//! healthy daemon returns a small jittered round-trip latency; a call to a
+//! crashed or hung daemon burns the full timeout, then retries under
+//! exponential backoff with deterministic jitter (drawn from a labelled
+//! [`SeedFactory`] stream, so runs are bit-reproducible) until the attempt
+//! budget is exhausted.
+
+use picloud_hardware::node::NodeId;
+use picloud_simcore::{SeedFactory, SimDuration, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a management call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpcError {
+    /// Every attempt timed out.
+    Timeout {
+        /// Attempts made (initial call + retries).
+        attempts: u32,
+        /// Total sim-time burned waiting (timeouts + backoff).
+        waited: SimDuration,
+    },
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Timeout { attempts, waited } => {
+                write!(f, "rpc timed out after {attempts} attempts ({waited})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// RPC plane tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RpcConfig {
+    /// Healthy-path round trip (one switch hop each way on the 100 Mb
+    /// fabric).
+    pub rtt: SimDuration,
+    /// Per-attempt timeout.
+    pub timeout: SimDuration,
+    /// Attempt budget (first call + retries).
+    pub max_attempts: u32,
+    /// First backoff; doubles per retry.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+}
+
+impl RpcConfig {
+    /// Defaults matched to the 1 s heartbeat poll: a dead daemon costs
+    /// `2 × 150 ms` timeouts plus one ~50 ms backoff, well under the poll
+    /// period, so detection latency is governed by the detector, not the
+    /// transport.
+    pub fn lan_default() -> Self {
+        RpcConfig {
+            rtt: SimDuration::from_micros(800),
+            timeout: SimDuration::from_millis(150),
+            max_attempts: 2,
+            backoff_base: SimDuration::from_millis(50),
+            backoff_cap: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Counters for the run report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RpcStats {
+    /// Calls issued.
+    pub calls: u64,
+    /// Calls that got a reply (possibly after retries).
+    pub replies: u64,
+    /// Calls that exhausted their attempt budget.
+    pub failures: u64,
+    /// Individual attempt timeouts (a failed call counts several).
+    pub timeouts: u64,
+    /// Retries performed.
+    pub retries: u64,
+}
+
+/// The simulated management transport.
+#[derive(Debug, Clone)]
+pub struct RpcPlane {
+    config: RpcConfig,
+    jitter: ChaCha12Rng,
+    down: BTreeSet<NodeId>,
+    hung_until: BTreeMap<NodeId, SimTime>,
+    stats: RpcStats,
+}
+
+impl RpcPlane {
+    /// Creates a plane with `config`, drawing jitter from the factory's
+    /// `rpc/jitter` stream.
+    pub fn new(config: RpcConfig, seeds: &SeedFactory) -> Self {
+        assert!(config.max_attempts > 0, "rpc needs at least one attempt");
+        RpcPlane {
+            config,
+            jitter: seeds.stream("rpc/jitter"),
+            down: BTreeSet::new(),
+            hung_until: BTreeMap::new(),
+            stats: RpcStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RpcConfig {
+        &self.config
+    }
+
+    /// Marks a node crashed: calls to it will time out.
+    pub fn node_down(&mut self, node: NodeId) {
+        self.down.insert(node);
+    }
+
+    /// Marks a crashed node reachable again.
+    pub fn node_up(&mut self, node: NodeId) {
+        self.down.remove(&node);
+        self.hung_until.remove(&node);
+    }
+
+    /// Wedges a node's daemon until `until`: the board answers pings but
+    /// the management API is silent.
+    pub fn hang_daemon(&mut self, node: NodeId, until: SimTime) {
+        let entry = self.hung_until.entry(node).or_insert(until);
+        if *entry < until {
+            *entry = until;
+        }
+    }
+
+    /// Whether a call issued at `now` would get a reply.
+    pub fn is_responsive(&self, node: NodeId, now: SimTime) -> bool {
+        !self.down.contains(&node) && self.hung_until.get(&node).is_none_or(|&t| t <= now)
+    }
+
+    /// Issues one management call to `node` at `now`.
+    ///
+    /// Returns the sim-time the caller spent on the call: a jittered RTT
+    /// on success, or the total of timeouts and backoff waits on failure.
+    /// Responsiveness is re-checked before each retry, so a daemon whose
+    /// hang expires mid-backoff serves the retry.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] once `max_attempts` attempts have timed out.
+    pub fn call(&mut self, node: NodeId, now: SimTime) -> Result<SimDuration, RpcError> {
+        self.stats.calls += 1;
+        let mut waited = SimDuration::ZERO;
+        for attempt in 0..self.config.max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                waited = waited.saturating_add(self.backoff(attempt));
+            }
+            if self.is_responsive(node, now + waited) {
+                // Reply: RTT with up to 25% deterministic jitter.
+                let jitter = self.jitter.gen_range(0.0..0.25);
+                self.stats.replies += 1;
+                return Ok(waited.saturating_add(self.config.rtt.mul_f64(1.0 + jitter)));
+            }
+            self.stats.timeouts += 1;
+            waited = waited.saturating_add(self.config.timeout);
+        }
+        self.stats.failures += 1;
+        Err(RpcError::Timeout {
+            attempts: self.config.max_attempts,
+            waited,
+        })
+    }
+
+    /// Exponential backoff before retry `attempt` (1-based), with
+    /// deterministic jitter in `[0.5, 1.0)` of the nominal value.
+    fn backoff(&mut self, attempt: u32) -> SimDuration {
+        let nominal = self
+            .config
+            .backoff_base
+            .mul_f64(f64::from(1u32 << attempt.min(16).saturating_sub(1)))
+            .min(self.config.backoff_cap);
+        let scale = self.jitter.gen_range(0.5..1.0);
+        nominal.mul_f64(scale)
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> RpcStats {
+        self.stats
+    }
+}
+
+impl fmt::Display for RpcPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rpc: {} calls, {} replies, {} failures ({} timeouts, {} retries)",
+            self.stats.calls,
+            self.stats.replies,
+            self.stats.failures,
+            self.stats.timeouts,
+            self.stats.retries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(seed: u64) -> RpcPlane {
+        RpcPlane::new(RpcConfig::lan_default(), &SeedFactory::new(seed))
+    }
+
+    #[test]
+    fn healthy_call_costs_about_one_rtt() {
+        let mut p = plane(1);
+        let latency = p.call(NodeId(0), SimTime::ZERO).unwrap();
+        let rtt = RpcConfig::lan_default().rtt;
+        assert!(latency >= rtt && latency <= rtt.mul_f64(1.25), "{latency}");
+        assert_eq!(p.stats().replies, 1);
+        assert_eq!(p.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn dead_node_times_out_with_backoff() {
+        let mut p = plane(2);
+        p.node_down(NodeId(3));
+        let err = p.call(NodeId(3), SimTime::ZERO).unwrap_err();
+        let RpcError::Timeout { attempts, waited } = err;
+        assert_eq!(attempts, 2);
+        // 2 timeouts plus one jittered backoff in [25, 50] ms.
+        let cfg = RpcConfig::lan_default();
+        let floor = cfg.timeout * 2 + cfg.backoff_base.mul_f64(0.5);
+        let ceil = cfg.timeout * 2 + cfg.backoff_base;
+        assert!(waited >= floor && waited <= ceil, "{waited}");
+        assert_eq!(p.stats().failures, 1);
+        assert_eq!(p.stats().timeouts, 2);
+        assert_eq!(p.stats().retries, 1);
+    }
+
+    #[test]
+    fn repaired_node_answers_again() {
+        let mut p = plane(3);
+        p.node_down(NodeId(0));
+        assert!(p.call(NodeId(0), SimTime::ZERO).is_err());
+        p.node_up(NodeId(0));
+        assert!(p.call(NodeId(0), SimTime::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn hang_expires_mid_backoff_and_the_retry_lands() {
+        // Hang that ends 10 ms after the call starts: the first attempt
+        // times out (150 ms), and by the retry the daemon is back.
+        let mut p = plane(4);
+        p.hang_daemon(NodeId(1), SimTime::from_nanos(10_000_000));
+        let latency = p.call(NodeId(1), SimTime::ZERO).unwrap();
+        assert!(latency > RpcConfig::lan_default().timeout, "{latency}");
+        assert_eq!(p.stats().timeouts, 1);
+        assert_eq!(p.stats().replies, 1);
+    }
+
+    #[test]
+    fn overlapping_hangs_keep_the_later_deadline() {
+        let mut p = plane(5);
+        p.hang_daemon(NodeId(0), SimTime::from_secs(10));
+        p.hang_daemon(NodeId(0), SimTime::from_secs(4));
+        assert!(!p.is_responsive(NodeId(0), SimTime::from_secs(9)));
+        assert!(p.is_responsive(NodeId(0), SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut p = plane(seed);
+            (0..32)
+                .map(|i| p.call(NodeId(0), SimTime::from_secs(i)).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

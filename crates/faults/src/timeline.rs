@@ -1,0 +1,424 @@
+//! The fault timeline: what breaks, when, and when it is repaired.
+//!
+//! A [`FaultTimeline`] is an ordered list of [`FaultEvent`]s — the ground
+//! truth of the run. It can be scripted exactly (for acceptance scenarios
+//! like "kill the only aggregation root at t=30s") or drawn from seeded
+//! exponential MTBF/MTTR distributions via [`FaultTimeline::churn`], which
+//! makes the churn a pure function of `(seed, config, population)`: two
+//! runs with the same seed see bit-identical failures.
+
+use picloud_hardware::node::NodeId;
+use picloud_network::topology::LinkId;
+use picloud_simcore::engine::{Engine, EventContext};
+use picloud_simcore::{SeedFactory, SimDuration, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kind of fault (or repair) hitting the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A board loses power or kernel-panics: its daemon stops answering
+    /// and every container on it is gone.
+    NodeCrash {
+        /// The victim node.
+        node: NodeId,
+    },
+    /// A crashed board is re-imaged and rejoins (empty: containers are
+    /// not resurrected in place, the recovery controller owns them now).
+    NodeRepair {
+        /// The repaired node.
+        node: NodeId,
+    },
+    /// A cable is knocked out or a switch port dies.
+    LinkDown {
+        /// The failed link.
+        link: LinkId,
+    },
+    /// A failed link comes back.
+    LinkUp {
+        /// The repaired link.
+        link: LinkId,
+    },
+    /// The management daemon wedges (the board is alive, traffic still
+    /// flows, but heartbeats stop) for `lasting` — the classic source of
+    /// false-positive death verdicts a phi-accrual detector must ride out.
+    DaemonHang {
+        /// The node whose daemon hangs.
+        node: NodeId,
+        /// How long the hang lasts.
+        lasting: SimDuration,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::NodeCrash { node } => write!(f, "crash {node}"),
+            FaultKind::NodeRepair { node } => write!(f, "repair {node}"),
+            FaultKind::LinkDown { link } => write!(f, "link-down {link:?}"),
+            FaultKind::LinkUp { link } => write!(f, "link-up {link:?}"),
+            FaultKind::DaemonHang { node, lasting } => {
+                write!(f, "daemon-hang {node} for {lasting}")
+            }
+        }
+    }
+}
+
+/// A fault at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Seeded-churn parameters: mean time between failures and mean time to
+/// repair, per fault class. All waits are exponentially distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Mean up-time of a node before it crashes.
+    pub node_mtbf: SimDuration,
+    /// Mean time a crashed node stays down before re-imaging completes.
+    pub node_mttr: SimDuration,
+    /// Mean up-time of a link before it flaps.
+    pub link_mtbf: SimDuration,
+    /// Mean outage of a flapped link.
+    pub link_mttr: SimDuration,
+    /// Mean time between daemon hangs on a node (`SimDuration::MAX`
+    /// disables hangs).
+    pub hang_mtbf: SimDuration,
+    /// Mean duration of one daemon hang.
+    pub hang_mean: SimDuration,
+}
+
+impl ChurnConfig {
+    /// Aggressive scale-model churn: enough failures inside an hour of
+    /// simulated time to exercise every recovery path, far above the Gill
+    /// et al. rates the paper cites (a scale model compresses time too).
+    pub fn accelerated() -> Self {
+        ChurnConfig {
+            node_mtbf: SimDuration::from_secs(45 * 60),
+            node_mttr: SimDuration::from_secs(5 * 60),
+            link_mtbf: SimDuration::from_secs(60 * 60),
+            link_mttr: SimDuration::from_secs(2 * 60),
+            hang_mtbf: SimDuration::from_secs(90 * 60),
+            hang_mean: SimDuration::from_secs(4),
+        }
+    }
+}
+
+/// Draws an exponential wait with the given mean. The mean is clamped to
+/// at least 1 ns so a zero-mean config cannot produce an infinite loop.
+fn exponential(rng: &mut ChaCha12Rng, mean: SimDuration) -> SimDuration {
+    if mean == SimDuration::MAX {
+        return SimDuration::MAX;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let nanos = (mean.as_nanos().max(1) as f64) * -u.ln();
+    SimDuration::from_secs_f64(nanos / 1e9).saturating_add(SimDuration::from_nanos(1))
+}
+
+/// An ordered schedule of faults and repairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        FaultTimeline::default()
+    }
+
+    /// A scripted timeline; events are sorted by time (stable, so
+    /// same-instant events keep their scripted order).
+    pub fn scripted(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultTimeline { events }
+    }
+
+    /// Appends one event, keeping the timeline ordered.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The events in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of node crashes scheduled.
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeCrash { .. }))
+            .count()
+    }
+
+    /// Number of link-down events scheduled.
+    pub fn link_flap_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::LinkDown { .. }))
+            .count()
+    }
+
+    /// The instant of the last event, or `SimTime::ZERO` when empty.
+    pub fn horizon(&self) -> SimTime {
+        self.events.last().map_or(SimTime::ZERO, |e| e.at)
+    }
+
+    /// Generates seeded churn over `nodes` and `links` up to `horizon`.
+    ///
+    /// Each node and each link gets its own labelled stream
+    /// (`churn/node/i`, `churn/link/i`, `churn/hang/i`), so growing the
+    /// population never perturbs the churn existing members see. Per
+    /// member the generator alternates exponential up-times (MTBF) and
+    /// down-times (MTTR); faults striking past the horizon are dropped,
+    /// and a crash whose repair falls past the horizon stays down for the
+    /// rest of the run.
+    pub fn churn(
+        config: &ChurnConfig,
+        nodes: &[NodeId],
+        links: &[LinkId],
+        horizon: SimDuration,
+        seeds: &SeedFactory,
+    ) -> Self {
+        let end = SimTime::ZERO + horizon;
+        let mut events = Vec::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            let mut rng = seeds.indexed_stream("churn/node", i as u64);
+            let mut t = SimTime::ZERO;
+            loop {
+                t = t.saturating_add(exponential(&mut rng, config.node_mtbf));
+                if t > end {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::NodeCrash { node },
+                });
+                t = t.saturating_add(exponential(&mut rng, config.node_mttr));
+                if t > end {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::NodeRepair { node },
+                });
+            }
+            // Independent hang process on the same node.
+            let mut rng = seeds.indexed_stream("churn/hang", i as u64);
+            let mut t = SimTime::ZERO;
+            loop {
+                let gap = exponential(&mut rng, config.hang_mtbf);
+                if gap == SimDuration::MAX {
+                    break;
+                }
+                t = t.saturating_add(gap);
+                if t > end {
+                    break;
+                }
+                let lasting = exponential(&mut rng, config.hang_mean);
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::DaemonHang { node, lasting },
+                });
+            }
+        }
+        for (i, &link) in links.iter().enumerate() {
+            let mut rng = seeds.indexed_stream("churn/link", i as u64);
+            let mut t = SimTime::ZERO;
+            loop {
+                t = t.saturating_add(exponential(&mut rng, config.link_mtbf));
+                if t > end {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::LinkDown { link },
+                });
+                t = t.saturating_add(exponential(&mut rng, config.link_mttr));
+                if t > end {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::LinkUp { link },
+                });
+            }
+        }
+        // Stable sort: same-instant events keep generation order
+        // (node-major, then links), which is itself deterministic.
+        events.sort_by_key(|e| e.at);
+        FaultTimeline { events }
+    }
+
+    /// Schedules every event onto `engine`, delivering each through
+    /// `apply`. The closure is cloned per event; keep it a thin dispatch
+    /// into the world.
+    pub fn install<W, F>(&self, engine: &mut Engine<W>, apply: F)
+    where
+        W: 'static,
+        F: Fn(&mut W, &mut EventContext<W>, FaultEvent) + Clone + 'static,
+    {
+        for &event in &self.events {
+            let apply = apply.clone();
+            engine.schedule_at(event.at, move |world, ctx| apply(world, ctx, event));
+        }
+    }
+}
+
+impl fmt::Display for FaultTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault timeline: {} events ({} crashes, {} link flaps)",
+            self.len(),
+            self.crash_count(),
+            self.link_flap_count()
+        )?;
+        for e in &self.events {
+            writeln!(f, "  {} {}", e.at, e.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn scripted_events_are_time_ordered() {
+        let t = FaultTimeline::scripted(vec![
+            FaultEvent {
+                at: SimTime::from_secs(9),
+                kind: FaultKind::NodeRepair { node: NodeId(0) },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(3),
+                kind: FaultKind::NodeCrash { node: NodeId(0) },
+            },
+        ]);
+        assert_eq!(t.events()[0].at, SimTime::from_secs(3));
+        assert_eq!(t.crash_count(), 1);
+        assert_eq!(t.horizon(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn churn_is_seed_deterministic() {
+        let run = |seed: u64| {
+            FaultTimeline::churn(
+                &ChurnConfig::accelerated(),
+                &nodes(56),
+                &[],
+                SimDuration::from_secs(3600),
+                &SeedFactory::new(seed),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn churn_alternates_crash_and_repair_per_node() {
+        let t = FaultTimeline::churn(
+            &ChurnConfig {
+                node_mtbf: SimDuration::from_secs(100),
+                node_mttr: SimDuration::from_secs(20),
+                link_mtbf: SimDuration::MAX,
+                link_mttr: SimDuration::MAX,
+                hang_mtbf: SimDuration::MAX,
+                hang_mean: SimDuration::from_secs(1),
+            },
+            &nodes(4),
+            &[],
+            SimDuration::from_secs(2000),
+            &SeedFactory::new(1),
+        );
+        assert!(t.crash_count() > 0);
+        for node in nodes(4) {
+            let mut down = false;
+            for e in t.events() {
+                match e.kind {
+                    FaultKind::NodeCrash { node: n } if n == node => {
+                        assert!(!down, "double crash for {node}");
+                        down = true;
+                    }
+                    FaultKind::NodeRepair { node: n } if n == node => {
+                        assert!(down, "repair of a live node {node}");
+                        down = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_respects_horizon() {
+        let t = FaultTimeline::churn(
+            &ChurnConfig::accelerated(),
+            &nodes(56),
+            &[],
+            SimDuration::from_secs(3600),
+            &SeedFactory::new(3),
+        );
+        assert!(t.horizon() <= SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn disabled_hangs_emit_none() {
+        let t = FaultTimeline::churn(
+            &ChurnConfig {
+                hang_mtbf: SimDuration::MAX,
+                ..ChurnConfig::accelerated()
+            },
+            &nodes(8),
+            &[],
+            SimDuration::from_secs(7200),
+            &SeedFactory::new(5),
+        );
+        assert!(!t
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::DaemonHang { .. })));
+    }
+
+    #[test]
+    fn install_fires_every_event_in_order() {
+        let t = FaultTimeline::scripted(vec![
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::NodeCrash { node: NodeId(2) },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(5),
+                kind: FaultKind::NodeRepair { node: NodeId(2) },
+            },
+        ]);
+        let mut engine = Engine::new(Vec::<FaultEvent>::new());
+        t.install(&mut engine, |seen: &mut Vec<FaultEvent>, _, e| seen.push(e));
+        engine.run();
+        assert_eq!(engine.world().as_slice(), t.events());
+    }
+}

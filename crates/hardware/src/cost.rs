@@ -163,7 +163,10 @@ mod tests {
         assert_eq!(testbed.total(), Money::dollars(112_000));
         assert_eq!(picloud.total(), Money::dollars(1_960));
         let factor = picloud.cheaper_factor_vs(&testbed);
-        assert!((factor - 57.142857).abs() < 1e-3, "~57x cheaper, got {factor}");
+        assert!(
+            (factor - 57.142857).abs() < 1e-3,
+            "~57x cheaper, got {factor}"
+        );
     }
 
     #[test]
@@ -180,7 +183,10 @@ mod tests {
     fn dc_tuned_chip_is_cheaper_overall() {
         let pi = BillOfMaterials::raspberry_pi_estimate();
         let dc = BillOfMaterials::dc_tuned_arm_estimate();
-        assert!(dc.total() < pi.total(), "§IV: multimedia removal cuts SoC cost");
+        assert!(
+            dc.total() < pi.total(),
+            "§IV: multimedia removal cuts SoC cost"
+        );
         // ...even though it carries two Ethernet PHYs.
         let eth = |b: &BillOfMaterials| {
             b.lines()

@@ -137,7 +137,10 @@ impl ProcessorPool {
     /// Panics if `cores` is zero or `core_hz` is not positive.
     pub fn new(cores: u32, core_hz: f64) -> Self {
         assert!(cores > 0, "a processor needs at least one core");
-        assert!(core_hz.is_finite() && core_hz > 0.0, "clock must be positive");
+        assert!(
+            core_hz.is_finite() && core_hz > 0.0,
+            "clock must be positive"
+        );
         ProcessorPool {
             capacity_hz: f64::from(cores) * core_hz,
             per_core_hz: core_hz,

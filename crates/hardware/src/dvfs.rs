@@ -88,8 +88,7 @@ impl ScalableCpu {
                 // `ondemand` compares load against capacity *at the current
                 // clock*; a demand that saturates the low clock triggers
                 // the jump. Low-clock capacity as a fraction of max:
-                let low_capacity =
-                    self.min_clock.as_hz() as f64 / self.max_clock.as_hz() as f64;
+                let low_capacity = self.min_clock.as_hz() as f64 / self.max_clock.as_hz() as f64;
                 if load >= low_capacity * up_threshold {
                     self.max_clock
                 } else {
@@ -193,9 +192,6 @@ mod tests {
     #[test]
     fn display_names_governors() {
         assert_eq!(FrequencyGovernor::Performance.to_string(), "performance");
-        assert_eq!(
-            FrequencyGovernor::default().to_string(),
-            "ondemand(95%)"
-        );
+        assert_eq!(FrequencyGovernor::default().to_string(), "ondemand(95%)");
     }
 }

@@ -32,8 +32,8 @@
 //! ```
 
 pub mod cost;
-pub mod dvfs;
 pub mod cpu;
+pub mod dvfs;
 pub mod node;
 pub mod power;
 pub mod rack;

@@ -91,7 +91,11 @@ impl PowerModel {
 
 impl fmt::Display for PowerModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1}W idle / {:.1}W peak", self.idle_watts, self.nameplate_watts)
+        write!(
+            f,
+            "{:.1}W idle / {:.1}W peak",
+            self.idle_watts, self.nameplate_watts
+        )
     }
 }
 
@@ -153,7 +157,11 @@ impl CoolingModel {
 impl fmt::Display for CoolingModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_required() {
-            write!(f, "cooling = {:.0}% of total power", self.fraction_of_total * 100.0)
+            write!(
+                f,
+                "cooling = {:.0}% of total power",
+                self.fraction_of_total * 100.0
+            )
         } else {
             write!(f, "no cooling")
         }
@@ -183,7 +191,10 @@ impl PowerSocket {
     ///
     /// Panics if `watts` is not positive.
     pub fn with_capacity(watts: f64) -> Self {
-        assert!(watts.is_finite() && watts > 0.0, "socket capacity must be positive");
+        assert!(
+            watts.is_finite() && watts > 0.0,
+            "socket capacity must be positive"
+        );
         PowerSocket {
             capacity_watts: watts,
         }

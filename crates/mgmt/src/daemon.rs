@@ -31,7 +31,13 @@ pub struct NodeDaemon {
 
 impl NodeDaemon {
     /// Starts a daemon for node `node` in `rack` running on `spec`.
-    pub fn new(node: NodeId, rack: u16, name: impl Into<String>, spec: NodeSpec, now: SimTime) -> Self {
+    pub fn new(
+        node: NodeId,
+        rack: u16,
+        name: impl Into<String>,
+        spec: NodeSpec,
+        now: SimTime,
+    ) -> Self {
         NodeDaemon {
             node,
             rack,
@@ -203,10 +209,7 @@ mod tests {
     fn spawn_creates_running_container() {
         let mut d = daemon();
         let id = d.spawn("web-0", web()).unwrap();
-        assert_eq!(
-            d.container_states(),
-            vec![(id, ContainerState::Running)]
-        );
+        assert_eq!(d.container_states(), vec![(id, ContainerState::Running)]);
     }
 
     #[test]
@@ -218,7 +221,11 @@ mod tests {
         }
         let err = d.spawn("c6", web()).unwrap_err();
         assert!(matches!(err, HostError::OutOfMemory { .. }));
-        assert_eq!(d.host().containers().count(), 6, "no half-spawned container");
+        assert_eq!(
+            d.host().containers().count(),
+            6,
+            "no half-spawned container"
+        );
     }
 
     #[test]
@@ -243,7 +250,11 @@ mod tests {
         d.set_demand(id, 0.0);
         d.refresh_load(SimTime::from_secs(10)); // 0% from t=10
         let s = d.sample(SimTime::from_secs(20));
-        assert!((s.cpu_mean_utilisation - 0.5).abs() < 0.01, "{}", s.cpu_mean_utilisation);
+        assert!(
+            (s.cpu_mean_utilisation - 0.5).abs() < 0.01,
+            "{}",
+            s.cpu_mean_utilisation
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// An IPv4 address (the testbed is IPv4-only).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct IpAddr4(pub [u8; 4]);
 
 impl IpAddr4 {
@@ -32,9 +30,7 @@ impl fmt::Display for IpAddr4 {
 }
 
 /// A client identity as DHCP sees it (a MAC stand-in).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ClientId(pub u64);
 
 impl fmt::Display for ClientId {
@@ -87,7 +83,7 @@ impl std::error::Error for DhcpError {}
 /// assert_eq!(lease.addr.to_string(), "10.0.0.2");
 /// # Ok::<(), picloud_mgmt::dhcp::DhcpError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DhcpServer {
     /// Active leases by client.
     leases: BTreeMap<ClientId, (u8, Lease)>,
@@ -95,6 +91,14 @@ pub struct DhcpServer {
     next_host: BTreeMap<u8, u8>,
     /// Lease lifetime.
     lease_time: SimDuration,
+}
+
+impl Default for DhcpServer {
+    /// Same as [`DhcpServer::new`]. A derived default would zero the lease
+    /// time, making every lease expire the instant it is granted.
+    fn default() -> Self {
+        DhcpServer::new()
+    }
 }
 
 impl DhcpServer {
@@ -115,7 +119,12 @@ impl DhcpServer {
     /// # Errors
     ///
     /// [`DhcpError::PoolExhausted`] when the /24 has no free host address.
-    pub fn request(&mut self, client: ClientId, rack: u8, now: SimTime) -> Result<Lease, DhcpError> {
+    pub fn request(
+        &mut self,
+        client: ClientId,
+        rack: u8,
+        now: SimTime,
+    ) -> Result<Lease, DhcpError> {
         self.expire(now);
         if let Some((r, lease)) = self.leases.get(&client).copied() {
             if r == rack {
@@ -137,10 +146,7 @@ impl DhcpServer {
             .collect();
         let start = self.next_host.get(&rack).copied().unwrap_or(2);
         // Scan the pool starting from the cursor, wrapping once.
-        let candidate = (0..253u16).map(|i| {
-            
-            2 + ((u16::from(start) - 2 + i) % 253) as u8
-        });
+        let candidate = (0..253u16).map(|i| 2 + ((u16::from(start) - 2 + i) % 253) as u8);
         for host in candidate {
             if !in_use.contains(&host) {
                 let lease = Lease {
@@ -233,7 +239,9 @@ mod tests {
     fn leases_are_stable_per_client() {
         let mut dhcp = DhcpServer::new();
         let l1 = dhcp.request(ClientId(1), 0, SimTime::ZERO).unwrap();
-        let l2 = dhcp.request(ClientId(1), 0, SimTime::from_secs(10)).unwrap();
+        let l2 = dhcp
+            .request(ClientId(1), 0, SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(l1.addr, l2.addr, "renewal keeps the address");
         assert!(l2.expires > l1.expires);
         assert_eq!(dhcp.active_leases(), 1);
@@ -286,7 +294,10 @@ mod tests {
         let a = dhcp.request(ClientId(7), 0, SimTime::ZERO).unwrap();
         let b = dhcp.request(ClientId(7), 2, SimTime::from_secs(1)).unwrap();
         assert_eq!(a.addr.0[2], 0);
-        assert_eq!(b.addr.0[2], 2, "migration to another rack renumbers — the IP-mobility problem §III targets");
+        assert_eq!(
+            b.addr.0[2], 2,
+            "migration to another rack renumbers — the IP-mobility problem §III targets"
+        );
     }
 
     #[test]

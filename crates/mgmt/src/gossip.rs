@@ -59,8 +59,19 @@ pub struct GossipStats {
 pub struct GossipNetwork {
     /// Per-node view: node index → (origin → summary).
     views: Vec<BTreeMap<NodeId, NodeSummary>>,
+    /// Per-node freshness: origin → (highest heartbeat ever seen, round at
+    /// which it advanced past the previous one). The heartbeat component
+    /// doubles as a tombstone: once a holder evicts a stale entry, a
+    /// re-gossiped copy with the same heartbeat is ignored rather than
+    /// resurrected.
+    freshness: Vec<BTreeMap<NodeId, (u64, u32)>>,
     alive: Vec<bool>,
     fanout: usize,
+    /// Evict entries whose heartbeat has not advanced for this many
+    /// rounds. `None` (the default) keeps entries forever.
+    staleness_cutoff: Option<u32>,
+    /// Entries evicted as stale so far.
+    evicted: u64,
     seeds: SeedFactory,
     round: u32,
     messages: u64,
@@ -95,13 +106,32 @@ impl GossipNetwork {
             .collect();
         GossipNetwork {
             views,
+            freshness: vec![BTreeMap::new(); n],
             alive: vec![true; n],
             fanout,
+            staleness_cutoff: None,
+            evicted: 0,
             seeds: seeds.child("gossip"),
             round: 0,
             messages: 0,
             summaries_shipped: 0,
         }
+    }
+
+    /// Enables heartbeat-staleness expiry: an entry whose heartbeat has
+    /// not advanced for `rounds` rounds is evicted from the holder's view,
+    /// so dead peers drop out of merged views instead of lingering
+    /// forever. With a cutoff set, every alive node also bumps its own
+    /// heartbeat each round (the liveness beat the cutoff measures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    #[must_use]
+    pub fn with_staleness_cutoff(mut self, rounds: u32) -> Self {
+        assert!(rounds > 0, "staleness cutoff must be positive");
+        self.staleness_cutoff = Some(rounds);
+        self
     }
 
     /// Number of nodes (alive or failed).
@@ -134,6 +164,8 @@ impl GossipNetwork {
         entry.heartbeat += 1;
         entry.cpu_utilisation = cpu;
         entry.running_containers = running;
+        let stamp = (entry.heartbeat, self.round);
+        self.freshness[node.index()].insert(node, stamp);
     }
 
     /// One node's current view (origin → summary).
@@ -146,6 +178,20 @@ impl GossipNetwork {
     pub fn step(&mut self) {
         self.round += 1;
         let n = self.views.len();
+        // Under a staleness cutoff, liveness is signalled by the heartbeat
+        // advancing; every alive node beats once per round.
+        if self.staleness_cutoff.is_some() {
+            for i in 0..n {
+                if self.alive[i] {
+                    let node = NodeId(i as u32);
+                    if let Some(s) = self.views[i].get_mut(&node) {
+                        s.heartbeat += 1;
+                        let stamp = (s.heartbeat, self.round);
+                        self.freshness[i].insert(node, stamp);
+                    }
+                }
+            }
+        }
         let mut rng = self.seeds.indexed_stream("round", u64::from(self.round));
         // Collect sends first (synchronous round semantics), then merge.
         let mut deliveries: Vec<(usize, Vec<NodeSummary>)> = Vec::new();
@@ -175,14 +221,50 @@ impl GossipNetwork {
         for (peer, payload) in deliveries {
             let view = &mut self.views[peer];
             for s in payload {
-                match view.get(&s.node) {
-                    Some(existing) if existing.heartbeat >= s.heartbeat => {}
-                    _ => {
-                        view.insert(s.node, s);
+                // A summary only counts as news if its heartbeat strictly
+                // beats the highest one this holder has *ever* seen for
+                // that origin — not merely what is currently in the view.
+                // Otherwise an evicted entry re-gossiped by a slower peer
+                // would be resurrected with reset freshness, and dead
+                // nodes would ping-pong between views forever.
+                let advanced = self.freshness[peer]
+                    .get(&s.node)
+                    .is_none_or(|&(hb, _)| s.heartbeat > hb);
+                if advanced {
+                    view.insert(s.node, s);
+                    self.freshness[peer].insert(s.node, (s.heartbeat, self.round));
+                } else if let Some(existing) = view.get_mut(&s.node) {
+                    if s.heartbeat > existing.heartbeat {
+                        *existing = s;
                     }
                 }
             }
         }
+        // Expire entries whose heartbeat stopped advancing: the merged
+        // views forget dead peers after `cutoff` silent rounds.
+        if let Some(cutoff) = self.staleness_cutoff {
+            for holder in 0..n {
+                if !self.alive[holder] {
+                    continue;
+                }
+                let me = NodeId(holder as u32);
+                let round = self.round;
+                let freshness = &self.freshness[holder];
+                let before = self.views[holder].len();
+                self.views[holder].retain(|origin, _| {
+                    *origin == me
+                        || freshness
+                            .get(origin)
+                            .is_some_and(|&(_, seen)| round - seen <= cutoff)
+                });
+                self.evicted += (before - self.views[holder].len()) as u64;
+            }
+        }
+    }
+
+    /// Entries evicted for staleness so far (0 without a cutoff).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Whether every alive node knows a summary for every alive node.
@@ -283,7 +365,11 @@ mod tests {
 
     #[test]
     fn higher_fanout_converges_faster_but_costs_messages() {
-        let run = |fanout: usize| net(56, fanout, 3).run_to_convergence(64).expect("converges");
+        let run = |fanout: usize| {
+            net(56, fanout, 3)
+                .run_to_convergence(64)
+                .expect("converges")
+        };
         let slow = run(1);
         let fast = run(4);
         assert!(fast.rounds <= slow.rounds);
@@ -313,7 +399,10 @@ mod tests {
             g.step();
         }
         let after = g.mean_staleness();
-        assert!(after < before, "gossip spreads the update: {after} < {before}");
+        assert!(
+            after < before,
+            "gossip spreads the update: {after} < {before}"
+        );
         // The new value is actually what peers hold.
         let held = g.view_of(NodeId(15)).get(&NodeId(3)).expect("knows node 3");
         assert_eq!(held.running_containers, 5);
@@ -334,6 +423,49 @@ mod tests {
             assert_eq!(s.heartbeat, 3);
             assert_eq!(s.running_containers, 2);
         }
+    }
+
+    #[test]
+    fn staleness_cutoff_evicts_dead_peers_from_merged_views() {
+        let mut g = net(56, 2, 13).with_staleness_cutoff(6);
+        g.run_to_convergence(64).expect("converges");
+        let victim = NodeId(5);
+        g.fail_node(victim);
+        // Within cutoff + dissemination slack, every alive view forgets
+        // the dead peer; alive peers keep beating and stay known.
+        for _ in 0..16 {
+            g.step();
+        }
+        for holder in 0..56u32 {
+            if holder == 5 {
+                continue;
+            }
+            let view = g.view_of(NodeId(holder));
+            assert!(
+                !view.contains_key(&victim),
+                "holder {holder} still remembers the dead peer"
+            );
+            assert_eq!(view.len(), 55, "holder {holder} lost a live peer");
+        }
+        assert!(g.evicted() > 0);
+    }
+
+    #[test]
+    fn without_cutoff_dead_peers_linger() {
+        let mut g = net(20, 2, 13);
+        g.run_to_convergence(64).expect("converges");
+        g.fail_node(NodeId(3));
+        for _ in 0..16 {
+            g.step();
+        }
+        assert!(g.view_of(NodeId(0)).contains_key(&NodeId(3)));
+        assert_eq!(g.evicted(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness cutoff")]
+    fn zero_cutoff_rejected() {
+        let _ = net(4, 1, 1).with_staleness_cutoff(0);
     }
 
     #[test]

@@ -224,10 +224,7 @@ mod tests {
         let plan = store.upgrade_plan("database").unwrap();
         assert_eq!(plan.stale_nodes.len(), 4);
         assert_eq!(plan.target_version, 2);
-        assert_eq!(
-            plan.total_bytes(),
-            ContainerImage::database().disk_size * 4
-        );
+        assert_eq!(plan.total_bytes(), ContainerImage::database().disk_size * 4);
         store.apply_upgrade(&plan);
         let after = store.upgrade_plan("database").unwrap();
         assert!(after.stale_nodes.is_empty());

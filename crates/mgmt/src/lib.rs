@@ -35,10 +35,11 @@
 //!
 //! let mut master = Pimaster::new();
 //! for _ in 0..4 {
-//!     master.register_node(NodeSpec::pi_model_b_rev1(), 0, SimTime::ZERO);
+//!     master.register_node(NodeSpec::pi_model_b_rev1(), 0, SimTime::ZERO)?;
 //! }
 //! let resp = master.handle(ApiRequest::ClusterSummary, SimTime::ZERO);
 //! assert!(resp.is_ok());
+//! # Ok::<(), picloud_mgmt::api::ApiError>(())
 //! ```
 
 pub mod api;

@@ -97,8 +97,7 @@ impl ClusterSnapshot {
     pub fn hottest_node(&self) -> Option<&NodeSample> {
         self.samples.iter().max_by(|a, b| {
             a.cpu_utilisation
-                .partial_cmp(&b.cpu_utilisation)
-                .expect("utilisation is finite")
+                .total_cmp(&b.cpu_utilisation)
                 .then(b.node.cmp(&a.node))
         })
     }

@@ -137,7 +137,8 @@ mod tests {
     fn loaded_master() -> Pimaster {
         let mut m = Pimaster::new();
         for i in 0..4 {
-            m.register_node(NodeSpec::pi_model_b_rev1(), i / 2, SimTime::ZERO);
+            m.register_node(NodeSpec::pi_model_b_rev1(), i / 2, SimTime::ZERO)
+                .expect("rack subnet has room");
         }
         m.handle(
             ApiRequest::SpawnContainer {
@@ -189,11 +190,7 @@ mod tests {
     fn cpu_bar_scales() {
         let mut m = loaded_master();
         // Saturate node 1's CPU.
-        let id = m
-            .daemon(NodeId(1))
-            .unwrap()
-            .container_states()[0]
-            .0;
+        let id = m.daemon(NodeId(1)).unwrap().container_states()[0].0;
         m.daemon_mut(NodeId(1)).unwrap().set_demand(id, 700e6);
         let view = ControlPanel::new().refresh(&mut m, SimTime::from_secs(1));
         assert!((view.rows[1].cpu_percent - 100.0).abs() < 1e-9);

@@ -39,22 +39,35 @@ impl Pimaster {
 
     /// Registers a new node in `rack`: starts its daemon, leases it an
     /// address and enters it into DNS. Returns its id.
-    pub fn register_node(&mut self, spec: NodeSpec, rack: u16, now: SimTime) -> NodeId {
-        let id = NodeId(self.next_node);
-        self.next_node += 1;
-        let slot = self.rack_slots.entry(rack).or_insert(0);
-        let name = DnsService::node_name(rack, *slot);
-        *slot += 1;
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InsufficientStorage`] when the rack's DHCP pool is
+    /// exhausted; the registration leaves no partial state behind (no id,
+    /// slot or client number is consumed).
+    pub fn register_node(
+        &mut self,
+        spec: NodeSpec,
+        rack: u16,
+        now: SimTime,
+    ) -> Result<NodeId, ApiError> {
+        let slot = self.rack_slots.get(&rack).copied().unwrap_or(0);
+        let name = DnsService::node_name(rack, slot);
         let client = ClientId(self.next_client);
-        self.next_client += 1;
+        // Lease first: it is the only step that can fail, and failing
+        // before any counter moves keeps the registration atomic.
         let lease = self
             .dhcp
             .request(client, u8::try_from(rack).unwrap_or(u8::MAX), now)
-            .expect("node registration must lease");
+            .map_err(|e| ApiError::InsufficientStorage(format!("node registration: {e}")))?;
+        self.next_client += 1;
+        self.rack_slots.insert(rack, slot + 1);
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
         self.dns.register(name.clone(), lease.addr);
         self.daemons
             .insert(id, NodeDaemon::new(id, rack, name, spec, now));
-        id
+        Ok(id)
     }
 
     /// Number of registered nodes.
@@ -94,11 +107,7 @@ impl Pimaster {
 
     /// Polls every daemon — the panel's refresh.
     pub fn snapshot(&mut self, now: SimTime) -> ClusterSnapshot {
-        let samples = self
-            .daemons
-            .values_mut()
-            .map(|d| d.sample(now))
-            .collect();
+        let samples = self.daemons.values_mut().map(|d| d.sample(now)).collect();
         ClusterSnapshot {
             taken_at: now,
             samples,
@@ -130,9 +139,7 @@ impl Pimaster {
                     .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
                 Ok(ApiResponse::Node(daemon.sample(now)))
             }
-            ApiRequest::SpawnContainer { node, name, image } => {
-                self.spawn(node, name, &image, now)
-            }
+            ApiRequest::SpawnContainer { node, name, image } => self.spawn(node, name, &image, now),
             ApiRequest::StopContainer { node, container } => {
                 let daemon = self
                     .daemons
@@ -278,7 +285,8 @@ mod tests {
     fn master_with(n: u32) -> Pimaster {
         let mut m = Pimaster::new();
         for i in 0..n {
-            m.register_node(NodeSpec::pi_model_b_rev1(), (i / 14) as u16, SimTime::ZERO);
+            m.register_node(NodeSpec::pi_model_b_rev1(), (i / 14) as u16, SimTime::ZERO)
+                .expect("rack subnet has room");
         }
         m
     }
@@ -383,7 +391,9 @@ mod tests {
             )
             .unwrap();
         let ApiResponse::Spawned {
-            container, dns_name, ..
+            container,
+            dns_name,
+            ..
         } = resp
         else {
             panic!()
@@ -409,7 +419,10 @@ mod tests {
             SimTime::from_secs(2),
         )
         .unwrap();
-        assert!(m.dns().resolve(&dns_name).is_none(), "DNS record cleaned up");
+        assert!(
+            m.dns().resolve(&dns_name).is_none(),
+            "DNS record cleaned up"
+        );
     }
 
     #[test]
@@ -438,7 +451,12 @@ mod tests {
             SimTime::ZERO,
         )
         .unwrap();
-        let c = m.daemon(NodeId(0)).unwrap().host().container(container).unwrap();
+        let c = m
+            .daemon(NodeId(0))
+            .unwrap()
+            .host()
+            .container(container)
+            .unwrap();
         assert_eq!(c.config().cpu_shares, 2048);
         // Empty limit change is a 400.
         let err = m
@@ -474,7 +492,9 @@ mod tests {
             containers,
             running,
             ..
-        } = m.handle(ApiRequest::ClusterSummary, SimTime::from_secs(1)).unwrap()
+        } = m
+            .handle(ApiRequest::ClusterSummary, SimTime::from_secs(1))
+            .unwrap()
         else {
             panic!()
         };
@@ -522,6 +542,28 @@ mod tests {
         ] {
             assert_eq!(m.handle(req, SimTime::ZERO).unwrap_err().status_code(), 404);
         }
+    }
+
+    #[test]
+    fn exhausted_rack_pool_is_a_507_not_a_panic() {
+        // A /24 rack subnet holds 253 leases (host octets 2..=254).
+        let mut m = Pimaster::new();
+        for _ in 0..253 {
+            m.register_node(NodeSpec::pi_model_b_rev1(), 0, SimTime::ZERO)
+                .expect("pool has room");
+        }
+        let err = m
+            .register_node(NodeSpec::pi_model_b_rev1(), 0, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err.status_code(), 507);
+        // The failed registration consumed nothing: the next rack works
+        // and ids continue contiguously.
+        assert_eq!(m.node_count(), 253);
+        let id = m
+            .register_node(NodeSpec::pi_model_b_rev1(), 1, SimTime::ZERO)
+            .expect("fresh rack leases");
+        assert_eq!(id, NodeId(253));
+        assert!(m.dns().resolve("pi-1-0.picloud").is_some());
     }
 
     #[test]

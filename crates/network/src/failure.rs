@@ -225,7 +225,10 @@ mod tests {
         let degraded = mask.apply(&topo);
         let r = ConnectivityReport::measure(&degraded.topology);
         assert_eq!(r.hosts_up, 56);
-        assert!((r.reachability() - 1.0).abs() < 1e-12, "second root carries all");
+        assert!(
+            (r.reachability() - 1.0).abs() < 1e-12,
+            "second root carries all"
+        );
     }
 
     #[test]
@@ -240,7 +243,11 @@ mod tests {
         assert_eq!(r.hosts_up, 56);
         // Only intra-rack pairs survive: 4 racks x 14 x 13 of 56 x 55.
         let expect = (4 * 14 * 13) as f64 / (56 * 55) as f64;
-        assert!((r.reachability() - expect).abs() < 1e-9, "{}", r.reachability());
+        assert!(
+            (r.reachability() - expect).abs() < 1e-9,
+            "{}",
+            r.reachability()
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a flow within one [`crate::flowsim::FlowSimulator`] run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub u64);
 
 impl fmt::Display for FlowId {

@@ -176,7 +176,11 @@ impl FlowSimulator {
     ///
     /// Panics if `at` is in the past.
     pub fn inject(&mut self, spec: FlowSpec, at: SimTime) -> Result<FlowId, InjectError> {
-        assert!(at >= self.now, "flow injected in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "flow injected in the past ({at} < {})",
+            self.now
+        );
         self.advance_to(at);
         let id = FlowId(self.next_id);
         let path = self
@@ -330,7 +334,11 @@ impl FlowSimulator {
             .iter()
             .map(|l| (l.id, self.mean_link_utilisation(l.id)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("utilisation is finite").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("utilisation is finite")
+                .then(a.0.cmp(&b.0))
+        });
         v.truncate(n);
         v
     }
@@ -399,7 +407,11 @@ impl FlowSimulator {
         }
         for (r, gauge) in self.resource_util.iter_mut().enumerate() {
             let cap = self.resource_capacity[r];
-            let u = if cap > 0.0 { (used[r] / cap).clamp(0.0, 1.0) } else { 0.0 };
+            let u = if cap > 0.0 {
+                (used[r] / cap).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             gauge.set(self.now, u);
         }
     }
@@ -444,10 +456,7 @@ impl FlowSimulator {
             // weighted share of the bottleneck's fair rate.
             let mut still = Vec::with_capacity(unfrozen.len());
             for id in unfrozen.drain(..) {
-                let crosses = self.active[&id]
-                    .resources
-                    .iter()
-                    .any(|r| r.0 == bott);
+                let crosses = self.active[&id].resources.iter().any(|r| r.0 == bott);
                 if crosses {
                     let w = self.active[&id].flow.spec.weight;
                     let rate = fair * w;
@@ -539,10 +548,16 @@ mod tests {
         let topo = Topology::multi_root_tree(2, 2, 1);
         let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
         let mut s = sim(topo);
-        s.inject(FlowSpec::new(hosts[0], hosts[2], Bytes::mib(1)), SimTime::ZERO)
-            .unwrap();
-        s.inject(FlowSpec::new(hosts[0], hosts[3], Bytes::mib(1)), SimTime::ZERO)
-            .unwrap();
+        s.inject(
+            FlowSpec::new(hosts[0], hosts[2], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        s.inject(
+            FlowSpec::new(hosts[0], hosts[3], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let end = s.run_to_completion();
         let expect = 2.0 * 8.0 * 1024.0 * 1024.0 / 100e6; // serialised by sharing
         assert!(
@@ -557,10 +572,16 @@ mod tests {
         let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
         let mut s = sim(topo);
         // hosts[0] -> hosts[1] within rack 0; hosts[2] -> hosts[3] within rack 1.
-        s.inject(FlowSpec::new(hosts[0], hosts[1], Bytes::mib(1)), SimTime::ZERO)
-            .unwrap();
-        s.inject(FlowSpec::new(hosts[2], hosts[3], Bytes::mib(1)), SimTime::ZERO)
-            .unwrap();
+        s.inject(
+            FlowSpec::new(hosts[0], hosts[1], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        s.inject(
+            FlowSpec::new(hosts[2], hosts[3], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let end = s.run_to_completion();
         let expect = 8.0 * 1024.0 * 1024.0 / 100e6;
         assert!((end.as_secs_f64() - expect).abs() < 0.001);
@@ -596,10 +617,16 @@ mod tests {
             // max-min and equal-share agree on symmetric demand, so build an
             // asymmetric case: two flows share a link that one of them
             // leaves early.
-            s.inject(FlowSpec::new(hosts[0], hosts[2], Bytes::mib(8)), SimTime::ZERO)
-                .unwrap();
-            s.inject(FlowSpec::new(hosts[1], hosts[2], Bytes::mib(8)), SimTime::ZERO)
-                .unwrap();
+            s.inject(
+                FlowSpec::new(hosts[0], hosts[2], Bytes::mib(8)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            s.inject(
+                FlowSpec::new(hosts[1], hosts[2], Bytes::mib(8)),
+                SimTime::ZERO,
+            )
+            .unwrap();
             s.run_to_completion().as_secs_f64()
         };
         let _ = topo;
@@ -651,11 +678,8 @@ mod tests {
             let topo = Topology::multi_root_tree(2, 1, 1);
             let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
             let (a, b) = (hosts[0], hosts[1]);
-            let mut s = FlowSimulator::new(
-                topo,
-                RoutingPolicy::SingleShortest,
-                RateAllocator::MaxMin,
-            );
+            let mut s =
+                FlowSimulator::new(topo, RoutingPolicy::SingleShortest, RateAllocator::MaxMin);
             s.inject(
                 FlowSpec::new(a, b, Bytes::mib(64))
                     .with_tag("migration")

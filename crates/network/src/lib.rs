@@ -39,5 +39,5 @@ pub mod topology;
 pub use failure::{ConnectivityReport, FailureMask};
 pub use flow::{Flow, FlowId, FlowSpec};
 pub use flowsim::{FlowSimulator, RateAllocator};
-pub use routing::{RoutingPolicy, Router};
+pub use routing::{Router, RoutingPolicy};
 pub use topology::{DeviceId, DeviceKind, Link, LinkId, Topology};

@@ -128,7 +128,9 @@ mod tests {
         let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
         let mut router = Router::new(RoutingPolicy::SingleShortest);
         let p1 = router.route(&topo, hosts[0], hosts[1], FlowId(1)).unwrap();
-        let p2 = router.route(&topo, hosts[0], hosts[1], FlowId(999)).unwrap();
+        let p2 = router
+            .route(&topo, hosts[0], hosts[1], FlowId(999))
+            .unwrap();
         assert_eq!(p1, p2);
     }
 
@@ -140,7 +142,11 @@ mod tests {
         let used: HashSet<Vec<LinkId>> = (0..64)
             .map(|i| router.route(&topo, hosts[0], hosts[1], FlowId(i)).unwrap())
             .collect();
-        assert!(used.len() >= 3, "ECMP should hit several of the 4 paths, hit {}", used.len());
+        assert!(
+            used.len() >= 3,
+            "ECMP should hit several of the 4 paths, hit {}",
+            used.len()
+        );
     }
 
     #[test]

@@ -17,9 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies a device (host, switch or router) in a topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DeviceId(pub u32);
 
 impl DeviceId {
@@ -36,9 +34,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// Identifies a link in a topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -337,7 +333,10 @@ impl Topology {
         roots: u16,
         rates: LinkRates,
     ) -> Topology {
-        assert!(racks > 0 && hosts_per_rack > 0 && roots > 0, "counts must be positive");
+        assert!(
+            racks > 0 && hosts_per_rack > 0 && roots > 0,
+            "counts must be positive"
+        );
         let mut t = Topology::new(format!("multi-root-tree-{racks}x{hosts_per_rack}"));
         let lat_access = SimDuration::from_micros(50);
         let lat_fabric = SimDuration::from_micros(20);
@@ -383,7 +382,10 @@ impl Topology {
     ///
     /// Panics if `k` is odd or less than 2.
     pub fn fat_tree_with(k: u16, rates: LinkRates) -> Topology {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
         let half = k / 2;
         let mut t = Topology::new(format!("fat-tree-k{k}"));
         let lat_access = SimDuration::from_micros(50);
@@ -413,8 +415,7 @@ impl Topology {
                     t.add_link(edge, agg, rates.fabric, lat_fabric);
                 }
                 for h in 0..half {
-                    let host =
-                        t.add_device(DeviceKind::Host { rack }, format!("pi-{pod}-{e}-{h}"));
+                    let host = t.add_device(DeviceKind::Host { rack }, format!("pi-{pod}-{e}-{h}"));
                     t.add_link(host, edge, rates.access, lat_access);
                 }
             }
@@ -489,7 +490,8 @@ mod tests {
             .count();
         assert_eq!(aggs, 2);
         assert_eq!(
-            t.devices_where(|k| matches!(k, DeviceKind::Gateway)).count(),
+            t.devices_where(|k| matches!(k, DeviceKind::Gateway))
+                .count(),
             1
         );
         assert!(t.is_connected());
@@ -510,13 +512,18 @@ mod tests {
         let t = Topology::fat_tree(4);
         // k^3/4 = 16 hosts, 4 core, 8 agg, 8 edge.
         assert_eq!(t.hosts().count(), 16);
-        assert_eq!(t.devices_where(|k| matches!(k, DeviceKind::Core)).count(), 4);
         assert_eq!(
-            t.devices_where(|k| matches!(k, DeviceKind::Aggregation)).count(),
+            t.devices_where(|k| matches!(k, DeviceKind::Core)).count(),
+            4
+        );
+        assert_eq!(
+            t.devices_where(|k| matches!(k, DeviceKind::Aggregation))
+                .count(),
             8
         );
         assert_eq!(
-            t.devices_where(|k| matches!(k, DeviceKind::TopOfRack { .. })).count(),
+            t.devices_where(|k| matches!(k, DeviceKind::TopOfRack { .. }))
+                .count(),
             8
         );
         assert!(t.is_connected());

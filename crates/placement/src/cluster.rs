@@ -14,9 +14,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies one placement (a scheduled container/VM) in a view.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PlacementTicket(pub u64);
 
 impl fmt::Display for PlacementTicket {
@@ -187,9 +185,7 @@ impl ClusterView {
     }
 
     /// Iterates `(ticket, node, request)` in ticket order.
-    pub fn placements(
-        &self,
-    ) -> impl Iterator<Item = (PlacementTicket, NodeId, &PlacementRequest)> {
+    pub fn placements(&self) -> impl Iterator<Item = (PlacementTicket, NodeId, &PlacementRequest)> {
         self.placements.iter().map(|(t, (n, r))| (*t, *n, r))
     }
 
@@ -268,7 +264,10 @@ impl ClusterView {
         // Re-commit preserving the ticket id for caller bookkeeping.
         {
             let state = &self.nodes[target.index()];
-            assert!(state.fits(&req), "relocation target {target} cannot fit {req:?}");
+            assert!(
+                state.fits(&req),
+                "relocation target {target} cannot fit {req:?}"
+            );
         }
         let state = &mut self.nodes[target.index()];
         state.ram_used += req.ram;
@@ -292,6 +291,19 @@ impl ClusterView {
 
     /// Powers a node back on.
     pub fn power_on(&mut self, node: NodeId) {
+        self.nodes[node.index()].powered_on = true;
+    }
+
+    /// Marks a node unschedulable *without* requiring it to be empty —
+    /// cordoning for a node that is suspected dead or unresponsive while
+    /// its placements are still being reclaimed. Placement policies skip
+    /// it exactly as if it were powered off.
+    pub fn cordon(&mut self, node: NodeId) {
+        self.nodes[node.index()].powered_on = false;
+    }
+
+    /// Reverses [`ClusterView::cordon`]: the node takes placements again.
+    pub fn uncordon(&mut self, node: NodeId) {
         self.nodes[node.index()].powered_on = true;
     }
 
@@ -369,7 +381,10 @@ mod tests {
         view.release(t);
         view.power_off(NodeId(3));
         assert_eq!(view.powered_on_count(), 55);
-        assert!(!view.node(NodeId(3)).fits(&small_req()), "off nodes reject work");
+        assert!(
+            !view.node(NodeId(3)).fits(&small_req()),
+            "off nodes reject work"
+        );
         view.power_on(NodeId(3));
         assert!(view.node(NodeId(3)).fits(&small_req()));
     }
@@ -389,10 +404,7 @@ mod tests {
         view.commit(NodeId(1), small_req().with_group(7));
         view.commit(NodeId(9), small_req().with_group(7));
         view.commit(NodeId(2), small_req().with_group(8));
-        assert_eq!(
-            view.nodes_hosting_group(7),
-            vec![NodeId(1), NodeId(9)]
-        );
+        assert_eq!(view.nodes_hosting_group(7), vec![NodeId(1), NodeId(9)]);
     }
 
     #[test]

@@ -129,9 +129,7 @@ impl Consolidator {
             .nodes()
             .iter()
             .filter(|n| {
-                n.powered_on
-                    && !n.ram_used.is_zero()
-                    && n.ram_utilisation() <= self.donor_threshold
+                n.powered_on && !n.ram_used.is_zero() && n.ram_utilisation() <= self.donor_threshold
             })
             .map(|n| n.node)
             .collect();
@@ -169,10 +167,7 @@ impl Consolidator {
                     .nodes()
                     .iter()
                     .filter(|n| {
-                        n.powered_on
-                            && n.node != donor
-                            && !n.ram_used.is_zero()
-                            && n.fits(&req)
+                        n.powered_on && n.node != donor && !n.ram_used.is_zero() && n.fits(&req)
                     })
                     .map(|n| n.node)
                     .collect();
@@ -241,8 +236,7 @@ mod tests {
 
     fn spread_cluster(n_placements: usize) -> ClusterView {
         let mut view = ClusterView::picloud_default();
-        let reqs =
-            vec![PlacementRequest::new(Bytes::mib(30), 50e6); n_placements];
+        let reqs = vec![PlacementRequest::new(Bytes::mib(30), 50e6); n_placements];
         let mut policy = WorstFit;
         place_all(&mut view, &mut policy, &reqs).unwrap();
         view
@@ -285,10 +279,7 @@ mod tests {
         let mut view = ClusterView::picloud_default();
         for n in 0..56u32 {
             for _ in 0..5 {
-                view.commit(
-                    NodeId(n),
-                    PlacementRequest::new(Bytes::mib(30), 10e6),
-                );
+                view.commit(NodeId(n), PlacementRequest::new(Bytes::mib(30), 10e6));
             }
         }
         // 150/192 = 78% > 50% threshold.

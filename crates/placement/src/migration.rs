@@ -123,8 +123,8 @@ impl LiveMigrationModel {
                 total_sent += dirtied;
                 elapsed += down;
                 converged = true;
-                let downtime = SimDuration::from_secs_f64(down)
-                    .saturating_add(self.activation_overhead);
+                let downtime =
+                    SimDuration::from_secs_f64(down).saturating_add(self.activation_overhead);
                 return MigrationOutcome {
                     total_time: SimDuration::from_secs_f64(elapsed)
                         .saturating_add(self.activation_overhead),
@@ -140,8 +140,8 @@ impl LiveMigrationModel {
                 let down = dirtied / bw_bytes;
                 total_sent += dirtied;
                 elapsed += down;
-                let downtime = SimDuration::from_secs_f64(down)
-                    .saturating_add(self.activation_overhead);
+                let downtime =
+                    SimDuration::from_secs_f64(down).saturating_add(self.activation_overhead);
                 return MigrationOutcome {
                     total_time: SimDuration::from_secs_f64(elapsed)
                         .saturating_add(self.activation_overhead),
@@ -248,7 +248,10 @@ mod tests {
             .map(|&r| m.pre_copy(ram, r).total_time.as_secs_f64())
             .collect();
         for w in totals.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9, "total time must not shrink: {totals:?}");
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "total time must not shrink: {totals:?}"
+            );
         }
     }
 

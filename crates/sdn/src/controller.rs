@@ -149,7 +149,9 @@ impl SdnController {
         self.switches
             .values_mut()
             .map(|sw| {
-                sw.remove_where(|r| matches!(r.action, crate::flowtable::Action::Forward(l) if l == link))
+                sw.remove_where(
+                    |r| matches!(r.action, crate::flowtable::Action::Forward(l) if l == link),
+                )
             })
             .sum()
     }
@@ -273,9 +275,7 @@ impl SdnController {
     pub fn flush_rules_for_host(&mut self, host: DeviceId) -> usize {
         self.switches
             .values_mut()
-            .map(|sw| {
-                sw.remove_where(|r| r.fields.src == Some(host) || r.fields.dst == Some(host))
-            })
+            .map(|sw| sw.remove_where(|r| r.fields.src == Some(host) || r.fields.dst == Some(host)))
             .sum()
     }
 }
@@ -324,7 +324,12 @@ mod tests {
         let mut ctrl = SdnController::new(topo, InstallMode::Proactive);
         // 7 switches (4 ToR + 2 agg + 1 gateway... gateway is a switch-kind
         // device too) each hold one rule per host.
-        let switches = ctrl.topology().devices().iter().filter(|d| !d.kind.is_host()).count();
+        let switches = ctrl
+            .topology()
+            .devices()
+            .iter()
+            .filter(|d| !d.kind.is_host())
+            .count();
         assert_eq!(ctrl.total_rules(), switches * 56);
         let out = ctrl.route(hosts[3], hosts[40]);
         assert!(out.cache_hit);

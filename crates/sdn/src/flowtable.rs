@@ -338,7 +338,10 @@ mod tests {
                 .with_priority(200),
             SimTime::ZERO,
         );
-        assert_eq!(t.lookup(key(), SimTime::ZERO), Some(Action::Forward(LinkId(5))));
+        assert_eq!(
+            t.lookup(key(), SimTime::ZERO),
+            Some(Action::Forward(LinkId(5)))
+        );
     }
 
     #[test]
@@ -352,13 +355,19 @@ mod tests {
             FlowRule::new(MatchFields::any(), Action::Forward(LinkId(2))),
             SimTime::ZERO,
         );
-        assert_eq!(t.lookup(key(), SimTime::ZERO), Some(Action::Forward(LinkId(1))));
+        assert_eq!(
+            t.lookup(key(), SimTime::ZERO),
+            Some(Action::Forward(LinkId(1)))
+        );
     }
 
     #[test]
     fn counters_update_on_match() {
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(MatchFields::any(), Action::Drop), SimTime::ZERO);
+        t.install(
+            FlowRule::new(MatchFields::any(), Action::Drop),
+            SimTime::ZERO,
+        );
         t.lookup(key(), SimTime::from_secs(5));
         t.lookup(key(), SimTime::from_secs(9));
         let r = t.rules().next().unwrap();
@@ -422,7 +431,10 @@ mod tests {
             SimTime::ZERO,
         );
         // Touch rule 1 so rule 2 is the LRU victim.
-        t.lookup(FlowKey::pair(DeviceId(0), DeviceId(1)), SimTime::from_secs(1));
+        t.lookup(
+            FlowKey::pair(DeviceId(0), DeviceId(1)),
+            SimTime::from_secs(1),
+        );
         t.install(
             FlowRule::new(MatchFields::to_dst(DeviceId(3)), Action::Drop),
             SimTime::from_secs(2),
@@ -431,13 +443,22 @@ mod tests {
         assert_eq!(t.evictions(), 1);
         // Rule for dst 2 was evicted; 1 and 3 remain.
         assert!(t
-            .lookup(FlowKey::pair(DeviceId(0), DeviceId(2)), SimTime::from_secs(2))
+            .lookup(
+                FlowKey::pair(DeviceId(0), DeviceId(2)),
+                SimTime::from_secs(2)
+            )
             .is_none());
         assert!(t
-            .lookup(FlowKey::pair(DeviceId(0), DeviceId(1)), SimTime::from_secs(2))
+            .lookup(
+                FlowKey::pair(DeviceId(0), DeviceId(1)),
+                SimTime::from_secs(2)
+            )
             .is_some());
         assert!(t
-            .lookup(FlowKey::pair(DeviceId(0), DeviceId(3)), SimTime::from_secs(2))
+            .lookup(
+                FlowKey::pair(DeviceId(0), DeviceId(3)),
+                SimTime::from_secs(2)
+            )
             .is_some());
     }
 

@@ -21,9 +21,7 @@ use std::fmt;
 
 /// A flat routing label: the identity of a service endpoint (in the
 /// PiCloud, a container), independent of where it runs.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Label(pub u64);
 
 impl fmt::Display for Label {
@@ -179,11 +177,7 @@ impl IplessFabric {
                 // Every rule naming the old address is stale; sessions break.
                 self.controller.advance_to(now);
                 let rules = self.controller.flush_rules_for_host(old_host);
-                let disrupted = self
-                    .ip_sessions
-                    .iter()
-                    .filter(|(_, l)| *l == label)
-                    .count();
+                let disrupted = self.ip_sessions.iter().filter(|(_, l)| *l == label).count();
                 self.ip_sessions.retain(|(_, l)| *l != label);
                 MigrationImpact {
                     rules_touched: rules,

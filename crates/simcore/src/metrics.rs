@@ -44,10 +44,7 @@ impl Counter {
 
     /// Adds `n` to the counter.
     pub fn add(&mut self, n: u64) {
-        self.value = self
-            .value
-            .checked_add(n)
-            .expect("counter overflowed u64");
+        self.value = self.value.checked_add(n).expect("counter overflowed u64");
     }
 
     /// Adds one.
@@ -154,18 +151,24 @@ impl TimeWeightedGauge {
     ///
     /// Returns the instantaneous value if no time has passed.
     pub fn mean(&self, now: SimTime) -> f64 {
-        let total = now.saturating_duration_since(self.observed_from).as_secs_f64();
+        let total = now
+            .saturating_duration_since(self.observed_from)
+            .as_secs_f64();
         if total <= 0.0 {
             return self.current;
         }
-        let tail = now.saturating_duration_since(self.last_change).as_secs_f64();
+        let tail = now
+            .saturating_duration_since(self.last_change)
+            .as_secs_f64();
         (self.weighted_sum + self.current * tail) / total
     }
 
     /// Integral of the gauge over time (value × seconds); e.g. watts
     /// integrated to joules.
     pub fn integral(&self, now: SimTime) -> f64 {
-        let tail = now.saturating_duration_since(self.last_change).as_secs_f64();
+        let tail = now
+            .saturating_duration_since(self.last_change)
+            .as_secs_f64();
         self.weighted_sum + self.current * tail
     }
 }
@@ -454,7 +457,9 @@ mod tests {
 
     #[test]
     fn histogram_stddev() {
-        let h: Histogram = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let h: Histogram = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((h.stddev().unwrap() - 2.0).abs() < 1e-12);
     }
 

@@ -64,7 +64,9 @@ impl SeedFactory {
         key[8..16].copy_from_slice(&h.to_le_bytes());
         let mut h2 = h;
         for (i, chunk) in key[16..].chunks_mut(8).enumerate() {
-            h2 = h2.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64 + 1);
+            h2 = h2
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64 + 1);
             chunk.copy_from_slice(&h2.to_le_bytes());
         }
         ChaCha12Rng::from_seed(key)

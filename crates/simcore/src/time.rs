@@ -296,7 +296,10 @@ mod tests {
 
     #[test]
     fn saturating_operations_do_not_wrap() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_duration_since(SimTime::from_secs(5)),
             SimDuration::ZERO

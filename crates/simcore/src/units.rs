@@ -302,7 +302,10 @@ impl Power {
     ///
     /// Panics on negative or non-finite input.
     pub fn watts(w: f64) -> Self {
-        assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "power must be finite and non-negative"
+        );
         Power(w)
     }
 
@@ -359,7 +362,10 @@ impl Energy {
 
     /// Creates an energy from joules.
     pub fn joules(j: f64) -> Self {
-        assert!(j.is_finite() && j >= 0.0, "energy must be finite and non-negative");
+        assert!(
+            j.is_finite() && j >= 0.0,
+            "energy must be finite and non-negative"
+        );
         Energy(j)
     }
 
@@ -649,7 +655,10 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_never_completes() {
-        assert_eq!(Bandwidth::ZERO.transfer_time(Bytes::new(1)), SimDuration::MAX);
+        assert_eq!(
+            Bandwidth::ZERO.transfer_time(Bytes::new(1)),
+            SimDuration::MAX
+        );
     }
 
     #[test]
@@ -688,7 +697,10 @@ mod tests {
         let pi_clock = Frequency::mhz(700);
         let t = pi_clock.time_for(Cycles::mega(700));
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
-        assert_eq!(pi_clock.cycles_in(SimDuration::from_secs(2)), Cycles::mega(1400));
+        assert_eq!(
+            pi_clock.cycles_in(SimDuration::from_secs(2)),
+            Cycles::mega(1400)
+        );
         assert_eq!(Frequency::hz(0).time_for(Cycles::new(1)), SimDuration::MAX);
     }
 

@@ -77,8 +77,11 @@ impl KvStoreSpec {
                 .mul_f64(1.0 - self.cache_hit_ratio),
             DbOp::Put => {
                 // WAL append (sequential) + page write (random).
-                storage.service_time(self.page_size, AccessPattern::Sequential, IoDirection::Write)
-                    + storage.service_time(self.page_size, AccessPattern::Random, IoDirection::Write)
+                storage.service_time(
+                    self.page_size,
+                    AccessPattern::Sequential,
+                    IoDirection::Write,
+                ) + storage.service_time(self.page_size, AccessPattern::Random, IoDirection::Write)
             }
             DbOp::Scan => storage.service_time(
                 Bytes::new(self.page_size.as_u64() * u64::from(self.scan_pages)),
@@ -90,12 +93,7 @@ impl KvStoreSpec {
     }
 
     /// Sustainable operations per second for a single-threaded store.
-    pub fn max_throughput_ops(
-        &self,
-        op: DbOp,
-        storage: &StorageSpec,
-        clock: Frequency,
-    ) -> f64 {
+    pub fn max_throughput_ops(&self, op: DbOp, storage: &StorageSpec, clock: Frequency) -> f64 {
         let t = self.mean_service_time(op, storage, clock).as_secs_f64();
         if t <= 0.0 {
             f64::INFINITY

@@ -142,7 +142,10 @@ mod tests {
     fn pi_core_serves_hundreds_of_static_pages() {
         let s = HttpServerSpec::lighttpd();
         let rps = s.max_throughput_rps(700e6, &HttpRequest::static_page());
-        assert!(rps > 100.0 && rps < 1000.0, "plausible Pi figure, got {rps}");
+        assert!(
+            rps > 100.0 && rps < 1000.0,
+            "plausible Pi figure, got {rps}"
+        );
     }
 
     #[test]
@@ -170,9 +173,7 @@ mod tests {
         let light = HttpServerSpec::lighttpd();
         let heavy = HttpServerSpec::apache_like();
         let req = HttpRequest::static_page();
-        assert!(
-            heavy.max_throughput_rps(700e6, &req) < light.max_throughput_rps(700e6, &req)
-        );
+        assert!(heavy.max_throughput_rps(700e6, &req) < light.max_throughput_rps(700e6, &req));
     }
 
     #[test]

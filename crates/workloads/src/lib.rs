@@ -17,13 +17,17 @@
 //!   measurement literature the paper cites (Benson et al., VL2).
 //! * [`websim`] — a discrete-event M/D/1 web-server simulation on the
 //!   event engine, validating the closed-form httpd estimates.
+//! * [`blackout`] — per-container outage accounting: downtime windows,
+//!   lost requests and fleet availability under node failures.
 
+pub mod blackout;
 pub mod database;
 pub mod httpd;
 pub mod mapreduce;
 pub mod traffic;
 pub mod websim;
 
+pub use blackout::{Outage, OutageLedger};
 pub use httpd::{HttpRequest, HttpServerSpec};
 pub use mapreduce::{MapReduceJob, MapReducePlan};
 pub use traffic::{TrafficPattern, TrafficWorkload};

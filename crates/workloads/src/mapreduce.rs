@@ -95,7 +95,10 @@ impl MapReduceJob {
     ///
     /// Panics if `workers` is empty or the job has zero tasks.
     pub fn plan(&self, workers: &[DeviceId]) -> MapReducePlan {
-        assert!(!workers.is_empty(), "a MapReduce job needs at least one worker");
+        assert!(
+            !workers.is_empty(),
+            "a MapReduce job needs at least one worker"
+        );
         assert!(
             self.map_tasks > 0 && self.reduce_tasks > 0,
             "job must have map and reduce tasks"
@@ -280,7 +283,10 @@ mod tests {
     fn colocated_shuffle_pairs_skip_network() {
         let job = MapReduceJob::wordcount(Bytes::mib(64));
         let plan = job.plan(&[DeviceId(7)]);
-        assert!(plan.shuffle_flows().is_empty(), "single node: all-local shuffle");
+        assert!(
+            plan.shuffle_flows().is_empty(),
+            "single node: all-local shuffle"
+        );
     }
 
     #[test]
@@ -336,8 +342,16 @@ mod tests {
         let (mut sim_a, hosts) = pi_cluster();
         let (mut sim_b, _) = pi_cluster();
         let plan = job.plan(&hosts);
-        let pi = plan.execute(&mut sim_a, Frequency::mhz(700), &StorageSpec::sd_card_16gb());
-        let x86 = plan.execute(&mut sim_b, Frequency::ghz(3), &StorageSpec::server_sata_disk());
+        let pi = plan.execute(
+            &mut sim_a,
+            Frequency::mhz(700),
+            &StorageSpec::sd_card_16gb(),
+        );
+        let x86 = plan.execute(
+            &mut sim_b,
+            Frequency::ghz(3),
+            &StorageSpec::server_sata_disk(),
+        );
         assert!(pi.map_time > x86.map_time);
         assert!(pi.reduce_time > x86.reduce_time);
     }

@@ -81,7 +81,10 @@ impl TrafficPattern {
     ///
     /// Panics if `rate` is not positive.
     pub fn with_arrival_rate(mut self, rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
         self.flows_per_host_per_sec = rate;
         self
     }

@@ -216,7 +216,11 @@ mod tests {
         let mean = r.latency.mean().unwrap();
         assert!(mean < service * 1.3, "mean {mean} vs service {service}");
         assert_eq!(r.shed, 0);
-        assert!((r.mean_utilisation - 0.143).abs() < 0.02, "{}", r.mean_utilisation);
+        assert!(
+            (r.mean_utilisation - 0.143).abs() < 0.02,
+            "{}",
+            r.mean_utilisation
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ fn main() {
     // A live walk-through: lose one root, then both.
     let topo = Topology::multi_root_tree(4, 14, 2);
     let roots = aggregation_devices(&topo);
-    println!("\nWalk-through on the paper fabric ({} aggregation roots):", roots.len());
+    println!(
+        "\nWalk-through on the paper fabric ({} aggregation roots):",
+        roots.len()
+    );
     let mut mask = FailureMask::none();
     println!("  healthy:         {}", ConnectivityReport::measure(&topo));
     mask.fail_device(roots[0]);

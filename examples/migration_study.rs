@@ -32,7 +32,11 @@ fn main() {
             out.downtime.to_string(),
             out.total_time.to_string(),
             out.rounds,
-            if out.converged { "converged" } else { "DIVERGED (stop-and-copy fallback)" }
+            if out.converged {
+                "converged"
+            } else {
+                "DIVERGED (stop-and-copy fallback)"
+            }
         );
     }
     println!();

@@ -23,11 +23,7 @@ fn main() {
     // Fig. 1 — the racks.
     println!("--- Fig. 1: the racks (first rack shown) ---");
     let racks = cloud.render_racks();
-    let first_rack: String = racks
-        .lines()
-        .take(17)
-        .collect::<Vec<_>>()
-        .join("\n");
+    let first_rack: String = racks.lines().take(17).collect::<Vec<_>>().join("\n");
     println!("{first_rack}\n");
 
     // Fig. 2 — the architecture.
@@ -42,7 +38,10 @@ fn main() {
         .expect("a fresh Pi hosts the standard stack");
     println!("{}", stack.render_ascii());
     for member in stack.members() {
-        println!("  {} -> {} @ {}", member.image, member.dns_name, member.address);
+        println!(
+            "  {} -> {} @ {}",
+            member.image, member.dns_name, member.address
+        );
     }
     println!();
 

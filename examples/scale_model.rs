@@ -30,7 +30,10 @@ fn main() {
     for rps in [50.0, 175.0, 280.0, 330.0, 420.0] {
         let cfg = WebSimConfig::pi_static(rps);
         let report = simulate(&cfg, 30_000, &seeds);
-        println!("  offered {rps:>4.0} req/s (rho {:.2}): {report}", cfg.rho());
+        println!(
+            "  offered {rps:>4.0} req/s (rho {:.2}): {report}",
+            cfg.rho()
+        );
     }
 
     // E15: the cpufreq governors over a diurnal day.

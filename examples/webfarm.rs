@@ -60,8 +60,9 @@ fn main() {
 
     // Drive three load epochs: night, morning, peak.
     let panel = ControlPanel::new();
-    for (epoch, (label, base_rps)) in
-        [("night", 20.0), ("morning", 120.0), ("peak", 320.0)].iter().enumerate()
+    for (epoch, (label, base_rps)) in [("night", 20.0), ("morning", 120.0), ("peak", 320.0)]
+        .iter()
+        .enumerate()
     {
         let now = SimTime::from_secs(epoch as u64 * 3600);
         for (node, ct) in &farm {

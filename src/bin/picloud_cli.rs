@@ -14,8 +14,8 @@ use picloud::experiments::{
     fig2::Fig2, fig3::Fig3, fig4::Fig4, image_dist::ImageDistributionExperiment,
     migration_exp::MigrationExperiment, oversub_exp::OversubscriptionExperiment,
     p2p_mgmt::P2pMgmtExperiment, placement_exp::PlacementExperiment, power::PowerExperiment,
-    sdn_exp::SdnExperiment, sla_exp::SlaExperiment, table1::Table1,
-    traffic_exp::TrafficExperiment,
+    recovery_exp::RecoveryExperiment, sdn_exp::SdnExperiment, sla_exp::SlaExperiment,
+    table1::Table1, traffic_exp::TrafficExperiment,
 };
 use picloud::PiCloud;
 use picloud_simcore::SimDuration;
@@ -27,7 +27,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig2", "Fig. 2: fabric comparison (tree / fat-tree / Clos)"),
     ("fig3", "Fig. 3: software stack & container density"),
     ("fig4", "Fig. 4: management control panel workflow"),
-    ("power", "C2/E9: whole-cloud power & the single-socket claim"),
+    (
+        "power",
+        "C2/E9: whole-cloud power & the single-socket claim",
+    ),
     ("placement", "E5: placement policies & consolidation ledger"),
     ("migration", "E6: cold vs pre-copy migration sweep"),
     ("traffic", "E7: DC traffic locality/congestion sweep"),
@@ -39,6 +42,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("oversub", "E14: CPU oversubscription"),
     ("sla", "E16: placement density vs web latency (SLA)"),
     ("dvfs", "E15: cpufreq governors"),
+    (
+        "recovery",
+        "E17: failure recovery / self-healing under churn",
+    ),
 ];
 
 fn run_one(name: &str, seed: u64) -> bool {
@@ -62,7 +69,10 @@ fn run_one(name: &str, seed: u64) -> bool {
             MigrationExperiment::paper_scale(),
             MigrationExperiment::gigabit_recable()
         ),
-        "traffic" => println!("{}", TrafficExperiment::run(seed, SimDuration::from_secs(30))),
+        "traffic" => println!(
+            "{}",
+            TrafficExperiment::run(seed, SimDuration::from_secs(30))
+        ),
         "sdn" => println!("{}", SdnExperiment::paper_scale()),
         "fidelity" => println!("{}", FidelityExperiment::run(seed, 56)),
         "failures" => println!("{}", FailureExperiment::run(seed)),
@@ -71,6 +81,7 @@ fn run_one(name: &str, seed: u64) -> bool {
         "oversub" => println!("{}", OversubscriptionExperiment::paper_scale()),
         "sla" => println!("{}", SlaExperiment::run(seed, 168, 0.05)),
         "dvfs" => println!("{}", DvfsExperiment::paper_scale()),
+        "recovery" => println!("{}", RecoveryExperiment::run(seed)),
         _ => return false,
     }
     true

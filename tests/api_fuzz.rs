@@ -44,14 +44,18 @@ fn arb_request() -> impl Strategy<Value = ApiRequest> {
             node: NodeId(n),
             container: ContainerId(c),
         }),
-        (node, container, prop::option::of(1u32..4096), prop::option::of(8u64..256)).prop_map(
-            |(n, c, shares, mem)| ApiRequest::SetVmLimits {
+        (
+            node,
+            container,
+            prop::option::of(1u32..4096),
+            prop::option::of(8u64..256)
+        )
+            .prop_map(|(n, c, shares, mem)| ApiRequest::SetVmLimits {
                 node: NodeId(n),
                 container: ContainerId(c),
                 cpu_shares: shares,
                 memory_limit: mem.map(Bytes::mib),
-            }
-        ),
+            }),
         Just(ApiRequest::ListImages),
         image.prop_map(|name| ApiRequest::PatchImage { name }),
     ]
@@ -65,7 +69,8 @@ proptest! {
     ) {
         let mut master = Pimaster::new();
         for i in 0..4 {
-            master.register_node(NodeSpec::pi_model_b_rev1(), i % 2, SimTime::ZERO);
+            master.register_node(NodeSpec::pi_model_b_rev1(), i % 2, SimTime::ZERO)
+                .expect("rack subnet has room");
         }
         let mut spawned_names: Vec<String> = Vec::new();
         for (i, op) in ops.into_iter().enumerate() {

@@ -22,8 +22,16 @@ fn consolidation_power_saving_has_a_network_price() {
     let wf = e
         .consolidation_for(PolicyKind::WorstFit)
         .expect("worst-fit row");
-    assert!(wf.power_saved_watts > 10.0, "saved {}", wf.power_saved_watts);
-    assert!(wf.peak_uplink_utilisation > 0.05, "uplinks felt it: {}", wf.peak_uplink_utilisation);
+    assert!(
+        wf.power_saved_watts > 10.0,
+        "saved {}",
+        wf.power_saved_watts
+    );
+    assert!(
+        wf.peak_uplink_utilisation > 0.05,
+        "uplinks felt it: {}",
+        wf.peak_uplink_utilisation
+    );
     // A packed placement pays almost nothing.
     let ff = e
         .consolidation_for(PolicyKind::FirstFit)
@@ -40,14 +48,22 @@ fn shuffle_locality_changes_job_completion() {
     let job = MapReduceJob::terasort_like(Bytes::mib(64));
 
     // Workers spread across all 4 racks...
-    let spread: Vec<_> = (0..16).map(|i| cloud.device_of(picloud_hardware::node::NodeId(i * 3))).collect();
+    let spread: Vec<_> = (0..16)
+        .map(|i| cloud.device_of(picloud_hardware::node::NodeId(i * 3)))
+        .collect();
     let mut sim = cloud.flow_simulator(RoutingPolicy::default(), RateAllocator::MaxMin);
-    let spread_out = job.plan(&spread).execute(&mut sim, spec.clock, &spec.storage);
+    let spread_out = job
+        .plan(&spread)
+        .execute(&mut sim, spec.clock, &spec.storage);
 
     // ...versus workers packed into one rack.
-    let packed: Vec<_> = (0..14).map(|i| cloud.device_of(picloud_hardware::node::NodeId(i))).collect();
+    let packed: Vec<_> = (0..14)
+        .map(|i| cloud.device_of(picloud_hardware::node::NodeId(i)))
+        .collect();
     let mut sim = cloud.flow_simulator(RoutingPolicy::default(), RateAllocator::MaxMin);
-    let packed_out = job.plan(&packed).execute(&mut sim, spec.clock, &spec.storage);
+    let packed_out = job
+        .plan(&packed)
+        .execute(&mut sim, spec.clock, &spec.storage);
 
     assert!(
         packed_out.shuffle_rack_locality > spread_out.shuffle_rack_locality,
@@ -68,8 +84,11 @@ fn migration_stream_contends_with_tenant_traffic() {
 
     let tenant_alone = {
         let mut sim = cloud.flow_simulator(RoutingPolicy::SingleShortest, RateAllocator::MaxMin);
-        sim.inject(FlowSpec::new(a, b, Bytes::mib(4)).with_tag("tenant"), SimTime::ZERO)
-            .expect("routeable");
+        sim.inject(
+            FlowSpec::new(a, b, Bytes::mib(4)).with_tag("tenant"),
+            SimTime::ZERO,
+        )
+        .expect("routeable");
         sim.run_to_completion();
         sim.completed()[0].fct()
     };
@@ -81,8 +100,11 @@ fn migration_stream_contends_with_tenant_traffic() {
             SimTime::ZERO,
         )
         .expect("routeable");
-        sim.inject(FlowSpec::new(a, b, Bytes::mib(4)).with_tag("tenant"), SimTime::ZERO)
-            .expect("routeable");
+        sim.inject(
+            FlowSpec::new(a, b, Bytes::mib(4)).with_tag("tenant"),
+            SimTime::ZERO,
+        )
+        .expect("routeable");
         sim.run_to_completion();
         sim.completed()
             .iter()
@@ -128,6 +150,9 @@ fn locality_sweep_is_monotone_enough() {
     let e = TrafficExperiment::run(11, SimDuration::from_secs(15));
     let utils: Vec<f64> = e.points.iter().map(|p| p.mean_uplink_utilisation).collect();
     for w in utils.windows(2) {
-        assert!(w[1] >= w[0] - 0.02, "locality falls, uplinks rise: {utils:?}");
+        assert!(
+            w[1] >= w[0] - 0.02,
+            "locality falls, uplinks rise: {utils:?}"
+        );
     }
 }

@@ -48,7 +48,9 @@ fn api_driven_lifecycle_is_visible_in_the_panel() {
     };
     let panel = ControlPanel::new();
     let view = panel.refresh(cloud.pimaster_mut(), SimTime::from_secs(1));
-    assert!(view.rows[10].containers.contains(&"svc [running]".to_owned()));
+    assert!(view.rows[10]
+        .containers
+        .contains(&"svc [running]".to_owned()));
 
     cloud
         .api(
@@ -60,7 +62,9 @@ fn api_driven_lifecycle_is_visible_in_the_panel() {
         )
         .expect("stop");
     let view = panel.refresh(cloud.pimaster_mut(), SimTime::from_secs(3));
-    assert!(view.rows[10].containers.contains(&"svc [stopped]".to_owned()));
+    assert!(view.rows[10]
+        .containers
+        .contains(&"svc [stopped]".to_owned()));
 }
 
 #[test]
@@ -71,7 +75,8 @@ fn dc_traffic_replays_on_the_cluster_fabric() {
     assert!(!workload.is_empty());
     let mut sim = cloud.flow_simulator(RoutingPolicy::default(), RateAllocator::MaxMin);
     for (at, spec) in workload.events() {
-        sim.inject(spec.clone(), *at).expect("cluster fabric is connected");
+        sim.inject(spec.clone(), *at)
+            .expect("cluster fabric is connected");
     }
     sim.run_to_completion();
     assert_eq!(sim.completed().len(), workload.len());
@@ -113,7 +118,11 @@ fn overload_shows_up_as_saturation_not_failure() {
     }
     let snap = cloud.pimaster_mut().snapshot(SimTime::from_secs(1));
     for s in snap.samples.iter().take(8) {
-        assert!((s.cpu_utilisation - 1.0).abs() < 1e-9, "{}", s.cpu_utilisation);
+        assert!(
+            (s.cpu_utilisation - 1.0).abs() < 1e-9,
+            "{}",
+            s.cpu_utilisation
+        );
     }
     assert_eq!(snap.overloaded(0.9).len(), 8);
 }
@@ -176,7 +185,10 @@ fn dhcp_survives_mass_spawn_across_racks() {
         else {
             panic!()
         };
-        assert!(addresses.insert(address.clone()), "duplicate address {address}");
+        assert!(
+            addresses.insert(address.clone()),
+            "duplicate address {address}"
+        );
         // Container's address shares the node's rack subnet.
         let rack = node / 14;
         assert!(address.starts_with(&format!("10.0.{rack}.")), "{address}");

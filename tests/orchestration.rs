@@ -14,7 +14,12 @@ use picloud_sdn::ipless::{AddressingMode, IplessFabric};
 use picloud_simcore::units::Bytes;
 use picloud_simcore::{SimDuration, SimTime};
 
-fn spawn(cloud: &mut PiCloud, node: u32, name: &str, image: &str) -> picloud_container::container::ContainerId {
+fn spawn(
+    cloud: &mut PiCloud,
+    node: u32,
+    name: &str,
+    image: &str,
+) -> picloud_container::container::ContainerId {
     let ApiResponse::Spawned { container, .. } = cloud
         .api(
             ApiRequest::SpawnContainer {
@@ -46,14 +51,28 @@ fn serial_migrations_drain_a_rack() {
     let mut when = SimTime::ZERO;
     for (node, ct) in containers {
         let out = orch
-            .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(node), ct, NodeId(node + 14), when)
+            .migrate(
+                &mut cloud,
+                &mut sim,
+                &mut fabric,
+                NodeId(node),
+                ct,
+                NodeId(node + 14),
+                when,
+            )
             .unwrap_or_else(|e| panic!("migrating from node {node}: {e}"));
         when = when + out.network_time + SimDuration::from_millis(10);
     }
     // Rack 0 empty, rack 1 full.
     for n in 0..14u32 {
         assert_eq!(
-            cloud.pimaster().daemon(NodeId(n)).unwrap().host().containers().count(),
+            cloud
+                .pimaster()
+                .daemon(NodeId(n))
+                .unwrap()
+                .host()
+                .containers()
+                .count(),
             0,
             "node {n} should be drained"
         );
@@ -82,7 +101,10 @@ fn consolidation_plan_executes_through_the_orchestrator() {
     let tickets = place_all(&mut view, &mut policy, &reqs).expect("fits");
     let mut real: std::collections::BTreeMap<_, _> = std::collections::BTreeMap::new();
     for t in &tickets {
-        let (_, node, _) = view.placements().find(|(tt, _, _)| tt == t).expect("ticket");
+        let (_, node, _) = view
+            .placements()
+            .find(|(tt, _, _)| tt == t)
+            .expect("ticket");
         let ct = spawn(&mut cloud, node.0, &format!("c-{t}"), "lighttpd");
         real.insert(*t, (node, ct));
     }
@@ -101,7 +123,13 @@ fn consolidation_plan_executes_through_the_orchestrator() {
     // Every freed node is genuinely empty in the real cluster.
     for node in &plan.nodes_freed {
         assert_eq!(
-            cloud.pimaster().daemon(*node).unwrap().host().containers().count(),
+            cloud
+                .pimaster()
+                .daemon(*node)
+                .unwrap()
+                .host()
+                .containers()
+                .count(),
             0,
             "{node} still hosts containers"
         );
@@ -123,7 +151,15 @@ fn migrations_respect_capacity_under_pressure() {
     spawn(&mut cloud, 1, "hog-b", "hadoop-worker");
     let victim = spawn(&mut cloud, 0, "mover", "database");
     let err = MigrationOrchestrator::default()
-        .migrate(&mut cloud, &mut sim, &mut fabric, NodeId(0), victim, NodeId(1), SimTime::ZERO)
+        .migrate(
+            &mut cloud,
+            &mut sim,
+            &mut fabric,
+            NodeId(0),
+            victim,
+            NodeId(1),
+            SimTime::ZERO,
+        )
         .unwrap_err();
     assert_eq!(err.status_code(), 507);
     assert!(cloud

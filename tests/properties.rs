@@ -183,4 +183,44 @@ proptest! {
         prop_assert!(topo.is_connected());
         prop_assert_eq!(topo.hosts().count(), (k as usize).pow(3) / 4);
     }
+
+    // ------------------------------------------------------------------
+    // Failure masks: failing any set of links and devices and then
+    // repairing every one of them restores the fabric exactly — the
+    // connectivity report round-trips through arbitrary damage.
+    // ------------------------------------------------------------------
+    #[test]
+    fn failure_mask_repair_round_trips_connectivity(
+        link_picks in prop::collection::vec(0usize..128, 0..12),
+        device_picks in prop::collection::vec(0usize..16, 0..3),
+    ) {
+        use picloud_network::failure::{aggregation_devices, ConnectivityReport, FailureMask};
+
+        let topo = Topology::multi_root_tree(4, 14, 2);
+        let pristine = ConnectivityReport::measure(&topo);
+        let links: Vec<_> = topo.links().iter().map(|l| l.id).collect();
+        let aggs = aggregation_devices(&topo);
+
+        let mut mask = FailureMask::none();
+        for i in &link_picks {
+            mask.fail_link(links[i % links.len()]);
+        }
+        for i in &device_picks {
+            mask.fail_device(aggs[i % aggs.len()]);
+        }
+        // The damaged fabric never reaches *more* pairs than the pristine one.
+        let damaged = ConnectivityReport::measure(&mask.apply(&topo).topology);
+        prop_assert!(damaged.reachability() <= pristine.reachability() + 1e-12);
+
+        for i in &link_picks {
+            mask.repair_link(links[i % links.len()]);
+        }
+        for i in &device_picks {
+            mask.repair_device(aggs[i % aggs.len()]);
+        }
+        prop_assert_eq!(mask.failed_link_count(), 0);
+        prop_assert_eq!(mask.failed_device_count(), 0);
+        let healed = ConnectivityReport::measure(&mask.apply(&topo).topology);
+        prop_assert_eq!(healed, pristine, "repair must restore the fabric exactly");
+    }
 }

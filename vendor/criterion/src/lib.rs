@@ -1,0 +1,179 @@
+//! Offline micro-benchmark harness.
+//!
+//! A minimal stand-in for `criterion 0.5`: [`Criterion::bench_function`]
+//! runs the closure for a warm-up pass and a timed sample batch, then
+//! prints the mean wall-clock time per iteration. No statistics, plotting
+//! or CLI parsing — just enough for `cargo bench` targets that exist to
+//! regenerate tables and smoke-test hot paths.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness handle passed to bench targets.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples to take per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / u32::try_from(bencher.iters.min(u64::from(u32::MAX))).unwrap_or(1)
+        };
+        println!(
+            "bench {id:<44} {per_iter:>12.3?}/iter ({} iters)",
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Runs the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring batches until either the
+    /// sample count or the measurement budget is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, up to the warm-up budget.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let budget = Instant::now();
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            elapsed += start.elapsed();
+            iters += 1;
+            if budget.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("group_target", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline mini property-testing harness.
+//!
+//! Implements the slice of the `proptest` API this workspace uses:
+//! [`strategy::Strategy`] with `prop_map`/`boxed`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::select`, `prop::bool::ANY`, the [`proptest!`],
+//! [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`] macros and
+//! [`ProptestConfig`]. Cases are generated from a ChaCha stream seeded by
+//! the test name, so runs are fully deterministic. There is **no
+//! shrinking**: a failing case reports its inputs via the panic message
+//! and the deterministic seeding reproduces it on re-run.
+
+use std::fmt;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::Rng;
+    use rand_chacha::ChaCha12Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe adapter behind [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_gen(&self, rng: &mut ChaCha12Rng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_gen(&self, rng: &mut ChaCha12Rng) -> S::Value {
+            self.gen_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> T {
+            self.0.dyn_gen(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut ChaCha12Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut ChaCha12Rng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut ChaCha12Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    rng.gen_range(lo..=hi)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut ChaCha12Rng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut ChaCha12Rng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Uniformly picks one of several type-erased strategies.
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a union from its arms (at least one).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].gen_value(rng)
+        }
+    }
+
+    /// Generates `Vec`s with a length drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Generates `None` roughly a quarter of the time.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+
+    /// Uniformly samples from a fixed list.
+    #[derive(Clone)]
+    pub struct Select<T> {
+        pub(crate) items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> T {
+            assert!(!self.items.is_empty(), "select over an empty list");
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+
+    /// Uniformly random booleans (`prop::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut ChaCha12Rng) -> bool {
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::*` namespace mirrored from upstream.
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// `Vec`s of `element` with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `Some` values from `inner`, with occasional `None`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling from fixed collections.
+        use crate::strategy::Select;
+
+        /// Uniform choice from `items`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            Select { items }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        /// Uniformly random booleans.
+        pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion (from `prop_assert!`-family macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    cases: u32,
+    seed_base: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner whose RNG stream is derived from the test name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            cases: config.cases,
+            seed_base: hash,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The deterministic RNG for case `case`.
+    pub fn rng_for(&self, case: u32) -> rand_chacha::ChaCha12Rng {
+        use rand::SeedableRng;
+        let seed = self
+            .seed_base
+            .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rand_chacha::ChaCha12Rng::seed_from_u64(seed)
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests over named strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg($cfg) $($rest)* }
+    };
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let runner = $crate::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $( let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut rng); )*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(err) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {} (deterministic seed; re-run reproduces)",
+                        stringify!($name),
+                        case,
+                        runner.cases(),
+                        err
+                    );
+                }
+            }
+        }
+        $crate::proptest! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -4i64..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn combinators_compose(
+            pair in (0u32..5, 0u32..5),
+            opt in prop::option::of(0u32..3),
+            pick in prop::sample::select(vec![10u8, 20, 30]),
+            flag in prop::bool::ANY,
+            mapped in (0u32..4).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+            if let Some(o) = opt {
+                prop_assert!(o < 3);
+            }
+            prop_assert!([10u8, 20, 30].contains(&pick));
+            prop_assert!(matches!(flag, true | false));
+            prop_assert_eq!(mapped % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_form_compiles(x in 0u8..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn oneof_unions_arms() {
+        use crate::strategy::Strategy;
+        let strat = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)];
+        let runner = crate::TestRunner::new(ProptestConfig::default(), "oneof");
+        let mut seen = std::collections::BTreeSet::new();
+        for case in 0..200 {
+            let mut rng = runner.rng_for(case);
+            seen.insert(strat.gen_value(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2));
+        assert!(seen
+            .iter()
+            .all(|&v| v == 1 || v == 2 || (5..7).contains(&v)));
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::strategy::Strategy;
+        let runner_a = crate::TestRunner::new(ProptestConfig::default(), "det");
+        let runner_b = crate::TestRunner::new(ProptestConfig::default(), "det");
+        let strat = (0u64..1000, 0u64..1000);
+        for case in 0..20 {
+            let a = strat.gen_value(&mut runner_a.rng_for(case));
+            let b = strat.gen_value(&mut runner_b.rng_for(case));
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! subset.
+//!
+//! No `syn`/`quote` are available offline, so this parses the item's token
+//! stream directly. Supported shapes (everything this workspace derives):
+//! named structs, tuple/newtype structs, unit structs, and enums with
+//! unit/newtype/tuple/struct variants using serde's externally-tagged
+//! representation. Generics and `#[serde(...)]` attributes are not
+//! supported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        field_types: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Key-type names for which newtype structs also get map-key impls.
+const KEYABLE: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "String",
+];
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f}))")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, field_types } if field_types.len() == 1 => {
+            let mut code = format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Serialize::to_content(&self.0)\n\
+                     }}\n\
+                 }}"
+            );
+            if KEYABLE.contains(&field_types[0].as_str()) {
+                code.push_str(&format!(
+                    "\nimpl ::serde::SerializeKey for {name} {{\n\
+                         fn to_key(&self) -> String {{\n\
+                             ::serde::SerializeKey::to_key(&self.0)\n\
+                         }}\n\
+                     }}"
+                ));
+            }
+            code
+        }
+        Item::TupleStruct { name, field_types } => {
+            let entries = (0..field_types.len())
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Seq(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Content::Null\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::field(_m, \"{f}\")?)?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         let _m = c.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected map for struct {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, field_types } if field_types.len() == 1 => {
+            let mut code = format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name}(::serde::Deserialize::from_content(c)?))\n\
+                     }}\n\
+                 }}"
+            );
+            if KEYABLE.contains(&field_types[0].as_str()) {
+                code.push_str(&format!(
+                    "\nimpl ::serde::DeserializeKey for {name} {{\n\
+                         fn from_key(k: &str) -> Result<Self, ::serde::DeError> {{\n\
+                             Ok({name}(::serde::DeserializeKey::from_key(k)?))\n\
+                         }}\n\
+                     }}"
+                ));
+            }
+            code
+        }
+        Item::TupleStruct { name, field_types } => {
+            let n = field_types.len();
+            let inits = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         let seq = c.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected sequence for {name}\"))?;\n\
+                         if seq.len() != {n} {{\n\
+                             return Err(::serde::DeError::custom(\"wrong arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(_c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let payload_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| deserialize_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         match c {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant {{other}} for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, _payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => Err(::serde::DeError::custom(format!(\
+                                         \"unknown variant {{other}} for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::custom(\
+                                 \"bad representation for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Content::Str(String::from(\"{vname}\")),")
+        }
+        Shape::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => ::serde::Content::Map(vec![(\
+                 String::from(\"{vname}\"), ::serde::Serialize::to_content(f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let elems = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Content::Map(vec![(\
+                     String::from(\"{vname}\"), ::serde::Content::Seq(vec![{elems}]))]),"
+            )
+        }
+        Shape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_content({f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                     String::from(\"{vname}\"), ::serde::Content::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn deserialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled in the Str arm"),
+        Shape::Tuple(1) => format!(
+            "\"{vname}\" => Ok({enum_name}::{vname}(\
+                 ::serde::Deserialize::from_content(_payload)?)),"
+        ),
+        Shape::Tuple(n) => {
+            let inits = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "\"{vname}\" => {{\n\
+                     let seq = _payload.as_seq().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected sequence for {enum_name}::{vname}\"))?;\n\
+                     if seq.len() != {n} {{\n\
+                         return Err(::serde::DeError::custom(\
+                             \"wrong arity for {enum_name}::{vname}\"));\n\
+                     }}\n\
+                     Ok({enum_name}::{vname}({inits}))\n\
+                 }}"
+            )
+        }
+        Shape::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_content(::serde::field(m, \"{f}\")?)?")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "\"{vname}\" => {{\n\
+                     let m = _payload.as_map().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected map for {enum_name}::{vname}\"))?;\n\
+                     Ok({enum_name}::{vname} {{ {inits} }})\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = expect_ident(&mut tokens, "struct/enum keyword");
+    let name = expect_ident(&mut tokens, "item name");
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    field_types: parse_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (including doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected {what}, got {other:?}"),
+    }
+}
+
+/// Consumes tokens up to (and including) the next comma at angle-depth 0,
+/// returning the consumed type tokens.
+fn consume_type(tokens: &mut Tokens) -> Vec<TokenTree> {
+    let mut depth = 0i32;
+    let mut ty = Vec::new();
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        ty.push(tt);
+    }
+    ty
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:`, got {other:?}"),
+        }
+        consume_type(&mut tokens);
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut types = Vec::new();
+    while tokens.peek().is_some() {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let ty = consume_type(&mut tokens);
+        // Record single-ident types verbatim so newtype keys can be gated;
+        // anything longer is never a keyable primitive.
+        if ty.len() == 1 {
+            types.push(ty[0].to_string());
+        } else {
+            types.push(String::from("<composite>"));
+        }
+    }
+    types
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream()).len();
+                tokens.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
