@@ -11,7 +11,9 @@ use crate::container::{Container, ContainerConfig, ContainerId, TransitionError}
 use picloud_hardware::cpu::{CpuClaim, ProcessorPool};
 use picloud_hardware::node::NodeSpec;
 use picloud_hardware::storage::{StorageFullError, StorageVolume};
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::units::Bytes;
+use picloud_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -141,6 +143,43 @@ impl ContainerHost {
     /// Looks up a container.
     pub fn container(&self, id: ContainerId) -> Option<&Container> {
         self.containers.get(&id)
+    }
+
+    /// Records this host's runtime telemetry into `reg` at `now`, labeled
+    /// with `node`: one `container_state_count{node,state}` gauge per LXC
+    /// lifecycle state, guest memory in use/free, and the cgroup CPU
+    /// shares currently competing (`container_cpu_shares_running{node}` —
+    /// §II-C's "(soft) per-VM resource utilisation limits" made visible).
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry, node: &str, now: SimTime) {
+        use crate::container::ContainerState;
+        for state in [
+            ContainerState::Created,
+            ContainerState::Running,
+            ContainerState::Frozen,
+            ContainerState::Stopped,
+        ] {
+            let count = self
+                .containers
+                .values()
+                .filter(|c| c.state() == state)
+                .count();
+            reg.gauge(
+                "container_state_count",
+                &[("node", node), ("state", state.to_string().as_str())],
+            )
+            .set(now, count as f64);
+        }
+        let labels = [("node", node)];
+        reg.gauge("container_memory_used_bytes", &labels)
+            .set(now, self.memory_in_use().as_u64() as f64);
+        reg.gauge("container_memory_free_bytes", &labels)
+            .set(now, self.memory_free().as_u64() as f64);
+        let shares: u64 = self
+            .running()
+            .map(|c| u64::from(c.config().cpu_shares))
+            .sum();
+        reg.gauge("container_cpu_shares_running", &labels)
+            .set(now, shares as f64);
     }
 
     /// `lxc-create`: provisions the rootfs on disk. The container does not

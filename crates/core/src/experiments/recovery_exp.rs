@@ -7,10 +7,11 @@
 //! operator's scorecard: MTTD, MTTR, downtime, lost requests, fleet
 //! availability and what the churn cost the fabric and the RPC plane.
 
-use crate::recovery::{run_recovery, RecoveryConfig, RecoveryReport};
+use crate::recovery::{run_recovery, run_recovery_with_telemetry, RecoveryConfig, RecoveryReport};
 use crate::report::TextTable;
 use picloud_faults::{ChurnConfig, FaultTimeline};
 use picloud_network::topology::Topology;
+use picloud_simcore::telemetry::TelemetrySink;
 use picloud_simcore::{SeedFactory, SimDuration};
 use std::fmt;
 
@@ -33,6 +34,28 @@ impl RecoveryExperiment {
 
     /// Same, with a caller-chosen horizon.
     pub fn run_for(seed: u64, horizon: SimDuration) -> RecoveryExperiment {
+        let (config, timeline) = Self::setup(seed, horizon);
+        let report = run_recovery(&config, &timeline, horizon, seed);
+        RecoveryExperiment { timeline, report }
+    }
+
+    /// Like [`RecoveryExperiment::run_for`], but records labeled metrics
+    /// and a sim-time trace of every fault, detection and failover into
+    /// `sink` as the run goes. With a disabled sink the report matches
+    /// [`RecoveryExperiment::run_for`] exactly.
+    pub fn run_with_telemetry(
+        seed: u64,
+        horizon: SimDuration,
+        sink: TelemetrySink,
+    ) -> (RecoveryExperiment, TelemetrySink) {
+        let (config, timeline) = Self::setup(seed, horizon);
+        let (report, sink) = run_recovery_with_telemetry(&config, &timeline, horizon, seed, sink);
+        (RecoveryExperiment { timeline, report }, sink)
+    }
+
+    /// The shared run preamble: stock control loop plus the seeded churn
+    /// timeline over the paper fabric.
+    fn setup(seed: u64, horizon: SimDuration) -> (RecoveryConfig, FaultTimeline) {
         let config = RecoveryConfig::lan_default();
         let seeds = SeedFactory::new(seed).child("recovery-exp");
         // Same shape the recovery sim builds internally.
@@ -41,8 +64,7 @@ impl RecoveryExperiment {
         let links: Vec<_> = topo.links().iter().map(|l| l.id).collect();
         let timeline =
             FaultTimeline::churn(&ChurnConfig::accelerated(), &nodes, &links, horizon, &seeds);
-        let report = run_recovery(&config, &timeline, horizon, seed);
-        RecoveryExperiment { timeline, report }
+        (config, timeline)
     }
 }
 

@@ -43,8 +43,12 @@ pub mod orchestrator;
 pub mod recovery;
 pub mod report;
 pub mod stack;
+pub mod telemetry;
 
 pub use cluster::{PiCloud, PiCloudBuilder, TopologyKind};
 pub use orchestrator::{MigrationOrchestrator, OrchestratedMigration};
-pub use recovery::{run_recovery, single_crash_cycle, RecoveryConfig, RecoveryReport};
+pub use recovery::{
+    run_recovery, run_recovery_with_telemetry, single_crash_cycle, RecoveryConfig, RecoveryReport,
+};
 pub use stack::StandardStack;
+pub use telemetry::ExperimentTelemetry;

@@ -26,13 +26,16 @@ use picloud_faults::{
 use picloud_hardware::node::NodeId;
 use picloud_mgmt::api::{ApiRequest, ApiResponse};
 use picloud_network::failure::{ConnectivityReport, FailureMask};
+use picloud_network::graph::shortest_path_avoiding;
+use picloud_network::topology::LinkId;
 use picloud_placement::{
     ClusterView, PlacementPolicy, PlacementRequest, PlacementTicket, PolicyKind,
 };
+use picloud_simcore::telemetry::TelemetrySink;
 use picloud_simcore::units::Bytes;
 use picloud_simcore::{Engine, EventContext, SimDuration, SimTime};
 use picloud_workloads::blackout::OutageLedger;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tuning for the detection/recovery control loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,9 +160,127 @@ struct RecoveryWorld {
     detect_delay_sum: SimDuration,
     detect_delay_count: u64,
     min_reachability: f64,
+    /// Ground-truth set of nodes currently crashed (telemetry only; the
+    /// controller itself must go through the detector).
+    down_nodes: BTreeSet<NodeId>,
+    /// Observability: labeled series + trace, no-op when disabled.
+    telem: TelemetrySink,
 }
 
 impl RecoveryWorld {
+    /// The rack a node sits in, read off the fabric.
+    fn rack_of(&self, node: NodeId) -> u16 {
+        let dev = self.cloud.device_of(node);
+        self.cloud.topology().device(dev).kind.rack().unwrap_or(0)
+    }
+
+    /// Re-records one node's power/thermal gauges. A crashed board draws
+    /// nothing; an alive one draws per its curve at a utilisation proxy of
+    /// `running containers / containers_per_node` (the recovery fleet is
+    /// one lighttpd per slot, so slot occupancy is the load).
+    fn record_node_power(&mut self, node: NodeId, now: SimTime) {
+        if !self.telem.is_enabled() {
+            return;
+        }
+        let rack = self.rack_of(node);
+        if self.down_nodes.contains(&node) {
+            let (n, r) = (node.0.to_string(), rack.to_string());
+            self.telem
+                .registry
+                .gauge(
+                    "hardware_power_watts",
+                    &[("node", n.as_str()), ("rack", r.as_str())],
+                )
+                .set(now, 0.0);
+            return;
+        }
+        let hosted = self.deployments.get(&node).map_or(0, Vec::len);
+        let util = hosted as f64 / self.config.containers_per_node.max(1) as f64;
+        self.cloud.node_spec().power.clone().record_telemetry(
+            &mut self.telem.registry,
+            node.0,
+            rack,
+            util,
+            now,
+        );
+    }
+
+    /// Re-derives per-link management-plane utilisation under the current
+    /// failure mask: every alive host answers one heartbeat per detector
+    /// interval over its surviving shortest path to the aggregation layer,
+    /// and each link's `network_link_utilisation` gauge is that traffic
+    /// over its capacity. Recomputed only when the fabric or fleet state
+    /// changes, so the cost is per-event, not per-sweep.
+    fn record_link_utilisation(&mut self, now: SimTime) {
+        if !self.telem.is_enabled() {
+            return;
+        }
+        /// Request + reply bytes one heartbeat costs a link it crosses.
+        const HEARTBEAT_BYTES: f64 = 512.0;
+        let topo = self.cloud.topology();
+        let roots = picloud_network::failure::aggregation_devices(topo);
+        let Some(&root) = roots.first() else {
+            return;
+        };
+        let dead: BTreeSet<LinkId> = topo
+            .links()
+            .iter()
+            .filter(|l| !self.mask.link_up(topo, l.id))
+            .map(|l| l.id)
+            .collect();
+        let mut bytes_per_link: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for node in self.cloud.node_ids().collect::<Vec<_>>() {
+            if self.down_nodes.contains(&node) {
+                continue;
+            }
+            let dev = self.cloud.device_of(node);
+            if let Some(path) = shortest_path_avoiding(self.cloud.topology(), dev, root, &dead) {
+                for link in path {
+                    *bytes_per_link.entry(link).or_insert(0.0) += HEARTBEAT_BYTES;
+                }
+            }
+        }
+        let interval = self.config.detector.heartbeat_interval.as_secs_f64();
+        let topo = self.cloud.topology();
+        for l in topo.links() {
+            let id = l.id.0.to_string();
+            let labels = [("link", id.as_str())];
+            let bps = bytes_per_link.get(&l.id).copied().unwrap_or(0.0) * 8.0 / interval;
+            let util = bps / l.capacity.as_bps() as f64;
+            self.telem
+                .registry
+                .gauge("network_link_utilisation", &labels)
+                .set(now, util);
+            self.telem
+                .registry
+                .gauge("network_link_up", &labels)
+                .set(now, f64::from(u8::from(!dead.contains(&l.id))));
+        }
+        let degraded = self.mask.apply(self.cloud.topology());
+        let reach = ConnectivityReport::measure(&degraded.topology).reachability();
+        self.telem
+            .registry
+            .gauge("network_reachability", &[])
+            .set(now, reach);
+    }
+
+    /// Re-records the fleet-size gauge after containers move.
+    fn record_fleet(&mut self, now: SimTime) {
+        if !self.telem.is_enabled() {
+            return;
+        }
+        let running: usize = self
+            .deployments
+            .iter()
+            .filter(|(n, _)| !self.down_nodes.contains(n))
+            .map(|(_, ds)| ds.len())
+            .sum();
+        self.telem
+            .registry
+            .gauge("container_fleet_running", &[])
+            .set(now, running as f64);
+    }
+
     /// Dispatches one injected fault into the planes it touches.
     fn apply_fault(&mut self, event: FaultEvent, now: SimTime) {
         match event.kind {
@@ -167,6 +288,7 @@ impl RecoveryWorld {
                 self.crashes += 1;
                 self.rpc.node_down(node);
                 self.crashed_at.insert(node, now);
+                self.down_nodes.insert(node);
                 // Ground truth: everything hosted there goes dark now,
                 // whatever the detector believes.
                 if let Some(ds) = self.deployments.get(&node) {
@@ -174,10 +296,20 @@ impl RecoveryWorld {
                         self.ledger.open(&d.name, now);
                     }
                 }
+                let hosted = self.deployments.get(&node).map_or(0, Vec::len);
+                self.telem.tracer.emit(now, "node_crash", |e| {
+                    e.u64("node", u64::from(node.0))
+                        .u64("victims", hosted as u64);
+                });
+                self.record_node_power(node, now);
+                self.record_link_utilisation(now);
+                self.record_fleet(now);
             }
             FaultKind::NodeRepair { node } => {
                 self.repairs += 1;
                 self.rpc.node_up(node);
+                self.down_nodes.remove(&node);
+                let mut local = 0u64;
                 if self.detector.health(node) != NodeHealth::Dead {
                     // Repair beat the detector: the node reboots with its
                     // containers, so their blackout ends here and no
@@ -187,24 +319,45 @@ impl RecoveryWorld {
                         for d in ds {
                             if self.ledger.close(&d.name, now).is_some() {
                                 self.local_restarts += 1;
+                                local += 1;
                             }
                         }
                     }
                 }
+                self.telem.tracer.emit(now, "node_repair", |e| {
+                    e.u64("node", u64::from(node.0))
+                        .u64("local_restarts", local);
+                });
+                self.record_node_power(node, now);
+                self.record_link_utilisation(now);
+                self.record_fleet(now);
             }
             FaultKind::LinkDown { link } => {
                 self.link_downs += 1;
                 self.mask.fail_link(link);
                 self.note_reachability();
+                self.telem.tracer.emit(now, "link_down", |e| {
+                    e.u64("link", u64::from(link.0));
+                });
+                self.record_link_utilisation(now);
             }
             FaultKind::LinkUp { link } => {
                 self.link_ups += 1;
                 self.mask.repair_link(link);
                 self.note_reachability();
+                self.telem.tracer.emit(now, "link_up", |e| {
+                    e.u64("link", u64::from(link.0));
+                });
+                self.record_link_utilisation(now);
             }
             FaultKind::DaemonHang { node, lasting } => {
                 self.daemon_hangs += 1;
                 self.rpc.hang_daemon(node, now + lasting);
+                self.telem
+                    .tracer
+                    .emit_span(now, now + lasting, "daemon_hang", |e| {
+                        e.u64("node", u64::from(node.0));
+                    });
             }
         }
     }
@@ -234,17 +387,36 @@ impl RecoveryWorld {
                     // pool, empty (its containers moved on).
                     self.view.uncordon(node);
                     self.rejoins += 1;
+                    self.telem.tracer.emit(now, "node_rejoined", |e| {
+                        e.u64("node", u64::from(node.0));
+                    });
                 }
             }
         }
         for dead in self.detector.sweep(now) {
             self.detections += 1;
+            let mut detect_delay = None;
             if let Some(crashed) = self.crashed_at.remove(&dead) {
-                self.detect_delay_sum = self
-                    .detect_delay_sum
-                    .saturating_add(now.saturating_duration_since(crashed));
+                let delay = now.saturating_duration_since(crashed);
+                self.detect_delay_sum = self.detect_delay_sum.saturating_add(delay);
                 self.detect_delay_count += 1;
+                detect_delay = Some(delay);
             }
+            if self.telem.is_enabled() {
+                if let Some(delay) = detect_delay {
+                    self.telem
+                        .registry
+                        .histogram("recovery_detect_seconds", &[])
+                        .observe(delay.as_secs_f64());
+                }
+            }
+            self.telem.tracer.emit(now, "node_declared_dead", |e| {
+                e.u64("node", u64::from(dead.0))
+                    .bool("real_crash", detect_delay.is_some());
+                if let Some(delay) = detect_delay {
+                    e.f64("detect_delay_s", delay.as_secs_f64());
+                }
+            });
             self.recover(dead, now, ctx);
         }
         if now < self.horizon_end {
@@ -307,6 +479,9 @@ impl RecoveryWorld {
         }
         let Some(target) = target else {
             self.stranded += 1;
+            self.telem.tracer.emit(now, "container_stranded", |e| {
+                e.str("container", &name);
+            });
             return;
         };
         let ticket = self.view.commit(target, req);
@@ -320,8 +495,22 @@ impl RecoveryWorld {
         ) {
             Ok(ApiResponse::Spawned { container, .. }) => {
                 // The API re-leased DHCP and re-registered DNS on the way.
-                self.ledger.close(&name, now);
+                let downtime = self.ledger.close(&name, now);
                 self.rescheduled += 1;
+                if self.telem.is_enabled() {
+                    if let Some(d) = downtime {
+                        self.telem
+                            .registry
+                            .histogram("recovery_restore_seconds", &[])
+                            .observe(d.as_secs_f64());
+                    }
+                }
+                self.telem.tracer.emit(now, "container_rescheduled", |e| {
+                    e.str("container", &name).u64("node", u64::from(target.0));
+                    if let Some(d) = downtime {
+                        e.f64("downtime_s", d.as_secs_f64());
+                    }
+                });
                 self.deployments
                     .entry(target)
                     .or_default()
@@ -332,12 +521,59 @@ impl RecoveryWorld {
                         ticket,
                         req,
                     });
+                self.record_node_power(target, now);
+                self.record_fleet(now);
             }
             _ => {
                 self.view.release(ticket);
                 self.stranded += 1;
+                self.telem.tracer.emit(now, "container_stranded", |e| {
+                    e.str("container", &name);
+                });
             }
         }
+    }
+
+    /// End-of-run telemetry: folds every subsystem's final state into the
+    /// sink's registry so one snapshot covers power, network, SDN-free
+    /// management plane, containers, RPC and outage accounting.
+    fn finish_telemetry(&mut self, now: SimTime) {
+        if !self.telem.is_enabled() {
+            return;
+        }
+        for node in self.cloud.node_ids().collect::<Vec<_>>() {
+            self.record_node_power(node, now);
+        }
+        self.record_link_utilisation(now);
+        self.record_fleet(now);
+        let reg = &mut self.telem.registry;
+        self.rpc.stats().record_telemetry(reg);
+        self.detector.record_telemetry(reg, now);
+        self.ledger.record_telemetry(reg, now);
+        self.cloud.pimaster_mut().record_telemetry(reg, now);
+        let reg = &mut self.telem.registry;
+        for d in self.cloud.pimaster().daemons() {
+            let node = d.node().0.to_string();
+            d.host().record_telemetry(reg, &node, now);
+        }
+        let totals: [(&str, u64); 8] = [
+            ("recovery_crashes_total", self.crashes),
+            ("recovery_repairs_total", self.repairs),
+            ("recovery_detections_total", self.detections),
+            ("recovery_rejoins_total", self.rejoins),
+            ("recovery_rescheduled_total", self.rescheduled),
+            ("recovery_stranded_total", self.stranded),
+            ("recovery_local_restarts_total", self.local_restarts),
+            ("recovery_daemon_hangs_total", self.daemon_hangs),
+        ];
+        for (name, total) in totals {
+            let c = self.telem.registry.counter(name, &[]);
+            c.add(total - c.value());
+        }
+        self.telem
+            .registry
+            .gauge("network_min_reachability", &[])
+            .set(now, self.min_reachability);
     }
 }
 
@@ -355,6 +591,30 @@ pub fn run_recovery(
     horizon: SimDuration,
     seed: u64,
 ) -> RecoveryReport {
+    run_recovery_with_telemetry(config, timeline, horizon, seed, TelemetrySink::disabled()).0
+}
+
+/// Like [`run_recovery`], but records into the supplied [`TelemetrySink`]
+/// as it goes: labeled power/thermal, per-link utilisation, container
+/// fleet, detector and RPC series in the registry, plus a sim-time trace
+/// of every fault, detection, failover and restart. With a disabled sink
+/// this does exactly the work of [`run_recovery`] (the hooks early-out
+/// before touching the sink), so reports are identical either way.
+///
+/// Returns the report together with the sink, now holding the run's
+/// metrics and trace.
+///
+/// # Panics
+///
+/// Panics if the initial deployment does not fit the cluster (only
+/// possible with an oversized `containers_per_node`).
+pub fn run_recovery_with_telemetry(
+    config: &RecoveryConfig,
+    timeline: &FaultTimeline,
+    horizon: SimDuration,
+    seed: u64,
+    sink: TelemetrySink,
+) -> (RecoveryReport, TelemetrySink) {
     let mut cloud = PiCloud::builder().seed(seed).build();
     let node_count = cloud.node_count();
     let racks = cloud.racks().len().max(1);
@@ -401,7 +661,7 @@ pub fn run_recovery(
     let containers = node_count * config.containers_per_node;
     let horizon_end = SimTime::ZERO + horizon;
     let policy_seed = seed;
-    let world = RecoveryWorld {
+    let mut world = RecoveryWorld {
         detector,
         rpc,
         view,
@@ -425,8 +685,18 @@ pub fn run_recovery(
         detect_delay_sum: SimDuration::ZERO,
         detect_delay_count: 0,
         min_reachability: ConnectivityReport::measure(cloud.topology()).reachability(),
+        down_nodes: BTreeSet::new(),
+        telem: sink,
         cloud,
     };
+    // Baseline snapshot at t=0: every board's power curve at its steady
+    // fleet load and every link's heartbeat utilisation, so the series
+    // exist before the first fault perturbs them.
+    for node in world.cloud.node_ids().collect::<Vec<_>>() {
+        world.record_node_power(node, SimTime::ZERO);
+    }
+    world.record_link_utilisation(SimTime::ZERO);
+    world.record_fleet(SimTime::ZERO);
 
     let mut engine = Engine::new(world);
     timeline.install(&mut engine, |w: &mut RecoveryWorld, ctx, event| {
@@ -441,7 +711,8 @@ pub fn run_recovery(
 
     let mut w = engine.into_world();
     w.ledger.close_all_unrecovered(horizon_end);
-    RecoveryReport {
+    w.finish_telemetry(horizon_end);
+    let report = RecoveryReport {
         horizon,
         containers,
         crashes: w.crashes,
@@ -468,7 +739,8 @@ pub fn run_recovery(
         min_reachability: w.min_reachability,
         rpc: w.rpc.stats(),
         events_fired,
-    }
+    };
+    (report, w.telem)
 }
 
 /// One scripted crash → detect → reschedule → restart cycle on the full

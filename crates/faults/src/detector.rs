@@ -18,6 +18,7 @@
 //! beat settles `Recovered` back to `Up`.
 
 use picloud_hardware::node::NodeId;
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -229,6 +230,27 @@ impl FailureDetector {
     /// Suspicions later cleared by a heartbeat (`Suspected → Up`).
     pub fn false_suspicions(&self) -> u64 {
         self.false_suspicions
+    }
+
+    /// Records the detector's view into `reg` at `now`: one
+    /// `faults_detector_health_count{state}` gauge per [`NodeHealth`]
+    /// verdict plus the `faults_false_suspicions_total` counter.
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry, now: SimTime) {
+        for state in [
+            NodeHealth::Up,
+            NodeHealth::Suspected,
+            NodeHealth::Dead,
+            NodeHealth::Recovered,
+        ] {
+            let count = self.nodes.values().filter(|r| r.health == state).count();
+            reg.gauge(
+                "faults_detector_health_count",
+                &[("state", state.to_string().as_str())],
+            )
+            .set(now, count as f64);
+        }
+        let c = reg.counter("faults_false_suspicions_total", &[]);
+        c.add(self.false_suspicions - c.value());
     }
 
     /// Number of registered nodes.

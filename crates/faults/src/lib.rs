@@ -22,6 +22,8 @@
 //! containers or placement so the failure model stays reusable by any
 //! layer.
 
+#![warn(missing_docs)]
+
 pub mod detector;
 pub mod rpc;
 pub mod timeline;

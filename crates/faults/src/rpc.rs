@@ -9,6 +9,7 @@
 //! budget is exhausted.
 
 use picloud_hardware::node::NodeId;
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::{SeedFactory, SimDuration, SimTime};
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
@@ -85,6 +86,24 @@ pub struct RpcStats {
     pub timeouts: u64,
     /// Retries performed.
     pub retries: u64,
+}
+
+impl RpcStats {
+    /// Records these transport totals into `reg` at `now` as
+    /// `faults_rpc_*_total` counters (topped up to the running totals, so
+    /// repeated recording into the same registry never double-counts).
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry) {
+        for (name, total) in [
+            ("faults_rpc_calls_total", self.calls),
+            ("faults_rpc_replies_total", self.replies),
+            ("faults_rpc_failures_total", self.failures),
+            ("faults_rpc_timeouts_total", self.timeouts),
+            ("faults_rpc_retries_total", self.retries),
+        ] {
+            let c = reg.counter(name, &[]);
+            c.add(total - c.value());
+        }
+    }
 }
 
 /// The simulated management transport.

@@ -14,7 +14,9 @@
 //! * [`PowerSocket`] — a feasibility check that a machine population fits a
 //!   domestic socket.
 
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::units::Power;
+use picloud_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -86,6 +88,42 @@ impl PowerModel {
     pub fn draw_at(&self, utilisation: f64) -> Power {
         let u = utilisation.clamp(0.0, 1.0);
         Power::watts(self.idle_watts + (self.nameplate_watts - self.idle_watts) * u)
+    }
+
+    /// First-order SoC temperature estimate at `utilisation`: ambient
+    /// 22 °C plus a rise proportional to draw, scaled so full load sits
+    /// 30 °C above ambient — the free-air-cooling envelope §IV argues a
+    /// Pi cloud never leaves (no HVAC line in Table I).
+    pub fn soc_temperature_at(&self, utilisation: f64) -> f64 {
+        const AMBIENT_C: f64 = 22.0;
+        const FULL_LOAD_RISE_C: f64 = 30.0;
+        if self.nameplate_watts <= 0.0 {
+            return AMBIENT_C;
+        }
+        let draw = self.draw_at(utilisation).as_watts();
+        AMBIENT_C + FULL_LOAD_RISE_C * (draw / self.nameplate_watts)
+    }
+
+    /// Records one node's electrical and thermal telemetry into `reg` at
+    /// `now`: `hardware_power_watts{node,rack}` and
+    /// `hardware_soc_temp_celsius{node,rack}` gauges (so the gauge
+    /// integral prices the run in joules), given the node's current CPU
+    /// `utilisation`.
+    pub fn record_telemetry(
+        &self,
+        reg: &mut MetricsRegistry,
+        node: u32,
+        rack: u16,
+        utilisation: f64,
+        now: SimTime,
+    ) {
+        let node = node.to_string();
+        let rack = rack.to_string();
+        let labels = [("node", node.as_str()), ("rack", rack.as_str())];
+        reg.gauge("hardware_power_watts", &labels)
+            .set(now, self.draw_at(utilisation).as_watts());
+        reg.gauge("hardware_soc_temp_celsius", &labels)
+            .set(now, self.soc_temperature_at(utilisation));
     }
 }
 

@@ -69,6 +69,24 @@ pub enum ApiRequest {
     },
 }
 
+impl ApiRequest {
+    /// A stable short name for this request kind, used as the `verb`
+    /// label on the `mgmt_api_calls_total` telemetry series.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            ApiRequest::ClusterSummary => "cluster_summary",
+            ApiRequest::ListNodes => "list_nodes",
+            ApiRequest::NodeStatus(_) => "node_status",
+            ApiRequest::SpawnContainer { .. } => "spawn_container",
+            ApiRequest::StopContainer { .. } => "stop_container",
+            ApiRequest::DestroyContainer { .. } => "destroy_container",
+            ApiRequest::SetVmLimits { .. } => "set_vm_limits",
+            ApiRequest::ListImages => "list_images",
+            ApiRequest::PatchImage { .. } => "patch_image",
+        }
+    }
+}
+
 /// A successful management response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ApiResponse {

@@ -42,6 +42,8 @@
 //! # Ok::<(), picloud_mgmt::api::ApiError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod daemon;
 pub mod dhcp;

@@ -8,6 +8,7 @@
 
 use picloud_container::container::{ContainerId, ContainerState};
 use picloud_hardware::node::NodeId;
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::units::Bytes;
 use picloud_simcore::SimTime;
 use serde::{Deserialize, Serialize};
@@ -114,6 +115,29 @@ impl ClusterSnapshot {
     /// Total guest memory in use across the cluster.
     pub fn total_memory_used(&self) -> Bytes {
         self.samples.iter().map(|s| s.memory_used).sum()
+    }
+
+    /// Records this poll into `reg` at `now`: per-node CPU, memory and
+    /// running-container gauges (labeled `node`/`rack`), plus the cluster
+    /// totals the Fig. 4 panel headlines.
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry, now: SimTime) {
+        for s in &self.samples {
+            let node = s.node.0.to_string();
+            let rack = s.rack.to_string();
+            let labels = [("node", node.as_str()), ("rack", rack.as_str())];
+            reg.gauge("mgmt_node_cpu_utilisation", &labels)
+                .set(now, s.cpu_utilisation);
+            reg.gauge("mgmt_node_memory_utilisation", &labels)
+                .set(now, s.memory_utilisation());
+            reg.gauge("mgmt_node_running_containers", &labels)
+                .set(now, s.running_containers as f64);
+        }
+        reg.gauge("mgmt_cluster_containers", &[])
+            .set(now, self.total_containers() as f64);
+        reg.gauge("mgmt_cluster_running", &[])
+            .set(now, self.total_running() as f64);
+        reg.gauge("mgmt_cluster_mean_cpu", &[])
+            .set(now, self.mean_cpu());
     }
 }
 

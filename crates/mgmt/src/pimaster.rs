@@ -11,6 +11,7 @@ use crate::images::ImageStore;
 use crate::monitor::{ClusterSnapshot, ContainerInfo};
 use picloud_container::container::{ContainerConfig, ContainerId};
 use picloud_hardware::node::{NodeId, NodeSpec};
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -26,6 +27,8 @@ pub struct Pimaster {
     next_client: u64,
     /// Slot counter per rack for the naming policy.
     rack_slots: BTreeMap<u16, u16>,
+    /// API calls handled, by [`ApiRequest::verb`].
+    api_calls: BTreeMap<&'static str, u64>,
 }
 
 impl Pimaster {
@@ -114,6 +117,24 @@ impl Pimaster {
         }
     }
 
+    /// Records the management plane's telemetry into `reg`: API calls by
+    /// verb (`mgmt_api_calls_total{verb}`), DHCP lease occupancy
+    /// (`mgmt_dhcp_active_leases`), DNS zone size (`mgmt_dns_records`)
+    /// and per-node samples via [`ClusterSnapshot::record_telemetry`].
+    pub fn record_telemetry(&mut self, reg: &mut MetricsRegistry, now: SimTime) {
+        for (verb, count) in &self.api_calls {
+            let c = reg.counter("mgmt_api_calls_total", &[("verb", verb)]);
+            // Top up to the running total: record_telemetry may be called
+            // repeatedly on the same registry without double-counting.
+            c.add(count - c.value());
+        }
+        reg.gauge("mgmt_dhcp_active_leases", &[])
+            .set(now, self.dhcp.active_leases() as f64);
+        reg.gauge("mgmt_dns_records", &[])
+            .set(now, self.dns.len() as f64);
+        self.snapshot(now).record_telemetry(reg, now);
+    }
+
     /// Dispatches one management request at time `now`.
     ///
     /// # Errors
@@ -121,6 +142,7 @@ impl Pimaster {
     /// [`ApiError`] with REST semantics (404 unknown resources, 409
     /// conflicts, 507 capacity).
     pub fn handle(&mut self, req: ApiRequest, now: SimTime) -> Result<ApiResponse, ApiError> {
+        *self.api_calls.entry(req.verb()).or_insert(0) += 1;
         match req {
             ApiRequest::ClusterSummary => {
                 let snap = self.snapshot(now);

@@ -21,6 +21,7 @@
 use crate::flow::{CompletedFlow, Flow, FlowId, FlowSpec};
 use crate::routing::{Router, RoutingPolicy};
 use crate::topology::{LinkId, Topology};
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::{SimDuration, SimTime, TimeWeightedGauge};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -323,6 +324,45 @@ impl FlowSimulator {
     /// Total bytes carried over `link` (both directions).
     pub fn link_bytes_carried(&self, link: LinkId) -> f64 {
         (self.resource_bits[link.index() * 2] + self.resource_bits[link.index() * 2 + 1]) / 8.0
+    }
+
+    /// Active flows currently routed over `link` (either direction) — the
+    /// fluid model's stand-in for queue depth.
+    pub fn link_active_flows(&self, link: LinkId) -> usize {
+        let fwd = ResourceId(link.index() * 2);
+        let rev = ResourceId(link.index() * 2 + 1);
+        self.active
+            .values()
+            .filter(|af| af.resources.contains(&fwd) || af.resources.contains(&rev))
+            .count()
+    }
+
+    /// Records the fabric's telemetry into `reg` at the simulator's
+    /// current instant: per-link gauges
+    /// `network_link_utilisation{link}` (instantaneous, busier
+    /// direction), `network_link_mean_utilisation{link}` (time-weighted
+    /// since start), `network_link_bytes_carried{link}` and
+    /// `network_link_active_flows{link}` (queue-depth proxy), plus the
+    /// cluster-wide `network_active_flows` gauge and
+    /// `network_completed_flows_total` counter.
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry) {
+        let now = self.now;
+        for l in self.topo.links() {
+            let id = l.id.0.to_string();
+            let labels = [("link", id.as_str())];
+            reg.gauge("network_link_utilisation", &labels)
+                .set(now, self.link_utilisation(l.id));
+            reg.gauge("network_link_mean_utilisation", &labels)
+                .set(now, self.mean_link_utilisation(l.id));
+            reg.gauge("network_link_bytes_carried", &labels)
+                .set(now, self.link_bytes_carried(l.id));
+            reg.gauge("network_link_active_flows", &labels)
+                .set(now, self.link_active_flows(l.id) as f64);
+        }
+        reg.gauge("network_active_flows", &[])
+            .set(now, self.active_count() as f64);
+        let done = reg.counter("network_completed_flows_total", &[]);
+        done.add(self.completed().len() as u64 - done.value());
     }
 
     /// The `n` links with the highest time-weighted mean utilisation,

@@ -12,6 +12,10 @@
 //!   existing streams.
 //! * [`metrics`] — time-weighted gauges, counters and histograms used by all
 //!   experiment harnesses.
+//! * [`telemetry`] — the cluster-wide observability layer: a labeled
+//!   [`MetricsRegistry`], a ring-buffered sim-time [`Tracer`], and
+//!   byte-deterministic JSONL/CSV/Prometheus exporters (see
+//!   `OBSERVABILITY.md` at the repository root).
 //! * [`units`] — newtypes for bytes, bandwidth, power, cost and frequency
 //!   shared across the hardware and network models.
 //!
@@ -35,13 +39,17 @@
 //! assert_eq!(engine.now(), SimTime::ZERO + SimDuration::from_millis(10));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod metrics;
 pub mod rng;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 
 pub use engine::{Engine, EventContext, EventId};
-pub use metrics::{Counter, Histogram, MetricSet, TimeWeightedGauge};
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricSet, TimeWeightedGauge};
 pub use rng::SeedFactory;
+pub use telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink, TraceEvent, Tracer};
 pub use time::{SimDuration, SimTime};

@@ -266,6 +266,12 @@ impl Histogram {
     }
 
     /// Population standard deviation, or `None` if empty.
+    ///
+    /// A single observation has zero spread, so one sample returns
+    /// `Some(0.0)` — never `NaN`. (Were this the *sample* standard
+    /// deviation, `n − 1 = 0` would divide to `NaN`; the population form
+    /// is chosen exactly so every non-empty histogram summarises to
+    /// finite numbers.)
     pub fn stddev(&self) -> Option<f64> {
         let mean = self.mean()?;
         let var = self
@@ -274,7 +280,48 @@ impl Histogram {
             .map(|v| (v - mean) * (v - mean))
             .sum::<f64>()
             / self.samples.len() as f64;
-        Some(var.sqrt())
+        // Squared terms cannot sum negative, but guard the sqrt anyway so
+        // a pathological float state can never leak NaN into a report.
+        Some(var.max(0.0).sqrt())
+    }
+
+    /// Every summary statistic at once, or `None` if the histogram is
+    /// empty.
+    ///
+    /// This is the *only* summary API exporters should use: it guarantees
+    /// no `NaN` ever reaches a report. Edge cases are defined, not
+    /// accidental:
+    ///
+    /// * **empty** — `None` (exporters print an explicit `count 0` row);
+    /// * **single observation** — every quantile, `min`, `max` and `mean`
+    ///   equal that observation and `stddev` is `0.0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use picloud_simcore::Histogram;
+    ///
+    /// assert!(Histogram::new().summary().is_none());
+    ///
+    /// let one: Histogram = [42.0].into_iter().collect();
+    /// let s = one.summary().unwrap();
+    /// assert_eq!((s.count, s.p50, s.p99, s.stddev), (1, 42.0, 42.0, 0.0));
+    /// ```
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.len(),
+            sum: self.sum(),
+            mean: self.mean()?,
+            min: self.min()?,
+            max: self.max()?,
+            p50: self.quantile(0.5)?,
+            p90: self.quantile(0.9)?,
+            p99: self.quantile(0.99)?,
+            stddev: self.stddev()?,
+        })
     }
 
     /// Iterates over the raw observations in insertion order.
@@ -297,6 +344,30 @@ impl FromIterator<f64> for Histogram {
         h.extend(iter);
         h
     }
+}
+
+/// The summary statistics of one non-empty [`Histogram`], as produced by
+/// [`Histogram::summary`]. All fields are finite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations (always ≥ 1).
+    pub count: usize,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile (nearest rank).
+    pub p90: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Population standard deviation (`0.0` for a single observation).
+    pub stddev: f64,
 }
 
 /// A string-keyed bag of counters, gauges and histograms.
@@ -467,6 +538,42 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn histogram_rejects_nan() {
         Histogram::new().observe(f64::NAN);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_none_not_nan() {
+        assert_eq!(Histogram::new().summary(), None);
+    }
+
+    #[test]
+    fn single_observation_summary_is_finite_everywhere() {
+        let h: Histogram = [3.25].into_iter().collect();
+        let s = h.summary().expect("non-empty");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 3.25);
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.min, 3.25);
+        assert_eq!(s.max, 3.25);
+        // All quantiles of one observation are that observation.
+        assert_eq!((s.p50, s.p90, s.p99), (3.25, 3.25, 3.25));
+        assert_eq!(h.quantile(0.0), Some(3.25));
+        assert_eq!(h.quantile(1.0), Some(3.25));
+        // Zero spread, not NaN (a sample stddev would divide by n-1 = 0).
+        assert_eq!(s.stddev, 0.0);
+        assert!([s.sum, s.mean, s.min, s.max, s.p50, s.p90, s.p99, s.stddev]
+            .iter()
+            .all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn summary_matches_individual_queries() {
+        let h: Histogram = (1..=100).map(f64::from).collect();
+        let s = h.summary().unwrap();
+        assert_eq!(s.p50, h.quantile(0.5).unwrap());
+        assert_eq!(s.p90, h.quantile(0.9).unwrap());
+        assert_eq!(s.p99, h.quantile(0.99).unwrap());
+        assert_eq!(s.mean, h.mean().unwrap());
+        assert_eq!(s.stddev, h.stddev().unwrap());
     }
 
     #[test]

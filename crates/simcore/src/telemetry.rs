@@ -1,0 +1,1022 @@
+//! Cluster-wide observability: labeled metric series and sim-time tracing.
+//!
+//! The paper's `pimaster` turns the PiCloud from a pile of boards into a
+//! research instrument by exposing monitoring over the whole testbed
+//! (§II-C). This module is that instrument for the scale model:
+//!
+//! * [`MetricsRegistry`] — a central bag of *labeled* series wrapping the
+//!   [`Counter`] / [`TimeWeightedGauge`] / [`Histogram`] primitives of
+//!   [`crate::metrics`]. A series is `(name, labels)` — e.g.
+//!   `hardware_power_watts{node="3", rack="0"}` — so one registry holds the
+//!   whole cluster's state, per node, rack, container, link or flow.
+//! * [`Tracer`] — a ring-buffered, deterministic sim-time event tracer.
+//!   When disabled it is zero-cost on the hot path: the closure that would
+//!   build the event's fields is never called and nothing allocates.
+//! * [`MetricsSnapshot`] — a point-in-time flattening of the registry with
+//!   three exporters: JSONL ([`MetricsSnapshot::to_jsonl`]), CSV
+//!   ([`MetricsSnapshot::to_csv`]) and Prometheus text
+//!   ([`MetricsSnapshot::to_prometheus`]). All three are byte-deterministic
+//!   for a given registry state: series are emitted in `(name, labels)`
+//!   order, fields in insertion order.
+//!
+//! Label keys and metric names must match `[a-zA-Z_][a-zA-Z0-9_]*` so that
+//! every exporter (Prometheus included) can carry them unchanged; label
+//! *values* are free-form strings (escaped on export).
+//!
+//! # Example
+//!
+//! ```
+//! use picloud_simcore::telemetry::MetricsRegistry;
+//! use picloud_simcore::SimTime;
+//!
+//! let mut reg = MetricsRegistry::new(SimTime::ZERO);
+//! reg.counter("requests_total", &[("node", "7")]).add(3);
+//! reg.gauge("power_watts", &[("node", "7")])
+//!     .set(SimTime::from_secs(1), 3.5);
+//! let snap = reg.snapshot(SimTime::from_secs(2));
+//! assert!(snap.to_prometheus().contains("requests_total{node=\"7\"} 3"));
+//! ```
+
+use crate::metrics::{Counter, Histogram, TimeWeightedGauge};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Returns whether `name` is a valid metric name / label key:
+/// `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes `s` into `out` as the body of a JSON string literal.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON value (non-finite values become `null`,
+/// which keeps the output parseable; finite values round-trip).
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A sorted, deduplicated set of `key=value` labels identifying one series.
+///
+/// Construction sorts by key, so `&[("b","2"),("a","1")]` and
+/// `&[("a","1"),("b","2")]` name the same series.
+///
+/// # Panics
+///
+/// Construction panics on duplicate keys or a key that is not a valid
+/// identifier (`[a-zA-Z_][a-zA-Z0-9_]*`) — both always indicate an
+/// instrumentation bug.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    /// No labels: the series is identified by its name alone.
+    pub fn empty() -> Self {
+        Labels(Vec::new())
+    }
+
+    /// Builds a label set from `key=value` pairs (any order).
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut v: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, val)| {
+                assert!(valid_name(k), "invalid label key {k:?}");
+                ((*k).to_owned(), (*val).to_owned())
+            })
+            .collect();
+        v.sort();
+        for w in v.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate label key {:?}", w[0].0);
+        }
+        Labels(v)
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Whether there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value of label `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for Labels {
+    /// Prometheus-style rendering: `{a="1",b="2"}`, empty string if no
+    /// labels.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return Ok(());
+        }
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(
+                f,
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The identity of one series: metric name plus label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesKey {
+    /// Metric name, e.g. `hardware_power_watts`.
+    pub name: String,
+    /// Identifying labels, e.g. `node="3", rack="0"`.
+    pub labels: Labels,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        SeriesKey {
+            name: name.to_owned(),
+            labels: Labels::new(labels),
+        }
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, self.labels)
+    }
+}
+
+/// A central registry of labeled counter / gauge / histogram series.
+///
+/// Keys are `(name, labels)`; all maps are `BTreeMap` so iteration — and
+/// therefore every exported snapshot — is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    start: SimTime,
+    counters: BTreeMap<SeriesKey, Counter>,
+    gauges: BTreeMap<SeriesKey, TimeWeightedGauge>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry whose gauges start observing at `start`.
+    pub fn new(start: SimTime) -> Self {
+        MetricsRegistry {
+            start,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// The counter series `(name, labels)`, created at zero on first use.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Counter {
+        self.counters
+            .entry(SeriesKey::new(name, labels))
+            .or_default()
+    }
+
+    /// The gauge series `(name, labels)`, created holding `0.0` on first
+    /// use.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut TimeWeightedGauge {
+        let start = self.start;
+        self.gauges
+            .entry(SeriesKey::new(name, labels))
+            .or_insert_with(|| TimeWeightedGauge::new(start, 0.0))
+    }
+
+    /// The histogram series `(name, labels)`, created empty on first use.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Histogram {
+        self.histograms
+            .entry(SeriesKey::new(name, labels))
+            .or_default()
+    }
+
+    /// Read-only lookup of a counter series.
+    pub fn get_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Counter> {
+        self.counters.get(&SeriesKey::new(name, labels))
+    }
+
+    /// Read-only lookup of a gauge series.
+    pub fn get_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<&TimeWeightedGauge> {
+        self.gauges.get(&SeriesKey::new(name, labels))
+    }
+
+    /// Read-only lookup of a histogram series.
+    pub fn get_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&SeriesKey::new(name, labels))
+    }
+
+    /// Number of series of all three kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether no series have been created.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates counter series in `(name, labels)` order.
+    pub fn counters(&self) -> impl Iterator<Item = (&SeriesKey, &Counter)> {
+        self.counters.iter()
+    }
+
+    /// Iterates gauge series in `(name, labels)` order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&SeriesKey, &TimeWeightedGauge)> {
+        self.gauges.iter()
+    }
+
+    /// Iterates histogram series in `(name, labels)` order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&SeriesKey, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Flattens every series into a point-in-time [`MetricsSnapshot`].
+    ///
+    /// Gauges summarise over `[start, now]` (time-weighted mean and
+    /// integral), histograms report the [`Histogram::summary`] statistics.
+    pub fn snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        let mut rows = Vec::with_capacity(self.len());
+        for (key, c) in &self.counters {
+            rows.push(MetricRow {
+                key: key.clone(),
+                value: MetricValue::Counter { total: c.value() },
+            });
+        }
+        for (key, g) in &self.gauges {
+            rows.push(MetricRow {
+                key: key.clone(),
+                value: MetricValue::Gauge {
+                    value: g.value(),
+                    mean: g.mean(now),
+                    min: g.min(),
+                    max: g.max(),
+                    integral: g.integral(now),
+                },
+            });
+        }
+        for (key, h) in &self.histograms {
+            rows.push(MetricRow {
+                key: key.clone(),
+                value: MetricValue::Histogram {
+                    summary: h.summary(),
+                },
+            });
+        }
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        MetricsSnapshot {
+            taken_at: now,
+            rows,
+        }
+    }
+}
+
+/// The summarised value of one series in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic total.
+    Counter {
+        /// The counter's value at snapshot time.
+        total: u64,
+    },
+    /// A time-weighted gauge, summarised over the observation window.
+    Gauge {
+        /// Instantaneous value at snapshot time.
+        value: f64,
+        /// Time-weighted mean over the window.
+        mean: f64,
+        /// Smallest value ever held.
+        min: f64,
+        /// Largest value ever held.
+        max: f64,
+        /// Integral over time (value × seconds) — watts become joules.
+        integral: f64,
+    },
+    /// A distribution; `None` when the histogram recorded nothing.
+    Histogram {
+        /// Summary statistics, absent for an empty histogram.
+        summary: Option<crate::metrics::HistogramSummary>,
+    },
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter { .. } => "counter",
+            MetricValue::Gauge { .. } => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One series in a snapshot: identity plus summarised value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Which series this row describes.
+    pub key: SeriesKey,
+    /// Its summarised value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time flattening of a [`MetricsRegistry`], ready for export.
+///
+/// Rows are sorted by `(name, labels)`; every exporter below is
+/// byte-deterministic given the same registry state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The sim-time instant the snapshot was taken.
+    pub taken_at: SimTime,
+    /// One row per series, in `(name, labels)` order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl MetricsSnapshot {
+    /// One JSON object per line, one line per series.
+    ///
+    /// Schema per line: `{"t_ns", "name", "labels": {..}, "kind", ...}`
+    /// with kind-specific value fields (`total` for counters;
+    /// `value`/`mean`/`min`/`max`/`integral` for gauges; the
+    /// [`Histogram::summary`] fields for histograms, or `"count": 0` when
+    /// empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{{\"t_ns\":{},\"name\":\"",
+                self.taken_at.as_nanos()
+            ));
+            json_escape(&row.key.name, &mut out);
+            out.push_str("\",\"labels\":{");
+            for (i, (k, v)) in row.key.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape(k, &mut out);
+                out.push_str("\":\"");
+                json_escape(v, &mut out);
+                out.push('"');
+            }
+            out.push_str(&format!("}},\"kind\":\"{}\"", row.value.kind()));
+            match &row.value {
+                MetricValue::Counter { total } => {
+                    out.push_str(&format!(",\"total\":{total}"));
+                }
+                MetricValue::Gauge {
+                    value,
+                    mean,
+                    min,
+                    max,
+                    integral,
+                } => {
+                    for (k, v) in [
+                        ("value", value),
+                        ("mean", mean),
+                        ("min", min),
+                        ("max", max),
+                        ("integral", integral),
+                    ] {
+                        out.push_str(&format!(",\"{k}\":"));
+                        json_f64(*v, &mut out);
+                    }
+                }
+                MetricValue::Histogram { summary: None } => {
+                    out.push_str(",\"count\":0");
+                }
+                MetricValue::Histogram { summary: Some(s) } => {
+                    out.push_str(&format!(",\"count\":{}", s.count));
+                    for (k, v) in [
+                        ("sum", s.sum),
+                        ("mean", s.mean),
+                        ("min", s.min),
+                        ("max", s.max),
+                        ("p50", s.p50),
+                        ("p90", s.p90),
+                        ("p99", s.p99),
+                        ("stddev", s.stddev),
+                    ] {
+                        out.push_str(&format!(",\"{k}\":"));
+                        json_f64(v, &mut out);
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Long-format CSV: `name,labels,kind,stat,value`, one row per
+    /// statistic. Labels render as `k=v;k=v` inside a double-quoted field.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,labels,kind,stat,value\n");
+        for row in &self.rows {
+            let labels: Vec<String> = row
+                .key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let labels = labels.join(";").replace('"', "\"\"");
+            let mut stat = |name: &str, value: String| {
+                out.push_str(&format!(
+                    "{},\"{labels}\",{},{name},{value}\n",
+                    row.key.name,
+                    row.value.kind()
+                ));
+            };
+            match &row.value {
+                MetricValue::Counter { total } => stat("total", total.to_string()),
+                MetricValue::Gauge {
+                    value,
+                    mean,
+                    min,
+                    max,
+                    integral,
+                } => {
+                    stat("value", value.to_string());
+                    stat("mean", mean.to_string());
+                    stat("min", min.to_string());
+                    stat("max", max.to_string());
+                    stat("integral", integral.to_string());
+                }
+                MetricValue::Histogram { summary: None } => stat("count", "0".to_owned()),
+                MetricValue::Histogram { summary: Some(s) } => {
+                    stat("count", s.count.to_string());
+                    stat("sum", s.sum.to_string());
+                    stat("mean", s.mean.to_string());
+                    stat("min", s.min.to_string());
+                    stat("max", s.max.to_string());
+                    stat("p50", s.p50.to_string());
+                    stat("p90", s.p90.to_string());
+                    stat("p99", s.p99.to_string());
+                    stat("stddev", s.stddev.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition format.
+    ///
+    /// Counters and gauges export their instantaneous value; histograms
+    /// export as summaries (`{quantile="…"}` series plus `_sum` and
+    /// `_count`). Empty histograms export only `_count 0`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed: Option<&str> = None;
+        for row in &self.rows {
+            let name = row.key.name.as_str();
+            if last_typed != Some(name) {
+                out.push_str(&format!(
+                    "# TYPE {name} {}\n",
+                    match row.value {
+                        MetricValue::Counter { .. } => "counter",
+                        MetricValue::Gauge { .. } => "gauge",
+                        MetricValue::Histogram { .. } => "summary",
+                    }
+                ));
+                last_typed = Some(name);
+            }
+            let labels = row.key.labels.to_string();
+            match &row.value {
+                MetricValue::Counter { total } => {
+                    out.push_str(&format!("{name}{labels} {total}\n"));
+                }
+                MetricValue::Gauge { value, .. } => {
+                    out.push_str(&format!("{name}{labels} {value}\n"));
+                }
+                MetricValue::Histogram { summary } => {
+                    let quantile = |q: &str, v: f64, out: &mut String| {
+                        let mut all: Vec<String> = row
+                            .key
+                            .labels
+                            .iter()
+                            .map(|(k, v)| format!("{k}=\"{v}\""))
+                            .collect();
+                        all.push(format!("quantile=\"{q}\""));
+                        out.push_str(&format!("{name}{{{}}} {v}\n", all.join(",")));
+                    };
+                    match summary {
+                        None => out.push_str(&format!("{name}_count{labels} 0\n")),
+                        Some(s) => {
+                            quantile("0.5", s.p50, &mut out);
+                            quantile("0.9", s.p90, &mut out);
+                            quantile("0.99", s.p99, &mut out);
+                            out.push_str(&format!("{name}_sum{labels} {}\n", s.sum));
+                            out.push_str(&format!("{name}_count{labels} {}\n", s.count));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A typed field value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values export as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Free-form string (escaped on export).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One structured trace event at a sim-time instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global emission sequence number (survives ring-buffer eviction, so
+    /// gaps reveal dropped events).
+    pub seq: u64,
+    /// When the event happened on the virtual clock.
+    pub time: SimTime,
+    /// Event kind, e.g. `node_crash` or `container_rescheduled` — the
+    /// catalogue lives in `OBSERVABILITY.md`.
+    pub kind: &'static str,
+    /// Event-specific fields, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Builder handed to the [`Tracer::emit`] closure; collects the event's
+/// fields.
+#[derive(Debug, Default)]
+pub struct EventFields(Vec<(&'static str, FieldValue)>);
+
+impl EventFields {
+    /// Attaches an unsigned-integer field.
+    pub fn u64(&mut self, key: &'static str, value: u64) -> &mut Self {
+        self.0.push((key, FieldValue::U64(value)));
+        self
+    }
+
+    /// Attaches a signed-integer field.
+    pub fn i64(&mut self, key: &'static str, value: i64) -> &mut Self {
+        self.0.push((key, FieldValue::I64(value)));
+        self
+    }
+
+    /// Attaches a floating-point field.
+    pub fn f64(&mut self, key: &'static str, value: f64) -> &mut Self {
+        self.0.push((key, FieldValue::F64(value)));
+        self
+    }
+
+    /// Attaches a boolean field.
+    pub fn bool(&mut self, key: &'static str, value: bool) -> &mut Self {
+        self.0.push((key, FieldValue::Bool(value)));
+        self
+    }
+
+    /// Attaches a string field.
+    pub fn str(&mut self, key: &'static str, value: &str) -> &mut Self {
+        self.0.push((key, FieldValue::Str(value.to_owned())));
+        self
+    }
+}
+
+/// A deterministic, ring-buffered sim-time event tracer.
+///
+/// * **Disabled** ([`Tracer::disabled`]) — [`Tracer::emit`] returns
+///   immediately without calling the field-builder closure: zero
+///   allocations, zero events. This is the hot-path default.
+/// * **Ring** ([`Tracer::ring`]) — keeps the most recent `capacity`
+///   events; older events are dropped (counted in [`Tracer::dropped`]).
+/// * **Unbounded** ([`Tracer::unbounded`]) — keeps everything; use for
+///   experiment-scale traces where the full history is the artifact.
+///
+/// # Example
+///
+/// ```
+/// use picloud_simcore::telemetry::Tracer;
+/// use picloud_simcore::SimTime;
+///
+/// let mut tracer = Tracer::ring(2);
+/// for i in 0..3u64 {
+///     tracer.emit(SimTime::from_secs(i), "tick", |e| {
+///         e.u64("i", i);
+///     });
+/// }
+/// assert_eq!(tracer.len(), 2); // oldest evicted
+/// assert_eq!(tracer.dropped(), 1);
+///
+/// let mut off = Tracer::disabled();
+/// off.emit(SimTime::ZERO, "never", |_| unreachable!("not built"));
+/// assert!(off.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: Option<usize>,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    seq: u64,
+}
+
+impl Tracer {
+    /// A tracer that records nothing and never calls the field builder.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (use [`Tracer::disabled`] for that).
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Tracer {
+            enabled: true,
+            capacity: Some(capacity),
+            ..Tracer::default()
+        }
+    }
+
+    /// A tracer that keeps every event.
+    pub fn unbounded() -> Self {
+        Tracer {
+            enabled: true,
+            ..Tracer::default()
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at `time`. The `build` closure attaches fields;
+    /// it is only called when the tracer is enabled, so a disabled tracer
+    /// costs one branch and no allocation.
+    pub fn emit(
+        &mut self,
+        time: SimTime,
+        kind: &'static str,
+        build: impl FnOnce(&mut EventFields),
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let mut fields = EventFields::default();
+        build(&mut fields);
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(TraceEvent {
+            seq: self.seq,
+            time,
+            kind,
+            fields: fields.0,
+        });
+        self.seq += 1;
+    }
+
+    /// Records a span — an event covering `[start, end]` — as an event at
+    /// `start` with a `duration_ns` field.
+    pub fn emit_span(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        kind: &'static str,
+        build: impl FnOnce(&mut EventFields),
+    ) {
+        self.emit(start, kind, |e| {
+            e.u64(
+                "duration_ns",
+                end.saturating_duration_since(start).as_nanos(),
+            );
+            build(e);
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever emitted (retained + dropped).
+    pub fn emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// One JSON object per line, one line per retained event, oldest
+    /// first: `{"seq", "t_ns", "kind", ...fields}`. Field keys must not
+    /// collide with the three envelope keys; the trace catalogue in
+    /// `OBSERVABILITY.md` reserves them.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"t_ns\":{},\"kind\":\"{}\"",
+                ev.seq,
+                ev.time.as_nanos(),
+                ev.kind
+            ));
+            for (k, v) in &ev.fields {
+                debug_assert!(
+                    !matches!(*k, "seq" | "t_ns" | "kind"),
+                    "trace field {k:?} collides with an envelope key"
+                );
+                out.push_str(&format!(",\"{k}\":"));
+                match v {
+                    FieldValue::U64(v) => out.push_str(&format!("{v}")),
+                    FieldValue::I64(v) => out.push_str(&format!("{v}")),
+                    FieldValue::F64(v) => json_f64(*v, &mut out),
+                    FieldValue::Bool(v) => out.push_str(&format!("{v}")),
+                    FieldValue::Str(s) => {
+                        out.push('"');
+                        json_escape(s, &mut out);
+                        out.push('"');
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// A registry and tracer travelling together — the handle an instrumented
+/// run (e.g. `picloud::recovery::run_recovery_with_telemetry`) threads
+/// through its world.
+///
+/// When built [`TelemetrySink::disabled`], instrumented code must skip its
+/// recording blocks (check [`TelemetrySink::is_enabled`]) so a
+/// non-observed run does exactly the work of an unobserved one.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink {
+    enabled: bool,
+    /// Labeled metric series recorded by the run.
+    pub registry: MetricsRegistry,
+    /// Structured sim-time events recorded by the run.
+    pub tracer: Tracer,
+}
+
+impl TelemetrySink {
+    /// A sink that records nothing; the tracer is disabled and
+    /// [`TelemetrySink::is_enabled`] is `false`.
+    pub fn disabled() -> Self {
+        TelemetrySink::default()
+    }
+
+    /// A sink recording metrics from `start` and keeping every trace
+    /// event.
+    pub fn recording(start: SimTime) -> Self {
+        TelemetrySink {
+            enabled: true,
+            registry: MetricsRegistry::new(start),
+            tracer: Tracer::unbounded(),
+        }
+    }
+
+    /// Same, but the tracer keeps only the most recent `capacity` events.
+    pub fn recording_ring(start: SimTime, capacity: usize) -> Self {
+        TelemetrySink {
+            enabled: true,
+            registry: MetricsRegistry::new(start),
+            tracer: Tracer::ring(capacity),
+        }
+    }
+
+    /// Whether instrumented code should record at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_and_compare() {
+        let a = Labels::new(&[("b", "2"), ("a", "1")]);
+        let b = Labels::new(&[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.get("a"), Some("1"));
+        assert_eq!(a.to_string(), "{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_label_keys_panic() {
+        Labels::new(&[("a", "1"), ("a", "2")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_metric_name_panics() {
+        MetricsRegistry::new(SimTime::ZERO).counter("has space", &[]);
+    }
+
+    #[test]
+    fn registry_series_are_independent_per_label() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.counter("req", &[("node", "0")]).add(1);
+        reg.counter("req", &[("node", "1")]).add(2);
+        assert_eq!(reg.get_counter("req", &[("node", "0")]).unwrap().value(), 1);
+        assert_eq!(reg.get_counter("req", &[("node", "1")]).unwrap().value(), 2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_rows_are_sorted_and_deterministic() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.counter("z_total", &[]).add(1);
+        reg.gauge("a_watts", &[("node", "1")])
+            .set(SimTime::from_secs(1), 2.0);
+        reg.histogram("m_ms", &[]).observe(4.0);
+        let snap = reg.snapshot(SimTime::from_secs(2));
+        let names: Vec<&str> = snap.rows.iter().map(|r| r.key.name.as_str()).collect();
+        assert_eq!(names, ["a_watts", "m_ms", "z_total"]);
+        assert_eq!(
+            snap.to_jsonl(),
+            reg.snapshot(SimTime::from_secs(2)).to_jsonl()
+        );
+    }
+
+    #[test]
+    fn exporters_cover_all_kinds() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.counter("requests_total", &[("node", "3")]).add(7);
+        reg.gauge("power_watts", &[("node", "3")])
+            .set(SimTime::from_secs(5), 3.5);
+        reg.histogram("latency_ms", &[]).extend([1.0, 2.0, 3.0]);
+        reg.histogram("empty_ms", &[]);
+        let snap = reg.snapshot(SimTime::from_secs(10));
+
+        let jsonl = snap.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.contains("\"name\":\"requests_total\""));
+        assert!(jsonl.contains("\"total\":7"));
+        assert!(jsonl.contains("\"p99\":3"));
+        assert!(jsonl.contains("\"count\":0"));
+
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("name,labels,kind,stat,value\n"));
+        assert!(csv.contains("requests_total,\"node=3\",counter,total,7"));
+        assert!(csv.contains("power_watts,\"node=3\",gauge,value,3.5"));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE requests_total counter"));
+        assert!(prom.contains("requests_total{node=\"3\"} 7"));
+        assert!(prom.contains("# TYPE latency_ms summary"));
+        assert!(prom.contains("latency_ms{quantile=\"0.5\"} 2"));
+        assert!(prom.contains("latency_ms_count 3"));
+        assert!(prom.contains("empty_ms_count 0"));
+    }
+
+    #[test]
+    fn gauge_snapshot_reports_time_weighted_mean() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.gauge("u", &[]).set(SimTime::ZERO, 1.0);
+        reg.gauge("u", &[]).set(SimTime::from_secs(1), 0.0);
+        let snap = reg.snapshot(SimTime::from_secs(10));
+        let MetricValue::Gauge { mean, .. } = snap.rows[0].value else {
+            panic!("gauge row expected");
+        };
+        assert!((mean - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracer_records_in_order_with_fields() {
+        let mut t = Tracer::unbounded();
+        t.emit(SimTime::from_secs(1), "node_crash", |e| {
+            e.u64("node", 3).str("why", "churn");
+        });
+        t.emit_span(
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+            "outage",
+            |e| {
+                e.str("container", "web-3-0");
+            },
+        );
+        assert_eq!(t.len(), 2);
+        let ev: Vec<&TraceEvent> = t.events().collect();
+        assert_eq!(ev[0].kind, "node_crash");
+        assert_eq!(ev[0].field("node"), Some(&FieldValue::U64(3)));
+        assert_eq!(
+            ev[1].field("duration_ns"),
+            Some(&FieldValue::U64(2_000_000_000))
+        );
+        let jsonl = t.to_jsonl();
+        assert_eq!(
+            jsonl.lines().next().unwrap(),
+            "{\"seq\":0,\"t_ns\":1000000000,\"kind\":\"node_crash\",\"node\":3,\"why\":\"churn\"}"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::disabled();
+        t.emit(SimTime::ZERO, "never", |_| {
+            panic!("field builder must not run when disabled")
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.emitted(), 0);
+        assert_eq!(t.to_jsonl(), "");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = Tracer::ring(3);
+        for i in 0..10u64 {
+            t.emit(SimTime::from_secs(i), "tick", |e| {
+                e.u64("i", i);
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.emitted(), 10);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [7, 8, 9]);
+    }
+
+    #[test]
+    fn trace_jsonl_escapes_strings() {
+        let mut t = Tracer::unbounded();
+        t.emit(SimTime::ZERO, "note", |e| {
+            e.str("msg", "a \"quoted\"\nline");
+        });
+        assert!(t.to_jsonl().contains("\"msg\":\"a \\\"quoted\\\"\\nline\""));
+    }
+}

@@ -8,6 +8,7 @@
 //! experiment reports — lost requests (at the container's steady request
 //! rate), total and mean downtime, and fleet availability.
 
+use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -183,6 +184,28 @@ impl OutageLedger {
             return 1.0;
         }
         (1.0 - self.total_downtime().as_secs_f64() / denom).max(0.0)
+    }
+
+    /// Records the ledger into `reg` at `now`: blackout-second and
+    /// lost-request totals, the number of containers currently dark, and
+    /// a `faults_outage_seconds` histogram with one observation per
+    /// closed window (so MTTR quantiles fall out of the snapshot).
+    ///
+    /// The histogram is rebuilt from the closed windows, so record into a
+    /// fresh registry (or once at end of run) rather than repeatedly.
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry, now: SimTime) {
+        reg.gauge("faults_blackout_seconds_total", &[])
+            .set(now, self.total_downtime().as_secs_f64());
+        reg.gauge("faults_dark_containers", &[])
+            .set(now, self.dark_count() as f64);
+        let lost = reg.counter("faults_lost_requests_total", &[]);
+        lost.add(self.lost_requests() - lost.value());
+        let outages = reg.counter("faults_outages_total", &[]);
+        outages.add(self.windows.len() as u64 - outages.value());
+        let hist = reg.histogram("faults_outage_seconds", &[]);
+        if hist.is_empty() {
+            hist.extend(self.windows.iter().map(|w| w.downtime().as_secs_f64()));
+        }
     }
 }
 

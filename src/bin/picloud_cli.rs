@@ -7,7 +7,15 @@
 //! cargo run --bin picloud -- table1
 //! cargo run --bin picloud -- all
 //! cargo run --bin picloud -- traffic --seed 7
+//! cargo run --bin picloud -- telemetry --experiment e17 --format jsonl
+//! cargo run --bin picloud -- trace --experiment e17 --out e17-trace.jsonl
 //! ```
+//!
+//! `telemetry` exports an experiment's labeled metrics snapshot (JSONL,
+//! CSV or Prometheus text); `trace` exports its sim-time event trace as
+//! JSONL. Both accept canonical names (`recovery`) and paper-style
+//! aliases (`e17`), and are byte-deterministic for a fixed seed. See
+//! `OBSERVABILITY.md` for the formats and series catalogue.
 
 use picloud::experiments::{
     dvfs_exp::DvfsExperiment, failure_exp::FailureExperiment, fidelity::FidelityExperiment,
@@ -17,6 +25,7 @@ use picloud::experiments::{
     recovery_exp::RecoveryExperiment, sdn_exp::SdnExperiment, sla_exp::SlaExperiment,
     table1::Table1, traffic_exp::TrafficExperiment,
 };
+use picloud::telemetry::ExperimentTelemetry;
 use picloud::PiCloud;
 use picloud_simcore::SimDuration;
 use std::process::ExitCode;
@@ -87,9 +96,55 @@ fn run_one(name: &str, seed: u64) -> bool {
     true
 }
 
+/// Runs the `telemetry` / `trace` subcommand: collect one experiment's
+/// metrics and trace, export in the requested format, print or write.
+fn export_telemetry(
+    subcommand: &str,
+    experiment: Option<&str>,
+    format: &str,
+    seed: u64,
+    out: Option<&str>,
+) -> bool {
+    let Some(experiment) = experiment else {
+        eprintln!("{subcommand} needs --experiment <id> (try 'picloud list')");
+        return false;
+    };
+    let Some(telemetry) = ExperimentTelemetry::collect(experiment, seed) else {
+        eprintln!("unknown experiment '{experiment}'; try 'picloud list'");
+        return false;
+    };
+    let text = if subcommand == "trace" {
+        telemetry.trace_jsonl()
+    } else {
+        match format {
+            "jsonl" => telemetry.metrics_jsonl(),
+            "csv" => telemetry.metrics_csv(),
+            "prometheus" | "prom" => telemetry.metrics_prometheus(),
+            other => {
+                eprintln!("unknown --format '{other}' (jsonl, csv, prometheus)");
+                return false;
+            }
+        }
+    };
+    match out {
+        None => print!("{text}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return false;
+            }
+            eprintln!("wrote {} bytes to {path}", text.len());
+        }
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 2013u64;
+    let mut experiment: Option<String> = None;
+    let mut format = "jsonl".to_owned();
+    let mut out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -98,6 +153,27 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--experiment" => match it.next() {
+                Some(e) => experiment = Some(e.to_owned()),
+                None => {
+                    eprintln!("--experiment needs a name (try 'picloud list')");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format" => match it.next() {
+                Some(f) => format = f.to_owned(),
+                None => {
+                    eprintln!("--format needs one of jsonl, csv, prometheus");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.to_owned()),
+                None => {
+                    eprintln!("--out needs a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -115,7 +191,11 @@ fn main() -> ExitCode {
         match target.as_str() {
             "list" => {
                 println!("picloud — the Glasgow Raspberry Pi Cloud, reproduced\n");
-                println!("usage: picloud [--seed N] <experiment>... | all | list\n");
+                println!("usage: picloud [--seed N] <experiment>... | all | list");
+                println!(
+                    "       picloud telemetry|trace --experiment <id|eN> \
+                     [--format jsonl|csv|prometheus] [--out FILE]\n"
+                );
                 for (name, desc) in EXPERIMENTS {
                     println!("  {name:<10} {desc}");
                 }
@@ -125,6 +205,17 @@ fn main() -> ExitCode {
                     println!("########## {name} ##########");
                     run_one(name, seed);
                     println!();
+                }
+            }
+            "telemetry" | "trace" => {
+                if !export_telemetry(
+                    target.as_str(),
+                    experiment.as_deref(),
+                    &format,
+                    seed,
+                    out.as_deref(),
+                ) {
+                    return ExitCode::FAILURE;
                 }
             }
             name => {
