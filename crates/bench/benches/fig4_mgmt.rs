@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             )
             .expect("spawn");
     }
-    let panel = ControlPanel::new();
+    let mut panel = ControlPanel::new();
     let mut tick = 1u64;
     c.bench_function("fig4/panel_refresh_56_nodes", |b| {
         b.iter(|| {

@@ -100,9 +100,15 @@ impl SdnExperiment {
         let service = Label(1);
         fabric.bind(service, hosts[55]); // rack 3
         for i in 0..sessions {
-            fabric.open_session(hosts[i % 28], service); // clients in racks 0-1
+            // Clients in racks 0-1; the label is bound above, so a healthy
+            // fabric always routes.
+            fabric
+                .open_session(hosts[i % 28], service)
+                .expect("bound label routes on a healthy fabric");
         }
-        let impact = fabric.migrate(service, hosts[14], SimTime::from_secs(1)); // to rack 1
+        let impact = fabric
+            .migrate(service, hosts[14], SimTime::from_secs(1)) // to rack 1
+            .expect("bound label migrates");
         AddressingOutcome {
             mode,
             sessions,

@@ -235,7 +235,9 @@ impl MigrationOrchestrator {
         if fabric.locate(label).is_none() {
             fabric.bind(label, src_dev);
         }
-        let network_identity = fabric.migrate(label, dst_dev, end);
+        let network_identity = fabric
+            .migrate(label, dst_dev, end)
+            .expect("label bound just above");
 
         Ok(OrchestratedMigration {
             new_container,

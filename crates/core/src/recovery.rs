@@ -33,7 +33,7 @@ use picloud_placement::{
 };
 use picloud_simcore::telemetry::TelemetrySink;
 use picloud_simcore::units::Bytes;
-use picloud_simcore::{Engine, EventContext, SimDuration, SimTime};
+use picloud_simcore::{Engine, EventContext, SimDuration, SimTime, SpanContext, SpanId};
 use picloud_workloads::blackout::OutageLedger;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -163,6 +163,10 @@ struct RecoveryWorld {
     /// Ground-truth set of nodes currently crashed (telemetry only; the
     /// controller itself must go through the detector).
     down_nodes: BTreeSet<NodeId>,
+    /// Open causal span chains per container: `(recovery root, current
+    /// open child)`. Empty when telemetry is disabled — every insert is
+    /// gated on the sink, so a non-observed run allocates nothing here.
+    recovery_spans: BTreeMap<String, (SpanId, SpanId)>,
     /// Observability: labeled series + trace, no-op when disabled.
     telem: TelemetrySink,
 }
@@ -294,6 +298,20 @@ impl RecoveryWorld {
                 if let Some(ds) = self.deployments.get(&node) {
                     for d in ds {
                         self.ledger.open(&d.name, now);
+                        // Root of the causal chain: `recovery` opens with
+                        // the outage window and ends when service resumes
+                        // (so its `downtime_ns` matches the ledger), with
+                        // `detect` covering crash → declared-dead.
+                        if self.telem.is_enabled() && !self.recovery_spans.contains_key(&d.name) {
+                            let root =
+                                self.telem
+                                    .tracer
+                                    .span_start(now, "recovery", SpanId::NONE, |e| {
+                                        e.str("container", &d.name).u64("node", u64::from(node.0));
+                                    });
+                            let detect = self.telem.tracer.span_start(now, "detect", root, |_| {});
+                            self.recovery_spans.insert(d.name.clone(), (root, detect));
+                        }
                     }
                 }
                 let hosted = self.deployments.get(&node).map_or(0, Vec::len);
@@ -317,9 +335,16 @@ impl RecoveryWorld {
                     self.crashed_at.remove(&node);
                     if let Some(ds) = self.deployments.get(&node) {
                         for d in ds {
-                            if self.ledger.close(&d.name, now).is_some() {
+                            if let Some(downtime) = self.ledger.close(&d.name, now) {
                                 self.local_restarts += 1;
                                 local += 1;
+                                if let Some((root, child)) = self.recovery_spans.remove(&d.name) {
+                                    self.telem.tracer.span_end(now, child, |_| {});
+                                    self.telem.tracer.span_end(now, root, |e| {
+                                        e.str("outcome", "local_restart")
+                                            .u64("downtime_ns", downtime.as_nanos());
+                                    });
+                                }
                             }
                         }
                     }
@@ -445,6 +470,35 @@ impl RecoveryWorld {
                 },
                 now,
             );
+            // Close `detect`, mark the (instantaneous) `reschedule`
+            // decision, and open `image_pull` covering the restart
+            // latency until the respawn fires.
+            if self.telem.is_enabled() {
+                let root = match self.recovery_spans.remove(&d.name) {
+                    Some((root, detect)) => {
+                        self.telem.tracer.span_end(now, detect, |_| {});
+                        root
+                    }
+                    // Spurious failover (a hang, not a crash): no outage
+                    // window exists, so the chain starts at the verdict.
+                    None => self
+                        .telem
+                        .tracer
+                        .span_start(now, "recovery", SpanId::NONE, |e| {
+                            e.str("container", &d.name)
+                                .u64("node", u64::from(dead.0))
+                                .bool("spurious", true);
+                        }),
+                };
+                let decide = self.telem.tracer.span_start(now, "reschedule", root, |e| {
+                    e.u64("from_node", u64::from(dead.0));
+                });
+                self.telem.tracer.span_end(now, decide, |_| {});
+                let pull = self.telem.tracer.span_start(now, "image_pull", root, |e| {
+                    e.str("image", &d.image);
+                });
+                self.recovery_spans.insert(d.name.clone(), (root, pull));
+            }
             let (name, image, req) = (d.name, d.image, d.req);
             ctx.schedule_in(
                 self.config.restart_latency,
@@ -459,11 +513,30 @@ impl RecoveryWorld {
     /// An unresponsive pick (crashed since the last sweep, or hung) costs
     /// a failed spawn RPC and the loop moves to the next candidate.
     fn respawn(&mut self, name: String, image: String, req: PlacementRequest, now: SimTime) {
+        // End `image_pull` and open `container_start`; the spawn-probe
+        // RPCs below become its children. Ids are NONE when telemetry is
+        // disabled, making every span call a no-op.
+        let (root, pull) = self
+            .recovery_spans
+            .remove(&name)
+            .unwrap_or((SpanId::NONE, SpanId::NONE));
+        self.telem.tracer.span_end(now, pull, |_| {});
+        let start_span = self
+            .telem
+            .tracer
+            .span_start(now, "container_start", root, |_| {});
         let mut tried_off: Vec<NodeId> = Vec::new();
         let target = loop {
             match self.policy.place(&self.view, &req) {
                 None => break None,
-                Some(t) if self.rpc.call(t, now).is_ok() => break Some(t),
+                Some(t)
+                    if self
+                        .rpc
+                        .call_traced(t, now, &mut self.telem.tracer, SpanContext::of(start_span))
+                        .is_ok() =>
+                {
+                    break Some(t)
+                }
                 Some(t) => {
                     // Spawn RPC timed out: exclude the node for this
                     // search only (the detector owns its lasting state).
@@ -479,6 +552,12 @@ impl RecoveryWorld {
         }
         let Some(target) = target else {
             self.stranded += 1;
+            self.telem.tracer.span_end(now, start_span, |e| {
+                e.bool("ok", false);
+            });
+            self.telem.tracer.span_end(now, root, |e| {
+                e.str("outcome", "stranded");
+            });
             self.telem.tracer.emit(now, "container_stranded", |e| {
                 e.str("container", &name);
             });
@@ -505,6 +584,20 @@ impl RecoveryWorld {
                             .observe(d.as_secs_f64());
                     }
                 }
+                self.telem.tracer.span_end(now, start_span, |e| {
+                    e.u64("node", u64::from(target.0));
+                });
+                // `downtime_ns` marks roots that closed a real outage
+                // window — exactly the windows the ledger's MTTR averages
+                // — so the span export and the report agree by
+                // construction. Spurious failovers end without it.
+                self.telem.tracer.span_end(now, root, |e| {
+                    e.str("outcome", "rescheduled")
+                        .u64("node", u64::from(target.0));
+                    if let Some(d) = downtime {
+                        e.u64("downtime_ns", d.as_nanos());
+                    }
+                });
                 self.telem.tracer.emit(now, "container_rescheduled", |e| {
                     e.str("container", &name).u64("node", u64::from(target.0));
                     if let Some(d) = downtime {
@@ -527,6 +620,12 @@ impl RecoveryWorld {
             _ => {
                 self.view.release(ticket);
                 self.stranded += 1;
+                self.telem.tracer.span_end(now, start_span, |e| {
+                    e.bool("ok", false);
+                });
+                self.telem.tracer.span_end(now, root, |e| {
+                    e.str("outcome", "stranded");
+                });
                 self.telem.tracer.emit(now, "container_stranded", |e| {
                     e.str("container", &name);
                 });
@@ -540,6 +639,18 @@ impl RecoveryWorld {
     fn finish_telemetry(&mut self, now: SimTime) {
         if !self.telem.is_enabled() {
             return;
+        }
+        // Truncate recovery chains still open at the horizon (crashed but
+        // undetected, or awaiting a respawn that never fired). Iteration
+        // is by container name, so the close order is deterministic.
+        let open_spans = std::mem::take(&mut self.recovery_spans);
+        for (_, (span_root, child)) in open_spans {
+            self.telem.tracer.span_end(now, child, |e| {
+                e.bool("truncated", true);
+            });
+            self.telem.tracer.span_end(now, span_root, |e| {
+                e.bool("truncated", true);
+            });
         }
         for node in self.cloud.node_ids().collect::<Vec<_>>() {
             self.record_node_power(node, now);
@@ -686,6 +797,7 @@ pub fn run_recovery_with_telemetry(
         detect_delay_count: 0,
         min_reachability: ConnectivityReport::measure(cloud.topology()).reachability(),
         down_nodes: BTreeSet::new(),
+        recovery_spans: BTreeMap::new(),
         telem: sink,
         cloud,
     };

@@ -31,8 +31,13 @@ use crate::experiments::{
     table1::Table1, traffic_exp::TrafficExperiment,
 };
 use crate::PiCloud;
+use picloud_mgmt::panel::ControlPanel;
+use picloud_network::topology::Topology;
+use picloud_sdn::controller::{InstallMode, SdnController};
+use picloud_simcore::telemetry::slo::{SloPolicy, SloReport};
 use picloud_simcore::telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink};
-use picloud_simcore::{SimDuration, SimTime};
+use picloud_simcore::{SimDuration, SimTime, SpanContext, SpanForest};
+use picloud_workloads::mapreduce::MapReduceJob;
 
 /// Canonical experiment ids with their paper-style `eN` aliases, in the
 /// order the CLI lists them. `fig1` is a render-only artifact and has no
@@ -101,10 +106,11 @@ impl ExperimentTelemetry {
                 e.str("experiment", id).u64("seed", seed);
             });
             let end = collect_summary(id, seed, &mut sink.registry);
-            sink.tracer.emit(end, "experiment_end", |e| {
+            let span_end = collect_spans(id, seed, &mut sink);
+            sink.tracer.emit(end.max(span_end), "experiment_end", |e| {
                 e.str("experiment", id);
             });
-            end
+            end.max(span_end)
         };
         Some(ExperimentTelemetry {
             id,
@@ -137,6 +143,99 @@ impl ExperimentTelemetry {
     /// The trace as JSON Lines (one object per event).
     pub fn trace_jsonl(&self) -> String {
         self.sink.tracer.to_jsonl()
+    }
+
+    /// The causal span forest reconstructed from the run's trace.
+    pub fn span_forest(&self) -> SpanForest {
+        SpanForest::from_tracer(&self.sink.tracer)
+    }
+
+    /// Spans as JSON Lines (one object per span, id order).
+    pub fn spans_jsonl(&self) -> String {
+        self.span_forest().to_jsonl()
+    }
+
+    /// Deterministic span trees, one per root, id order.
+    pub fn spans_text(&self) -> String {
+        let forest = self.span_forest();
+        let mut out = format!(
+            "spans \u{2014} experiment {} (seed {}): {} spans, {} roots\n",
+            self.id,
+            self.seed,
+            forest.len(),
+            forest.roots().len()
+        );
+        for &root in forest.roots() {
+            out.push('\n');
+            out.push_str(&forest.render_tree(root));
+        }
+        out
+    }
+
+    /// The suite's default SLO policy evaluated against this run's
+    /// metrics snapshot.
+    pub fn slo_report(&self) -> SloReport {
+        SloPolicy::picloud_default().evaluate(&self.snapshot())
+    }
+
+    /// Critical-path analysis of every root span, with per-segment blame.
+    ///
+    /// For `recovery` (E17) roots that closed a real outage window
+    /// (carrying `downtime_ns`), the footer reports their count and mean
+    /// critical-path total — by construction equal to the experiment's
+    /// measured MTTR, since each such root spans exactly
+    /// `[crash, respawn]`.
+    pub fn critical_path_report(&self) -> String {
+        let forest = self.span_forest();
+        let mut out = format!(
+            "critical paths \u{2014} experiment {} (seed {})\n",
+            self.id, self.seed
+        );
+        if forest.roots().is_empty() {
+            out.push_str("no spans recorded\n");
+            return out;
+        }
+        let mut restored_total = SimDuration::ZERO;
+        let mut restored_count: u64 = 0;
+        for &root in forest.roots() {
+            let (Some(rec), Some(path)) = (forest.get(root), forest.critical_path(root)) else {
+                continue;
+            };
+            out.push_str(&format!("\n{} {}", rec.name, rec.id));
+            for (k, v) in rec.fields.iter().chain(rec.end_fields.iter()) {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            out.push_str(&path.render());
+            if rec.name == "recovery" && rec.field("downtime_ns").is_some() {
+                restored_total = restored_total.saturating_add(path.total());
+                restored_count += 1;
+            }
+        }
+        if restored_count > 0 {
+            out.push_str(&format!(
+                "\nrecovered outages: {restored_count}, mean critical-path total (= MTTR): {}\n",
+                restored_total / restored_count
+            ));
+        }
+        out
+    }
+
+    /// Mean critical-path total over `recovery` roots that closed an
+    /// outage window — the span-level MTTR. `None` when the run restored
+    /// nothing.
+    pub fn span_mttr(&self) -> Option<SimDuration> {
+        let forest = self.span_forest();
+        let mut total = SimDuration::ZERO;
+        let mut count: u64 = 0;
+        for rec in forest.roots_named("recovery") {
+            if rec.field("downtime_ns").is_some() {
+                let path = forest.critical_path(rec.id)?;
+                total = total.saturating_add(path.total());
+                count += 1;
+            }
+        }
+        (count > 0).then(|| total / count)
     }
 }
 
@@ -420,6 +519,58 @@ fn collect_summary(id: &str, seed: u64, reg: &mut MetricsRegistry) -> SimTime {
     t0
 }
 
+/// Adds the experiment's causal spans to `sink` where the summary run has
+/// a natural traced walk-through, returning the latest sim-time instant
+/// the spans reached (so `experiment_end` stays last). Experiments with
+/// live collection (`recovery`) record their spans inline instead.
+fn collect_spans(id: &str, seed: u64, sink: &mut TelemetrySink) -> SimTime {
+    let _ = seed;
+    match id {
+        "sdn" => {
+            // One reactive cache miss (packet-in → flow-mod round trip)
+            // followed by a hit on the installed rules, on the paper fabric.
+            let topo = Topology::multi_root_tree(4, 14, 2);
+            let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
+            let mut ctrl = SdnController::new(topo, InstallMode::Reactive);
+            let (src, dst) = (hosts[0], hosts[55]);
+            ctrl.route_traced(src, dst, &mut sink.tracer, SpanContext::NONE);
+            ctrl.route_traced(src, dst, &mut sink.tracer, SpanContext::NONE);
+            ctrl.now()
+        }
+        "fig4" => {
+            // Two panel refreshes 20 s apart: the second records real
+            // staleness into `mgmt_panel_staleness_seconds`.
+            let mut cloud = PiCloud::glasgow();
+            let mut panel = ControlPanel::new();
+            panel.refresh_traced(cloud.pimaster_mut(), SimTime::from_secs(1), sink);
+            panel.refresh_traced(cloud.pimaster_mut(), SimTime::from_secs(21), sink);
+            SimTime::from_secs(21)
+        }
+        "fidelity" => {
+            // One traced wordcount on the paper fabric: job → map wave →
+            // shuffle (per-flow spans from flowsim completions) → reduce.
+            use picloud_hardware::storage::StorageSpec;
+            use picloud_network::flowsim::{FlowSimulator, RateAllocator};
+            use picloud_network::routing::RoutingPolicy;
+            use picloud_simcore::units::{Bytes, Frequency};
+            let topo = Topology::multi_root_tree(4, 14, 2);
+            let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
+            let mut sim = FlowSimulator::new(topo, RoutingPolicy::default(), RateAllocator::MaxMin);
+            let job = MapReduceJob::wordcount(Bytes::mib(64));
+            let plan = job.plan(&hosts[..16]);
+            let out = plan.execute_traced(
+                &mut sim,
+                Frequency::mhz(700),
+                &StorageSpec::sd_card_16gb(),
+                &mut sink.tracer,
+                SpanContext::NONE,
+            );
+            SimTime::ZERO + out.makespan()
+        }
+        _ => SimTime::ZERO,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,7 +594,9 @@ mod tests {
         for id in ["table1", "fig1", "fig2", "fig3", "fig4", "power", "dvfs"] {
             let t = ExperimentTelemetry::collect(id, 1).expect(id);
             assert!(!t.sink.registry.is_empty(), "{id} produced no series");
-            assert_eq!(t.sink.tracer.len(), 2, "{id} start/end events");
+            // At least the start/end bracket; span-instrumented ids
+            // (fig4's panel refreshes) add span_start/span_end pairs.
+            assert!(t.sink.tracer.len() >= 2, "{id} start/end events");
             assert!(!t.metrics_jsonl().is_empty());
             assert!(!t.metrics_csv().is_empty());
             assert!(!t.metrics_prometheus().is_empty());
@@ -458,5 +611,55 @@ mod tests {
         assert_eq!(a.metrics_csv(), b.metrics_csv());
         assert_eq!(a.metrics_prometheus(), b.metrics_prometheus());
         assert_eq!(a.trace_jsonl(), b.trace_jsonl());
+    }
+
+    #[test]
+    fn sdn_spans_show_the_control_round_trip() {
+        let t = ExperimentTelemetry::collect("e8", 1).unwrap();
+        let forest = t.span_forest();
+        let routes: Vec<_> = forest.roots_named("sdn_route").collect();
+        assert_eq!(routes.len(), 2, "one miss, one hit");
+        let kids = |r: &picloud_simcore::SpanRecord| {
+            forest
+                .children(r.id)
+                .iter()
+                .map(|&c| forest.get(c).unwrap().name.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(kids(routes[0]), ["packet_in", "flow_mod"]);
+        assert!(kids(routes[1]).is_empty(), "cache hit has no round trip");
+        assert!(t.spans_jsonl().contains("\"name\":\"packet_in\""));
+        assert!(t.spans_text().contains("sdn_route"));
+    }
+
+    #[test]
+    fn fig4_panel_spans_feed_the_staleness_slo() {
+        let t = ExperimentTelemetry::collect("fig4", 1).unwrap();
+        let forest = t.span_forest();
+        assert_eq!(forest.roots_named("panel_refresh").count(), 2);
+        let report = t.slo_report();
+        let staleness = report
+            .results
+            .iter()
+            .find(|r| r.rule.name == "panel_staleness")
+            .expect("default policy covers panel staleness");
+        assert_eq!(staleness.observed, Some(20.0));
+        assert_eq!(
+            staleness.verdict,
+            picloud_simcore::telemetry::slo::Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn fidelity_spans_reconstruct_the_mapreduce_job() {
+        let t = ExperimentTelemetry::collect("e10", 1).unwrap();
+        let forest = t.span_forest();
+        let jobs: Vec<_> = forest.roots_named("mapreduce_job").collect();
+        assert_eq!(jobs.len(), 1);
+        let path = forest.critical_path(jobs[0].id).unwrap();
+        assert_eq!(path.total(), jobs[0].duration());
+        let sum: u64 = path.steps.iter().map(|s| s.duration().as_nanos()).sum();
+        assert_eq!(sum, path.total().as_nanos(), "blame partitions the job");
+        assert!(t.critical_path_report().contains("mapreduce_job"));
     }
 }

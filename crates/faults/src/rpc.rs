@@ -9,8 +9,8 @@
 //! budget is exhausted.
 
 use picloud_hardware::node::NodeId;
-use picloud_simcore::telemetry::MetricsRegistry;
-use picloud_simcore::{SeedFactory, SimDuration, SimTime};
+use picloud_simcore::telemetry::{MetricsRegistry, Tracer};
+use picloud_simcore::{SeedFactory, SimDuration, SimTime, SpanContext, SpanId};
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
@@ -171,23 +171,90 @@ impl RpcPlane {
     ///
     /// [`RpcError::Timeout`] once `max_attempts` attempts have timed out.
     pub fn call(&mut self, node: NodeId, now: SimTime) -> Result<SimDuration, RpcError> {
+        self.call_inner(node, now, None)
+    }
+
+    /// [`RpcPlane::call`], additionally recording the call as an `rpc`
+    /// span under `parent` with one child span per attempt outcome
+    /// (`rpc_backoff` / `rpc_timeout` / `rpc_reply`).
+    ///
+    /// The traced and untraced paths draw jitter identically, so
+    /// enabling tracing never perturbs call latencies; with a disabled
+    /// `tracer` this *is* the untraced path (no ids, no allocation).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] once `max_attempts` attempts have timed out.
+    pub fn call_traced(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        tracer: &mut Tracer,
+        parent: SpanContext,
+    ) -> Result<SimDuration, RpcError> {
+        self.call_inner(node, now, Some((tracer, parent)))
+    }
+
+    /// Shared body of [`RpcPlane::call`] / [`RpcPlane::call_traced`].
+    /// All RNG draws happen identically whether or not `trace` is
+    /// present — spans only *observe* the timings.
+    fn call_inner(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        mut trace: Option<(&mut Tracer, SpanContext)>,
+    ) -> Result<SimDuration, RpcError> {
         self.stats.calls += 1;
+        let span = match &mut trace {
+            Some((tracer, parent)) => tracer.span_start(now, "rpc", parent.span(), |e| {
+                e.u64("node", u64::from(node.0));
+            }),
+            None => SpanId::NONE,
+        };
         let mut waited = SimDuration::ZERO;
         for attempt in 0..self.config.max_attempts {
             if attempt > 0 {
                 self.stats.retries += 1;
-                waited = waited.saturating_add(self.backoff(attempt));
+                let backoff = self.backoff(attempt);
+                if let Some((tracer, _)) = &mut trace {
+                    let s = tracer.span_start(now + waited, "rpc_backoff", span, |e| {
+                        e.u64("attempt", u64::from(attempt));
+                    });
+                    tracer.span_end(now + waited + backoff, s, |_| {});
+                }
+                waited = waited.saturating_add(backoff);
             }
             if self.is_responsive(node, now + waited) {
                 // Reply: RTT with up to 25% deterministic jitter.
                 let jitter = self.jitter.gen_range(0.0..0.25);
                 self.stats.replies += 1;
-                return Ok(waited.saturating_add(self.config.rtt.mul_f64(1.0 + jitter)));
+                let total = waited.saturating_add(self.config.rtt.mul_f64(1.0 + jitter));
+                if let Some((tracer, _)) = &mut trace {
+                    let s = tracer.span_start(now + waited, "rpc_reply", span, |e| {
+                        e.u64("attempt", u64::from(attempt + 1));
+                    });
+                    tracer.span_end(now + total, s, |_| {});
+                    tracer.span_end(now + total, span, |e| {
+                        e.bool("ok", true);
+                    });
+                }
+                return Ok(total);
             }
             self.stats.timeouts += 1;
+            if let Some((tracer, _)) = &mut trace {
+                let s = tracer.span_start(now + waited, "rpc_timeout", span, |e| {
+                    e.u64("attempt", u64::from(attempt + 1));
+                });
+                tracer.span_end(now + waited + self.config.timeout, s, |_| {});
+            }
             waited = waited.saturating_add(self.config.timeout);
         }
         self.stats.failures += 1;
+        if let Some((tracer, _)) = &mut trace {
+            tracer.span_end(now + waited, span, |e| {
+                e.bool("ok", false);
+            });
+        }
         Err(RpcError::Timeout {
             attempts: self.config.max_attempts,
             waited,
@@ -289,6 +356,76 @@ mod tests {
         p.hang_daemon(NodeId(0), SimTime::from_secs(4));
         assert!(!p.is_responsive(NodeId(0), SimTime::from_secs(9)));
         assert!(p.is_responsive(NodeId(0), SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn traced_call_matches_untraced_and_records_attempt_spans() {
+        use picloud_simcore::SpanForest;
+
+        // Same seed, same call sequence: latencies must be bit-identical
+        // whether or not spans are recorded.
+        let mut plain = plane(6);
+        let mut traced = plane(6);
+        plain.node_down(NodeId(3));
+        traced.node_down(NodeId(3));
+        let mut tracer = Tracer::unbounded();
+
+        let a = plain.call(NodeId(0), SimTime::ZERO).unwrap();
+        let b = traced
+            .call_traced(NodeId(0), SimTime::ZERO, &mut tracer, SpanContext::NONE)
+            .unwrap();
+        assert_eq!(a, b);
+        let ea = plain.call(NodeId(3), SimTime::from_secs(1)).unwrap_err();
+        let eb = traced
+            .call_traced(
+                NodeId(3),
+                SimTime::from_secs(1),
+                &mut tracer,
+                SpanContext::NONE,
+            )
+            .unwrap_err();
+        assert_eq!(ea, eb);
+
+        let forest = SpanForest::from_tracer(&tracer);
+        let roots: Vec<_> = forest.roots_named("rpc").collect();
+        assert_eq!(roots.len(), 2);
+        let child_names = |id| {
+            forest
+                .children(id)
+                .iter()
+                .map(|&c| forest.get(c).unwrap().name.as_str())
+                .collect::<Vec<_>>()
+        };
+        // Healthy call: one rpc_reply child, duration == the latency.
+        assert_eq!(roots[0].duration(), a);
+        assert_eq!(child_names(roots[0].id), ["rpc_reply"]);
+        // Dead call: timeout, backoff, timeout — and the waited total.
+        let RpcError::Timeout { waited, .. } = ea;
+        assert_eq!(roots[1].duration(), waited);
+        assert_eq!(
+            child_names(roots[1].id),
+            ["rpc_timeout", "rpc_backoff", "rpc_timeout"]
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_traced_call_is_untraced() {
+        let mut plain = plane(7);
+        let mut traced = plane(7);
+        let mut off = Tracer::disabled();
+        for i in 0..8 {
+            let a = plain.call(NodeId(0), SimTime::from_secs(i)).unwrap();
+            let b = traced
+                .call_traced(
+                    NodeId(0),
+                    SimTime::from_secs(i),
+                    &mut off,
+                    SpanContext::NONE,
+                )
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(off.emitted(), 0);
     }
 
     #[test]

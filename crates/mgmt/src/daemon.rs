@@ -87,9 +87,9 @@ impl NodeDaemon {
     ) -> Result<ContainerId, HostError> {
         let id = self.host.create(name, config)?;
         if let Err(e) = self.host.start(id) {
-            self.host
-                .destroy(id)
-                .expect("freshly created container can be destroyed");
+            // Best-effort rollback — the start failure is the error worth
+            // reporting, not a secondary destroy hiccup.
+            let _ = self.host.destroy(id);
             return Err(e);
         }
         Ok(id)

@@ -9,7 +9,8 @@
 
 use crate::monitor::ClusterSnapshot;
 use crate::pimaster::Pimaster;
-use picloud_simcore::SimTime;
+use picloud_simcore::telemetry::TelemetrySink;
+use picloud_simcore::{SimTime, SpanId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -114,17 +115,57 @@ impl fmt::Display for PanelView {
 
 /// Convenience driver: poll the pimaster and build the view.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ControlPanel;
+pub struct ControlPanel {
+    /// When the panel last polled, for the staleness gauge.
+    last_refresh: Option<SimTime>,
+}
 
 impl ControlPanel {
-    /// Creates the (stateless) panel.
+    /// Creates the panel; no refresh has happened yet.
     pub fn new() -> Self {
-        ControlPanel
+        ControlPanel::default()
+    }
+
+    /// When the panel last refreshed (via either refresh method).
+    pub fn last_refresh(&self) -> Option<SimTime> {
+        self.last_refresh
     }
 
     /// Refreshes: polls all daemons through the pimaster and builds a view.
-    pub fn refresh(&self, master: &mut Pimaster, now: SimTime) -> PanelView {
+    pub fn refresh(&mut self, master: &mut Pimaster, now: SimTime) -> PanelView {
+        self.last_refresh = Some(now);
         PanelView::from_snapshot(&master.snapshot(now))
+    }
+
+    /// [`refresh`](ControlPanel::refresh) wired into telemetry: emits a
+    /// `panel_refresh` span and sets the `mgmt_panel_staleness_seconds`
+    /// gauge to the gap since the previous refresh (0 on the first). On a
+    /// disabled sink this is exactly `refresh` — nothing is recorded.
+    pub fn refresh_traced(
+        &mut self,
+        master: &mut Pimaster,
+        now: SimTime,
+        sink: &mut TelemetrySink,
+    ) -> PanelView {
+        let staleness = self
+            .last_refresh
+            .map_or(0.0, |t| now.saturating_duration_since(t).as_secs_f64());
+        let view = self.refresh(master, now);
+        if sink.is_enabled() {
+            let span = sink
+                .tracer
+                .span_start(now, "panel_refresh", SpanId::NONE, |e| {
+                    e.u64("nodes", view.rows.len() as u64)
+                        .u64("running", view.running_containers as u64);
+                });
+            sink.tracer.span_end(now, span, |e| {
+                e.f64("staleness_s", staleness);
+            });
+            sink.registry
+                .gauge("mgmt_panel_staleness_seconds", &[])
+                .set(now, staleness);
+        }
+        view
     }
 }
 
@@ -184,6 +225,37 @@ mod tests {
         }
         assert!(art.contains("control panel"));
         assert_eq!(art, view.to_string());
+    }
+
+    #[test]
+    fn traced_refresh_records_span_and_staleness() {
+        use picloud_simcore::SpanForest;
+
+        let mut m = loaded_master();
+        let mut panel = ControlPanel::new();
+        let mut sink = TelemetrySink::recording(SimTime::ZERO);
+        let v1 = panel.refresh_traced(&mut m, SimTime::from_secs(5), &mut sink);
+        let v2 = panel.refresh_traced(&mut m, SimTime::from_secs(45), &mut sink);
+        assert_eq!(v1.rows.len(), v2.rows.len());
+        assert_eq!(panel.last_refresh(), Some(SimTime::from_secs(45)));
+
+        let forest = SpanForest::from_tracer(&sink.tracer);
+        let refreshes: Vec<_> = forest.roots_named("panel_refresh").collect();
+        assert_eq!(refreshes.len(), 2);
+        let g = sink
+            .registry
+            .get_gauge("mgmt_panel_staleness_seconds", &[])
+            .expect("staleness gauge exists");
+        assert_eq!(g.value(), 40.0, "second refresh came 40 s after the first");
+        assert_eq!(g.max(), 40.0);
+
+        // Disabled sink: identical view, nothing recorded.
+        let mut off = TelemetrySink::disabled();
+        let mut quiet_panel = ControlPanel::new();
+        let qv = quiet_panel.refresh_traced(&mut m, SimTime::from_secs(50), &mut off);
+        assert_eq!(qv.rows.len(), v1.rows.len());
+        assert_eq!(off.tracer.len(), 0);
+        assert!(off.registry.is_empty());
     }
 
     #[test]

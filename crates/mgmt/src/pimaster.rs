@@ -176,17 +176,15 @@ impl Pimaster {
                 })
             }
             ApiRequest::DestroyContainer { node, container } => {
-                let node_name = self
+                let daemon = self
                     .daemons
-                    .get(&node)
-                    .map(|d| d.name().to_owned())
+                    .get_mut(&node)
                     .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
-                let ct_name = self
-                    .daemons
-                    .get(&node)
-                    .and_then(|d| d.host().container(container))
+                let node_name = daemon.name().to_owned();
+                let ct_name = daemon
+                    .host()
+                    .container(container)
                     .map(|c| c.name().to_owned());
-                let daemon = self.daemons.get_mut(&node).expect("checked above");
                 daemon.destroy(container)?;
                 if let Some(ct_name) = ct_name {
                     self.dns
@@ -220,9 +218,13 @@ impl Pimaster {
             ApiRequest::ListImages => Ok(ApiResponse::Images(
                 self.images
                     .names()
-                    .map(|n| {
-                        let v = self.images.golden(n).expect("listed image exists").version;
-                        (n.to_owned(), v)
+                    .filter_map(|n| {
+                        // A name without a golden image (mid-update store
+                        // churn) is skipped rather than panicking the API.
+                        self.images
+                            .golden(n)
+                            .ok()
+                            .map(|img| (n.to_owned(), img.version))
                     })
                     .collect(),
             )),
@@ -252,7 +254,10 @@ impl Pimaster {
             .images
             .spawn(image, node)
             .map_err(|e| ApiError::NotFound(e.to_string()))?;
-        let daemon = self.daemons.get_mut(&node).expect("checked above");
+        let daemon = self
+            .daemons
+            .get_mut(&node)
+            .ok_or_else(|| ApiError::NotFound(format!("no such node {node}")))?;
         let container = daemon.spawn(name.clone(), ContainerConfig::new(img))?;
         let node_name = daemon.name().to_owned();
         // Bridged networking: the container leases its own address.

@@ -19,8 +19,8 @@ use crate::flowtable::{Action, FlowKey, FlowRule, MatchFields};
 use crate::switch::OpenFlowSwitch;
 use picloud_network::graph;
 use picloud_network::topology::{DeviceId, LinkId, Topology};
-use picloud_simcore::telemetry::MetricsRegistry;
-use picloud_simcore::{SimDuration, SimTime};
+use picloud_simcore::telemetry::{MetricsRegistry, Tracer};
+use picloud_simcore::{SimDuration, SimTime, SpanContext};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -208,6 +208,53 @@ impl SdnController {
             .expect("SDN fabric must be connected")
     }
 
+    /// [`SdnController::try_route`], additionally recording the route as
+    /// an `sdn_route` span under `parent`. A table miss gets the
+    /// control-plane round trip as children: `packet_in` (punt to the
+    /// controller, one RTT) followed by `flow_mod` (programming the
+    /// missed switches), so the span's extent is exactly the
+    /// `setup_latency` charged to the first packet. A cache hit closes
+    /// immediately with no children. With a disabled `tracer` this is
+    /// [`SdnController::try_route`] — nothing records, nothing allocates.
+    pub fn route_traced(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        tracer: &mut Tracer,
+        parent: SpanContext,
+    ) -> Option<RouteOutcome> {
+        let now = self.now;
+        let span = tracer.span_start(now, "sdn_route", parent.span(), |e| {
+            e.u64("src", u64::from(src.0)).u64("dst", u64::from(dst.0));
+        });
+        let out = self.try_route(src, dst);
+        match &out {
+            None => tracer.span_end(now, span, |e| {
+                e.bool("ok", false);
+            }),
+            Some(o) => {
+                if !o.cache_hit {
+                    let punt = tracer.span_start(now, "packet_in", span, |_| {});
+                    tracer.span_end(now + self.control_rtt, punt, |_| {});
+                    let program =
+                        tracer.span_start(now + self.control_rtt, "flow_mod", span, |e| {
+                            e.u64("rules", o.rules_installed as u64);
+                        });
+                    tracer.span_end(
+                        now + self.control_rtt + self.rule_install_time,
+                        program,
+                        |_| {},
+                    );
+                }
+                tracer.span_end(now + o.setup_latency, span, |e| {
+                    e.bool("cache_hit", o.cache_hit)
+                        .u64("hops", o.path.len() as u64);
+                });
+            }
+        }
+        out
+    }
+
     /// Routes one flow, returning `None` if the surviving fabric has no
     /// path.
     pub fn try_route(&mut self, src: DeviceId, dst: DeviceId) -> Option<RouteOutcome> {
@@ -262,11 +309,13 @@ impl SdnController {
                     FlowRule::new(MatchFields::to_dst(dst), Action::Forward(out_link))
                 }
             };
-            self.switches
-                .get_mut(&sw_id)
-                .expect("missed switch exists")
-                .install(rule, self.now);
-            self.total_rule_installs += 1;
+            // The id came off this map a moment ago, but a fault handler
+            // running between classify and install must degrade to a
+            // skipped programming step, not a control-plane panic.
+            if let Some(sw) = self.switches.get_mut(&sw_id) {
+                sw.install(rule, self.now);
+                self.total_rule_installs += 1;
+            }
         }
         RouteOutcome {
             path,
@@ -289,11 +338,13 @@ impl SdnController {
                 let Some(&first) = path.first() else {
                     continue;
                 };
-                self.switches.get_mut(&sw).expect("switch exists").install(
-                    FlowRule::new(MatchFields::to_dst(dst), Action::Forward(first)),
-                    self.now,
-                );
-                self.total_rule_installs += 1;
+                if let Some(sw) = self.switches.get_mut(&sw) {
+                    sw.install(
+                        FlowRule::new(MatchFields::to_dst(dst), Action::Forward(first)),
+                        self.now,
+                    );
+                    self.total_rule_installs += 1;
+                }
             }
         }
     }
@@ -458,6 +509,48 @@ mod tests {
         assert!(flushed > 0, "preinstalled rules over the link are flushed");
         let second = ctrl.route(hosts[0], hosts[55]);
         assert!(!second.path.contains(&first.path[1]));
+    }
+
+    #[test]
+    fn traced_route_records_the_control_round_trip() {
+        use picloud_simcore::SpanForest;
+
+        let (topo, hosts) = paper_fabric();
+        let mut ctrl = SdnController::new(topo, InstallMode::Reactive);
+        let mut tracer = Tracer::unbounded();
+        let first = ctrl
+            .route_traced(hosts[0], hosts[55], &mut tracer, SpanContext::NONE)
+            .unwrap();
+        let second = ctrl
+            .route_traced(hosts[0], hosts[55], &mut tracer, SpanContext::NONE)
+            .unwrap();
+        assert!(!first.cache_hit && second.cache_hit);
+
+        let forest = SpanForest::from_tracer(&tracer);
+        let roots: Vec<_> = forest.roots_named("sdn_route").collect();
+        assert_eq!(roots.len(), 2);
+        // The miss's span covers exactly the setup latency, with the
+        // packet-in → flow-mod round trip inside it.
+        assert_eq!(roots[0].duration(), first.setup_latency);
+        let kids: Vec<&str> = forest
+            .children(roots[0].id)
+            .iter()
+            .map(|&c| forest.get(c).unwrap().name.as_str())
+            .collect();
+        assert_eq!(kids, ["packet_in", "flow_mod"]);
+        // The hit is free and childless.
+        assert_eq!(roots[1].duration(), SimDuration::ZERO);
+        assert!(forest.children(roots[1].id).is_empty());
+
+        // Disabled tracer: identical outcome, nothing recorded.
+        let (topo2, _) = paper_fabric();
+        let mut ctrl2 = SdnController::new(topo2, InstallMode::Reactive);
+        let mut off = Tracer::disabled();
+        let replay = ctrl2
+            .route_traced(hosts[0], hosts[55], &mut off, SpanContext::NONE)
+            .unwrap();
+        assert_eq!(replay, first);
+        assert_eq!(off.emitted(), 0);
     }
 
     #[test]

@@ -215,14 +215,19 @@ impl FlowTable {
     /// least-recently-matched rule is evicted first.
     pub fn install(&mut self, rule: FlowRule, now: SimTime) -> u64 {
         if let Some(cap) = self.capacity {
+            // `cap > 0` makes the table non-empty whenever the loop guard
+            // holds, but degrade to a plain insert rather than panicking
+            // if that invariant is ever disturbed.
             while self.rules.len() >= cap {
-                let victim = self
+                let Some(victim) = self
                     .rules
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, r)| (r.last_matched, r.cookie))
                     .map(|(i, _)| i)
-                    .expect("table is non-empty when at capacity");
+                else {
+                    break;
+                };
                 self.rules.remove(victim);
                 self.evictions += 1;
             }

@@ -110,23 +110,22 @@ impl IplessFabric {
     }
 
     /// Routes a session from `src` to `label`, installing whatever state
-    /// the addressing mode requires. Returns the path length in links.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the label is unbound.
-    pub fn open_session(&mut self, src: DeviceId, label: Label) -> usize {
-        let dst = self.locate(label).expect("label must be bound");
+    /// the addressing mode requires. Returns the path length in links, or
+    /// `None` when the label is unbound or the surviving fabric has no
+    /// path — both conditions injected faults can create mid-experiment,
+    /// so they must not panic the control plane.
+    pub fn open_session(&mut self, src: DeviceId, label: Label) -> Option<usize> {
+        let dst = self.locate(label)?;
         match self.mode {
             AddressingMode::IpSubnet => {
-                let out = self.controller.route(src, dst);
+                let out = self.controller.try_route(src, dst)?;
                 self.ip_sessions.push((src, label));
-                out.path.len()
+                Some(out.path.len())
             }
             AddressingMode::FlatLabel => {
                 // Install/refresh label next-hops along the path.
                 let topo = self.controller.topology();
-                let path = graph::shortest_path(topo, src, dst).expect("connected fabric");
+                let path = graph::shortest_path(topo, src, dst)?;
                 let mut cur = src;
                 let mut hops = 0;
                 let mut installs: Vec<(DeviceId, picloud_network::topology::LinkId)> = Vec::new();
@@ -144,7 +143,7 @@ impl IplessFabric {
                 for (sw, lid) in installs {
                     self.label_rules.entry(sw).or_default().insert(label, lid);
                 }
-                hops
+                Some(hops)
             }
         }
     }
@@ -157,22 +156,24 @@ impl IplessFabric {
             .count()
     }
 
-    /// Migrates `label` to `new_host`, returning the control-plane churn.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the label is unbound.
-    pub fn migrate(&mut self, label: Label, new_host: DeviceId, now: SimTime) -> MigrationImpact {
-        let old_host = self.locate(label).expect("label must be bound");
+    /// Migrates `label` to `new_host`, returning the control-plane churn,
+    /// or `None` when the label was never bound (nothing to move).
+    pub fn migrate(
+        &mut self,
+        label: Label,
+        new_host: DeviceId,
+        now: SimTime,
+    ) -> Option<MigrationImpact> {
+        let old_host = self.locate(label)?;
         self.locations.insert(label, new_host);
         if old_host == new_host {
-            return MigrationImpact {
+            return Some(MigrationImpact {
                 rules_touched: 0,
                 flows_disrupted: 0,
                 convergence_latency: SimDuration::ZERO,
-            };
+            });
         }
-        match self.mode {
+        Some(match self.mode {
             AddressingMode::IpSubnet => {
                 // Every rule naming the old address is stale; sessions break.
                 self.controller.advance_to(now);
@@ -212,7 +213,7 @@ impl IplessFabric {
                     convergence_latency: SimDuration::from_millis(5),
                 }
             }
-        }
+        })
     }
 }
 
@@ -234,10 +235,10 @@ mod tests {
             f.bind(label, hosts[55]);
             // Ten clients talk to the label.
             for host in hosts.iter().take(10) {
-                f.open_session(*host, label);
+                f.open_session(*host, label).unwrap();
             }
             // Migrate to a host in another rack.
-            f.migrate(label, hosts[14], SimTime::from_secs(1))
+            f.migrate(label, hosts[14], SimTime::from_secs(1)).unwrap()
         };
         let ip = run(AddressingMode::IpSubnet);
         let lbl = run(AddressingMode::FlatLabel);
@@ -257,14 +258,14 @@ mod tests {
         let (mut f, hosts) = fabric(AddressingMode::FlatLabel);
         let label = Label(9);
         f.bind(label, hosts[55]);
-        f.open_session(hosts[0], label);
+        f.open_session(hosts[0], label).unwrap();
         let rules_before = f.label_rule_count(label);
         assert!(rules_before > 0);
-        let impact = f.migrate(label, hosts[20], SimTime::from_secs(1));
+        let impact = f.migrate(label, hosts[20], SimTime::from_secs(1)).unwrap();
         assert!(impact.rules_touched <= rules_before);
         assert_eq!(f.locate(label), Some(hosts[20]));
         // A session opened after migration routes to the new host.
-        let hops = f.open_session(hosts[0], label);
+        let hops = f.open_session(hosts[0], label).unwrap();
         assert!(hops > 0);
     }
 
@@ -273,7 +274,7 @@ mod tests {
         let (mut f, hosts) = fabric(AddressingMode::FlatLabel);
         let label = Label(3);
         f.bind(label, hosts[7]);
-        let impact = f.migrate(label, hosts[7], SimTime::ZERO);
+        let impact = f.migrate(label, hosts[7], SimTime::ZERO).unwrap();
         assert_eq!(impact.rules_touched, 0);
         assert_eq!(impact.convergence_latency, SimDuration::ZERO);
     }
@@ -284,18 +285,18 @@ mod tests {
         let label = Label(4);
         // hosts[14] and hosts[15] are both in rack 1.
         f.bind(label, hosts[14]);
-        f.open_session(hosts[0], label); // cross-rack session
-        let impact = f.migrate(label, hosts[15], SimTime::ZERO);
+        f.open_session(hosts[0], label).unwrap(); // cross-rack session
+        let impact = f.migrate(label, hosts[15], SimTime::ZERO).unwrap();
         // Only the destination ToR's next hop changes (agg switches still
         // forward to the same ToR).
         assert_eq!(impact.rules_touched, 1, "{impact:?}");
     }
 
     #[test]
-    #[should_panic(expected = "label must be bound")]
-    fn unbound_label_panics() {
+    fn unbound_label_is_reported_not_panicked() {
         let (mut f, hosts) = fabric(AddressingMode::FlatLabel);
-        f.open_session(hosts[0], Label(42));
+        assert_eq!(f.open_session(hosts[0], Label(42)), None);
+        assert_eq!(f.migrate(Label(42), hosts[1], SimTime::ZERO), None);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   [`MetricsRegistry`], a ring-buffered sim-time [`Tracer`], and
 //!   byte-deterministic JSONL/CSV/Prometheus exporters (see
 //!   `OBSERVABILITY.md` at the repository root).
+//! * [`spans`] — causal span tracing layered on the [`Tracer`]: parented
+//!   `span_start` / `span_end` events, [`SpanForest`] reconstruction, and
+//!   critical-path extraction with per-span blame attribution.
 //! * [`units`] — newtypes for bytes, bandwidth, power, cost and frequency
 //!   shared across the hardware and network models.
 //!
@@ -44,6 +47,7 @@
 pub mod engine;
 pub mod metrics;
 pub mod rng;
+pub mod spans;
 pub mod telemetry;
 pub mod time;
 pub mod units;
@@ -51,5 +55,6 @@ pub mod units;
 pub use engine::{Engine, EventContext, EventId};
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricSet, TimeWeightedGauge};
 pub use rng::SeedFactory;
+pub use spans::{CriticalPath, PathStep, SpanContext, SpanForest, SpanId, SpanRecord};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink, TraceEvent, Tracer};
 pub use time::{SimDuration, SimTime};

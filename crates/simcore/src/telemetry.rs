@@ -37,7 +37,10 @@
 //! assert!(snap.to_prometheus().contains("requests_total{node=\"7\"} 3"));
 //! ```
 
+pub mod slo;
+
 use crate::metrics::{Counter, Histogram, TimeWeightedGauge};
+use crate::spans::SpanId;
 use crate::time::SimTime;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -69,6 +72,14 @@ fn json_escape(s: &str, out: &mut String) {
             c => out.push(c),
         }
     }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote and newline
+/// per the text exposition format.
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Formats an `f64` as a JSON value (non-finite values become `null`,
@@ -147,11 +158,9 @@ impl fmt::Display for Labels {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(
-                f,
-                "{k}=\"{}\"",
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            )?;
+            // Prometheus exposition format: backslash, quote and newline
+            // must be escaped inside label values.
+            write!(f, "{k}=\"{}\"", prom_escape(v))?;
         }
         write!(f, "}}")
     }
@@ -526,7 +535,7 @@ impl MetricsSnapshot {
                             .key
                             .labels
                             .iter()
-                            .map(|(k, v)| format!("{k}=\"{v}\""))
+                            .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
                             .collect();
                         all.push(format!("quantile=\"{q}\""));
                         out.push_str(&format!("{name}{{{}}} {v}\n", all.join(",")));
@@ -670,6 +679,9 @@ pub struct Tracer {
     events: VecDeque<TraceEvent>,
     dropped: u64,
     seq: u64,
+    /// Last allocated span id; ids start at 1 so zero can mean
+    /// [`SpanId::NONE`].
+    next_span: u64,
 }
 
 impl Tracer {
@@ -748,6 +760,52 @@ impl Tracer {
                 "duration_ns",
                 end.saturating_duration_since(start).as_nanos(),
             );
+            build(e);
+        });
+    }
+
+    /// Opens a causal span at `time`: allocates a fresh [`SpanId`] and
+    /// records a `span_start` event carrying the id, the span `name` and
+    /// (when not [`SpanId::NONE`]) the `parent` link, plus whatever
+    /// fields `build` attaches. Close it with [`Tracer::span_end`];
+    /// reconstruct with [`crate::spans::SpanForest`].
+    ///
+    /// Disabled tracers return [`SpanId::NONE`] immediately — no id is
+    /// consumed, `build` never runs, nothing allocates — so instrumented
+    /// code can thread span ids unconditionally.
+    pub fn span_start(
+        &mut self,
+        time: SimTime,
+        name: &'static str,
+        parent: SpanId,
+        build: impl FnOnce(&mut EventFields),
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        self.next_span += 1;
+        let id = SpanId(self.next_span);
+        self.emit(time, "span_start", |e| {
+            e.u64("span", id.0);
+            if parent.is_some() {
+                e.u64("parent", parent.0);
+            }
+            e.str("name", name);
+            build(e);
+        });
+        id
+    }
+
+    /// Closes `span` at `time` with a `span_end` event. A no-op when the
+    /// tracer is disabled or `span` is [`SpanId::NONE`] (the id a
+    /// disabled tracer handed out), so enabled and disabled runs take the
+    /// same instrumented code path.
+    pub fn span_end(&mut self, time: SimTime, span: SpanId, build: impl FnOnce(&mut EventFields)) {
+        if !self.enabled || span.is_none() {
+            return;
+        }
+        self.emit(time, "span_end", |e| {
+            e.u64("span", span.0);
             build(e);
         });
     }
@@ -1018,5 +1076,85 @@ mod tests {
             e.str("msg", "a \"quoted\"\nline");
         });
         assert!(t.to_jsonl().contains("\"msg\":\"a \\\"quoted\\\"\\nline\""));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        // The exposition format requires \\, \" and \n escapes in label
+        // values — including on the quantile series of summaries.
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        let awkward = "a\\b \"c\"\nd";
+        reg.counter("c_total", &[("v", awkward)]).add(1);
+        reg.histogram("h_ms", &[("v", awkward)]).observe(1.0);
+        let prom = reg.snapshot(SimTime::ZERO).to_prometheus();
+        let escaped = "a\\\\b \\\"c\\\"\\nd";
+        assert!(
+            prom.contains(&format!("c_total{{v=\"{escaped}\"}} 1")),
+            "{prom}"
+        );
+        assert!(
+            prom.contains(&format!("h_ms{{v=\"{escaped}\",quantile=\"0.5\"}}")),
+            "{prom}"
+        );
+        // With the newline escaped, every record stays on one line.
+        assert_eq!(prom.lines().count(), 8, "one record per line: {prom}");
+    }
+
+    #[test]
+    fn csv_quotes_label_field() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.counter("c_total", &[("v", "say \"hi\", twice")]).add(2);
+        let csv = reg.snapshot(SimTime::ZERO).to_csv();
+        // The labels field is double-quoted with embedded quotes doubled,
+        // so the comma inside the value does not split the row.
+        assert!(
+            csv.contains("c_total,\"v=say \"\"hi\"\", twice\",counter,total,2"),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_field_value_variants() {
+        use serde::Content;
+        let mut t = Tracer::unbounded();
+        t.emit(SimTime::from_secs(1), "kinds", |e| {
+            e.u64("u", u64::MAX)
+                .i64("i", -42)
+                .f64("f", 1.5)
+                .f64("nan", f64::NAN)
+                .bool("b", true)
+                .str("s", "tab\there");
+        });
+        let jsonl = t.to_jsonl();
+        let v: Content = serde_json::from_str(jsonl.trim()).expect("line parses");
+        assert_eq!(v.get("u"), Some(&Content::U64(u64::MAX)));
+        assert_eq!(v.get("i"), Some(&Content::I64(-42)));
+        assert_eq!(v.get("f"), Some(&Content::F64(1.5)));
+        assert_eq!(v.get("nan"), Some(&Content::Null), "non-finite → null");
+        assert_eq!(v.get("b"), Some(&Content::Bool(true)));
+        assert_eq!(v.get("s"), Some(&Content::Str("tab\there".to_owned())));
+        assert_eq!(v.get("t_ns"), Some(&Content::U64(1_000_000_000)));
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_parse_as_json() {
+        use serde::Content;
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.counter("c_total", &[("v", "x\"y\\z\nw")]).add(1);
+        reg.gauge("g", &[]).set(SimTime::ZERO, f64::INFINITY);
+        for line in reg.snapshot(SimTime::from_secs(1)).to_jsonl().lines() {
+            let v: Content = serde_json::from_str(line).expect("line parses");
+            assert!(v.get("name").is_some());
+            // The non-finite gauge value must export as null, not `inf`.
+            if v.get("name") == Some(&Content::Str("g".to_owned())) {
+                assert_eq!(v.get("value"), Some(&Content::Null));
+            } else {
+                assert_eq!(
+                    v.get("labels").and_then(|l| l.get("v")),
+                    Some(&Content::Str("x\"y\\z\nw".to_owned())),
+                    "label value must round-trip through the escaping"
+                );
+            }
+        }
     }
 }

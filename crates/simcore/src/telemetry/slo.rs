@@ -1,0 +1,477 @@
+//! Service-level objectives evaluated over a [`MetricsSnapshot`].
+//!
+//! An [`SloRule`] names one statistic of one metric series (e.g. the p99
+//! of `recovery_restore_seconds`) and bounds it by a `target`. The rule's
+//! **burn rate** is how fast the run is consuming its error budget:
+//!
+//! * [`Objective::UpperBound`] — `burn = observed / target`. At the
+//!   target the burn is exactly 1; twice the target burns at 2×.
+//! * [`Objective::LowerBound`] — `burn = target / observed`. Falling to
+//!   half the target burns at 2×.
+//!
+//! Burn maps to a [`Verdict`] through the rule's thresholds:
+//! `PASS` while `burn < warn_burn`, `WARN` from `warn_burn`, `PAGE` from
+//! `page_burn`. A rule whose series (or statistic) is absent from the
+//! snapshot reports [`Verdict::NoData`] — missing telemetry is something
+//! an operator should see, not silently pass.
+//!
+//! [`SloPolicy::picloud_default`] carries the testbed-wide objectives
+//! (MTTR, SDN convergence, panel staleness); every experiment run through
+//! `picloud::telemetry::ExperimentTelemetry` gets its verdict section from
+//! it. Evaluation is pure and deterministic: same snapshot, same report,
+//! byte for byte.
+
+use super::{MetricValue, MetricsSnapshot};
+use std::fmt;
+
+/// Which summarised statistic of a series a rule reads.
+///
+/// Statistics are kind-specific; reading a statistic the series kind does
+/// not expose (e.g. `P99` of a counter) yields no data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stat {
+    /// Counter total.
+    Total,
+    /// Gauge instantaneous value.
+    Value,
+    /// Gauge time-weighted mean, or histogram mean.
+    Mean,
+    /// Gauge or histogram maximum.
+    Max,
+    /// Histogram 99th percentile.
+    P99,
+}
+
+impl Stat {
+    /// Reads this statistic out of a summarised series value, if the
+    /// kind exposes it (empty histograms expose nothing).
+    pub fn read(self, value: &MetricValue) -> Option<f64> {
+        match (self, value) {
+            (Stat::Total, MetricValue::Counter { total }) => Some(*total as f64),
+            (Stat::Value, MetricValue::Gauge { value, .. }) => Some(*value),
+            (Stat::Mean, MetricValue::Gauge { mean, .. }) => Some(*mean),
+            (Stat::Max, MetricValue::Gauge { max, .. }) => Some(*max),
+            (Stat::Mean, MetricValue::Histogram { summary: Some(s) }) => Some(s.mean),
+            (Stat::Max, MetricValue::Histogram { summary: Some(s) }) => Some(s.max),
+            (Stat::P99, MetricValue::Histogram { summary: Some(s) }) => Some(s.p99),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name used in reports (`p99`, `max`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stat::Total => "total",
+            Stat::Value => "value",
+            Stat::Mean => "mean",
+            Stat::Max => "max",
+            Stat::P99 => "p99",
+        }
+    }
+}
+
+/// Which side of the target the observed value must stay on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Observed should stay at or below the target (latencies, staleness).
+    UpperBound,
+    /// Observed should stay at or above the target (availability ratios).
+    LowerBound,
+}
+
+/// One service-level objective over one metric statistic.
+#[derive(Debug, Clone)]
+pub struct SloRule {
+    /// Short stable rule name, e.g. `mttr_p99`.
+    pub name: &'static str,
+    /// Metric series name the rule reads.
+    pub metric: &'static str,
+    /// Labels the series must carry (subset match; empty matches any).
+    pub labels: Vec<(&'static str, &'static str)>,
+    /// Which statistic of the series to read.
+    pub stat: Stat,
+    /// Bound direction.
+    pub objective: Objective,
+    /// The target value, in the metric's own unit.
+    pub target: f64,
+    /// Burn rate from which the verdict is [`Verdict::Warn`].
+    pub warn_burn: f64,
+    /// Burn rate from which the verdict is [`Verdict::Page`].
+    pub page_burn: f64,
+}
+
+impl SloRule {
+    /// Burn rate for one observation (see the module docs for the
+    /// formula). Degenerate denominators saturate: over an upper bound of
+    /// zero, any positive observation burns infinitely fast; under a
+    /// lower bound, an observation of zero does the same.
+    pub fn burn(&self, observed: f64) -> f64 {
+        match self.objective {
+            Objective::UpperBound => {
+                if self.target > 0.0 {
+                    (observed / self.target).max(0.0)
+                } else if observed <= 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Objective::LowerBound => {
+                if observed > 0.0 {
+                    (self.target / observed).max(0.0)
+                } else if self.target <= 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+
+    fn verdict_for(&self, burn: f64) -> Verdict {
+        if burn >= self.page_burn {
+            Verdict::Page
+        } else if burn >= self.warn_burn {
+            Verdict::Warn
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+/// The outcome of one rule evaluation.
+///
+/// Ordered by severity: `NoData < Pass < Warn < Page`, so the worst
+/// verdict of a report is the `max` over its rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// The series or statistic was absent from the snapshot.
+    NoData,
+    /// Burn below the warn threshold.
+    Pass,
+    /// Burn at or above `warn_burn` but below `page_burn`.
+    Warn,
+    /// Burn at or above `page_burn`.
+    Page,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::NoData => "NO-DATA",
+            Verdict::Pass => "PASS",
+            Verdict::Warn => "WARN",
+            Verdict::Page => "PAGE",
+        })
+    }
+}
+
+/// One row of an [`SloReport`]: a rule plus what it observed.
+#[derive(Debug, Clone)]
+pub struct SloResult {
+    /// The rule that was evaluated.
+    pub rule: SloRule,
+    /// The worst observed value over matching series, if any matched.
+    pub observed: Option<f64>,
+    /// Burn rate of the worst observation.
+    pub burn: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// A named collection of rules evaluated together.
+#[derive(Debug, Clone, Default)]
+pub struct SloPolicy {
+    /// The rules, evaluated in order.
+    pub rules: Vec<SloRule>,
+}
+
+impl SloPolicy {
+    /// The testbed-wide default policy:
+    ///
+    /// | rule | metric (stat) | bound |
+    /// |---|---|---|
+    /// | `mttr_p99` | `recovery_restore_seconds` (p99) | ≤ 60 s |
+    /// | `detection_p99` | `recovery_detect_seconds` (p99) | ≤ 30 s |
+    /// | `sdn_convergence` | `sdn_migration_convergence_seconds` (value) | ≤ 1 s |
+    /// | `panel_staleness` | `mgmt_panel_staleness_seconds` (max) | ≤ 30 s |
+    ///
+    /// All rules warn at 1× burn (the target itself) and page at 1.5×.
+    /// Rules whose series an experiment never records report `NO-DATA`
+    /// and are dropped from that experiment's section by
+    /// [`SloPolicy::evaluate`] callers that filter on relevance — the
+    /// report itself keeps them.
+    pub fn picloud_default() -> Self {
+        let rule = |name, metric, stat, target| SloRule {
+            name,
+            metric,
+            labels: Vec::new(),
+            stat,
+            objective: Objective::UpperBound,
+            target,
+            warn_burn: 1.0,
+            page_burn: 1.5,
+        };
+        SloPolicy {
+            rules: vec![
+                rule("mttr_p99", "recovery_restore_seconds", Stat::P99, 60.0),
+                rule("detection_p99", "recovery_detect_seconds", Stat::P99, 30.0),
+                rule(
+                    "sdn_convergence",
+                    "sdn_migration_convergence_seconds",
+                    Stat::Value,
+                    1.0,
+                ),
+                rule(
+                    "panel_staleness",
+                    "mgmt_panel_staleness_seconds",
+                    Stat::Max,
+                    30.0,
+                ),
+            ],
+        }
+    }
+
+    /// Evaluates every rule against `snapshot`.
+    ///
+    /// A rule matches all series with its metric name whose labels are a
+    /// superset of the rule's; the *worst* (highest-burn) observation
+    /// across matches decides the verdict, so one bad node pages even
+    /// when the fleet average is fine.
+    pub fn evaluate(&self, snapshot: &MetricsSnapshot) -> SloReport {
+        let results = self
+            .rules
+            .iter()
+            .map(|rule| {
+                let mut worst: Option<(f64, f64)> = None; // (burn, observed)
+                for row in &snapshot.rows {
+                    if row.key.name != rule.metric {
+                        continue;
+                    }
+                    if !rule
+                        .labels
+                        .iter()
+                        .all(|(k, v)| row.key.labels.get(k) == Some(*v))
+                    {
+                        continue;
+                    }
+                    let Some(observed) = rule.stat.read(&row.value) else {
+                        continue;
+                    };
+                    let burn = rule.burn(observed);
+                    if worst.is_none_or(|(b, _)| burn > b) {
+                        worst = Some((burn, observed));
+                    }
+                }
+                match worst {
+                    Some((burn, observed)) => SloResult {
+                        rule: rule.clone(),
+                        observed: Some(observed),
+                        burn: Some(burn),
+                        verdict: rule.verdict_for(burn),
+                    },
+                    None => SloResult {
+                        rule: rule.clone(),
+                        observed: None,
+                        burn: None,
+                        verdict: Verdict::NoData,
+                    },
+                }
+            })
+            .collect();
+        SloReport { results }
+    }
+}
+
+/// The evaluated policy: one [`SloResult`] per rule, in policy order.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// Per-rule outcomes.
+    pub results: Vec<SloResult>,
+}
+
+impl SloReport {
+    /// The most severe verdict across all rules ([`Verdict::NoData`] for
+    /// an empty policy).
+    pub fn worst(&self) -> Verdict {
+        self.results
+            .iter()
+            .map(|r| r.verdict)
+            .max()
+            .unwrap_or(Verdict::NoData)
+    }
+
+    /// Rows whose series were present in the snapshot.
+    pub fn with_data(&self) -> impl Iterator<Item = &SloResult> {
+        self.results.iter().filter(|r| r.verdict != Verdict::NoData)
+    }
+
+    /// One JSON object per rule per line:
+    /// `{"rule","metric","stat","target","observed","burn","verdict"}`
+    /// (`observed`/`burn` are `null` for `NO-DATA` rows).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            let fmt_opt = |v: Option<f64>| match v {
+                Some(v) if v.is_finite() => format!("{v}"),
+                _ => "null".to_owned(),
+            };
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"metric\":\"{}\",\"stat\":\"{}\",\"target\":{},\"observed\":{},\"burn\":{},\"verdict\":\"{}\"}}\n",
+                r.rule.name,
+                r.rule.metric,
+                r.rule.stat.name(),
+                r.rule.target,
+                fmt_opt(r.observed),
+                fmt_opt(r.burn),
+                r.verdict,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SloReport {
+    /// Deterministic fixed-width table, one rule per line, followed by
+    /// the overall (worst) verdict.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:<36} {:>10} {:>10} {:>6}  VERDICT",
+            "RULE", "METRIC (STAT)", "TARGET", "OBSERVED", "BURN"
+        )?;
+        for r in &self.results {
+            let metric = format!("{} ({})", r.rule.metric, r.rule.stat.name());
+            let obs = r.observed.map_or("-".to_owned(), |v| format!("{v:.3}"));
+            let burn = r.burn.map_or("-".to_owned(), |v| {
+                if v.is_finite() {
+                    format!("{v:.2}")
+                } else {
+                    "inf".to_owned()
+                }
+            });
+            writeln!(
+                f,
+                "{:<16} {:<36} {:>10.3} {:>10} {:>6}  {}",
+                r.rule.name, metric, r.rule.target, obs, burn, r.verdict
+            )?;
+        }
+        write!(f, "overall: {}", self.worst())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::MetricsRegistry;
+    use crate::time::SimTime;
+
+    fn rule(stat: Stat, objective: Objective, target: f64) -> SloRule {
+        SloRule {
+            name: "r",
+            metric: "m",
+            labels: Vec::new(),
+            stat,
+            objective,
+            target,
+            warn_burn: 1.0,
+            page_burn: 1.5,
+        }
+    }
+
+    #[test]
+    fn burn_rates_scale_with_distance_from_target() {
+        let upper = rule(Stat::Value, Objective::UpperBound, 10.0);
+        assert_eq!(upper.burn(5.0), 0.5);
+        assert_eq!(upper.burn(10.0), 1.0);
+        assert_eq!(upper.burn(20.0), 2.0);
+        let lower = rule(Stat::Value, Objective::LowerBound, 0.9);
+        assert!((lower.burn(0.9) - 1.0).abs() < 1e-12);
+        assert!(lower.burn(0.45) > 1.9);
+        assert_eq!(lower.burn(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn verdict_thresholds_partition_burn() {
+        let r = rule(Stat::Value, Objective::UpperBound, 10.0);
+        assert_eq!(r.verdict_for(0.99), Verdict::Pass);
+        assert_eq!(r.verdict_for(1.0), Verdict::Warn);
+        assert_eq!(r.verdict_for(1.49), Verdict::Warn);
+        assert_eq!(r.verdict_for(1.5), Verdict::Page);
+    }
+
+    #[test]
+    fn evaluation_picks_the_worst_matching_series() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.gauge("m", &[("node", "0")]).set(SimTime::ZERO, 5.0);
+        reg.gauge("m", &[("node", "1")]).set(SimTime::ZERO, 20.0);
+        let policy = SloPolicy {
+            rules: vec![rule(Stat::Value, Objective::UpperBound, 10.0)],
+        };
+        let report = policy.evaluate(&reg.snapshot(SimTime::ZERO));
+        assert_eq!(report.results[0].observed, Some(20.0));
+        assert_eq!(report.results[0].verdict, Verdict::Page);
+        assert_eq!(report.worst(), Verdict::Page);
+    }
+
+    #[test]
+    fn label_subset_filters_series() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.gauge("m", &[("node", "0")]).set(SimTime::ZERO, 5.0);
+        reg.gauge("m", &[("node", "1")]).set(SimTime::ZERO, 20.0);
+        let mut r = rule(Stat::Value, Objective::UpperBound, 10.0);
+        r.labels = vec![("node", "0")];
+        let report = SloPolicy { rules: vec![r] }.evaluate(&reg.snapshot(SimTime::ZERO));
+        assert_eq!(report.results[0].observed, Some(5.0));
+        assert_eq!(report.results[0].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn missing_series_reports_no_data() {
+        let reg = MetricsRegistry::new(SimTime::ZERO);
+        let policy = SloPolicy {
+            rules: vec![rule(Stat::P99, Objective::UpperBound, 10.0)],
+        };
+        let report = policy.evaluate(&reg.snapshot(SimTime::ZERO));
+        assert_eq!(report.results[0].verdict, Verdict::NoData);
+        assert_eq!(report.worst(), Verdict::NoData);
+        assert!(report.with_data().next().is_none());
+        assert!(report.to_jsonl().contains("\"observed\":null"));
+    }
+
+    #[test]
+    fn stat_kind_mismatch_is_no_data() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.counter("m", &[]).add(3);
+        let policy = SloPolicy {
+            rules: vec![rule(Stat::P99, Objective::UpperBound, 10.0)],
+        };
+        let report = policy.evaluate(&reg.snapshot(SimTime::ZERO));
+        assert_eq!(report.results[0].verdict, Verdict::NoData);
+    }
+
+    #[test]
+    fn display_and_jsonl_are_deterministic() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.histogram("recovery_restore_seconds", &[])
+            .extend([12.0, 18.0, 25.0]);
+        let policy = SloPolicy::picloud_default();
+        let snap = reg.snapshot(SimTime::ZERO);
+        let a = policy.evaluate(&snap);
+        let b = policy.evaluate(&snap);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(a.to_string().contains("mttr_p99"));
+        assert!(a.to_string().ends_with("overall: PASS"));
+        // The three never-recorded rules are NO-DATA, not failures.
+        assert_eq!(a.with_data().count(), 1);
+    }
+
+    #[test]
+    fn default_policy_names_real_series() {
+        for r in SloPolicy::picloud_default().rules {
+            assert!(r.target > 0.0);
+            assert!(r.warn_burn <= r.page_burn);
+        }
+    }
+}

@@ -12,8 +12,9 @@ use picloud_hardware::storage::{AccessPattern, IoDirection, StorageSpec};
 use picloud_network::flow::FlowSpec;
 use picloud_network::flowsim::FlowSimulator;
 use picloud_network::topology::DeviceId;
+use picloud_simcore::telemetry::Tracer;
 use picloud_simcore::units::{Bytes, Frequency};
-use picloud_simcore::SimDuration;
+use picloud_simcore::{SimDuration, SpanContext};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -225,8 +226,39 @@ impl MapReducePlan {
         clock: Frequency,
         storage: &StorageSpec,
     ) -> MapReduceOutcome {
+        self.execute_inner(sim, clock, storage, None)
+    }
+
+    /// [`execute`](MapReducePlan::execute) with causal spans: a
+    /// `mapreduce_job` root over `map_wave`, `shuffle` (one `shuffle_flow`
+    /// child per network transfer, timed from flowsim completions) and
+    /// `reduce_wave`. The outcome is identical to the untraced call; on a
+    /// disabled tracer nothing is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shuffle flow cannot be routed (disconnected fabric).
+    pub fn execute_traced(
+        &self,
+        sim: &mut FlowSimulator,
+        clock: Frequency,
+        storage: &StorageSpec,
+        tracer: &mut Tracer,
+        parent: SpanContext,
+    ) -> MapReduceOutcome {
+        self.execute_inner(sim, clock, storage, Some((tracer, parent)))
+    }
+
+    fn execute_inner(
+        &self,
+        sim: &mut FlowSimulator,
+        clock: Frequency,
+        storage: &StorageSpec,
+        trace: Option<(&mut Tracer, SpanContext)>,
+    ) -> MapReduceOutcome {
+        let start = sim.now();
         let map_time = self.map_time(clock, storage);
-        let shuffle_start = sim.now().saturating_add(map_time);
+        let shuffle_start = start.saturating_add(map_time);
         let flows = self.shuffle_flows();
         let total = self.map_assignment.len() * self.reduce_assignment.len();
         let local = total - flows.len();
@@ -237,16 +269,51 @@ impl MapReducePlan {
             .count()
             + local;
         let locality = intra_rack as f64 / total.max(1) as f64;
+        let network_flows = flows.len();
+        let completed_before = sim.completed().len();
         for f in flows {
             sim.inject(f, shuffle_start)
                 .expect("shuffle flow must be routable");
         }
         let shuffle_end = sim.run_to_completion();
         let shuffle_time = shuffle_end.saturating_duration_since(shuffle_start);
+        let reduce_time = self.reduce_time(clock, storage);
+        if let Some((tracer, parent)) = trace {
+            let end = shuffle_end.saturating_add(reduce_time);
+            let root = tracer.span_start(start, "mapreduce_job", parent.span(), |e| {
+                e.str("job", &self.job.name)
+                    .u64("maps", u64::from(self.job.map_tasks))
+                    .u64("reduces", u64::from(self.job.reduce_tasks));
+            });
+            let map = tracer.span_start(start, "map_wave", root, |e| {
+                e.u64("tasks", self.map_assignment.len() as u64);
+            });
+            tracer.span_end(shuffle_start, map, |_| {});
+            let shuffle = tracer.span_start(shuffle_start, "shuffle", root, |e| {
+                e.u64("flows", network_flows as u64)
+                    .u64("local_pairs", local as u64);
+            });
+            for cf in &sim.completed()[completed_before..] {
+                let f = tracer.span_start(cf.started, "shuffle_flow", shuffle, |e| {
+                    e.u64("src", u64::from(cf.spec.src.0))
+                        .u64("dst", u64::from(cf.spec.dst.0))
+                        .u64("bytes", cf.spec.size.as_u64());
+                });
+                tracer.span_end(cf.finished, f, |_| {});
+            }
+            tracer.span_end(shuffle_end, shuffle, |_| {});
+            let reduce = tracer.span_start(shuffle_end, "reduce_wave", root, |e| {
+                e.u64("tasks", self.reduce_assignment.len() as u64);
+            });
+            tracer.span_end(end, reduce, |_| {});
+            tracer.span_end(end, root, |e| {
+                e.f64("rack_locality", locality);
+            });
+        }
         MapReduceOutcome {
             map_time,
             shuffle_time,
-            reduce_time: self.reduce_time(clock, storage),
+            reduce_time,
             shuffle_rack_locality: locality,
         }
     }
@@ -360,5 +427,49 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn empty_worker_list_rejected() {
         let _ = MapReduceJob::wordcount(Bytes::mib(1)).plan(&[]);
+    }
+
+    #[test]
+    fn traced_execution_matches_untraced_and_spans_cover_the_job() {
+        use picloud_simcore::SpanForest;
+
+        let job = MapReduceJob::wordcount(Bytes::mib(64));
+        let clock = Frequency::mhz(700);
+        let sd = StorageSpec::sd_card_16gb();
+
+        let (mut sim_plain, hosts) = pi_cluster();
+        let plan = job.plan(&hosts);
+        let plain = plan.execute(&mut sim_plain, clock, &sd);
+
+        let (mut sim_traced, _) = pi_cluster();
+        let mut tracer = Tracer::unbounded();
+        let traced =
+            plan.execute_traced(&mut sim_traced, clock, &sd, &mut tracer, SpanContext::NONE);
+        assert_eq!(plain, traced, "spans must only observe");
+
+        let forest = SpanForest::from_tracer(&tracer);
+        let roots: Vec<_> = forest.roots_named("mapreduce_job").collect();
+        assert_eq!(roots.len(), 1);
+        let root = roots[0];
+        assert_eq!(root.duration(), traced.makespan());
+        let kids: Vec<&str> = forest
+            .children(root.id)
+            .iter()
+            .map(|&c| forest.get(c).unwrap().name.as_str())
+            .collect();
+        assert_eq!(kids, ["map_wave", "shuffle", "reduce_wave"]);
+        let shuffle = forest.get(forest.children(root.id)[1]).unwrap();
+        assert_eq!(
+            forest.children(shuffle.id).len(),
+            plan.shuffle_flows().len(),
+            "one shuffle_flow span per network transfer"
+        );
+
+        // A disabled tracer records nothing and perturbs nothing.
+        let (mut sim_off, _) = pi_cluster();
+        let mut off = Tracer::disabled();
+        let quiet = plan.execute_traced(&mut sim_off, clock, &sd, &mut off, SpanContext::NONE);
+        assert_eq!(quiet, plain);
+        assert_eq!(off.len(), 0);
     }
 }

@@ -49,9 +49,13 @@ fn main() {
         let svc = Label(7);
         fabric.bind(svc, hosts[55]);
         for host in hosts.iter().take(10) {
-            fabric.open_session(*host, svc);
+            fabric
+                .open_session(*host, svc)
+                .expect("bound label routes on a healthy fabric");
         }
-        let impact = fabric.migrate(svc, hosts[14], SimTime::from_secs(1));
+        let impact = fabric
+            .migrate(svc, hosts[14], SimTime::from_secs(1))
+            .expect("bound label migrates");
         println!(
             "  {mode}: {} rules touched, {} sessions broken, converged in {}",
             impact.rules_touched, impact.flows_disrupted, impact.convergence_latency

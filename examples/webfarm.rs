@@ -59,7 +59,7 @@ fn main() {
     }
 
     // Drive three load epochs: night, morning, peak.
-    let panel = ControlPanel::new();
+    let mut panel = ControlPanel::new();
     for (epoch, (label, base_rps)) in [("night", 20.0), ("morning", 120.0), ("peak", 320.0)]
         .iter()
         .enumerate()

@@ -9,13 +9,21 @@
 //! cargo run --bin picloud -- traffic --seed 7
 //! cargo run --bin picloud -- telemetry --experiment e17 --format jsonl
 //! cargo run --bin picloud -- trace --experiment e17 --out e17-trace.jsonl
+//! cargo run --bin picloud -- spans --experiment e17 --format jsonl
+//! cargo run --bin picloud -- critical-path --experiment e17
+//! cargo run --bin picloud -- slo --experiment e17
+//! cargo run --bin picloud -- panel
 //! ```
 //!
 //! `telemetry` exports an experiment's labeled metrics snapshot (JSONL,
 //! CSV or Prometheus text); `trace` exports its sim-time event trace as
-//! JSONL. Both accept canonical names (`recovery`) and paper-style
-//! aliases (`e17`), and are byte-deterministic for a fixed seed. See
-//! `OBSERVABILITY.md` for the formats and series catalogue.
+//! JSONL; `spans` renders the causal span forest (text trees, or JSONL
+//! with `--format jsonl`); `critical-path` explains each root span's
+//! duration with per-segment blame; `slo` evaluates the suite's default
+//! burn-rate policy; `panel` prints the ASCII Fig. 4 control panel. All
+//! accept canonical names (`recovery`) and paper-style aliases (`e17`),
+//! and are byte-deterministic for a fixed seed. See `OBSERVABILITY.md`
+//! for the formats, span catalogue and SLO rule schema.
 
 use picloud::experiments::{
     dvfs_exp::DvfsExperiment, failure_exp::FailureExperiment, fidelity::FidelityExperiment,
@@ -101,7 +109,7 @@ fn run_one(name: &str, seed: u64) -> bool {
 fn export_telemetry(
     subcommand: &str,
     experiment: Option<&str>,
-    format: &str,
+    format: Option<&str>,
     seed: u64,
     out: Option<&str>,
 ) -> bool {
@@ -113,10 +121,20 @@ fn export_telemetry(
         eprintln!("unknown experiment '{experiment}'; try 'picloud list'");
         return false;
     };
-    let text = if subcommand == "trace" {
-        telemetry.trace_jsonl()
-    } else {
-        match format {
+    let text = match subcommand {
+        "trace" => telemetry.trace_jsonl(),
+        // Span/SLO views default to their deterministic text rendering;
+        // `--format jsonl` switches to the machine-readable export.
+        "spans" => match format {
+            Some("jsonl") => telemetry.spans_jsonl(),
+            _ => telemetry.spans_text(),
+        },
+        "critical-path" => telemetry.critical_path_report(),
+        "slo" => match format {
+            Some("jsonl") => telemetry.slo_report().to_jsonl(),
+            _ => format!("{}\n", telemetry.slo_report()),
+        },
+        _ => match format.unwrap_or("jsonl") {
             "jsonl" => telemetry.metrics_jsonl(),
             "csv" => telemetry.metrics_csv(),
             "prometheus" | "prom" => telemetry.metrics_prometheus(),
@@ -124,7 +142,7 @@ fn export_telemetry(
                 eprintln!("unknown --format '{other}' (jsonl, csv, prometheus)");
                 return false;
             }
-        }
+        },
     };
     match out {
         None => print!("{text}"),
@@ -143,7 +161,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 2013u64;
     let mut experiment: Option<String> = None;
-    let mut format = "jsonl".to_owned();
+    let mut format: Option<String> = None;
     let mut out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -164,7 +182,7 @@ fn main() -> ExitCode {
                 }
             },
             "--format" => match it.next() {
-                Some(f) => format = f.to_owned(),
+                Some(f) => format = Some(f.to_owned()),
                 None => {
                     eprintln!("--format needs one of jsonl, csv, prometheus");
                     return ExitCode::FAILURE;
@@ -191,10 +209,14 @@ fn main() -> ExitCode {
         match target.as_str() {
             "list" => {
                 println!("picloud — the Glasgow Raspberry Pi Cloud, reproduced\n");
-                println!("usage: picloud [--seed N] <experiment>... | all | list");
+                println!("usage: picloud [--seed N] <experiment>... | all | list | panel");
                 println!(
                     "       picloud telemetry|trace --experiment <id|eN> \
-                     [--format jsonl|csv|prometheus] [--out FILE]\n"
+                     [--format jsonl|csv|prometheus] [--out FILE]"
+                );
+                println!(
+                    "       picloud spans|critical-path|slo --experiment <id|eN> \
+                     [--format jsonl] [--out FILE]\n"
                 );
                 for (name, desc) in EXPERIMENTS {
                     println!("  {name:<10} {desc}");
@@ -207,16 +229,21 @@ fn main() -> ExitCode {
                     println!();
                 }
             }
-            "telemetry" | "trace" => {
+            "telemetry" | "trace" | "spans" | "critical-path" | "slo" => {
                 if !export_telemetry(
                     target.as_str(),
                     experiment.as_deref(),
-                    &format,
+                    format.as_deref(),
                     seed,
                     out.as_deref(),
                 ) {
                     return ExitCode::FAILURE;
                 }
+            }
+            "panel" => {
+                // The Fig. 4 §II-C workflow's final dashboard, rendered
+                // for the terminal.
+                print!("{}", Fig4::run().panel.render_ascii());
             }
             name => {
                 if !run_one(name, seed) {

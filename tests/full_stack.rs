@@ -46,7 +46,7 @@ fn api_driven_lifecycle_is_visible_in_the_panel() {
     let ApiResponse::Spawned { container, .. } = resp else {
         panic!("expected spawn response");
     };
-    let panel = ControlPanel::new();
+    let mut panel = ControlPanel::new();
     let view = panel.refresh(cloud.pimaster_mut(), SimTime::from_secs(1));
     assert!(view.rows[10]
         .containers

@@ -1,0 +1,99 @@
+//! Causal-span acceptance tests: the E17 critical path explains the
+//! measured MTTR exactly, span exports are byte-deterministic, and
+//! disabled spans record nothing while perturbing nothing.
+
+use picloud::experiments::recovery_exp::RecoveryExperiment;
+use picloud::telemetry::ExperimentTelemetry;
+use picloud_simcore::telemetry::slo::Verdict;
+use picloud_simcore::telemetry::TelemetrySink;
+use picloud_simcore::{SimDuration, SimTime, SpanForest};
+
+const SEED: u64 = 2013;
+
+fn traced_run(horizon_secs: u64) -> (RecoveryExperiment, TelemetrySink) {
+    RecoveryExperiment::run_with_telemetry(
+        SEED,
+        SimDuration::from_secs(horizon_secs),
+        TelemetrySink::recording(SimTime::ZERO),
+    )
+}
+
+#[test]
+fn e17_critical_path_mean_equals_measured_mttr() {
+    let (exp, sink) = traced_run(90 * 60);
+    let forest = SpanForest::from_tracer(&sink.tracer);
+    let mut total = SimDuration::ZERO;
+    let mut count: u64 = 0;
+    for rec in forest.roots_named("recovery") {
+        let path = forest.critical_path(rec.id).expect("root is in the forest");
+        // Blame partitions the root's duration exactly — 100 %, always.
+        let sum: u64 = path.steps.iter().map(|s| s.duration().as_nanos()).sum();
+        assert_eq!(
+            sum,
+            path.total().as_nanos(),
+            "blame must sum to the root duration for {}",
+            rec.id
+        );
+        // Only roots that closed a real outage window count toward MTTR;
+        // spurious failovers and horizon-truncated recoveries carry no
+        // `downtime_ns` and are excluded, exactly like the ledger.
+        if rec.field("downtime_ns").is_some() {
+            total = total.saturating_add(path.total());
+            count += 1;
+        }
+    }
+    assert!(count > 0, "the churn run must restore something");
+    assert_eq!(
+        Some(total / count),
+        exp.report.mean_time_to_restore,
+        "span-level MTTR must equal the ledger's"
+    );
+}
+
+#[test]
+fn e17_collect_exposes_the_same_mttr_through_the_api() {
+    let t = ExperimentTelemetry::collect("e17", SEED).expect("e17 resolves");
+    let exp = RecoveryExperiment::run(SEED);
+    assert_eq!(t.span_mttr(), exp.report.mean_time_to_restore);
+    let report = t.critical_path_report();
+    assert!(report.contains("mean critical-path total (= MTTR)"));
+    assert!(report.contains("detect"), "detection gates every recovery");
+    // The default SLO policy passes the paper-scale run.
+    let slo = t.slo_report();
+    let mttr_rule = slo
+        .results
+        .iter()
+        .find(|r| r.rule.name == "mttr_p99")
+        .expect("policy covers MTTR");
+    assert_eq!(mttr_rule.verdict, Verdict::Pass);
+}
+
+#[test]
+fn same_seed_produces_byte_identical_span_exports() {
+    let (_, a) = traced_run(30 * 60);
+    let (_, b) = traced_run(30 * 60);
+    let fa = SpanForest::from_tracer(&a.tracer);
+    let fb = SpanForest::from_tracer(&b.tracer);
+    assert_eq!(fa.to_jsonl(), fb.to_jsonl());
+    assert_eq!(a.tracer.to_jsonl(), b.tracer.to_jsonl());
+    let tree_a: String = fa.roots().iter().map(|&r| fa.render_tree(r)).collect();
+    let tree_b: String = fb.roots().iter().map(|&r| fb.render_tree(r)).collect();
+    assert_eq!(tree_a, tree_b);
+}
+
+#[test]
+fn disabled_spans_record_nothing_and_perturb_nothing() {
+    let horizon = SimDuration::from_secs(30 * 60);
+    let plain = RecoveryExperiment::run_for(SEED, horizon);
+    let (disabled_run, off) =
+        RecoveryExperiment::run_with_telemetry(SEED, horizon, TelemetrySink::disabled());
+    let (enabled_run, on) = traced_run(30 * 60);
+    assert_eq!(
+        plain, disabled_run,
+        "a disabled sink must not perturb the run"
+    );
+    assert_eq!(plain, enabled_run, "spans only observe, never steer");
+    assert_eq!(off.tracer.emitted(), 0, "disabled tracer records nothing");
+    assert!(SpanForest::from_tracer(&off.tracer).is_empty());
+    assert!(!SpanForest::from_tracer(&on.tracer).is_empty());
+}

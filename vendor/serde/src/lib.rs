@@ -52,6 +52,14 @@ impl Content {
         }
     }
 
+    /// The value of map entry `key`, if this is a map containing it.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
     /// The string, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -137,6 +145,20 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Reconstructs a value from a content tree.
     fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for Content {
+    /// A content tree serialises as itself, so `Content` doubles as a
+    /// dynamically-typed value (what upstream calls `serde_json::Value`).
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
 }
 
 /// Serialisation of map keys (JSON object keys must be strings).
