@@ -231,7 +231,7 @@ impl ContainerHost {
         }
         self.containers
             .get_mut(&id)
-            .expect("looked up above")
+            .ok_or(HostError::UnknownContainer(id))?
             .start()?;
         Ok(())
     }
@@ -288,7 +288,9 @@ impl ContainerHost {
             .remove(&id)
             .ok_or(HostError::UnknownContainer(id))?;
         if c.holds_memory() {
-            c.stop().expect("running/frozen containers can stop");
+            // holds_memory ⇒ running or frozen, and both may stop; the
+            // `?` is unreachable but keeps this path panic-free.
+            c.stop()?;
         }
         self.working_set.remove(&id);
         self.storage.release(c.config().image.disk_size);
@@ -391,21 +393,25 @@ impl ContainerHost {
                     free: self.spec.guest_ram().saturating_sub(others),
                 });
             }
-            let c = self.containers.get_mut(&id).expect("looked up above");
+            let c = self
+                .containers
+                .get_mut(&id)
+                .ok_or(HostError::UnknownContainer(id))?;
             c.set_memory_limit(Some(new_limit));
             self.working_set.insert(id, new_ws);
         }
         if let Some(shares) = cpu_shares {
+            let c = self
+                .containers
+                .get_mut(&id)
+                .ok_or(HostError::UnknownContainer(id))?;
             if shares == 0 {
                 return Err(HostError::Transition(TransitionError {
-                    from: self.containers[&id].state(),
+                    from: c.state(),
                     verb: "set zero cpu shares on",
                 }));
             }
-            self.containers
-                .get_mut(&id)
-                .expect("looked up above")
-                .set_cpu_shares(shares);
+            c.set_cpu_shares(shares);
         }
         Ok(())
     }

@@ -1,0 +1,212 @@
+//! The ratcheting baseline: `lint-baseline.json`.
+//!
+//! The committed baseline records, per `(rule, file)`, how many findings
+//! are tolerated. The ratchet only turns one way:
+//!
+//! * a finding count **above** its baselined count is a regression and
+//!   fails the check;
+//! * a count **below** it means violations were fixed — the baseline is
+//!   rewritten (auto-shrunk) so the fix can never regress silently;
+//! * the baseline may never grow: new tolerated debt requires either a
+//!   justified `// lint: allow(..) reason=..` marker at the call site or
+//!   an explicit `--write-baseline` in the same change, which reviewers
+//!   see as a diff to this file.
+
+use crate::report::Report;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One tolerated `(rule, file)` bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule short name.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Tolerated finding count.
+    pub count: usize,
+}
+
+/// The committed ratchet state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Schema version (currently 1).
+    pub version: u32,
+    /// Tolerated buckets, sorted by (rule, file).
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A `(rule, file)` bucket that exceeds its baselined count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule short name.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Findings in the working tree.
+    pub current: usize,
+    /// Findings tolerated by the committed baseline.
+    pub baselined: usize,
+}
+
+/// Outcome of comparing a fresh scan against the committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ratchet {
+    /// Scan matches the baseline exactly.
+    Clean,
+    /// Violations were fixed; the shrunk baseline should replace the
+    /// committed one.
+    Shrunk(Baseline),
+    /// New violations appeared — the check fails.
+    Grew(Vec<Regression>),
+}
+
+impl Baseline {
+    /// An empty baseline (a fully clean tree).
+    pub fn empty() -> Baseline {
+        Baseline {
+            version: 1,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a baseline from a scan, sorted by (rule, file).
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = report
+            .counts()
+            .into_iter()
+            .map(|((rule, file), count)| BaselineEntry { rule, file, count })
+            .collect();
+        entries.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+        Baseline {
+            version: 1,
+            entries,
+        }
+    }
+
+    /// Loads a committed baseline. A missing file is an empty baseline so
+    /// a fresh checkout ratchets from zero debt.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline::empty());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    }
+
+    /// Serialises deterministically (pretty JSON + trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the baseline file.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    fn as_map(&self) -> BTreeMap<(String, String), usize> {
+        self.entries
+            .iter()
+            .map(|e| ((e.rule.clone(), e.file.clone()), e.count))
+            .collect()
+    }
+
+    /// Compares a fresh scan against `self` (the committed ratchet).
+    pub fn ratchet(&self, report: &Report) -> Ratchet {
+        let current = Baseline::from_report(report);
+        let committed = self.as_map();
+        let now = current.as_map();
+        let mut regressions = Vec::new();
+        for ((rule, file), n) in &now {
+            let tolerated = committed.get(&(rule.clone(), file.clone())).copied();
+            if *n > tolerated.unwrap_or(0) {
+                regressions.push(Regression {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    current: *n,
+                    baselined: tolerated.unwrap_or(0),
+                });
+            }
+        }
+        if !regressions.is_empty() {
+            regressions.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+            return Ratchet::Grew(regressions);
+        }
+        if now != committed {
+            return Ratchet::Shrunk(current);
+        }
+        Ratchet::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+
+    fn report(entries: &[(&str, &str, usize)]) -> Report {
+        let mut findings = Vec::new();
+        for (rule, file, count) in entries {
+            for i in 0..*count {
+                findings.push(Finding {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: "m".into(),
+                    snippet: "s".into(),
+                });
+            }
+        }
+        Report {
+            findings,
+            allowed: 0,
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn clean_when_equal() {
+        let r = report(&[("P1", "a.rs", 2)]);
+        let b = Baseline::from_report(&r);
+        assert_eq!(b.ratchet(&r), Ratchet::Clean);
+    }
+
+    #[test]
+    fn growth_fails() {
+        let b = Baseline::from_report(&report(&[("P1", "a.rs", 1)]));
+        let r = report(&[("P1", "a.rs", 2), ("D1", "b.rs", 1)]);
+        match b.ratchet(&r) {
+            Ratchet::Grew(regs) => {
+                assert_eq!(regs.len(), 2);
+                assert_eq!(regs[0].rule, "D1");
+                assert_eq!(regs[1].baselined, 1);
+            }
+            other => panic!("expected growth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrink_rewrites() {
+        let b = Baseline::from_report(&report(&[("P1", "a.rs", 3), ("D1", "b.rs", 1)]));
+        let r = report(&[("P1", "a.rs", 1)]);
+        match b.ratchet(&r) {
+            Ratchet::Shrunk(nb) => {
+                assert_eq!(nb.entries.len(), 1);
+                assert_eq!(nb.entries[0].count, 1);
+            }
+            other => panic!("expected shrink, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let b = Baseline::from_report(&report(&[("P1", "a.rs", 2), ("O1", "b.rs", 1)]));
+        let back: Baseline = serde_json::from_str(&b.to_json()).expect("parses");
+        assert_eq!(back, b);
+    }
+}

@@ -1,0 +1,355 @@
+//! A small comment/string-aware lexer for Rust sources.
+//!
+//! The rules in this crate do not need a full AST: every pattern they
+//! look for (`HashMap`, `.unwrap()`, `Instant::now`, `pub fn` without a
+//! doc comment, …) is a token-level property. What they *do* need is to
+//! never match inside a string literal, a char literal, or a comment —
+//! `format!("no HashMap here")` must not trip D1 — and to know which
+//! lines are doc comments, which lines carry `// lint: allow(..)`
+//! markers, and which lines live inside `#[cfg(test)]` / `#[test]`
+//! items. [`lex`] produces exactly that: a per-line *code shadow* of the
+//! file with comments removed and literal bodies blanked, plus parallel
+//! per-line comment text, doc-comment flags and test-code flags.
+
+/// Per-line decomposition of one source file.
+#[derive(Debug, Clone)]
+pub struct FileMap {
+    /// The code content of each line: comments stripped, string/char
+    /// literal bodies blanked (quotes are kept so tokens stay separated).
+    pub code: Vec<String>,
+    /// The comment content of each line (both `//` and `/* */` text),
+    /// used for allow-marker detection.
+    pub comments: Vec<String>,
+    /// Whether the line is (part of) a doc comment (`///`, `//!`,
+    /// `/** */`, `/*! */`).
+    pub doc: Vec<bool>,
+    /// Whether the line is inside a `#[cfg(test)]` or `#[test]` item.
+    pub test: Vec<bool>,
+}
+
+impl FileMap {
+    /// Number of lines in the file.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside a `//` comment; the flag records doc-ness.
+    Line(bool),
+    /// Inside a (possibly nested) block comment: depth + doc-ness.
+    Block(u32, bool),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(u32),
+    /// Inside a `'…'` char (or byte-char) literal.
+    Char,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `src` into per-line code / comment / doc-flag streams.
+pub fn lex(src: &str) -> FileMap {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comment_lines: Vec<String> = Vec::new();
+    let mut doc_flags: Vec<bool> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut doc = false;
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if let State::Line(_) = state {
+                state = State::Code;
+            }
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            doc_flags.push(doc);
+            doc = matches!(state, State::Block(_, true));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // `///` and `//!` are doc comments; `////…` is not.
+                    let c2 = chars.get(i + 2).copied();
+                    let c3 = chars.get(i + 3).copied();
+                    let is_doc = (c2 == Some('/') && c3 != Some('/')) || c2 == Some('!');
+                    state = State::Line(is_doc);
+                    doc = doc || is_doc;
+                    comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    let c2 = chars.get(i + 2).copied();
+                    let c3 = chars.get(i + 3).copied();
+                    let is_doc =
+                        (c2 == Some('*') && c3 != Some('/') && c3 != Some('*')) || c2 == Some('!');
+                    state = State::Block(1, is_doc);
+                    doc = doc || is_doc;
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !i
+                        .checked_sub(1)
+                        .map(|p| is_ident(chars[p]))
+                        .unwrap_or(false)
+                {
+                    // Possible raw/byte literal prefix: r" r#" b" b' br" br#".
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j).copied() == Some('r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j).copied() == Some('#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw = c == 'r' || (c == 'b' && chars.get(i + 1).copied() == Some('r'));
+                    match chars.get(j).copied() {
+                        Some('"') if raw => {
+                            for &ch in chars.iter().take(j + 1).skip(i) {
+                                code.push(ch);
+                            }
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        }
+                        Some('"') if c == 'b' && hashes == 0 => {
+                            code.push('b');
+                            code.push('"');
+                            state = State::Str;
+                            i = j + 1;
+                        }
+                        Some('\'') if c == 'b' && hashes == 0 => {
+                            code.push('b');
+                            code.push('\'');
+                            state = State::Char;
+                            i = j + 1;
+                        }
+                        _ => {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: escapes are always chars;
+                    // `'x'` is a char; `'ident` with no closing quote is a
+                    // lifetime.
+                    if next == Some('\\') || chars.get(i + 2).copied() == Some('\'') {
+                        code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::Line(_) => {
+                comment.push(c);
+                i += 1;
+            }
+            State::Block(depth, is_doc) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    comment.push_str("*/");
+                    if depth == 1 {
+                        state = State::Code;
+                        doc = doc || is_doc;
+                    } else {
+                        state = State::Block(depth - 1, is_doc);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    comment.push_str("/*");
+                    state = State::Block(depth + 1, is_doc);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character (may be a quote)
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blank the body
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut k = 0u32;
+                    while (k as usize) < n - i - 1 && chars[i + 1 + k as usize] == '#' && k < hashes
+                    {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() || code_lines.is_empty() {
+        code_lines.push(code);
+        comment_lines.push(comment);
+        doc_flags.push(doc);
+    }
+    let test = mark_test_lines(&code_lines);
+    FileMap {
+        code: code_lines,
+        comments: comment_lines,
+        doc: doc_flags,
+        test,
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` or `#[test]` item.
+///
+/// Works on the code shadow (strings already blanked), so brace counting
+/// is literal-safe: from the attribute, the next `{` opens the item and
+/// its matching `}` closes it.
+fn mark_test_lines(code_lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; code_lines.len()];
+    let mut line = 0usize;
+    while line < code_lines.len() {
+        let l = &code_lines[line];
+        let is_test_attr = l.contains("#[cfg(test)]")
+            || l.contains("cfg(test)")
+            || l.trim_start().starts_with("#[test]");
+        if !is_test_attr || test[line] {
+            line += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item, then its match.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end = code_lines.len() - 1;
+        let mut scan = line;
+        'outer: while scan < code_lines.len() {
+            for ch in code_lines[scan].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = scan;
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => {
+                        // `#[cfg(test)] mod tests;` — out-of-line module;
+                        // only the declaration line is in scope here.
+                        end = scan;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            scan += 1;
+        }
+        for t in test.iter_mut().take(end + 1).skip(line) {
+            *t = true;
+        }
+        line = end + 1;
+    }
+    test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = "let x = \"HashMap\"; // HashMap in comment\nlet y = 1;\n";
+        let m = lex(src);
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.comments[0].contains("HashMap"));
+        assert!(m.code[1].contains("let y"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"unwrap() panic!\"#;\nlet t = 2;\n";
+        let m = lex(src);
+        assert!(!m.code[0].contains("unwrap"));
+        assert!(!m.code[0].contains("panic"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '{' }\nlet n = 0;\n";
+        let m = lex(src);
+        assert!(!m.code[0].contains('{') || m.code[0].matches('{').count() == 1);
+        assert!(m.code[0].contains("fn f"));
+    }
+
+    #[test]
+    fn doc_lines_flagged() {
+        let src = "/// docs\npub fn f() {}\n// plain\n";
+        let m = lex(src);
+        assert!(m.doc[0]);
+        assert!(!m.doc[1]);
+        assert!(!m.doc[2]);
+    }
+
+    #[test]
+    fn test_modules_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\nfn after() {}\n";
+        let m = lex(src);
+        assert!(!m.test[0]);
+        assert!(m.test[1] && m.test[2] && m.test[3] && m.test[4]);
+        assert!(!m.test[5]);
+    }
+}

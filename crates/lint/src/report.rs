@@ -1,0 +1,148 @@
+//! Deterministic finding reports: sorted text and JSONL renderings.
+//!
+//! The JSONL form follows the `simcore::telemetry` exporter conventions:
+//! one JSON object per line, fields in a fixed order, strings escaped by
+//! hand — so two runs over the same tree are byte-identical and the file
+//! diffs cleanly in CI artifacts.
+
+use std::collections::BTreeMap;
+
+/// One rule violation at one source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule short name (`D1` … `O1`).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The outcome of scanning a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by justified `// lint: allow(..)` markers.
+    pub allowed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into canonical report order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Aggregates findings per `(rule, file)` — the ratchet unit.
+    pub fn counts(&self) -> BTreeMap<(String, String), usize> {
+        let mut out = BTreeMap::new();
+        for f in &self.findings {
+            *out.entry((f.rule.clone(), f.file.clone())).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Human-readable report: one `file:line: RULE message` per finding
+    /// plus a summary trailer.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {} {}\n    {}\n",
+                f.file, f.line, f.rule, f.message, f.snippet
+            ));
+        }
+        out.push_str(&format!(
+            "picloud-lint: {} finding(s) in {} file(s) scanned, {} allowed by marker\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.allowed
+        ));
+        out
+    }
+
+    /// Machine-readable report: one JSON object per finding per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str("{\"rule\":\"");
+            json_escape(&f.rule, &mut out);
+            out.push_str("\",\"file\":\"");
+            json_escape(&f.file, &mut out);
+            out.push_str(&format!("\",\"line\":{},\"message\":\"", f.line));
+            json_escape(&f.message, &mut out);
+            out.push_str("\",\"snippet\":\"");
+            json_escape(&f.snippet, &mut out);
+            out.push_str("\"}\n");
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (same dialect as the telemetry exporters).
+pub fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, line: usize) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: "m".into(),
+            snippet: "s".into(),
+        }
+    }
+
+    #[test]
+    fn sorted_and_counted() {
+        let mut r = Report {
+            findings: vec![
+                finding("P1", "b.rs", 9),
+                finding("D1", "a.rs", 3),
+                finding("P1", "a.rs", 3),
+            ],
+            allowed: 1,
+            files_scanned: 2,
+        };
+        r.sort();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.findings[0].rule, "D1");
+        let c = r.counts();
+        assert_eq!(c[&("P1".to_string(), "a.rs".to_string())], 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_terminates_lines() {
+        let r = Report {
+            findings: vec![finding("D1", "a\"b.rs", 1)],
+            allowed: 0,
+            files_scanned: 1,
+        };
+        let j = r.to_jsonl();
+        assert!(j.ends_with('\n'));
+        assert!(j.contains("a\\\"b.rs"));
+    }
+}

@@ -1,0 +1,56 @@
+// Fixture: exercises D1 / D2 / D3 / P1 positives, allow-marker
+// negatives, and test-module exclusion. Line numbers are asserted by
+// crates/lint/tests/lint_rules.rs — append, don't reorder.
+
+use std::collections::HashMap; // line 5: D1 positive
+
+// lint: allow(D1) reason=fixture shows a justified ordered-iteration wrapper
+use std::collections::HashSet; // line 8: D1 allowed by marker above
+
+pub fn wall_clock() -> u64 {
+    let _t = Instant::now(); // line 11: D2 positive
+    0
+}
+
+pub fn ambient() -> u64 {
+    let x: u64 = thread_rng().gen(); // line 16: D3 positive
+    x
+}
+
+pub fn panics(v: &[u64]) -> u64 {
+    let a = v.first().unwrap(); // line 21: P1 positive (unwrap)
+    let b = v.get(1).expect("two elements"); // line 22: P1 positive (expect)
+    if *a > *b {
+        panic!("unordered"); // line 24: P1 positive (panic!)
+    }
+    v[0] // line 26: P1 positive (literal index)
+}
+
+pub fn justified(v: &[u64]) -> u64 {
+    // lint: allow(P1) reason=fixture invariant: caller guarantees non-empty
+    let a = v.first().unwrap(); // line 31: P1 allowed by marker above
+    *a // trailing-marker form below must also work:
+}
+
+pub fn trailing(v: &[u64]) -> u64 {
+    v.first().copied().unwrap() // lint: allow(P1) reason=fixture trailing marker
+}
+
+pub fn unjustified(v: &[u64]) -> u64 {
+    // lint: allow(P1)
+    v.first().copied().unwrap() // line 41: P1 positive — marker above has no reason
+}
+
+pub fn not_code() -> &'static str {
+    // HashMap unwrap() panic! Instant::now — comments never match
+    "HashMap unwrap() panic! thread_rng Instant::now" // strings never match
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let m = std::collections::HashMap::new(); // D1 exempt here
+        let _ = m.get("k").unwrap(); // P1 exempt here
+    }
+}

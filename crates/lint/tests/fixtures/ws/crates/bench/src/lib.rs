@@ -1,0 +1,13 @@
+// Fixture: crates/bench is exempt from D2 (wall clock) and P1 (panic
+// paths) — benchmarks time the real machine and may assert hard.
+
+pub fn measure() -> u128 {
+    let start = Instant::now(); // D2 exempt in bench
+    let elapsed = start.elapsed().as_nanos();
+    assert!(elapsed > 0);
+    elapsed
+}
+
+pub fn hard_assert(v: &[u64]) -> u64 {
+    v.first().copied().unwrap() // P1 exempt in bench
+}

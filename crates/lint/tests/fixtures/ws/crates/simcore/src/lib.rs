@@ -1,0 +1,23 @@
+// Fixture: O1 — public items in the contract crates must carry docs.
+// Line numbers are asserted by lint_rules.rs — append, don't reorder.
+
+pub mod submodule; // line 4: `pub mod name;` is exempt (docs live in-file)
+
+pub fn undocumented() {} // line 6: O1 positive
+
+/// Documented — no finding.
+pub fn documented() {}
+
+/// Documented through attributes and blank lines.
+#[derive(
+    Debug,
+    Clone,
+)]
+pub struct Spanning; // multi-line attribute between doc and item: fine
+
+// lint: allow(O1) reason=fixture: intentionally undocumented probe
+pub fn waived() {} // line 19: O1 allowed by marker above
+
+pub(crate) fn internal() {} // pub(crate) is not public API
+
+pub use std::time::Duration; // re-exports are exempt

@@ -12,7 +12,7 @@ use crate::flow::FlowId;
 use crate::graph;
 use crate::topology::{DeviceId, LinkId, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How paths are chosen for flows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -52,7 +52,9 @@ impl Default for RoutingPolicy {
 #[derive(Debug, Clone)]
 pub struct Router {
     policy: RoutingPolicy,
-    cache: HashMap<(DeviceId, DeviceId), Vec<Vec<LinkId>>>,
+    // BTreeMap, not HashMap: the cache is simulation-visible state and
+    // its iteration order must never leak into route selection (D1).
+    cache: BTreeMap<(DeviceId, DeviceId), Vec<Vec<LinkId>>>,
 }
 
 impl Router {
@@ -60,7 +62,7 @@ impl Router {
     pub fn new(policy: RoutingPolicy) -> Self {
         Router {
             policy,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -170,6 +172,40 @@ mod tests {
         let b = topo.add_device(crate::topology::DeviceKind::Host { rack: 1 }, "b");
         let mut router = Router::new(RoutingPolicy::default());
         assert_eq!(router.route(&topo, a, b, FlowId(0)), None);
+    }
+
+    #[test]
+    fn fresh_routers_agree_on_all_pairs() {
+        // Two routers built independently from the same topology must
+        // return identical paths for every (src, dst, flow) — the D1
+        // regression this file was converted to BTreeMap for.
+        let topo = Topology::fat_tree(4);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut r1 = Router::new(RoutingPolicy::default());
+        let mut r2 = Router::new(RoutingPolicy::default());
+        // Warm the two caches in opposite orders to expose any
+        // insertion-order dependence.
+        for &a in &hosts {
+            for &b in &hosts {
+                let _ = r1.candidates(&topo, a, b);
+            }
+        }
+        for &a in hosts.iter().rev() {
+            for &b in hosts.iter().rev() {
+                let _ = r2.candidates(&topo, a, b);
+            }
+        }
+        for &a in &hosts {
+            for &b in &hosts {
+                for flow in 0..4 {
+                    assert_eq!(
+                        r1.route(&topo, a, b, FlowId(flow)),
+                        r2.route(&topo, a, b, FlowId(flow)),
+                        "pair ({a:?}, {b:?}) flow {flow}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

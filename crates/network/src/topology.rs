@@ -136,6 +136,7 @@ impl Link {
         } else if from == self.b {
             self.a
         } else {
+            // lint: allow(P1) reason=documented panic: caller must pass an endpoint of this link (# Panics)
             panic!("{from} is not an endpoint of {}", self.id)
         }
     }
@@ -187,6 +188,7 @@ impl Topology {
 
     /// Adds a device and returns its id.
     pub fn add_device(&mut self, kind: DeviceKind, name: impl Into<String>) -> DeviceId {
+        // lint: allow(P1) reason=u32 overflow needs 4 billion devices; far beyond any scale model
         let id = DeviceId(u32::try_from(self.devices.len()).expect("too many devices"));
         self.devices.push(Device {
             id,
@@ -214,6 +216,7 @@ impl Topology {
             a.index() < self.devices.len() && b.index() < self.devices.len(),
             "link endpoint does not exist"
         );
+        // lint: allow(P1) reason=u32 overflow needs 4 billion links; far beyond any scale model
         let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
         self.links.push(Link {
             id,
@@ -395,6 +398,7 @@ impl Topology {
             .map(|i| t.add_device(DeviceKind::Core, format!("core-{i}")))
             .collect();
         let gateway = t.add_device(DeviceKind::Gateway, "gateway");
+        // lint: allow(P1) reason=tree builders always create at least one core switch
         t.add_link(cores[0], gateway, rates.fabric, lat_fabric);
 
         for pod in 0..k {
@@ -444,6 +448,7 @@ impl Topology {
             .map(|i| t.add_device(DeviceKind::Core, format!("spine-{i}")))
             .collect();
         let gateway = t.add_device(DeviceKind::Gateway, "gateway");
+        // lint: allow(P1) reason=Clos builders always create at least one spine switch
         t.add_link(spine_ids[0], gateway, rates.fabric, lat_fabric);
 
         for l in 0..leaves {

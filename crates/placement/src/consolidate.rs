@@ -136,8 +136,7 @@ impl Consolidator {
         donors.sort_by(|a, b| {
             view.node(*a)
                 .ram_utilisation()
-                .partial_cmp(&view.node(*b).ram_utilisation())
-                .expect("utilisation is finite")
+                .total_cmp(&view.node(*b).ram_utilisation())
                 .then(a.cmp(b))
         });
 
@@ -175,8 +174,7 @@ impl Consolidator {
                     scratch
                         .node(*b)
                         .ram_utilisation()
-                        .partial_cmp(&scratch.node(*a).ram_utilisation())
-                        .expect("utilisation is finite")
+                        .total_cmp(&scratch.node(*a).ram_utilisation())
                         .then(a.cmp(b))
                 });
                 let target = receivers.into_iter().find(|r| {

@@ -15,7 +15,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
@@ -150,7 +150,10 @@ pub struct Engine<W> {
     now: SimTime,
     world: W,
     queue: BinaryHeap<ScheduledEvent<W>>,
-    cancelled: HashSet<u64>,
+    // BTreeSet, not HashSet: sequence numbers are only probed for
+    // membership today, but an ordered set keeps any future iteration
+    // (draining, debugging dumps) deterministic by construction (D1).
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     events_fired: u64,
 }
@@ -178,7 +181,7 @@ impl<W> Engine<W> {
             now: SimTime::ZERO,
             world,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             events_fired: 0,
         }
@@ -310,8 +313,9 @@ impl<W> Engine<W> {
                 match self.queue.peek() {
                     None => break None,
                     Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let ev = self.queue.pop().expect("peeked event vanished");
-                        self.cancelled.remove(&ev.seq);
+                        if let Some(ev) = self.queue.pop() {
+                            self.cancelled.remove(&ev.seq);
+                        }
                     }
                     Some(ev) => break Some(ev.at),
                 }

@@ -44,6 +44,7 @@ impl Counter {
 
     /// Adds `n` to the counter.
     pub fn add(&mut self, n: u64) {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         self.value = self.value.checked_add(n).expect("counter overflowed u64");
     }
 
@@ -260,7 +261,7 @@ impl Histogram {
             return None;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }

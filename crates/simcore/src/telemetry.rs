@@ -122,6 +122,7 @@ impl Labels {
             .collect();
         v.sort();
         for w in v.windows(2) {
+            // lint: allow(P1) reason=windows(2) slices always hold exactly two elements
             assert!(w[0].0 != w[1].0, "duplicate label key {:?}", w[0].0);
         }
         Labels(v)

@@ -88,6 +88,7 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
                 .expect("simulation time overflowed u64 nanoseconds"),
         )
     }
@@ -105,6 +106,7 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
                 .expect("simulation time underflowed below zero"),
         )
     }
@@ -217,6 +219,7 @@ impl Add for SimDuration {
         SimDuration(
             self.0
                 .checked_add(rhs.0)
+                // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
                 .expect("duration overflowed u64 nanoseconds"),
         )
     }
@@ -234,6 +237,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
                 .expect("duration underflowed below zero"),
         )
     }
@@ -251,6 +255,7 @@ impl Mul<u64> for SimDuration {
         SimDuration(
             self.0
                 .checked_mul(rhs)
+                // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
                 .expect("duration overflowed u64 nanoseconds"),
         )
     }

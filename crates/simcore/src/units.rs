@@ -106,6 +106,7 @@ impl fmt::Display for Bytes {
 impl Add for Bytes {
     type Output = Bytes;
     fn add(self, rhs: Bytes) -> Bytes {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         Bytes(self.0.checked_add(rhs.0).expect("byte count overflowed"))
     }
 }
@@ -122,6 +123,7 @@ impl Sub for Bytes {
         Bytes(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
                 .expect("byte count underflowed below zero"),
         )
     }
@@ -136,6 +138,7 @@ impl SubAssign for Bytes {
 impl Mul<u64> for Bytes {
     type Output = Bytes;
     fn mul(self, rhs: u64) -> Bytes {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         Bytes(self.0.checked_mul(rhs).expect("byte count overflowed"))
     }
 }
@@ -248,6 +251,7 @@ impl fmt::Display for Bandwidth {
 impl Add for Bandwidth {
     type Output = Bandwidth;
     fn add(self, rhs: Bandwidth) -> Bandwidth {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         Bandwidth(self.0.checked_add(rhs.0).expect("bandwidth overflowed"))
     }
 }
@@ -264,6 +268,7 @@ impl Sub for Bandwidth {
         Bandwidth(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
                 .expect("bandwidth underflowed below zero"),
         )
     }
@@ -462,6 +467,7 @@ impl fmt::Display for Money {
 impl Add for Money {
     type Output = Money;
     fn add(self, rhs: Money) -> Money {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         Money(self.0.checked_add(rhs.0).expect("money overflowed"))
     }
 }
@@ -475,6 +481,7 @@ impl AddAssign for Money {
 impl Sub for Money {
     type Output = Money;
     fn sub(self, rhs: Money) -> Money {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         Money(self.0.checked_sub(rhs.0).expect("money overflowed"))
     }
 }
@@ -482,6 +489,7 @@ impl Sub for Money {
 impl Mul<i64> for Money {
     type Output = Money;
     fn mul(self, rhs: i64) -> Money {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         Money(self.0.checked_mul(rhs).expect("money overflowed"))
     }
 }
@@ -603,6 +611,7 @@ impl fmt::Display for Cycles {
 impl Add for Cycles {
     type Output = Cycles;
     fn add(self, rhs: Cycles) -> Cycles {
+        // lint: allow(P1) reason=checked arithmetic: panic is the documented overflow diagnostic; operator impls cannot return Result
         Cycles(self.0.checked_add(rhs.0).expect("cycle count overflowed"))
     }
 }

@@ -153,6 +153,7 @@ fn start_service(w: &mut World, ctx: &mut EventContext<World>) {
 }
 
 fn finish_service(w: &mut World, ctx: &mut EventContext<World>) {
+    // lint: allow(P1) reason=finish_service only fires for a request previously queued by start_service
     let started = w.queue.pop_front().expect("a request was in service");
     w.served += 1;
     w.latency

@@ -13,6 +13,7 @@
 //! cargo run --bin picloud -- critical-path --experiment e17
 //! cargo run --bin picloud -- slo --experiment e17
 //! cargo run --bin picloud -- panel
+//! cargo run --bin picloud -- lint --format jsonl
 //! ```
 //!
 //! `telemetry` exports an experiment's labeled metrics snapshot (JSONL,
@@ -24,6 +25,11 @@
 //! accept canonical names (`recovery`) and paper-style aliases (`e17`),
 //! and are byte-deterministic for a fixed seed. See `OBSERVABILITY.md`
 //! for the formats, span catalogue and SLO rule schema.
+//!
+//! `lint` is a passthrough to `picloud-lint`: it scans the workspace,
+//! prints the report (text by default, `--format jsonl` for the export
+//! form) and checks the ratchet against `lint-baseline.json`, failing
+//! on any new violation. See `LINTS.md` for the rule book.
 
 use picloud::experiments::{
     dvfs_exp::DvfsExperiment, failure_exp::FailureExperiment, fidelity::FidelityExperiment,
@@ -157,6 +163,73 @@ fn export_telemetry(
     true
 }
 
+/// Runs the `lint` subcommand: scan, render in the requested format
+/// (text by default, like `spans`/`slo`), then ratchet against the
+/// committed baseline. Returns false on new violations so the CLI exit
+/// code matches `picloud-lint --check-baseline`.
+fn run_lint(format: Option<&str>, out: Option<&str>) -> bool {
+    use picloud_lint::baseline::{Baseline, Ratchet};
+    let ws = match picloud_lint::Workspace::discover(None) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return false;
+        }
+    };
+    let report = match ws.scan() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return false;
+        }
+    };
+    let text = match format {
+        Some("jsonl") => report.to_jsonl(),
+        None | Some("text") => report.to_text(),
+        Some(other) => {
+            eprintln!("unknown --format '{other}' (text, jsonl)");
+            return false;
+        }
+    };
+    match out {
+        None => print!("{text}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return false;
+            }
+            eprintln!("wrote {} bytes to {path}", text.len());
+        }
+    }
+    let baseline = match Baseline::load(&ws.baseline_path()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return false;
+        }
+    };
+    match baseline.ratchet(&report) {
+        Ratchet::Clean | Ratchet::Shrunk(_) => {
+            eprintln!("lint: baseline clean (no new violations)");
+            true
+        }
+        Ratchet::Grew(regressions) => {
+            eprintln!(
+                "lint: {} bucket(s) grew past the baseline:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!(
+                    "  {} {}: {} finding(s), baseline tolerates {}",
+                    r.rule, r.file, r.current, r.baselined
+                );
+            }
+            eprintln!("see LINTS.md for the rules and the ratchet workflow");
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 2013u64;
@@ -216,8 +289,9 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "       picloud spans|critical-path|slo --experiment <id|eN> \
-                     [--format jsonl] [--out FILE]\n"
+                     [--format jsonl] [--out FILE]"
                 );
+                println!("       picloud lint [--format text|jsonl] [--out FILE]\n");
                 for (name, desc) in EXPERIMENTS {
                     println!("  {name:<10} {desc}");
                 }
@@ -237,6 +311,11 @@ fn main() -> ExitCode {
                     seed,
                     out.as_deref(),
                 ) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "lint" => {
+                if !run_lint(format.as_deref(), out.as_deref()) {
                     return ExitCode::FAILURE;
                 }
             }

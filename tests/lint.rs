@@ -1,0 +1,55 @@
+//! The lint ratchet as a tier-1 test: the working tree must never owe
+//! more determinism/panic-safety debt than the committed
+//! `lint-baseline.json` tolerates.
+//!
+//! `cargo test` therefore fails on any new `HashMap`, wall-clock read,
+//! ambient RNG, unwrap-without-justification or undocumented public
+//! contract item — the same gate CI runs via
+//! `cargo run -p picloud-lint -- --check-baseline`, minus the
+//! auto-shrink side effect (tests must not rewrite checked-in files).
+
+use picloud_lint::baseline::{Baseline, Ratchet};
+use picloud_lint::Workspace;
+
+#[test]
+fn workspace_owes_no_new_lint_debt() {
+    let ws = Workspace::discover(None).expect("workspace root");
+    let report = ws.scan().expect("scan succeeds");
+    let committed = Baseline::load(&ws.baseline_path()).expect("baseline parses");
+    match committed.ratchet(&report) {
+        Ratchet::Clean => {}
+        Ratchet::Shrunk(smaller) => {
+            // Debt went down — not a failure, but the baseline should be
+            // re-anchored so the improvement can't silently regress.
+            eprintln!(
+                "note: lint debt shrank to {} bucket(s); run \
+                 `cargo run -p picloud-lint -- --check-baseline` and commit \
+                 the updated lint-baseline.json",
+                smaller.entries.len()
+            );
+        }
+        Ratchet::Grew(regressions) => {
+            let mut msg = String::from("new lint violations past the baseline:\n");
+            for r in &regressions {
+                msg.push_str(&format!(
+                    "  {} {}: {} finding(s), baseline tolerates {}\n",
+                    r.rule, r.file, r.current, r.baselined
+                ));
+            }
+            msg.push_str(
+                "fix them, add a justified `// lint: allow(..) reason=..` marker, \
+                 or see LINTS.md for the ratchet workflow",
+            );
+            panic!("{msg}");
+        }
+    }
+}
+
+#[test]
+fn lint_report_is_deterministic_at_workspace_scale() {
+    let ws = Workspace::discover(None).expect("workspace root");
+    let a = ws.scan().expect("scan");
+    let b = ws.scan().expect("scan");
+    assert_eq!(a.to_text(), b.to_text());
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+}
