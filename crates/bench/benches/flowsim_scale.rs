@@ -1,0 +1,233 @@
+//! Fabric scaling — benches the flow-level simulator's hot paths at
+//! escalating active-flow populations and writes `BENCH_flowsim.json`
+//! at the repository root.
+//!
+//! The incremental max–min solver's pitch is sub-quadratic scaling: an
+//! inject or completion should only pay for its dirty region, not for
+//! every active flow in the fabric. This bench pins that claim with
+//! numbers on the paper's 56-host multi-root tree carrying the
+//! measurement-calibrated Pareto mix: median nanos per inject, per
+//! advance step and per completed flow at 80–800 concurrent flows, and
+//! an in-bench assertion that a 10× larger population costs less than
+//! 10× per operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud_bench::{print_once, quick_criterion};
+use picloud_network::flow::FlowSpec;
+use picloud_network::flowsim::{FlowSimulator, RateAllocator};
+use picloud_network::routing::RoutingPolicy;
+use picloud_network::topology::Topology;
+use picloud_simcore::rng::SeedFactory;
+use picloud_simcore::{SimDuration, SimTime};
+use picloud_workloads::traffic::TrafficPattern;
+use std::hint::black_box;
+use std::sync::Once;
+use std::time::Instant;
+
+static BANNER: Once = Once::new();
+
+const SCALES: [usize; 4] = [80, 160, 320, 800];
+
+/// Median nanos per iteration of `f` over `rounds` timed rounds of
+/// `iters` calls each (the artifact-trend idiom from the telemetry
+/// bench).
+fn time_ns_per_iter(rounds: usize, iters: u32, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            (start.elapsed().as_nanos() / u128::from(iters)) as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Pareto-mix specs drawn from the calibrated DC pattern, endpoints and
+/// sizes only (the bench controls injection times itself).
+fn specs(n: usize) -> Vec<FlowSpec> {
+    let topo = Topology::multi_root_tree(4, 14, 2);
+    let pattern = TrafficPattern::measured_dc();
+    let mut out = Vec::with_capacity(n);
+    let mut window = SimDuration::from_secs(30);
+    // One generation window usually suffices; widen it until it does.
+    while out.len() < n {
+        out.clear();
+        let wl = pattern.generate(&topo, window, &SeedFactory::new(42));
+        out.extend(wl.events().iter().take(n).map(|(_, s)| s.clone()));
+        window = window.saturating_add(window);
+    }
+    out
+}
+
+/// A fabric pre-loaded with `n` active flows at `SimTime::ZERO`.
+fn loaded_sim(n: usize) -> FlowSimulator {
+    let mut sim = FlowSimulator::new(
+        Topology::multi_root_tree(4, 14, 2),
+        RoutingPolicy::Ecmp { max_paths: 4 },
+        RateAllocator::MaxMin,
+    );
+    sim.inject_batch(specs(n), SimTime::ZERO)
+        .expect("generated endpoints are hosts of the connected fabric");
+    sim
+}
+
+/// Per-scale hot-path costs.
+struct ScaleRow {
+    active: usize,
+    inject_ns: u64,
+    advance_ns: u64,
+    complete_ns: u64,
+}
+
+fn measure(scale: usize, probes: &[FlowSpec]) -> ScaleRow {
+    let base = loaded_sim(scale);
+
+    // Inject: one extra flow into the steady population, then back out.
+    let mut sim = base.clone();
+    let mut i = 0usize;
+    let inject_ns = time_ns_per_iter(9, 64, || {
+        let spec = probes[i % probes.len()].clone();
+        i += 1;
+        let at = sim.now();
+        let id = sim.inject(spec, at).expect("probe endpoints are hosts");
+        sim.cancel(id);
+        black_box(sim.active_count());
+    });
+
+    // Advance: event-by-event progress through completions.
+    let advance_ns = {
+        let mut sims = Vec::new();
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            sims.push(base.clone());
+        }
+        for mut sim in sims {
+            let start = Instant::now();
+            let mut steps = 0u32;
+            while steps < 64 {
+                match sim.next_completion_time() {
+                    Some(t) => sim.advance_to(t),
+                    None => break,
+                }
+                steps += 1;
+            }
+            if steps > 0 {
+                samples.push((start.elapsed().as_nanos() / u128::from(steps)) as u64);
+            }
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    // Complete: full drain, cost per completed flow.
+    let complete_ns = {
+        let mut samples = Vec::new();
+        for _ in 0..3 {
+            let mut sim = base.clone();
+            let start = Instant::now();
+            sim.run_to_completion();
+            let done = sim.completed_total().max(1);
+            samples.push((start.elapsed().as_nanos() / u128::from(done)) as u64);
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    ScaleRow {
+        active: scale,
+        inject_ns,
+        advance_ns,
+        complete_ns,
+    }
+}
+
+fn write_artifact() -> Vec<ScaleRow> {
+    let probes = specs(64);
+    let rows: Vec<ScaleRow> = SCALES.iter().map(|&s| measure(s, &probes)).collect();
+
+    let mut body = String::from(
+        "{\n  \"bench\": \"flowsim\",\n  \"topology\": \"multi_root_tree(4,14,2)\",\n  \
+         \"hosts\": 56,\n  \"scales\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"active_flows\": {}, \"ns_per_inject\": {}, \
+             \"ns_per_advance\": {}, \"ns_per_complete\": {}}}{}\n",
+            r.active,
+            r.inject_ns,
+            r.advance_ns,
+            r.complete_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flowsim.json");
+    match std::fs::write(path, &body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+    println!("{body}");
+    rows
+}
+
+fn bench(c: &mut Criterion) {
+    print_once(
+        "Fabric scaling — incremental solver cost vs active-flow count",
+        "Median hot-path costs land in BENCH_flowsim.json (repo root).",
+        &BANNER,
+    );
+    let rows = write_artifact();
+
+    // The headline claim: 10x the active flows must cost well under 10x
+    // per inject and per advance (sub-quadratic total work).
+    let (small, large) = (&rows[0], &rows[rows.len() - 1]);
+    assert_eq!(large.active, small.active * 10);
+    assert!(
+        large.inject_ns < small.inject_ns.max(1) * 10,
+        "inject does not scale: {} ns at {} flows vs {} ns at {} flows",
+        large.inject_ns,
+        large.active,
+        small.inject_ns,
+        small.active
+    );
+    assert!(
+        large.advance_ns < small.advance_ns.max(1) * 10,
+        "advance does not scale: {} ns at {} flows vs {} ns at {} flows",
+        large.advance_ns,
+        large.active,
+        small.advance_ns,
+        small.active
+    );
+
+    c.bench_function("flowsim/inject_cancel_at_320", |b| {
+        let mut sim = loaded_sim(320);
+        let probes = specs(8);
+        let mut i = 0usize;
+        b.iter(|| {
+            let spec = probes[i % probes.len()].clone();
+            i += 1;
+            let at = sim.now();
+            let id = sim.inject(spec, at).expect("probe endpoints are hosts");
+            sim.cancel(id);
+            black_box(sim.active_count());
+        })
+    });
+    c.bench_function("flowsim/drain_80", |b| {
+        let base = loaded_sim(80);
+        b.iter(|| {
+            let mut sim = base.clone();
+            sim.run_to_completion();
+            black_box(sim.completed_total())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

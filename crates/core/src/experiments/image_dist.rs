@@ -87,10 +87,14 @@ fn tree_dissemination(
             .copied()
             .zip(pending.iter().copied())
             .collect();
-        for &(src, dst) in &transfers {
-            sim.inject(FlowSpec::new(src, dst, image).with_tag("image"), now)
-                .expect("fabric is connected");
-        }
+        let specs: Vec<FlowSpec> = transfers
+            .iter()
+            .map(|&(src, dst)| FlowSpec::new(src, dst, image).with_tag("image"))
+            .collect();
+        // The round's transfers all start together: one recompute.
+        sim.inject_batch(specs, now)
+            // lint: allow(P1) reason=dissemination endpoints are hosts of the connected builder topology
+            .expect("fabric is connected");
         now = sim.run_to_completion();
         for (_, dst) in transfers {
             pending.retain(|d| *d != dst);
@@ -119,13 +123,13 @@ impl ImageDistributionExperiment {
 
         // --- direct unicast -------------------------------------------
         let mut sim = fresh();
-        for &host in &all_hosts[1..] {
-            sim.inject(
-                FlowSpec::new(pimaster, host, image_size).with_tag("image"),
-                SimTime::ZERO,
-            )
+        let unicasts: Vec<FlowSpec> = all_hosts[1..]
+            .iter()
+            .map(|&host| FlowSpec::new(pimaster, host, image_size).with_tag("image"))
+            .collect();
+        sim.inject_batch(unicasts, SimTime::ZERO)
+            // lint: allow(P1) reason=dissemination endpoints are hosts of the connected builder topology
             .expect("routable");
-        }
         let end = sim.run_to_completion();
         let img = image_size.as_u64().max(1) as f64;
         let direct = DistributionOutcome {
@@ -153,13 +157,13 @@ impl ImageDistributionExperiment {
             .map(|hosts| hosts[0])
             .filter(|&d| d != pimaster)
             .collect();
-        for &seed in &seeds {
-            sim.inject(
-                FlowSpec::new(pimaster, seed, image_size).with_tag("image-seed"),
-                SimTime::ZERO,
-            )
+        let seed_specs: Vec<FlowSpec> = seeds
+            .iter()
+            .map(|&seed| FlowSpec::new(pimaster, seed, image_size).with_tag("image-seed"))
+            .collect();
+        sim.inject_batch(seed_specs, SimTime::ZERO)
+            // lint: allow(P1) reason=dissemination endpoints are hosts of the connected builder topology
             .expect("routable");
-        }
         sim.run_to_completion();
         // Phase 2: per-rack binary trees, all racks in parallel. Emulate
         // parallelism with a shared round barrier across racks.
@@ -184,10 +188,13 @@ impl ImageDistributionExperiment {
                     round_transfers.push((src, dst));
                 }
             }
-            for &(src, dst) in &round_transfers {
-                sim.inject(FlowSpec::new(src, dst, image_size).with_tag("image"), now)
-                    .expect("routable");
-            }
+            let round_specs: Vec<FlowSpec> = round_transfers
+                .iter()
+                .map(|&(src, dst)| FlowSpec::new(src, dst, image_size).with_tag("image"))
+                .collect();
+            sim.inject_batch(round_specs, now)
+                // lint: allow(P1) reason=dissemination endpoints are hosts of the connected builder topology
+                .expect("routable");
             now = sim.run_to_completion();
             // Mark completions per rack.
             for (holders, pending) in holders_by_rack.iter_mut().zip(pending_by_rack.iter_mut()) {

@@ -100,14 +100,17 @@ impl PlacementExperiment {
                 RoutingPolicy::default(),
                 RateAllocator::MaxMin,
             );
-            for m in &plan.moves {
-                sim.inject(
+            let migrations: Vec<FlowSpec> = plan
+                .moves
+                .iter()
+                .map(|m| {
                     FlowSpec::new(hosts[m.from.index()], hosts[m.to.index()], m.ram)
-                        .with_tag("migration"),
-                    SimTime::ZERO,
-                )
+                        .with_tag("migration")
+                })
+                .collect();
+            sim.inject_batch(migrations, SimTime::ZERO)
+                // lint: allow(P1) reason=migration endpoints are hosts of the connected builder topology
                 .expect("cluster fabric is connected");
-            }
             let end = if plan.moves.is_empty() {
                 SimTime::ZERO
             } else {

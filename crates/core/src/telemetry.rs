@@ -532,7 +532,10 @@ fn collect_spans(id: &str, seed: u64, sink: &mut TelemetrySink) -> SimTime {
             let topo = Topology::multi_root_tree(4, 14, 2);
             let hosts: Vec<_> = topo.hosts().map(|h| h.id).collect();
             let mut ctrl = SdnController::new(topo, InstallMode::Reactive);
-            let (src, dst) = (hosts[0], hosts[55]);
+            // First and last host span the full fabric diameter.
+            let (Some(&src), Some(&dst)) = (hosts.first(), hosts.last()) else {
+                return SimTime::ZERO;
+            };
             ctrl.route_traced(src, dst, &mut sink.tracer, SpanContext::NONE);
             ctrl.route_traced(src, dst, &mut sink.tracer, SpanContext::NONE);
             ctrl.now()

@@ -17,6 +17,27 @@
 //! Time only advances through [`FlowSimulator::advance_to`] /
 //! [`FlowSimulator::run_to_completion`]; between recomputation points every
 //! rate is constant, so completions are computed exactly, not stepped.
+//!
+//! # Scaling machinery (DESIGN.md §4, "fabric scaling")
+//!
+//! Three structures keep the hot path sub-quadratic in active flows:
+//!
+//! * an **inverted resource→flows index** (`flows_on`, a `BTreeSet` per
+//!   link direction) so utilisation queries and rate recomputation touch
+//!   only the flows on affected resources;
+//! * an **incremental solver** ([`RecomputeMode::Incremental`], the
+//!   default) that re-solves only the *dirty region* — the resources on
+//!   the changed flow's path plus the transitive closure of flows sharing
+//!   them. The from-scratch solver is retained as the oracle
+//!   ([`RecomputeMode::Full`]) and the two are bit-for-bit equivalent
+//!   (`tests/flowsim_equiv.rs` proves it on seeded random workloads);
+//! * a **completion-time min-heap** with lazy invalidation (per-flow rate
+//!   epochs, like the engine's cancelled set) replacing the O(active)
+//!   scan in [`FlowSimulator::next_completion_time`].
+//!
+//! Same-instant arrival bursts (traffic generator, MapReduce shuffle)
+//! should use [`FlowSimulator::inject_batch`], which triggers one
+//! recomputation for the whole burst instead of one per flow.
 
 use crate::flow::{CompletedFlow, Flow, FlowId, FlowSpec};
 use crate::routing::{Router, RoutingPolicy};
@@ -24,7 +45,8 @@ use crate::topology::{LinkId, Topology};
 use picloud_simcore::telemetry::MetricsRegistry;
 use picloud_simcore::{SimDuration, SimTime, TimeWeightedGauge};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Bits below which a flow is considered finished (guards float error).
@@ -39,6 +61,20 @@ pub enum RateAllocator {
     /// Naive equal split per resource, minimum along the path (not
     /// work-conserving) — the ablation baseline.
     EqualShare,
+}
+
+/// Scope of the rate recomputation triggered by each inject / completion /
+/// cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RecomputeMode {
+    /// Re-solve only the dirty region: the resources on the changed
+    /// flow's path plus the transitive closure of flows sharing them.
+    /// Bit-for-bit equivalent to [`RecomputeMode::Full`].
+    #[default]
+    Incremental,
+    /// Re-solve every active flow from scratch — the oracle the
+    /// incremental solver is checked against.
+    Full,
 }
 
 /// Error returned when a flow cannot be injected.
@@ -67,6 +103,17 @@ impl std::error::Error for InjectError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct ResourceId(usize);
 
+/// A pending completion prediction: flow `id` finishes at `at` if its rate
+/// is still the one it had at epoch `epoch`. Stale entries (flow gone, or
+/// re-rated since) are discarded lazily when they surface at the top of
+/// the heap, exactly like the event engine's cancelled set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CompletionEntry {
+    at: SimTime,
+    id: FlowId,
+    epoch: u64,
+}
+
 /// A deterministic flow-level simulator over a topology.
 ///
 /// # Example
@@ -87,21 +134,37 @@ struct ResourceId(usize);
 /// assert!(end > SimTime::ZERO);
 /// # Ok::<(), picloud_network::flowsim::InjectError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlowSimulator {
     topo: Topology,
     router: Router,
     allocator: RateAllocator,
+    mode: RecomputeMode,
     now: SimTime,
     active: BTreeMap<FlowId, ActiveFlow>,
     next_id: u64,
     completed: Vec<CompletedFlow>,
+    /// Monotonic count of every completion ever recorded — survives
+    /// [`FlowSimulator::drain_completed`], unlike `completed.len()`.
+    completed_total: u64,
     /// Capacity per resource (2 per link: even = a→b, odd = b→a), bits/s.
     resource_capacity: Vec<f64>,
+    /// Inverted index: the active flows crossing each resource.
+    flows_on: Vec<BTreeSet<FlowId>>,
+    /// Resource-sharing adjacency, flattened `n_res × n_res`: entry
+    /// `[a * n_res + b]` counts the active flows crossing both `a` and
+    /// `b`. Lets the dirty-region walk stay purely on resources instead
+    /// of chasing per-flow sets.
+    res_adj: Vec<u32>,
+    /// Current allocated rate sum per resource, bits/s (kept in lock-step
+    /// with `flows_on` at every recomputation point).
+    resource_used: Vec<f64>,
     /// Utilisation gauge per resource.
     resource_util: Vec<TimeWeightedGauge>,
     /// Total bits carried per resource.
     resource_bits: Vec<f64>,
+    /// Min-heap of predicted completion instants (lazy invalidation).
+    completions: BinaryHeap<Reverse<CompletionEntry>>,
 }
 
 #[derive(Debug, Clone)]
@@ -109,6 +172,18 @@ struct ActiveFlow {
     flow: Flow,
     resources: Vec<ResourceId>,
     prop_latency: SimDuration,
+    /// Bumped on every rate change; completion-heap entries carrying an
+    /// older epoch are stale.
+    epoch: u64,
+}
+
+/// The instant at which `remaining_bits` drains at `rate_bps`, rounded
+/// *up* to the next nanosecond: rounding down could produce a zero-length
+/// step on a sub-nanosecond residual and stall the clock.
+fn completion_at(now: SimTime, remaining_bits: f64, rate_bps: f64) -> SimTime {
+    let secs = remaining_bits / rate_bps;
+    let nanos = (secs * 1e9).ceil().max(1.0);
+    now + SimDuration::from_nanos(nanos as u64)
 }
 
 impl FlowSimulator {
@@ -127,15 +202,21 @@ impl FlowSimulator {
         FlowSimulator {
             router: Router::new(policy),
             allocator,
+            mode: RecomputeMode::default(),
             now: SimTime::ZERO,
             active: BTreeMap::new(),
             next_id: 0,
             completed: Vec::new(),
+            completed_total: 0,
             resource_capacity,
+            flows_on: vec![BTreeSet::new(); n_res],
+            res_adj: vec![0; n_res * n_res],
+            resource_used: vec![0.0; n_res],
             resource_util: (0..n_res)
                 .map(|_| TimeWeightedGauge::new(SimTime::ZERO, 0.0))
                 .collect(),
             resource_bits: vec![0.0; n_res],
+            completions: BinaryHeap::new(),
             topo,
         }
     }
@@ -160,9 +241,36 @@ impl FlowSimulator {
         &self.completed
     }
 
+    /// Monotonic count of every completion ever recorded, unaffected by
+    /// [`FlowSimulator::drain_completed`].
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
     /// Removes and returns the completed-flow records accumulated so far.
     pub fn drain_completed(&mut self) -> Vec<CompletedFlow> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// The scope of each rate recomputation (incremental by default).
+    pub fn recompute_mode(&self) -> RecomputeMode {
+        self.mode
+    }
+
+    /// Switches between the incremental solver and the from-scratch
+    /// oracle. The two are bit-for-bit equivalent, so this only affects
+    /// speed; it may be flipped at any recomputation boundary.
+    pub fn set_recompute_mode(&mut self, mode: RecomputeMode) {
+        self.mode = mode;
+    }
+
+    /// Snapshot of `(id, allocated rate in bits/s)` for every active
+    /// flow, ascending by id.
+    pub fn active_rates(&self) -> Vec<(FlowId, f64)> {
+        self.active
+            .iter()
+            .map(|(id, af)| (*id, af.flow.rate_bps))
+            .collect()
     }
 
     /// Injects a flow at time `at` (must not precede the current time).
@@ -177,79 +285,141 @@ impl FlowSimulator {
     ///
     /// Panics if `at` is in the past.
     pub fn inject(&mut self, spec: FlowSpec, at: SimTime) -> Result<FlowId, InjectError> {
+        let mut ids = self.inject_batch(vec![spec], at)?;
+        debug_assert_eq!(ids.len(), 1);
+        Ok(ids.remove(0))
+    }
+
+    /// Injects a burst of flows arriving at the same instant, triggering
+    /// **one** rate recomputation for the whole burst instead of one per
+    /// flow. Returns the assigned ids in spec order.
+    ///
+    /// Equivalent to injecting the specs one by one at `at` (same ids,
+    /// same rates, same telemetry), except all-or-nothing on routing:
+    /// if any spec has no route, nothing is injected.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::NoRoute`] with the first unroutable spec; the
+    /// simulator is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject_batch(
+        &mut self,
+        specs: Vec<FlowSpec>,
+        at: SimTime,
+    ) -> Result<Vec<FlowId>, InjectError> {
         assert!(
             at >= self.now,
             "flow injected in the past ({at} < {})",
             self.now
         );
         self.advance_to(at);
-        let id = FlowId(self.next_id);
-        let path = self
-            .router
-            .route(&self.topo, spec.src, spec.dst, id)
-            .ok_or_else(|| InjectError::NoRoute { spec: spec.clone() })?;
-        self.next_id += 1;
-        let resources = self.path_resources(spec.src, &path);
-        let prop_latency = path
-            .iter()
-            .map(|l| self.topo.link(*l).latency)
-            .fold(SimDuration::ZERO, SimDuration::saturating_add);
-        let size_bits = spec.size.as_u64() as f64 * 8.0;
-        if size_bits <= EPSILON_BITS {
-            self.completed.push(CompletedFlow {
+        // Route every spec before committing anything, so a routing
+        // failure leaves the simulator untouched.
+        let mut routed = Vec::with_capacity(specs.len());
+        for (k, spec) in specs.into_iter().enumerate() {
+            let id = FlowId(self.next_id + k as u64);
+            let path = match self.router.route(&self.topo, spec.src, spec.dst, id) {
+                Some(p) => p,
+                None => return Err(InjectError::NoRoute { spec }),
+            };
+            routed.push((id, spec, path));
+        }
+        let mut ids = Vec::with_capacity(routed.len());
+        let mut seeds: Vec<ResourceId> = Vec::new();
+        for (id, spec, path) in routed {
+            self.next_id += 1;
+            ids.push(id);
+            let resources = self.path_resources(spec.src, &path);
+            let prop_latency = path
+                .iter()
+                .map(|l| self.topo.link(*l).latency)
+                .fold(SimDuration::ZERO, SimDuration::saturating_add);
+            let size_bits = spec.size.as_u64() as f64 * 8.0;
+            if size_bits <= EPSILON_BITS {
+                self.completed.push(CompletedFlow {
+                    id,
+                    spec,
+                    started: at,
+                    finished: at.saturating_add(prop_latency),
+                });
+                self.completed_total += 1;
+                continue;
+            }
+            let flow = Flow {
                 id,
                 spec,
+                path,
                 started: at,
-                finished: at.saturating_add(prop_latency),
-            });
-            return Ok(id);
+                remaining_bits: size_bits,
+                rate_bps: 0.0,
+            };
+            self.index_add(id, &resources);
+            seeds.extend(resources.iter().copied());
+            self.active.insert(
+                id,
+                ActiveFlow {
+                    flow,
+                    resources,
+                    prop_latency,
+                    epoch: 0,
+                },
+            );
         }
-        let flow = Flow {
-            id,
-            spec,
-            path,
-            started: at,
-            remaining_bits: size_bits,
-            rate_bps: 0.0,
-        };
-        self.active.insert(
-            id,
-            ActiveFlow {
-                flow,
-                resources,
-                prop_latency,
-            },
-        );
-        self.recompute_rates();
-        Ok(id)
+        if !seeds.is_empty() {
+            self.recompute_rates(&seeds);
+        }
+        Ok(ids)
     }
 
     /// Cancels an in-flight flow (a failed request, an aborted migration).
     /// Returns the partially-transferred flow if it was active.
     pub fn cancel(&mut self, id: FlowId) -> Option<Flow> {
-        let removed = self.active.remove(&id).map(|af| af.flow);
-        if removed.is_some() {
-            self.recompute_rates();
-        }
-        removed
+        let af = self.active.remove(&id)?;
+        self.index_remove(id, &af.resources);
+        self.recompute_rates(&af.resources);
+        Some(af.flow)
     }
 
     /// Earliest instant at which an active flow completes its transfer, or
     /// `None` if nothing is active (or everything is rate-starved).
     ///
-    /// Completion delays are rounded *up* to the next nanosecond: rounding
-    /// down could produce a zero-length step on a sub-nanosecond residual
-    /// and stall the clock.
-    pub fn next_completion_time(&self) -> Option<SimTime> {
-        self.active
-            .values()
-            .filter(|af| af.flow.rate_bps > 0.0)
-            .map(|af| {
-                let secs = af.flow.remaining_bits / af.flow.rate_bps;
-                let nanos = (secs * 1e9).ceil().max(1.0);
-                self.now + SimDuration::from_nanos(nanos as u64)
-            })
-            .min()
+    /// Served from the completion min-heap: stale entries (flow gone, or
+    /// re-rated since the prediction) are popped lazily here. Completion
+    /// delays are rounded *up* to the next nanosecond, so the clock
+    /// always makes progress.
+    pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        loop {
+            let top = match self.completions.peek() {
+                Some(Reverse(e)) => *e,
+                None => return None,
+            };
+            let Some(af) = self.active.get(&top.id) else {
+                self.completions.pop();
+                continue;
+            };
+            if af.epoch != top.epoch {
+                self.completions.pop();
+                continue;
+            }
+            if top.at <= self.now && af.flow.remaining_bits > EPSILON_BITS {
+                // A sub-nanosecond residual survived the predicted
+                // instant; re-predict from the current remaining volume
+                // (≥ 1 ns ahead, so this cannot loop).
+                let at = completion_at(self.now, af.flow.remaining_bits, af.flow.rate_bps);
+                self.completions.pop();
+                self.completions.push(Reverse(CompletionEntry {
+                    at,
+                    id: top.id,
+                    epoch: af.epoch,
+                }));
+                continue;
+            }
+            return Some(top.at);
+        }
     }
 
     /// Advances the clock to `deadline`, completing flows as they finish.
@@ -263,11 +433,20 @@ impl FlowSimulator {
             if next > deadline {
                 break;
             }
-            self.advance_clock(next);
-            self.harvest_completions();
-            self.recompute_rates();
+            let finished = self.advance_clock(next);
+            let seeds = self.harvest_completions(finished);
+            if !seeds.is_empty() {
+                self.recompute_rates(&seeds);
+            }
         }
-        self.advance_clock(deadline);
+        let finished = self.advance_clock(deadline);
+        if !finished.is_empty() {
+            // A float dip can drain a flow a hair before its predicted
+            // (ns-rounded-up) completion instant; retire it now rather
+            // than leaving a zero-remaining flow active.
+            let seeds = self.harvest_completions(finished);
+            self.recompute_rates(&seeds);
+        }
     }
 
     /// Runs until every active flow has completed, returning the finish
@@ -283,9 +462,11 @@ impl FlowSimulator {
                 .next_completion_time()
                 // lint: allow(P1) reason=documented panic — rate-starved flows indicate a topology configuration error (see # Panics)
                 .expect("active flows exist but none has positive rate");
-            self.advance_clock(next);
-            self.harvest_completions();
-            self.recompute_rates();
+            let finished = self.advance_clock(next);
+            let seeds = self.harvest_completions(finished);
+            if !seeds.is_empty() {
+                self.recompute_rates(&seeds);
+            }
         }
         self.now
     }
@@ -298,20 +479,15 @@ impl FlowSimulator {
         a.max(b)
     }
 
-    /// Instantaneous utilisation of one direction of `link`.
+    /// Instantaneous utilisation of one direction of `link`. O(1) — read
+    /// from the maintained per-resource rate sums.
     pub fn direction_utilisation(&self, link: LinkId, forward: bool) -> f64 {
         let r = link.index() * 2 + usize::from(!forward);
         let cap = self.resource_capacity[r];
         if cap <= 0.0 {
             return 0.0;
         }
-        let used: f64 = self
-            .active
-            .values()
-            .filter(|af| af.resources.contains(&ResourceId(r)))
-            .map(|af| af.flow.rate_bps)
-            .sum();
-        (used / cap).clamp(0.0, 1.0)
+        (self.resource_used[r] / cap).clamp(0.0, 1.0)
     }
 
     /// Time-weighted mean utilisation of `link` since simulation start
@@ -328,14 +504,12 @@ impl FlowSimulator {
     }
 
     /// Active flows currently routed over `link` (either direction) — the
-    /// fluid model's stand-in for queue depth.
+    /// fluid model's stand-in for queue depth. Answered from the inverted
+    /// index in O(flows on the link), not O(all active flows).
     pub fn link_active_flows(&self, link: LinkId) -> usize {
-        let fwd = ResourceId(link.index() * 2);
-        let rev = ResourceId(link.index() * 2 + 1);
-        self.active
-            .values()
-            .filter(|af| af.resources.contains(&fwd) || af.resources.contains(&rev))
-            .count()
+        let fwd = &self.flows_on[link.index() * 2];
+        let rev = &self.flows_on[link.index() * 2 + 1];
+        fwd.union(rev).count()
     }
 
     /// Records the fabric's telemetry into `reg` at the simulator's
@@ -362,8 +536,12 @@ impl FlowSimulator {
         }
         reg.gauge("network_active_flows", &[])
             .set(now, self.active_count() as f64);
+        // The counter tracks the monotonic completion total, not the
+        // drainable `completed` buffer: `completed().len()` shrinks on
+        // `drain_completed()`, and subtracting it from the counter would
+        // underflow.
         let done = reg.counter("network_completed_flows_total", &[]);
-        done.add(self.completed().len() as u64 - done.value());
+        done.add(self.completed_total.saturating_sub(done.value()));
     }
 
     /// The `n` links with the highest time-weighted mean utilisation,
@@ -394,86 +572,330 @@ impl FlowSimulator {
         out
     }
 
-    /// Moves the clock forward, draining `remaining_bits` at current rates
-    /// and integrating utilisation gauges.
-    fn advance_clock(&mut self, to: SimTime) {
+    /// Hooks a flow into the inverted index and the resource-sharing
+    /// adjacency. `resources` is a simple path, so every entry is unique.
+    fn index_add(&mut self, id: FlowId, resources: &[ResourceId]) {
+        let n = self.resource_capacity.len();
+        for r in resources {
+            self.flows_on[r.0].insert(id);
+        }
+        for a in resources {
+            for b in resources {
+                self.res_adj[a.0 * n + b.0] += 1;
+            }
+        }
+    }
+
+    /// Unhooks a flow from the inverted index and the adjacency counts.
+    fn index_remove(&mut self, id: FlowId, resources: &[ResourceId]) {
+        let n = self.resource_capacity.len();
+        for r in resources {
+            self.flows_on[r.0].remove(&id);
+        }
+        for a in resources {
+            for b in resources {
+                self.res_adj[a.0 * n + b.0] -= 1;
+            }
+        }
+    }
+
+    /// Moves the clock forward, draining `remaining_bits` at current
+    /// rates and integrating utilisation gauges. Returns the flows that
+    /// drained dry during this step, in ascending id order — the same
+    /// set and order a post-hoc scan would find, without a second walk.
+    fn advance_clock(&mut self, to: SimTime) -> Vec<FlowId> {
         if to == self.now {
-            return;
+            return Vec::new();
         }
         let dt = to.duration_since(self.now).as_secs_f64();
-        for af in self.active.values_mut() {
+        let mut finished = Vec::new();
+        for (id, af) in self.active.iter_mut() {
             let moved = af.flow.rate_bps * dt;
             af.flow.remaining_bits = (af.flow.remaining_bits - moved).max(0.0);
+            if af.flow.remaining_bits <= EPSILON_BITS {
+                finished.push(*id);
+            }
             for r in &af.resources {
                 self.resource_bits[r.0] += moved;
             }
         }
         self.now = to;
+        finished
     }
 
-    fn harvest_completions(&mut self) {
-        let finished: Vec<FlowId> = self
-            .active
-            .iter()
-            .filter(|(_, af)| af.flow.remaining_bits <= EPSILON_BITS)
-            .map(|(id, _)| *id)
-            .collect();
+    /// Retires the drained flows, unhooks them from the inverted index
+    /// and returns their resources as the dirty seed for the next
+    /// recompute. Active flows always carry `remaining_bits` above the
+    /// epsilon outside [`FlowSimulator::advance_clock`], so the drain
+    /// walk's harvest list is exhaustive.
+    fn harvest_completions(&mut self, finished: Vec<FlowId>) -> Vec<ResourceId> {
+        let mut seeds = Vec::new();
         for id in finished {
             let Some(af) = self.active.remove(&id) else {
                 continue; // id came from self.active moments ago
             };
+            self.index_remove(id, &af.resources);
+            seeds.extend(af.resources.iter().copied());
             self.completed.push(CompletedFlow {
                 id,
                 spec: af.flow.spec,
                 started: af.flow.started,
                 finished: self.now.saturating_add(af.prop_latency),
             });
+            self.completed_total += 1;
         }
+        seeds
     }
 
-    /// Recomputes every active flow's rate and updates utilisation gauges.
-    fn recompute_rates(&mut self) {
-        match self.allocator {
-            RateAllocator::MaxMin => self.recompute_max_min(),
-            RateAllocator::EqualShare => self.recompute_equal_share(),
-        }
-        // Refresh gauges with the new instantaneous utilisation.
-        let mut used = vec![0.0f64; self.resource_capacity.len()];
-        for af in self.active.values() {
-            for r in &af.resources {
-                used[r.0] += af.flow.rate_bps;
+    /// The region a change seeded at `seeds` can influence: in
+    /// [`RecomputeMode::Full`], everything; in
+    /// [`RecomputeMode::Incremental`], the transitive closure of flows
+    /// and resources reachable from the seed resources through the
+    /// flow–resource sharing graph. The closure is bi-closed (every flow
+    /// of a region resource is in the region and vice versa), which is
+    /// exactly what makes the restricted solve bit-identical to the full
+    /// one.
+    fn dirty_region(&self, seeds: &[ResourceId]) -> Vec<usize> {
+        let n_res = self.resource_capacity.len();
+        match self.mode {
+            RecomputeMode::Full => (0..n_res).collect(),
+            RecomputeMode::Incremental => {
+                // Walk the resource-sharing adjacency — no per-flow set
+                // chasing; a resource joins the region iff some flow
+                // crosses both it and a resource already inside.
+                let mut res_in = vec![false; n_res];
+                let mut res_list: Vec<usize> = Vec::new();
+                let mut frontier: Vec<usize> = Vec::with_capacity(seeds.len());
+                for r in seeds {
+                    if !res_in[r.0] {
+                        res_in[r.0] = true;
+                        frontier.push(r.0);
+                    }
+                }
+                while let Some(r) = frontier.pop() {
+                    res_list.push(r);
+                    let row = &self.res_adj[r * n_res..(r + 1) * n_res];
+                    for (r2, &shared) in row.iter().enumerate() {
+                        if shared > 0 && !res_in[r2] {
+                            res_in[r2] = true;
+                            frontier.push(r2);
+                        }
+                    }
+                }
+                res_list.sort_unstable();
+                res_list
             }
         }
-        for (r, gauge) in self.resource_util.iter_mut().enumerate() {
-            let cap = self.resource_capacity[r];
-            let u = if cap > 0.0 {
-                (used[r] / cap).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            gauge.set(self.now, u);
-        }
     }
 
-    fn recompute_max_min(&mut self) {
+    /// The region's flow table in one pass: ids (ascending), weights and
+    /// path slices, index-aligned. A region spanning every resource is
+    /// gathered by a single ordered walk of the active map; a partial
+    /// region unions the inverted-index rows. (The two differ only by
+    /// flows traversing no resources, which the solvers rate 0.0 without
+    /// side effects either way.)
+    #[allow(clippy::type_complexity)]
+    fn region_flow_table(&self, res_list: &[usize]) -> (Vec<FlowId>, Vec<f64>, Vec<&[ResourceId]>) {
         let n_res = self.resource_capacity.len();
-        let mut cap_left = self.resource_capacity.clone();
+        if res_list.len() == n_res {
+            let mut flows = Vec::with_capacity(self.active.len());
+            let mut weight = Vec::with_capacity(self.active.len());
+            let mut paths = Vec::with_capacity(self.active.len());
+            for (id, af) in &self.active {
+                flows.push(*id);
+                weight.push(af.flow.spec.weight);
+                paths.push(af.resources.as_slice());
+            }
+            return (flows, weight, paths);
+        }
+        // The region is bi-closed, so its flow set is exactly the union
+        // of the inverted-index rows.
+        let mut flows: Vec<FlowId> = res_list
+            .iter()
+            .flat_map(|&r| self.flows_on[r].iter().copied())
+            .collect();
+        flows.sort_unstable();
+        flows.dedup();
+        let mut weight = Vec::with_capacity(flows.len());
+        let mut paths: Vec<&[ResourceId]> = Vec::with_capacity(flows.len());
+        if flows.len() * 4 >= self.active.len() {
+            // Dense region: one ordered walk instead of per-key descents.
+            let mut it = self.active.iter().peekable();
+            for id in &flows {
+                while it.peek().is_some_and(|(aid, _)| *aid < id) {
+                    it.next();
+                }
+                match it.peek().copied() {
+                    Some((aid, af)) if aid == id => {
+                        weight.push(af.flow.spec.weight);
+                        paths.push(af.resources.as_slice());
+                    }
+                    _ => {
+                        weight.push(0.0);
+                        paths.push(&[]);
+                    }
+                }
+            }
+        } else {
+            for id in &flows {
+                match self.active.get(id) {
+                    Some(af) => {
+                        weight.push(af.flow.spec.weight);
+                        paths.push(af.resources.as_slice());
+                    }
+                    None => {
+                        weight.push(0.0);
+                        paths.push(&[]);
+                    }
+                }
+            }
+        }
+        (flows, weight, paths)
+    }
+
+    /// Recomputes rates for the region dirtied by a change at `seeds` and
+    /// updates the per-resource rate sums and utilisation gauges —
+    /// applying only the *differences*, so both recompute modes leave
+    /// identical state behind.
+    fn recompute_rates(&mut self, seeds: &[ResourceId]) {
+        let res_list = self.dirty_region(seeds);
+        let (flows, new_rates) = {
+            let (flows, weight, paths) = self.region_flow_table(&res_list);
+            let rates = match self.allocator {
+                RateAllocator::MaxMin => self.solve_max_min(&weight, &paths, &res_list),
+                RateAllocator::EqualShare => self.solve_equal_share(&paths, &res_list),
+            };
+            (flows, rates)
+        };
+        // Apply the solution in ascending flow-id order, accumulating the
+        // per-resource rate sums in the same pass. Each region resource
+        // receives its sharers' contributions in ascending id order —
+        // exactly the `flows_on` iteration order — so the sums stay
+        // bit-identical across recompute modes. Dense regions walk the
+        // active map once instead of descending the tree per flow.
+        let now = self.now;
+        let n_res = self.resource_capacity.len();
+        let mut used_new = vec![0.0f64; n_res];
+        let mut apply = |af: &mut ActiveFlow, id: FlowId, rate: f64, used_new: &mut [f64]| {
+            if af.flow.rate_bps.to_bits() != rate.to_bits() {
+                af.flow.rate_bps = rate;
+                af.epoch += 1;
+                if rate > 0.0 {
+                    let at = completion_at(now, af.flow.remaining_bits, rate);
+                    self.completions.push(Reverse(CompletionEntry {
+                        at,
+                        id,
+                        epoch: af.epoch,
+                    }));
+                }
+            }
+            for r in &af.resources {
+                used_new[r.0] += af.flow.rate_bps;
+            }
+        };
+        if flows.len() * 4 >= self.active.len() {
+            let mut k = 0usize;
+            for (&id, af) in self.active.iter_mut() {
+                while k < flows.len() && flows[k] < id {
+                    k += 1;
+                }
+                if k < flows.len() && flows[k] == id {
+                    apply(af, id, new_rates[k], &mut used_new);
+                }
+            }
+        } else {
+            for (i, &id) in flows.iter().enumerate() {
+                if let Some(af) = self.active.get_mut(&id) {
+                    apply(af, id, new_rates[i], &mut used_new);
+                }
+            }
+        }
+        for &r in &res_list {
+            let used = used_new[r];
+            if used.to_bits() != self.resource_used[r].to_bits() {
+                self.resource_used[r] = used;
+                let cap = self.resource_capacity[r];
+                let u = if cap > 0.0 {
+                    (used / cap).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                self.resource_util[r].set(self.now, u);
+            }
+        }
+        self.maybe_compact_completions();
+    }
+
+    /// Drops stale heap entries once they outnumber the live flows —
+    /// the same lazy-compaction rule the event engine applies to its
+    /// cancelled set.
+    fn maybe_compact_completions(&mut self) {
+        if self.completions.len() <= 2 * self.active.len() + 64 {
+            return;
+        }
+        let live: Vec<Reverse<CompletionEntry>> = self
+            .completions
+            .drain()
+            .filter(|Reverse(e)| self.active.get(&e.id).is_some_and(|af| af.epoch == e.epoch))
+            .collect();
+        self.completions = BinaryHeap::from(live);
+    }
+
+    /// Weighted progressive-filling water-fill restricted to the region.
+    ///
+    /// The pick order (lowest-index resource among minima), freeze order
+    /// (ascending flow id) and arithmetic order are identical whether the
+    /// region is the whole graph or one closed component, which is what
+    /// makes incremental and full recomputes bit-for-bit equivalent.
+    fn solve_max_min(
+        &self,
+        weight: &[f64],
+        paths: &[&[ResourceId]],
+        res_list: &[usize],
+    ) -> Vec<f64> {
+        let n_res = self.resource_capacity.len();
+        let mut cap_left = vec![0.0f64; n_res];
+        for &r in res_list {
+            cap_left[r] = self.resource_capacity[r];
+        }
+        let mut rates = vec![0.0f64; paths.len()];
+        // A flow with no path (retired, or a degenerate same-host route)
+        // crosses no bottleneck; it keeps rate 0.0 without entering the
+        // fill at all.
+        let mut frozen: Vec<bool> = paths.iter().map(|p| p.is_empty()).collect();
+        let mut n_unfrozen = frozen.iter().filter(|f| !**f).count();
         // Weighted max-min: each resource tracks the total weight of the
         // unfrozen flows crossing it; the fair share is per unit weight.
         let mut weight_on: Vec<f64> = vec![0.0; n_res];
-        let ids: Vec<FlowId> = self.active.keys().copied().collect();
-        for id in &ids {
-            let w = self.active[id].flow.spec.weight;
-            for r in &self.active[id].resources {
-                weight_on[r.0] += w;
+        for (i, path) in paths.iter().enumerate() {
+            for r in *path {
+                weight_on[r.0] += weight[i];
             }
         }
-        let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
-        let mut unfrozen: Vec<FlowId> = ids.clone();
-        while !unfrozen.is_empty() {
+        // CSR of region-flow indices per resource, ascending by flow id —
+        // the same order `flows_on` iterates, without any tree walks or
+        // searches in the fill loop below.
+        let mut start = vec![0u32; n_res + 1];
+        for path in paths {
+            for r in *path {
+                start[r.0 + 1] += 1;
+            }
+        }
+        for r in 0..n_res {
+            start[r + 1] += start[r];
+        }
+        let mut idx_on = vec![0u32; start[n_res] as usize];
+        let mut cursor = start.clone();
+        for (i, path) in paths.iter().enumerate() {
+            for r in *path {
+                idx_on[cursor[r.0] as usize] = i as u32;
+                cursor[r.0] += 1;
+            }
+        }
+        while n_unfrozen > 0 {
             // Find the tightest resource: min cap_left / weight_on.
             let mut bottleneck: Option<(usize, f64)> = None;
-            for r in 0..n_res {
+            for &r in res_list {
                 if weight_on[r] <= 0.0 {
                     continue;
                 }
@@ -485,65 +907,65 @@ impl FlowSimulator {
             }
             let Some((bott, fair)) = bottleneck else {
                 // Remaining flows traverse no resources (can't happen for
-                // non-empty paths) — give them infinite rate guard of 0.
-                for id in unfrozen.drain(..) {
-                    frozen.insert(id, 0.0);
-                }
+                // non-empty paths) — their rates stay 0.0.
                 break;
             };
             // Freeze every unfrozen flow crossing the bottleneck at its
-            // weighted share of the bottleneck's fair rate.
-            let mut still = Vec::with_capacity(unfrozen.len());
-            for id in unfrozen.drain(..) {
-                let crosses = self.active[&id].resources.iter().any(|r| r.0 == bott);
-                if crosses {
-                    let w = self.active[&id].flow.spec.weight;
-                    let rate = fair * w;
-                    frozen.insert(id, rate);
-                    for r in &self.active[&id].resources {
-                        cap_left[r.0] = (cap_left[r.0] - rate).max(0.0);
-                        weight_on[r.0] -= w;
-                    }
-                } else {
-                    still.push(id);
+            // weighted share of the bottleneck's fair rate. The inverted
+            // index yields exactly those flows in ascending id order, so
+            // the fill never rescans flows the bottleneck doesn't touch.
+            let mut froze_any = false;
+            for &fi in &idx_on[start[bott] as usize..start[bott + 1] as usize] {
+                let i = fi as usize;
+                if frozen[i] {
+                    continue;
+                }
+                let w = weight[i];
+                let rate = fair * w;
+                rates[i] = rate;
+                frozen[i] = true;
+                froze_any = true;
+                n_unfrozen -= 1;
+                for r in paths[i] {
+                    cap_left[r.0] = (cap_left[r.0] - rate).max(0.0);
+                    weight_on[r.0] -= w;
                 }
             }
-            unfrozen = still;
-        }
-        for (id, rate) in frozen {
-            if let Some(af) = self.active.get_mut(&id) {
-                af.flow.rate_bps = rate;
+            if !froze_any {
+                // Float residue left phantom weight on a resource whose
+                // flows are all frozen; retire it so the fill terminates.
+                weight_on[bott] = 0.0;
             }
         }
+        rates
     }
 
-    fn recompute_equal_share(&mut self) {
+    /// Equal split per resource, minimum along the path, restricted to
+    /// the region (counts come from the inverted index). Returns rates
+    /// index-aligned with the region flow table.
+    fn solve_equal_share(&self, paths: &[&[ResourceId]], res_list: &[usize]) -> Vec<f64> {
         let n_res = self.resource_capacity.len();
-        let mut flows_on: Vec<u32> = vec![0; n_res];
-        for af in self.active.values() {
-            for r in &af.resources {
-                flows_on[r.0] += 1;
+        let mut shares = vec![f64::INFINITY; n_res];
+        for &r in res_list {
+            let n = self.flows_on[r].len();
+            if n > 0 {
+                shares[r] = self.resource_capacity[r] / n as f64;
             }
         }
-        let shares: Vec<f64> = (0..n_res)
-            .map(|r| {
-                if flows_on[r] == 0 {
-                    f64::INFINITY
+        paths
+            .iter()
+            .map(|path| {
+                let rate = path
+                    .iter()
+                    .map(|r| shares[r.0])
+                    .fold(f64::INFINITY, f64::min);
+                if rate.is_finite() {
+                    rate
                 } else {
-                    self.resource_capacity[r] / f64::from(flows_on[r])
+                    0.0
                 }
             })
-            .collect();
-        for af in self.active.values_mut() {
-            af.flow.rate_bps = af
-                .resources
-                .iter()
-                .map(|r| shares[r.0])
-                .fold(f64::INFINITY, f64::min);
-            if !af.flow.rate_bps.is_finite() {
-                af.flow.rate_bps = 0.0;
-            }
-        }
+            .collect()
     }
 }
 
@@ -551,7 +973,7 @@ impl FlowSimulator {
 mod tests {
     use super::*;
     use crate::topology::DeviceId;
-    use picloud_simcore::units::Bytes;
+    use picloud_simcore::units::{Bandwidth, Bytes};
 
     fn two_hosts() -> (Topology, DeviceId, DeviceId) {
         let topo = Topology::multi_root_tree(2, 1, 1);
@@ -831,6 +1253,248 @@ mod tests {
         // at t=1.5.
         assert!((end.as_secs_f64() - 1.5).abs() < 0.01, "end {end}");
         assert_eq!(s.completed().len(), 2);
+    }
+
+    #[test]
+    fn batch_injection_equals_sequential() {
+        // A same-instant burst through inject_batch must leave the exact
+        // same state as one-by-one injection: ids, rates, utilisation and
+        // final completions, bit for bit.
+        let topo = Topology::multi_root_tree(2, 4, 2);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let specs: Vec<FlowSpec> = (0..6)
+            .map(|i| {
+                FlowSpec::new(
+                    hosts[i],
+                    hosts[(i + 3) % hosts.len()],
+                    Bytes::mib(1 + i as u64),
+                )
+            })
+            .collect();
+        let mut one = sim(Topology::multi_root_tree(2, 4, 2));
+        for spec in specs.clone() {
+            one.inject(spec, secs(0.25)).unwrap();
+        }
+        let mut batched = sim(Topology::multi_root_tree(2, 4, 2));
+        let ids = batched.inject_batch(specs, secs(0.25)).unwrap();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(one.active_rates(), batched.active_rates());
+        for l in topo.links() {
+            assert_eq!(
+                one.direction_utilisation(l.id, true).to_bits(),
+                batched.direction_utilisation(l.id, true).to_bits()
+            );
+        }
+        one.run_to_completion();
+        batched.run_to_completion();
+        assert_eq!(one.completed(), batched.completed());
+    }
+
+    #[test]
+    fn batch_is_atomic_on_routing_failure() {
+        let mut topo = Topology::multi_root_tree(2, 1, 1);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let island = topo.add_device(crate::topology::DeviceKind::Host { rack: 9 }, "island");
+        let mut s = sim(topo);
+        let specs = vec![
+            FlowSpec::new(hosts[0], hosts[1], Bytes::mib(1)),
+            FlowSpec::new(hosts[0], island, Bytes::mib(1)),
+        ];
+        let err = s.inject_batch(specs, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, InjectError::NoRoute { .. }));
+        assert_eq!(s.active_count(), 0, "failed batch must inject nothing");
+        // The next successful inject still gets id 0: no ids were burned.
+        let id = s
+            .inject(
+                FlowSpec::new(hosts[0], hosts[1], Bytes::mib(1)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(id, FlowId(0));
+    }
+
+    #[test]
+    fn cancel_between_partial_advances_is_exact() {
+        // Cancel midway through a shared transfer: the survivor speeds up
+        // from the cancellation instant exactly.
+        let (topo, a, b) = two_hosts();
+        let mut s = sim(topo);
+        // 100 Mbit/s = 12.5 MB/s. Each flow 12.5 MB: shared => 6.25 MB/s.
+        let f1 = s
+            .inject(FlowSpec::new(a, b, Bytes::new(12_500_000)), SimTime::ZERO)
+            .unwrap();
+        let _f2 = s
+            .inject(FlowSpec::new(a, b, Bytes::new(12_500_000)), SimTime::ZERO)
+            .unwrap();
+        s.advance_to(secs(1.0));
+        let gone = s.cancel(f1).expect("still active");
+        // One second at half rate: 6.25 MB of 12.5 MB remain.
+        assert!((gone.remaining_bits - 6.25e6 * 8.0).abs() < 1.0);
+        let end = s.run_to_completion();
+        // Survivor has 6.25 MB left and now runs alone at 12.5 MB/s: +0.5 s.
+        assert!((end.as_secs_f64() - 1.5).abs() < 0.001, "end {end}");
+        assert_eq!(s.completed().len(), 1);
+    }
+
+    #[test]
+    fn reinjection_after_total_drain() {
+        let (topo, a, b) = two_hosts();
+        let mut s = sim(topo);
+        s.inject(FlowSpec::new(a, b, Bytes::mib(1)), SimTime::ZERO)
+            .unwrap();
+        s.run_to_completion();
+        let drained = s.drain_completed();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(s.completed().len(), 0);
+        assert_eq!(s.completed_total(), 1);
+        // The fabric is idle and drained; a second generation of flows
+        // must behave exactly like the first (index fully unhooked).
+        let start = s.now();
+        let id = s.inject(FlowSpec::new(a, b, Bytes::mib(1)), start).unwrap();
+        assert_eq!(id, FlowId(1));
+        let end = s.run_to_completion();
+        let expect = 8.0 * 1024.0 * 1024.0 / 100e6;
+        assert!(
+            (end.duration_since(start).as_secs_f64() - expect).abs() < 0.001,
+            "second generation FCT"
+        );
+        assert_eq!(s.completed().len(), 1);
+        assert_eq!(s.completed_total(), 2);
+    }
+
+    #[test]
+    fn weighted_flows_on_zero_capacity_link_are_starved() {
+        let mut topo = Topology::new("dead-link");
+        let a = topo.add_device(crate::topology::DeviceKind::Host { rack: 0 }, "a");
+        let b = topo.add_device(crate::topology::DeviceKind::Host { rack: 0 }, "b");
+        topo.add_link(a, b, Bandwidth::ZERO, SimDuration::from_nanos(100));
+        let mut s = sim(topo);
+        s.inject(
+            FlowSpec::new(a, b, Bytes::mib(1)).with_weight(2.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        s.inject(
+            FlowSpec::new(a, b, Bytes::mib(1)).with_weight(0.5),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Both flows are routed but starved: no completion instant exists,
+        // time passes without progress, and cancel still unwinds cleanly.
+        assert_eq!(s.next_completion_time(), None);
+        s.advance_to(secs(5.0));
+        assert_eq!(s.active_count(), 2);
+        for (_, rate) in s.active_rates() {
+            assert_eq!(rate, 0.0);
+        }
+        let gone = s.cancel(FlowId(0)).expect("still active");
+        assert_eq!(gone.remaining_bits, 1024.0 * 1024.0 * 8.0);
+        assert_eq!(s.active_count(), 1);
+    }
+
+    #[test]
+    fn cross_allocator_runs_are_byte_identical() {
+        // The same schedule replayed twice under each allocator must
+        // produce identical state — rates, completions and utilisation —
+        // down to the last bit (the determinism doctrine).
+        let run = |alloc: RateAllocator| {
+            let topo = Topology::multi_root_tree(2, 4, 2);
+            let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+            let mut s = FlowSimulator::new(topo, RoutingPolicy::Ecmp { max_paths: 4 }, alloc);
+            for i in 0..8u64 {
+                let src = hosts[(i as usize) % hosts.len()];
+                let dst = hosts[(i as usize * 5 + 2) % hosts.len()];
+                if src != dst {
+                    s.inject(
+                        FlowSpec::new(src, dst, Bytes::kib(64 + 17 * i)),
+                        secs(0.01 * i as f64),
+                    )
+                    .unwrap();
+                }
+            }
+            s.cancel(FlowId(2));
+            s.run_to_completion();
+            format!("{:?} {:?}", s.completed(), s.active_rates())
+        };
+        assert_eq!(run(RateAllocator::MaxMin), run(RateAllocator::MaxMin));
+        assert_eq!(
+            run(RateAllocator::EqualShare),
+            run(RateAllocator::EqualShare)
+        );
+    }
+
+    #[test]
+    fn incremental_matches_full_oracle_on_disjoint_components() {
+        // Two rack-local flows never share a resource with a cross-rack
+        // pair; the incremental solver must still agree with the oracle
+        // at every step.
+        let build = |mode: RecomputeMode| {
+            let topo = Topology::multi_root_tree(2, 4, 2);
+            let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+            let mut s = sim(topo);
+            s.set_recompute_mode(mode);
+            s.inject(
+                FlowSpec::new(hosts[0], hosts[1], Bytes::mib(3)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            s.inject(
+                FlowSpec::new(hosts[4], hosts[5], Bytes::mib(2)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            s.inject(FlowSpec::new(hosts[1], hosts[6], Bytes::mib(5)), secs(0.05))
+                .unwrap();
+            s.advance_to(secs(0.1));
+            let mid = s.active_rates();
+            s.run_to_completion();
+            (mid, format!("{:?}", s.completed()))
+        };
+        let (inc_mid, inc_done) = build(RecomputeMode::Incremental);
+        let (full_mid, full_done) = build(RecomputeMode::Full);
+        assert_eq!(inc_mid, full_mid);
+        assert_eq!(inc_done, full_done);
+    }
+
+    #[test]
+    fn telemetry_counter_survives_drain() {
+        // Regression: the completed-flows counter used to subtract the
+        // drainable buffer length and underflowed after drain_completed().
+        use picloud_simcore::telemetry::MetricsRegistry;
+        let (topo, a, b) = two_hosts();
+        let mut s = sim(topo);
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        s.inject(FlowSpec::new(a, b, Bytes::ZERO), SimTime::ZERO)
+            .unwrap();
+        s.record_telemetry(&mut reg);
+        s.drain_completed();
+        s.inject(FlowSpec::new(a, b, Bytes::ZERO), SimTime::ZERO)
+            .unwrap();
+        s.record_telemetry(&mut reg);
+        assert_eq!(reg.counter("network_completed_flows_total", &[]).value(), 2);
+    }
+
+    #[test]
+    fn completion_heap_compacts_stale_entries() {
+        // Repeated cancels re-rate the survivor over and over; the heap
+        // must not grow without bound.
+        let (topo, a, b) = two_hosts();
+        let mut s = sim(topo);
+        s.inject(FlowSpec::new(a, b, Bytes::mib(100)), SimTime::ZERO)
+            .unwrap();
+        for _ in 0..400 {
+            let id = s
+                .inject(FlowSpec::new(a, b, Bytes::mib(1)), s.now())
+                .unwrap();
+            s.cancel(id);
+        }
+        assert!(
+            s.completions.len() <= 2 * s.active.len() + 64,
+            "heap grew to {} entries",
+            s.completions.len()
+        );
+        s.run_to_completion();
+        assert_eq!(s.completed().len(), 1);
     }
 
     fn secs(s: f64) -> SimTime {

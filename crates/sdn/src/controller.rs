@@ -209,6 +209,34 @@ impl SdnController {
             .expect("SDN fabric must be connected")
     }
 
+    /// Routes a same-instant burst of flows, returning one outcome per
+    /// pair in input order. Repeated `(src, dst)` pairs within the burst
+    /// reuse the path computed for their first occurrence instead of
+    /// re-running the graph search — the flow-table walk still happens,
+    /// so switch hit/miss counters and rule state match a sequence of
+    /// [`SdnController::route`] calls exactly (path selection is
+    /// deterministic, so the reused path is the one the search would
+    /// have found).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair has no surviving path — partitioned fabrics
+    /// must be probed pair-by-pair with [`SdnController::try_route`].
+    pub fn route_batch(&mut self, pairs: &[(DeviceId, DeviceId)]) -> Vec<RouteOutcome> {
+        let mut seen_paths: BTreeMap<(DeviceId, DeviceId), Vec<LinkId>> = BTreeMap::new();
+        pairs
+            .iter()
+            .map(|&(src, dst)| {
+                if let Some(path) = seen_paths.get(&(src, dst)) {
+                    return self.route_on_path(src, dst, path.clone());
+                }
+                let out = self.route(src, dst);
+                seen_paths.insert((src, dst), out.path.clone());
+                out
+            })
+            .collect()
+    }
+
     /// [`SdnController::try_route`], additionally recording the route as
     /// an `sdn_route` span under `parent`. A table miss gets the
     /// control-plane round trip as children: `packet_in` (punt to the
@@ -397,6 +425,27 @@ mod tests {
         assert_eq!(second.setup_latency, SimDuration::ZERO);
         assert_eq!(second.rules_installed, 0);
         assert_eq!(first.path, second.path);
+    }
+
+    #[test]
+    fn route_batch_matches_sequential_routes() {
+        let (topo, hosts) = paper_fabric();
+        let pairs = [
+            (hosts[0], hosts[55]),
+            (hosts[0], hosts[55]), // duplicate in-burst: packet-in suppressed
+            (hosts[3], hosts[20]),
+            (hosts[55], hosts[0]), // reverse direction is a distinct flow
+        ];
+        let mut batched =
+            SdnController::new(Topology::multi_root_tree(4, 14, 2), InstallMode::Reactive);
+        let outs = batched.route_batch(&pairs);
+        let mut sequential = SdnController::new(topo, InstallMode::Reactive);
+        let expected: Vec<RouteOutcome> =
+            pairs.iter().map(|&(s, d)| sequential.route(s, d)).collect();
+        assert_eq!(outs, expected);
+        assert!(outs[1].cache_hit, "in-burst repeat must be a table hit");
+        assert_eq!(outs[1].rules_installed, 0);
+        assert_eq!(batched.total_rules(), sequential.total_rules());
     }
 
     #[test]

@@ -218,6 +218,15 @@ impl<W> Engine<W> {
         self.queue.len()
     }
 
+    /// Number of queued events that will actually fire — [`Engine::queued_len`]
+    /// minus the cancelled events awaiting lazy removal.
+    pub fn queued_live_len(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|ev| !self.cancelled.contains(&ev.seq))
+            .count()
+    }
+
     /// Schedules `action` at the absolute instant `at`.
     ///
     /// # Panics
@@ -254,6 +263,27 @@ impl<W> Engine<W> {
     /// cancelled.
     pub fn cancel(&mut self, id: EventId) {
         self.cancelled.insert(id.0);
+        self.maybe_compact();
+    }
+
+    /// Purges cancelled events from the queue once the cancelled set
+    /// outgrows the (lower bound on the) live queue. Cancellation is lazy
+    /// — normally a cancelled event is dropped when it reaches the head —
+    /// but cancel-heavy fault timelines would otherwise hold dead boxed
+    /// closures for the whole run. Clearing the cancelled set afterwards
+    /// is sound: any id it held that was not in the queue belongs to an
+    /// event that already fired and can never be enqueued again.
+    fn maybe_compact(&mut self) {
+        if 2 * self.cancelled.len() <= self.queue.len() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.queue);
+        let live: Vec<ScheduledEvent<W>> = queue
+            .into_iter()
+            .filter(|ev| !self.cancelled.contains(&ev.seq))
+            .collect();
+        self.queue = BinaryHeap::from(live);
+        self.cancelled.clear();
     }
 
     /// Fires the single earliest pending event, advancing the clock to it.
@@ -281,8 +311,12 @@ impl<W> Engine<W> {
             for ev in ctx.pending {
                 self.queue.push(ev);
             }
+            let cancelled_any = !ctx.cancelled.is_empty();
             for id in ctx.cancelled {
                 self.cancelled.insert(id.0);
+            }
+            if cancelled_any {
+                self.maybe_compact();
             }
             self.events_fired += 1;
             if ctx.stop_requested {
@@ -441,6 +475,70 @@ mod tests {
         engine.schedule_at(SimTime::from_secs(5), |_, _| {});
         engine.run();
         engine.schedule_at(SimTime::from_secs(1), |_, _| {});
+    }
+
+    #[test]
+    fn queued_live_len_excludes_cancelled() {
+        let mut engine = Engine::new(0u32);
+        let mut ids = Vec::new();
+        for s in 1..=10u64 {
+            ids.push(engine.schedule_at(SimTime::from_secs(s), |w: &mut u32, _| *w += 1));
+        }
+        assert_eq!(engine.queued_len(), 10);
+        assert_eq!(engine.queued_live_len(), 10);
+        engine.cancel(ids[0]);
+        engine.cancel(ids[1]);
+        assert_eq!(engine.queued_live_len(), 8);
+        assert_eq!(engine.queued_len() - engine.queued_live_len(), {
+            // Compaction may already have swept the dead entries out.
+            engine.queued_len() - 8
+        });
+        engine.run();
+        assert_eq!(*engine.world(), 8);
+        assert_eq!(engine.queued_live_len(), 0);
+    }
+
+    #[test]
+    fn cancel_heavy_run_compacts_the_queue() {
+        // Cancel most of a large queue: the dead boxed closures must be
+        // purged well before the clock reaches them, not held for the run.
+        let mut engine = Engine::new(0u64);
+        let mut ids = Vec::new();
+        for s in 0..1000u64 {
+            ids.push(engine.schedule_at(SimTime::from_secs(s + 1), |w: &mut u64, _| *w += 1));
+        }
+        for id in ids.iter().skip(100) {
+            engine.cancel(*id);
+        }
+        assert!(
+            engine.queued_len() <= 2 * engine.queued_live_len(),
+            "queue still holds {} entries for {} live events",
+            engine.queued_len(),
+            engine.queued_live_len()
+        );
+        assert_eq!(engine.queued_live_len(), 100);
+        let fired = engine.run();
+        assert_eq!(fired, 100);
+        assert_eq!(*engine.world(), 100);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_late_cancels() {
+        // Survivors fire in their original order after a compaction, and
+        // cancelling post-compaction still works.
+        let mut engine = Engine::new(Vec::<u64>::new());
+        let mut ids = Vec::new();
+        for s in 1..=50u64 {
+            ids.push(
+                engine.schedule_at(SimTime::from_secs(s), move |w: &mut Vec<u64>, _| w.push(s)),
+            );
+        }
+        for id in ids.iter().take(40) {
+            engine.cancel(*id);
+        }
+        engine.cancel(ids[44]); // cancel after the sweep
+        engine.run();
+        assert_eq!(engine.world(), &[41, 42, 43, 44, 46, 47, 48, 49, 50]);
     }
 
     #[test]

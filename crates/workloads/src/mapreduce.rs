@@ -271,11 +271,11 @@ impl MapReducePlan {
         let locality = intra_rack as f64 / total.max(1) as f64;
         let network_flows = flows.len();
         let completed_before = sim.completed().len();
-        for f in flows {
-            sim.inject(f, shuffle_start)
-                // lint: allow(P1) reason=shuffle endpoints are hosts of one connected topology built above
-                .expect("shuffle flow must be routable");
-        }
+        // The whole shuffle wave lands at one instant: batch it so the
+        // fabric recomputes rates once, not once per transfer.
+        sim.inject_batch(flows, shuffle_start)
+            // lint: allow(P1) reason=shuffle endpoints are hosts of one connected topology built above
+            .expect("shuffle flow must be routable");
         let shuffle_end = sim.run_to_completion();
         let shuffle_time = shuffle_end.saturating_duration_since(shuffle_start);
         let reduce_time = self.reduce_time(clock, storage);

@@ -16,7 +16,8 @@
 //!
 //! Generation is a pure function of `(pattern, topology, seed)`.
 
-use picloud_network::flow::FlowSpec;
+use picloud_network::flow::{FlowId, FlowSpec};
+use picloud_network::flowsim::{FlowSimulator, InjectError};
 use picloud_network::topology::{DeviceId, Topology};
 use picloud_simcore::units::Bytes;
 use picloud_simcore::{SeedFactory, SimDuration, SimTime};
@@ -214,6 +215,28 @@ impl TrafficWorkload {
         self.events.iter().map(|(_, f)| f.size).sum()
     }
 
+    /// Replays the whole schedule onto `sim`, coalescing same-instant
+    /// arrivals into one batched injection per burst
+    /// ([`FlowSimulator::inject_batch`]) — one rate recomputation per
+    /// burst instead of one per flow. Returns the injected flow ids in
+    /// schedule order.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] from the first unroutable burst; earlier bursts
+    /// stay injected (time cannot be rewound).
+    pub fn replay_on(&self, sim: &mut FlowSimulator) -> Result<Vec<FlowId>, InjectError> {
+        let mut ids = Vec::with_capacity(self.events.len());
+        let mut burst = &self.events[..];
+        while let Some((at, _)) = burst.first() {
+            let n = burst.iter().take_while(|(t, _)| t == at).count();
+            let specs: Vec<FlowSpec> = burst.iter().take(n).map(|(_, s)| s.clone()).collect();
+            ids.extend(sim.inject_batch(specs, *at)?);
+            burst = &burst[n..];
+        }
+        Ok(ids)
+    }
+
     /// Fraction of flows that stay within one rack on `topo`.
     pub fn measured_locality(&self, topo: &Topology) -> f64 {
         if self.events.is_empty() {
@@ -320,6 +343,33 @@ mod tests {
         let w = gen(&TrafficPattern::measured_dc(), 6);
         let manual: u64 = w.events().iter().map(|(_, f)| f.size.as_u64()).sum();
         assert_eq!(w.total_bytes().as_u64(), manual);
+    }
+
+    #[test]
+    fn replay_on_matches_per_flow_injection() {
+        use picloud_network::flowsim::{FlowSimulator, RateAllocator};
+        use picloud_network::routing::RoutingPolicy;
+        let p = TrafficPattern::measured_dc();
+        let small = Topology::multi_root_tree(2, 4, 2);
+        let w = p.generate(&small, SimDuration::from_secs(5), &SeedFactory::new(11));
+        assert!(!w.is_empty());
+        let mk = || {
+            FlowSimulator::new(
+                Topology::multi_root_tree(2, 4, 2),
+                RoutingPolicy::SingleShortest,
+                RateAllocator::MaxMin,
+            )
+        };
+        let mut batched = mk();
+        let ids = w.replay_on(&mut batched).unwrap();
+        assert_eq!(ids.len(), w.len());
+        let mut sequential = mk();
+        for (at, spec) in w.events() {
+            sequential.inject(spec.clone(), *at).unwrap();
+        }
+        batched.run_to_completion();
+        sequential.run_to_completion();
+        assert_eq!(batched.completed(), sequential.completed());
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Oracle equivalence for the incremental fabric solver.
+//!
+//! The `FlowSimulator` defaults to [`RecomputeMode::Incremental`]: each
+//! inject / completion / cancel re-solves only the dirty region (the
+//! changed flow's resources plus the transitive closure of flows sharing
+//! them). The from-scratch solver is retained as
+//! [`RecomputeMode::Full`] — the oracle. This test drives both modes in
+//! lockstep through seeded random heavy-tailed workloads (bounded-Pareto
+//! sizes, mixed weights, batched bursts, cancels, partial advances) on
+//! the multi-root-tree and fat-tree fabrics, and requires **bit-for-bit**
+//! agreement at every recomputation point: allocated rates, completion
+//! records, per-link byte accounting and utilisation integrals.
+
+use picloud_network::flow::{FlowId, FlowSpec};
+use picloud_network::flowsim::{FlowSimulator, RateAllocator, RecomputeMode};
+use picloud_network::routing::RoutingPolicy;
+use picloud_network::topology::{DeviceId, Topology};
+use picloud_simcore::units::Bytes;
+use picloud_simcore::SimDuration;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Bounded-Pareto flow size on [64 KiB, 16 MiB] with tail index 1.2 —
+/// the measurement-calibrated mix (Benson et al.; VL2).
+fn pareto_size(rng: &mut ChaCha12Rng) -> Bytes {
+    let l = 64.0f64 * 1024.0;
+    let h = 16.0f64 * 1024.0 * 1024.0;
+    let a = 1.2f64;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let x = l * (1.0 - u * (1.0 - (l / h).powf(a))).powf(-1.0 / a);
+    Bytes::new(x.clamp(l, h) as u64)
+}
+
+fn random_spec(rng: &mut ChaCha12Rng, hosts: &[DeviceId]) -> FlowSpec {
+    let src = hosts[rng.gen_range(0..hosts.len())];
+    let mut dst = hosts[rng.gen_range(0..hosts.len())];
+    while dst == src {
+        dst = hosts[rng.gen_range(0..hosts.len())];
+    }
+    let weight = match rng.gen_range(0..4u32) {
+        0 => 0.25,
+        1 => 2.0,
+        _ => 1.0,
+    };
+    FlowSpec::new(src, dst, pareto_size(rng)).with_weight(weight)
+}
+
+/// Asserts every externally observable quantity matches bit-for-bit.
+fn assert_state_equal(inc: &FlowSimulator, full: &FlowSimulator, ctx: &str) {
+    assert_eq!(inc.now(), full.now(), "{ctx}: clocks diverged");
+    assert_eq!(inc.active_count(), full.active_count(), "{ctx}: active set");
+    let (ir, fr) = (inc.active_rates(), full.active_rates());
+    for ((ia, ib), (fa, fb)) in ir.iter().zip(fr.iter()) {
+        assert_eq!(ia, fa, "{ctx}: flow id order");
+        assert_eq!(
+            ib.to_bits(),
+            fb.to_bits(),
+            "{ctx}: rate of {ia:?} diverged ({ib} vs {fb})"
+        );
+    }
+    assert_eq!(inc.completed(), full.completed(), "{ctx}: completions");
+    assert_eq!(inc.completed_total(), full.completed_total(), "{ctx}");
+    for l in inc.topology().links() {
+        for fwd in [true, false] {
+            assert_eq!(
+                inc.direction_utilisation(l.id, fwd).to_bits(),
+                full.direction_utilisation(l.id, fwd).to_bits(),
+                "{ctx}: instantaneous utilisation of {:?}/{fwd}",
+                l.id
+            );
+        }
+        assert_eq!(
+            inc.mean_link_utilisation(l.id).to_bits(),
+            full.mean_link_utilisation(l.id).to_bits(),
+            "{ctx}: mean utilisation of {:?}",
+            l.id
+        );
+        assert_eq!(
+            inc.link_bytes_carried(l.id).to_bits(),
+            full.link_bytes_carried(l.id).to_bits(),
+            "{ctx}: bytes carried over {:?}",
+            l.id
+        );
+        assert_eq!(
+            inc.link_active_flows(l.id),
+            full.link_active_flows(l.id),
+            "{ctx}: active flows on {:?}",
+            l.id
+        );
+    }
+}
+
+/// Drives one seeded workload through both recompute modes in lockstep.
+fn run_workload(topo_of: impl Fn() -> Topology, seed: u64) {
+    let allocator = if seed.is_multiple_of(4) {
+        RateAllocator::EqualShare
+    } else {
+        RateAllocator::MaxMin
+    };
+    let policy = if seed.is_multiple_of(2) {
+        RoutingPolicy::SingleShortest
+    } else {
+        RoutingPolicy::Ecmp { max_paths: 4 }
+    };
+    let mut inc = FlowSimulator::new(topo_of(), policy, allocator);
+    inc.set_recompute_mode(RecomputeMode::Incremental);
+    let mut full = FlowSimulator::new(topo_of(), policy, allocator);
+    full.set_recompute_mode(RecomputeMode::Full);
+    let hosts: Vec<DeviceId> = inc.topology().hosts().map(|h| h.id).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut live: Vec<FlowId> = Vec::new();
+
+    for op in 0..30 {
+        let ctx = format!("seed {seed} op {op} ({allocator:?})");
+        match rng.gen_range(0..10u32) {
+            // Single inject at the current instant.
+            0..=3 => {
+                let spec = random_spec(&mut rng, &hosts);
+                let at = inc.now();
+                let a = inc.inject(spec.clone(), at).expect("connected fabric");
+                let b = full.inject(spec, at).expect("connected fabric");
+                assert_eq!(a, b, "{ctx}: ids");
+                live.push(a);
+            }
+            // Same-instant burst through inject_batch.
+            4..=5 => {
+                let n = rng.gen_range(2..6usize);
+                let specs: Vec<FlowSpec> = (0..n).map(|_| random_spec(&mut rng, &hosts)).collect();
+                let at = inc.now();
+                let a = inc.inject_batch(specs.clone(), at).expect("connected");
+                let b = full.inject_batch(specs, at).expect("connected");
+                assert_eq!(a, b, "{ctx}: batch ids");
+                live.extend(a);
+            }
+            // Cancel a random still-known flow (possibly already done —
+            // both sims must agree on that too).
+            6..=7 => {
+                if !live.is_empty() {
+                    let id = live.swap_remove(rng.gen_range(0..live.len()));
+                    let a = inc.cancel(id);
+                    let b = full.cancel(id);
+                    assert_eq!(a, b, "{ctx}: cancel result");
+                }
+            }
+            // Advance through a random window, harvesting completions.
+            _ => {
+                let dt = SimDuration::from_nanos(rng.gen_range(1_000_000..80_000_000));
+                let to = inc.now() + dt;
+                inc.advance_to(to);
+                full.advance_to(to);
+            }
+        }
+        assert_state_equal(&inc, &full, &ctx);
+    }
+
+    // Drain both fabrics completely and compare the final records.
+    if inc.active_count() > 0 {
+        let end_inc = inc.run_to_completion();
+        let end_full = full.run_to_completion();
+        assert_eq!(end_inc, end_full, "seed {seed}: final clock");
+    }
+    assert_state_equal(&inc, &full, &format!("seed {seed} final"));
+    assert!(
+        inc.completed_total() > 0,
+        "seed {seed}: workload exercised nothing"
+    );
+}
+
+#[test]
+fn incremental_solver_matches_oracle_on_multi_root_tree() {
+    for seed in 0..60u64 {
+        run_workload(|| Topology::multi_root_tree(3, 4, 2), seed);
+    }
+}
+
+#[test]
+fn incremental_solver_matches_oracle_on_fat_tree() {
+    for seed in 100..160u64 {
+        run_workload(|| Topology::fat_tree(4), seed);
+    }
+}
+
+#[test]
+fn incremental_solver_matches_oracle_under_sustained_churn() {
+    // One long-lived fabric with continuous arrivals and departures: the
+    // dirty-region closure is exercised against deep sharing chains.
+    let mut inc = FlowSimulator::new(
+        Topology::multi_root_tree(4, 14, 2),
+        RoutingPolicy::Ecmp { max_paths: 4 },
+        RateAllocator::MaxMin,
+    );
+    let mut full = FlowSimulator::new(
+        Topology::multi_root_tree(4, 14, 2),
+        RoutingPolicy::Ecmp { max_paths: 4 },
+        RateAllocator::MaxMin,
+    );
+    full.set_recompute_mode(RecomputeMode::Full);
+    let hosts: Vec<DeviceId> = inc.topology().hosts().map(|h| h.id).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(777);
+    for round in 0..40 {
+        let specs: Vec<FlowSpec> = (0..4).map(|_| random_spec(&mut rng, &hosts)).collect();
+        let at = inc.now();
+        inc.inject_batch(specs.clone(), at).expect("connected");
+        full.inject_batch(specs, at).expect("connected");
+        let to = at + SimDuration::from_nanos(rng.gen_range(5_000_000..50_000_000));
+        inc.advance_to(to);
+        full.advance_to(to);
+        assert_state_equal(&inc, &full, &format!("churn round {round}"));
+    }
+    inc.run_to_completion();
+    full.run_to_completion();
+    assert_state_equal(&inc, &full, "churn final");
+}
