@@ -1,0 +1,75 @@
+//! Chaos harness cost: what one seeded adversarial schedule costs to
+//! generate, run with the invariant registry armed, and shrink — the
+//! unit of work the `chaos-smoke` CI job and `picloud-cli chaos` repeat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picloud::chaos::{
+    chaos_config_e17, domain_tree, run_chaos_schedule, shrink_schedule, Sabotage,
+};
+use picloud_bench::{print_once, quick_criterion};
+use picloud_faults::{ChaosProfile, ChaosSchedule};
+use std::hint::black_box;
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let tree = domain_tree();
+    let config = chaos_config_e17();
+    let profile = ChaosProfile::standard();
+    let schedule = ChaosSchedule::generate(7, &tree, &profile);
+    print_once(
+        "Chaos harness — schedule generation, invariant-checked run, shrink",
+        &format!(
+            "standard profile: {} events over {}, heals all: {}",
+            schedule.timeline.len(),
+            schedule.horizon,
+            schedule.heals_all,
+        ),
+        &BANNER,
+    );
+    c.bench_function("chaos/generate_schedule", |b| {
+        b.iter(|| black_box(ChaosSchedule::generate(7, &tree, &profile)))
+    });
+    // A full 600 s adversarial run with every safety invariant checked
+    // after every event, sweep and landing.
+    c.bench_function("chaos/run_schedule_invariants_armed", |b| {
+        b.iter(|| black_box(run_chaos_schedule(&config, &schedule, Sabotage::None)))
+    });
+    c.bench_function("chaos/json_roundtrip", |b| {
+        b.iter(|| {
+            let json = schedule.to_json();
+            black_box(ChaosSchedule::from_json(&json).expect("round-trips"))
+        })
+    });
+    // Shrinking a violating schedule: hunt a dense schedule that corners
+    // the blind-placement sabotage, then ddmin it to 1-minimal.
+    let aggressive = ChaosProfile {
+        pairs: 48,
+        ..ChaosProfile::standard()
+    };
+    let violating = (0..64)
+        .map(|seed| ChaosSchedule::generate(seed, &tree, &aggressive))
+        .find(|s| {
+            run_chaos_schedule(&config, s, Sabotage::BlindPlacement)
+                .violation
+                .is_some()
+        })
+        .expect("blind placement violates within 64 seeds");
+    c.bench_function("chaos/shrink_to_minimal", |b| {
+        b.iter(|| {
+            black_box(shrink_schedule(
+                &config,
+                &violating,
+                Sabotage::BlindPlacement,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

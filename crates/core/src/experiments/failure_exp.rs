@@ -64,9 +64,15 @@ impl FailureExperiment {
             RateAllocator::MaxMin,
         );
         for _ in 0..100 {
-            let src = *hosts.choose(&mut rng).expect("hosts exist");
+            // Every scenario topology has hosts; the let-else keeps the
+            // pair-picking panic-free if a future scenario has none.
+            let Some(&src) = hosts.choose(&mut rng) else {
+                break;
+            };
             let dst = loop {
-                let d = *hosts.choose(&mut rng).expect("hosts exist");
+                let Some(&d) = hosts.choose(&mut rng) else {
+                    break src;
+                };
                 if d != src {
                     break d;
                 }
@@ -106,7 +112,9 @@ impl FailureExperiment {
         // Root loss, 2-root paper fabric vs 1-root variant.
         let two_roots = Topology::multi_root_tree(4, 14, 2);
         let mut mask = FailureMask::none();
-        mask.fail_device(aggregation_devices(&two_roots)[0]);
+        if let Some(&root) = aggregation_devices(&two_roots).first() {
+            mask.fail_device(root);
+        }
         scenarios.push(Self::run_scenario(
             "one root down (of 2)",
             &two_roots,
@@ -116,7 +124,9 @@ impl FailureExperiment {
 
         let one_root = Topology::multi_root_tree(4, 14, 1);
         let mut mask = FailureMask::none();
-        mask.fail_device(aggregation_devices(&one_root)[0]);
+        if let Some(&root) = aggregation_devices(&one_root).first() {
+            mask.fail_device(root);
+        }
         scenarios.push(Self::run_scenario(
             "the only root down",
             &one_root,

@@ -51,7 +51,11 @@ fn binomial_tail(n: u64, p: f64, k: u64) -> f64 {
     }
     // Iterative pmf to avoid factorials.
     let q = 1.0 - p;
-    let mut pmf = q.powi(i32::try_from(n).expect("small n")); // P(X=0)
+    let Ok(exponent) = i32::try_from(n) else {
+        // n beyond i32: P(X=0) underflows to zero and the tail is ~1.
+        return 1.0;
+    };
+    let mut pmf = q.powi(exponent); // P(X=0)
     let mut cdf = pmf;
     for i in 1..=k {
         pmf *= (n - i + 1) as f64 / i as f64 * (p / q);

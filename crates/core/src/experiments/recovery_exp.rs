@@ -1,15 +1,19 @@
 //! **E17 — failure recovery** (self-healing under seeded churn).
 //!
-//! An hour and a half of accelerated churn — node crashes, link flaps
-//! and daemon hangs drawn from seeded MTBF/MTTR distributions — hits the
-//! paper fabric while the heartbeat detector and recovery controller of
-//! [`crate::recovery`] keep the container fleet alive. The report is the
+//! An hour and a half of accelerated churn hits the paper fabric while
+//! the heartbeat detector and recovery controller of [`crate::recovery`]
+//! keep the container fleet alive. The schedule is layered: independent
+//! node crashes, link flaps and daemon hangs from per-member MTBF/MTTR
+//! draws, *plus* correlated domain events (rack PSU losses, ToR switch
+//! outages, partial partitions) fanned out over the [`DomainTree`], plus
+//! gray faults (SD-card degradation, lossy access links, thermal
+//! throttling) that degrade rather than kill. The report is the
 //! operator's scorecard: MTTD, MTTR, downtime, lost requests, fleet
 //! availability and what the churn cost the fabric and the RPC plane.
 
 use crate::recovery::{run_recovery, run_recovery_with_telemetry, RecoveryConfig, RecoveryReport};
 use crate::report::TextTable;
-use picloud_faults::{ChurnConfig, FaultTimeline};
+use picloud_faults::{ChurnConfig, DomainChurnConfig, DomainTree, FaultTimeline};
 use picloud_network::topology::Topology;
 use picloud_simcore::telemetry::TelemetrySink;
 use picloud_simcore::{SeedFactory, SimDuration};
@@ -53,17 +57,24 @@ impl RecoveryExperiment {
         (RecoveryExperiment { timeline, report }, sink)
     }
 
-    /// The shared run preamble: stock control loop plus the seeded churn
-    /// timeline over the paper fabric.
+    /// The shared run preamble: stock control loop plus the layered
+    /// (independent + domain + gray) churn timeline over the paper
+    /// fabric.
     fn setup(seed: u64, horizon: SimDuration) -> (RecoveryConfig, FaultTimeline) {
         let config = RecoveryConfig::lan_default();
         let seeds = SeedFactory::new(seed).child("recovery-exp");
         // Same shape the recovery sim builds internally.
         let topo = Topology::multi_root_tree(4, 14, 2);
-        let nodes: Vec<_> = (0..56).map(picloud_hardware::node::NodeId).collect();
+        let tree = DomainTree::from_topology(&topo);
         let links: Vec<_> = topo.links().iter().map(|l| l.id).collect();
-        let timeline =
-            FaultTimeline::churn(&ChurnConfig::accelerated(), &nodes, &links, horizon, &seeds);
+        let timeline = FaultTimeline::domain_churn(
+            &ChurnConfig::accelerated(),
+            &DomainChurnConfig::accelerated(),
+            &tree,
+            &links,
+            horizon,
+            &seeds,
+        );
         (config, timeline)
     }
 }
@@ -73,12 +84,15 @@ impl fmt::Display for RecoveryExperiment {
         let r = &self.report;
         writeln!(
             f,
-            "E17: failure recovery — {} events over {} ({} crashes, {} link flaps, {} hangs)",
+            "E17: failure recovery — {} events over {} ({} crashes, {} link flaps, {} hangs, \
+             {} domain, {} gray)",
             self.timeline.len(),
             r.horizon,
             r.crashes,
             self.timeline.link_flap_count(),
-            r.daemon_hangs
+            r.daemon_hangs,
+            self.timeline.domain_event_count(),
+            self.timeline.gray_event_count()
         )?;
         let mut t = TextTable::new(vec!["metric".into(), "value".into()]);
         let opt = |d: Option<SimDuration>| d.map_or("n/a".to_owned(), |d| d.to_string());
@@ -95,6 +109,17 @@ impl fmt::Display for RecoveryExperiment {
         ]);
         t.row(vec!["containers stranded".into(), r.stranded.to_string()]);
         t.row(vec!["local restarts".into(), r.local_restarts.to_string()]);
+        t.row(vec![
+            "rack power losses".into(),
+            r.rack_power_losses.to_string(),
+        ]);
+        t.row(vec!["ToR outages".into(), r.tor_outages.to_string()]);
+        t.row(vec!["partial partitions".into(), r.partitions.to_string()]);
+        t.row(vec!["gray-fault onsets".into(), r.gray_faults.to_string()]);
+        t.row(vec![
+            "reconnects (no failover)".into(),
+            r.reconnects.to_string(),
+        ]);
         t.row(vec!["MTTD".into(), opt(r.mean_time_to_detect)]);
         t.row(vec!["MTTR".into(), opt(r.mean_time_to_restore)]);
         t.row(vec![
@@ -139,6 +164,42 @@ mod tests {
         assert!(r.rescheduled > 0, "victims must fail over");
         assert!(r.min_reachability < 1.0, "link churn must dent the fabric");
         assert!(r.rpc.timeouts > 0, "dead nodes must cost RPC timeouts");
+    }
+
+    #[test]
+    fn daemon_hangs_are_injected_and_survived() {
+        let e = exp();
+        let hangs = e
+            .timeline
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, picloud_faults::FaultKind::DaemonHang { .. }))
+            .count();
+        assert!(hangs > 0, "accelerated churn must draw daemon hangs");
+        assert_eq!(
+            e.report.daemon_hangs, hangs as u64,
+            "every injected hang reaches the RPC plane"
+        );
+        assert!(
+            e.report.false_suspicions > 0,
+            "short hangs must cost suspicions without a death verdict"
+        );
+    }
+
+    #[test]
+    fn domain_and_gray_churn_ride_along() {
+        let e = exp();
+        assert!(
+            e.timeline.domain_event_count() > 0,
+            "domain churn must draw rack/ToR/partition events"
+        );
+        assert!(
+            e.timeline.gray_event_count() > 0,
+            "gray churn must degrade something"
+        );
+        let domain_seen = e.report.rack_power_losses + e.report.tor_outages + e.report.partitions;
+        assert!(domain_seen > 0, "domain faults reach the recovery world");
+        assert!(e.report.gray_faults > 0, "gray faults reach the world");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //!   failure detection and automatic container failover.
 //! * [`report`] — plain-text table rendering shared by the experiments.
 
+pub mod chaos;
 pub mod cluster;
 pub mod experiments;
 pub mod orchestrator;
@@ -45,6 +46,9 @@ pub mod report;
 pub mod stack;
 pub mod telemetry;
 
+pub use chaos::{
+    replay_json, run_chaos, run_chaos_schedule, shrink_schedule, ChaosOutcome, Sabotage,
+};
 pub use cluster::{PiCloud, PiCloudBuilder, TopologyKind};
 pub use orchestrator::{MigrationOrchestrator, OrchestratedMigration};
 pub use recovery::{

@@ -12,16 +12,33 @@
 //! (which re-leases DHCP and re-registers DNS for free), and books the
 //! blackout in an [`OutageLedger`].
 //!
+//! Faults come in three shapes, matching the physical testbed:
+//!
+//! * **Independent**: one board crashes, one cable flaps, one daemon
+//!   wedges.
+//! * **Correlated**: a rack PSU brownout takes all fourteen boards at
+//!   once; a ToR switch failure or a partial partition severs a rack's
+//!   reachability while the boards keep running. Domain membership comes
+//!   from the [`DomainTree`] read off the fabric, and overlapping causes
+//!   compose: a node is down until *every* reason clears, a link is down
+//!   until every fault holding it clears.
+//! * **Gray**: a worn SD card multiplies image-pull time, a lossy access
+//!   link eats management RPCs probabilistically, a thermally throttled
+//!   CPU stretches everything. Nothing is binary; the detector and the
+//!   recovery path observe the degradation end-to-end.
+//!
 //! The controller is deliberately *not* omniscient: it talks to nodes
 //! over the fallible [`RpcPlane`], so detection takes real (simulated)
 //! time, hung daemons can be failed over spuriously, and a replacement
-//! target that crashed a moment ago is discovered the hard way — by a
-//! spawn RPC timing out and the placement loop moving on.
+//! target that crashed during the image pull is discovered the hard way —
+//! by the landing probe timing out and the placement loop starting over.
+//! A victim no survivor can hold is *parked* and retried every sweep, so
+//! recovery converges once faults heal instead of stranding work forever.
 
 use crate::cluster::PiCloud;
 use picloud_faults::{
-    DetectorConfig, FailureDetector, FaultEvent, FaultKind, FaultTimeline, NodeHealth, RpcConfig,
-    RpcPlane, RpcStats,
+    DetectorConfig, DomainTree, FailureDetector, FaultEvent, FaultKind, FaultTimeline,
+    InvariantViolation, NodeHealth, RpcConfig, RpcPlane, RpcStats,
 };
 use picloud_hardware::node::NodeId;
 use picloud_mgmt::api::{ApiRequest, ApiResponse};
@@ -37,6 +54,11 @@ use picloud_simcore::{Engine, EventContext, SimDuration, SimTime, SpanContext, S
 use picloud_workloads::blackout::OutageLedger;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// A node is down because its own board crashed.
+const REASON_CRASH: u8 = 1;
+/// A node is down because its rack lost power.
+const REASON_RACK: u8 = 1 << 1;
+
 /// Tuning for the detection/recovery control loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryConfig {
@@ -48,18 +70,23 @@ pub struct RecoveryConfig {
     pub policy: PolicyKind,
     /// Containers deployed per node before the faults start.
     pub containers_per_node: usize,
-    /// Image-fetch + cold-start delay between deciding to restart a
-    /// victim and it serving again.
+    /// Image-fetch + cold-start delay between committing a restart target
+    /// and the container serving again, at nominal storage/CPU speed.
+    /// A degraded SD card or throttled CPU on the target stretches it.
     pub restart_latency: SimDuration,
     /// Steady per-container request rate, for pricing blackouts.
     pub request_rate_hz: f64,
+    /// CPU overcommit factor applied to the placement view (`1.0` =
+    /// none). Raising it lets the chaos harness pack the cluster tight
+    /// enough that correlated failures actually contend for capacity.
+    pub cpu_overcommit: f64,
 }
 
 impl RecoveryConfig {
     /// The stock control loop: LAN-tuned detector and RPC, worst-fit
     /// replacement (spreading replacements limits correlated loss when
     /// the next node dies), two lighttpd containers per Pi, a 2 s
-    /// restart.
+    /// restart, no overcommit.
     pub fn lan_default() -> Self {
         RecoveryConfig {
             detector: DetectorConfig::lan_default(),
@@ -68,8 +95,34 @@ impl RecoveryConfig {
             containers_per_node: 2,
             restart_latency: SimDuration::from_secs(2),
             request_rate_hz: 25.0,
+            cpu_overcommit: 1.0,
         }
     }
+}
+
+/// A deliberate controller defect, for proving the chaos harness can
+/// catch (and shrink) real bugs. [`Sabotage::None`] in production paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// The controller as shipped.
+    #[default]
+    None,
+    /// Skip both placement probes: commit to the policy's pick without
+    /// checking it answers, and land the container without the final
+    /// probe. A target that died since the last sweep gets a container
+    /// "placed" on it — exactly the bug the placed-on-unreachable-host
+    /// and ledger-balance invariants exist to catch.
+    BlindPlacement,
+}
+
+/// How a chaos run drives the recovery world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChaosMode {
+    /// Deliberate defect to inject (see [`Sabotage`]).
+    pub sabotage: Sabotage,
+    /// Whether the schedule guarantees every fault heals before the
+    /// horizon — enables the eventual-recovery invariant at end of run.
+    pub heals_all: bool,
 }
 
 /// Everything the failure-recovery run measured.
@@ -89,6 +142,14 @@ pub struct RecoveryReport {
     pub link_downs: u64,
     /// Link-up events injected.
     pub link_ups: u64,
+    /// Rack PSU losses injected (each fans out to every member board).
+    pub rack_power_losses: u64,
+    /// ToR switch outages injected.
+    pub tor_outages: u64,
+    /// Partial partitions injected.
+    pub partitions: u64,
+    /// Gray-fault onsets injected (SD degradation, lossy link, slow node).
+    pub gray_faults: u64,
     /// Nodes the detector declared dead.
     pub detections: u64,
     /// Suspicions that cleared before a death verdict (hangs, slow RPC).
@@ -97,11 +158,17 @@ pub struct RecoveryReport {
     pub rejoins: u64,
     /// Victim containers restarted on a survivor.
     pub rescheduled: u64,
-    /// Victim containers no survivor could hold.
+    /// Park events: a victim found no survivor with room and was queued
+    /// for retry at the next sweep.
     pub stranded: u64,
     /// Containers that came back with their own node before the detector
     /// ever declared it dead (repair beat detection).
     pub local_restarts: u64,
+    /// Containers whose blackout ended because connectivity healed (ToR
+    /// back up, partition merged) rather than by failover.
+    pub reconnects: u64,
+    /// Containers still parked or mid-respawn when the horizon hit.
+    pub unplaced_at_end: u64,
     /// Mean crash → declared-dead delay (MTTD), if any crash was detected.
     pub mean_time_to_detect: Option<SimDuration>,
     /// Mean crash → serving-again delay (MTTR), if any container recovered.
@@ -133,7 +200,7 @@ struct Deployment {
 }
 
 /// The engine world: the cloud plus the fault and control planes.
-struct RecoveryWorld {
+pub(crate) struct RecoveryWorld {
     cloud: PiCloud,
     detector: FailureDetector,
     rpc: RpcPlane,
@@ -141,9 +208,34 @@ struct RecoveryWorld {
     policy: Box<dyn PlacementPolicy>,
     mask: FailureMask,
     ledger: OutageLedger,
+    domains: DomainTree,
     deployments: BTreeMap<NodeId, Vec<Deployment>>,
     /// Ground-truth crash instants for crashes not yet declared dead.
     crashed_at: BTreeMap<NodeId, SimTime>,
+    /// Why each node is down, as a bitmask of `REASON_*`. Absent = up.
+    /// Overlapping causes (own crash during a rack brownout) compose:
+    /// the node revives only when every reason clears.
+    down_reasons: BTreeMap<NodeId, u8>,
+    /// Racks whose ToR switch is down (count: scripted overlaps stack).
+    tor_down: BTreeMap<u16, u32>,
+    /// Active partial-partition rack masks (multiset; heal removes one).
+    partition_masks: Vec<u16>,
+    /// Per-link fault cause counts: the link is failed in the mask while
+    /// any cause (link churn, ToR outage, partition) holds it.
+    link_faults: BTreeMap<LinkId, u32>,
+    /// Gray state: storage throughput permille per degraded node.
+    storage_slow: BTreeMap<NodeId, u16>,
+    /// Gray state: CPU clock permille per throttled node.
+    cpu_slow: BTreeMap<NodeId, u16>,
+    /// Victims between failover decision and landing (name set).
+    in_flight: BTreeSet<String>,
+    /// Victims with no current home, retried every sweep.
+    parked: Vec<(String, String, PlacementRequest)>,
+    /// Tickets committed for in-flight respawns (target reserved while
+    /// the image pulls), for view accounting.
+    reserved: BTreeSet<PlacementTicket>,
+    /// Every container name the initial fleet deployed.
+    fleet_names: BTreeSet<String>,
     config: RecoveryConfig,
     horizon_end: SimTime,
     // Counters for the report.
@@ -152,17 +244,23 @@ struct RecoveryWorld {
     daemon_hangs: u64,
     link_downs: u64,
     link_ups: u64,
+    rack_power_losses: u64,
+    tor_outages: u64,
+    partitions: u64,
+    gray_faults: u64,
     detections: u64,
     rejoins: u64,
     rescheduled: u64,
     stranded: u64,
     local_restarts: u64,
+    reconnects: u64,
     detect_delay_sum: SimDuration,
     detect_delay_count: u64,
     min_reachability: f64,
-    /// Ground-truth set of nodes currently crashed (telemetry only; the
-    /// controller itself must go through the detector).
-    down_nodes: BTreeSet<NodeId>,
+    /// Chaos harness: deliberate defect, invariant switch, first failure.
+    sabotage: Sabotage,
+    check_invariants: bool,
+    violation: Option<InvariantViolation>,
     /// Open causal span chains per container: `(recovery root, current
     /// open child)`. Empty when telemetry is disabled — every insert is
     /// gated on the sink, so a non-observed run allocates nothing here.
@@ -174,8 +272,49 @@ struct RecoveryWorld {
 impl RecoveryWorld {
     /// The rack a node sits in, read off the fabric.
     fn rack_of(&self, node: NodeId) -> u16 {
-        let dev = self.cloud.device_of(node);
-        self.cloud.topology().device(dev).kind.rack().unwrap_or(0)
+        self.domains.rack_of(node).unwrap_or(0)
+    }
+
+    /// Whether `node` is down for any reason (crash or rack power).
+    fn node_down(&self, node: NodeId) -> bool {
+        self.down_reasons.contains_key(&node)
+    }
+
+    /// Whether a rack's reachability is severed (ToR down or caught in an
+    /// active partition).
+    fn rack_blocked(&self, rack: u16) -> bool {
+        self.tor_down.contains_key(&rack)
+            || (rack < 16 && self.partition_masks.iter().any(|&m| m & (1 << rack) != 0))
+    }
+
+    /// Ground truth: would this node's containers serve clients right
+    /// now? Powered on *and* its rack reachable. (A hung daemon still
+    /// serves; hangs only blind the management plane.)
+    fn node_reachable_ground_truth(&self, node: NodeId) -> bool {
+        !self.node_down(node) && !self.rack_blocked(self.rack_of(node))
+    }
+
+    /// Adds one fault cause to a link, failing it in the mask on the
+    /// first cause.
+    fn fail_link_cause(&mut self, link: LinkId) {
+        let count = self.link_faults.entry(link).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.mask.fail_link(link);
+        }
+    }
+
+    /// Removes one fault cause from a link, repairing it in the mask when
+    /// the last cause clears. Unmatched repairs (shrunk schedules drop
+    /// events arbitrarily) are ignored.
+    fn repair_link_cause(&mut self, link: LinkId) {
+        if let Some(count) = self.link_faults.get_mut(&link) {
+            *count -= 1;
+            if *count == 0 {
+                self.link_faults.remove(&link);
+                self.mask.repair_link(link);
+            }
+        }
     }
 
     /// Re-records one node's power/thermal gauges. A crashed board draws
@@ -187,7 +326,7 @@ impl RecoveryWorld {
             return;
         }
         let rack = self.rack_of(node);
-        if self.down_nodes.contains(&node) {
+        if self.node_down(node) {
             let (n, r) = (node.0.to_string(), rack.to_string());
             self.telem
                 .registry
@@ -234,7 +373,7 @@ impl RecoveryWorld {
             .collect();
         let mut bytes_per_link: BTreeMap<LinkId, f64> = BTreeMap::new();
         for node in self.cloud.node_ids().collect::<Vec<_>>() {
-            if self.down_nodes.contains(&node) {
+            if self.node_down(node) {
                 continue;
             }
             let dev = self.cloud.device_of(node);
@@ -276,7 +415,7 @@ impl RecoveryWorld {
         let running: usize = self
             .deployments
             .iter()
-            .filter(|(n, _)| !self.down_nodes.contains(n))
+            .filter(|(n, _)| !self.down_reasons.contains_key(n))
             .map(|(_, ds)| ds.len())
             .sum();
         self.telem
@@ -285,81 +424,305 @@ impl RecoveryWorld {
             .set(now, running as f64);
     }
 
+    /// Ground truth: every container hosted on `node` goes dark now.
+    /// Opens a ledger window (idempotent — an earlier cause keeps its
+    /// earlier start) and roots a `recovery` span chain per victim so the
+    /// span-level MTTR stays identical to the ledger's.
+    fn open_windows_on(&mut self, node: NodeId, now: SimTime) {
+        if let Some(ds) = self.deployments.get(&node) {
+            for d in ds {
+                self.ledger.open(&d.name, now);
+                if self.telem.is_enabled() && !self.recovery_spans.contains_key(&d.name) {
+                    let root = self
+                        .telem
+                        .tracer
+                        .span_start(now, "recovery", SpanId::NONE, |e| {
+                            e.str("container", &d.name).u64("node", u64::from(node.0));
+                        });
+                    let detect = self.telem.tracer.span_start(now, "detect", root, |_| {});
+                    self.recovery_spans.insert(d.name.clone(), (root, detect));
+                }
+            }
+        }
+    }
+
+    /// Closes the blackout window of every container hosted on `node`
+    /// (service is back without a failover: local restart or
+    /// connectivity heal). Returns how many windows actually closed.
+    fn close_windows_on(&mut self, node: NodeId, now: SimTime, outcome: &'static str) -> u64 {
+        let mut closed = 0u64;
+        if let Some(ds) = self.deployments.get(&node) {
+            for d in ds {
+                if let Some(downtime) = self.ledger.close(&d.name, now) {
+                    closed += 1;
+                    if let Some((root, child)) = self.recovery_spans.remove(&d.name) {
+                        self.telem.tracer.span_end(now, child, |_| {});
+                        self.telem.tracer.span_end(now, root, |e| {
+                            e.str("outcome", outcome)
+                                .u64("downtime_ns", downtime.as_nanos());
+                        });
+                    }
+                }
+            }
+        }
+        closed
+    }
+
+    /// Takes a node down for `reason`. Idempotent per reason; the crash
+    /// side effects (RPC unreachable, outage windows, power gauge) fire
+    /// only on the up → down edge, so a board crash during a rack
+    /// brownout changes nothing until *both* clear.
+    fn take_node_down(&mut self, node: NodeId, reason: u8, now: SimTime) {
+        let reasons = self.down_reasons.entry(node).or_insert(0);
+        let was_down = *reasons != 0;
+        *reasons |= reason;
+        if was_down {
+            return;
+        }
+        self.rpc.node_down(node);
+        self.crashed_at.insert(node, now);
+        self.open_windows_on(node, now);
+        self.record_node_power(node, now);
+    }
+
+    /// Clears one down-reason. The node revives only when no reasons
+    /// remain; then, if repair beat the detector's death verdict, its
+    /// containers restart locally — but their blackout only ends if the
+    /// rack is reachable too. Unmatched repairs are ignored.
+    fn bring_node_up(&mut self, node: NodeId, reason: u8, now: SimTime) -> u64 {
+        let Some(reasons) = self.down_reasons.get_mut(&node) else {
+            return 0;
+        };
+        *reasons &= !reason;
+        if *reasons != 0 {
+            return 0;
+        }
+        self.down_reasons.remove(&node);
+        self.rpc.node_up(node);
+        let mut local = 0u64;
+        if self.detector.health(node) != NodeHealth::Dead {
+            // Repair beat the detector: the node reboots with its
+            // containers, so no failover ever happens.
+            self.crashed_at.remove(&node);
+            if !self.rack_blocked(self.rack_of(node)) {
+                local = self.close_windows_on(node, now, "local_restart");
+                self.local_restarts += local;
+            }
+        }
+        self.record_node_power(node, now);
+        local
+    }
+
     /// Dispatches one injected fault into the planes it touches.
     fn apply_fault(&mut self, event: FaultEvent, now: SimTime) {
         match event.kind {
             FaultKind::NodeCrash { node } => {
                 self.crashes += 1;
-                self.rpc.node_down(node);
-                self.crashed_at.insert(node, now);
-                self.down_nodes.insert(node);
-                // Ground truth: everything hosted there goes dark now,
-                // whatever the detector believes.
-                if let Some(ds) = self.deployments.get(&node) {
-                    for d in ds {
-                        self.ledger.open(&d.name, now);
-                        // Root of the causal chain: `recovery` opens with
-                        // the outage window and ends when service resumes
-                        // (so its `downtime_ns` matches the ledger), with
-                        // `detect` covering crash → declared-dead.
-                        if self.telem.is_enabled() && !self.recovery_spans.contains_key(&d.name) {
-                            let root =
-                                self.telem
-                                    .tracer
-                                    .span_start(now, "recovery", SpanId::NONE, |e| {
-                                        e.str("container", &d.name).u64("node", u64::from(node.0));
-                                    });
-                            let detect = self.telem.tracer.span_start(now, "detect", root, |_| {});
-                            self.recovery_spans.insert(d.name.clone(), (root, detect));
-                        }
-                    }
-                }
+                self.take_node_down(node, REASON_CRASH, now);
                 let hosted = self.deployments.get(&node).map_or(0, Vec::len);
                 self.telem.tracer.emit(now, "node_crash", |e| {
                     e.u64("node", u64::from(node.0))
                         .u64("victims", hosted as u64);
                 });
-                self.record_node_power(node, now);
                 self.record_link_utilisation(now);
                 self.record_fleet(now);
             }
             FaultKind::NodeRepair { node } => {
                 self.repairs += 1;
-                self.rpc.node_up(node);
-                self.down_nodes.remove(&node);
-                let mut local = 0u64;
-                if self.detector.health(node) != NodeHealth::Dead {
-                    // Repair beat the detector: the node reboots with its
-                    // containers, so their blackout ends here and no
-                    // failover ever happens.
-                    self.crashed_at.remove(&node);
-                    if let Some(ds) = self.deployments.get(&node) {
-                        for d in ds {
-                            if let Some(downtime) = self.ledger.close(&d.name, now) {
-                                self.local_restarts += 1;
-                                local += 1;
-                                if let Some((root, child)) = self.recovery_spans.remove(&d.name) {
-                                    self.telem.tracer.span_end(now, child, |_| {});
-                                    self.telem.tracer.span_end(now, root, |e| {
-                                        e.str("outcome", "local_restart")
-                                            .u64("downtime_ns", downtime.as_nanos());
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
+                let local = self.bring_node_up(node, REASON_CRASH, now);
                 self.telem.tracer.emit(now, "node_repair", |e| {
                     e.u64("node", u64::from(node.0))
                         .u64("local_restarts", local);
                 });
-                self.record_node_power(node, now);
                 self.record_link_utilisation(now);
                 self.record_fleet(now);
             }
+            FaultKind::RackPowerLoss { rack } => {
+                self.rack_power_losses += 1;
+                let members = self.domains.members(rack).to_vec();
+                for &m in &members {
+                    self.take_node_down(m, REASON_RACK, now);
+                }
+                self.telem.tracer.emit(now, "rack_power_loss", |e| {
+                    e.u64("rack", u64::from(rack))
+                        .u64("members", members.len() as u64);
+                });
+                self.record_link_utilisation(now);
+                self.record_fleet(now);
+            }
+            FaultKind::RackPowerRestore { rack } => {
+                let members = self.domains.members(rack).to_vec();
+                let mut local = 0u64;
+                for &m in &members {
+                    local += self.bring_node_up(m, REASON_RACK, now);
+                }
+                self.telem.tracer.emit(now, "rack_power_restore", |e| {
+                    e.u64("rack", u64::from(rack)).u64("local_restarts", local);
+                });
+                self.record_link_utilisation(now);
+                self.record_fleet(now);
+            }
+            FaultKind::TorSwitchDown { rack } => {
+                self.tor_outages += 1;
+                *self.tor_down.entry(rack).or_insert(0) += 1;
+                let (links, members) = match self.domains.rack(rack) {
+                    Some(d) => (d.tor_links.clone(), d.members.clone()),
+                    None => (Vec::new(), Vec::new()),
+                };
+                for link in links {
+                    self.fail_link_cause(link);
+                }
+                for &m in &members {
+                    self.rpc.block(m);
+                    self.open_windows_on(m, now);
+                }
+                self.note_reachability();
+                self.telem.tracer.emit(now, "tor_switch_down", |e| {
+                    e.u64("rack", u64::from(rack));
+                });
+                self.record_link_utilisation(now);
+            }
+            FaultKind::TorSwitchUp { rack } => {
+                if let Some(count) = self.tor_down.get_mut(&rack) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.tor_down.remove(&rack);
+                    }
+                    let (links, members) = match self.domains.rack(rack) {
+                        Some(d) => (d.tor_links.clone(), d.members.clone()),
+                        None => (Vec::new(), Vec::new()),
+                    };
+                    for link in links {
+                        self.repair_link_cause(link);
+                    }
+                    let mut back = 0u64;
+                    for &m in &members {
+                        self.rpc.unblock(m);
+                    }
+                    for &m in &members {
+                        if self.node_reachable_ground_truth(m) {
+                            back += self.close_windows_on(m, now, "reconnected");
+                        }
+                    }
+                    self.reconnects += back;
+                    self.telem.tracer.emit(now, "tor_switch_up", |e| {
+                        e.u64("rack", u64::from(rack)).u64("reconnected", back);
+                    });
+                }
+                self.note_reachability();
+                self.record_link_utilisation(now);
+            }
+            FaultKind::PartialPartition { rack_mask } => {
+                self.partitions += 1;
+                self.partition_masks.push(rack_mask);
+                for rack in self.domains.masked_racks(rack_mask) {
+                    let (uplinks, members) = match self.domains.rack(rack) {
+                        Some(d) => (d.uplinks.clone(), d.members.clone()),
+                        None => (Vec::new(), Vec::new()),
+                    };
+                    // Only the uplinks sever: intra-rack traffic keeps
+                    // flowing, which is what makes this a *partial*
+                    // partition rather than a ToR death.
+                    for link in uplinks {
+                        self.fail_link_cause(link);
+                    }
+                    for &m in &members {
+                        self.rpc.block(m);
+                        self.open_windows_on(m, now);
+                    }
+                }
+                self.note_reachability();
+                self.telem.tracer.emit(now, "partial_partition", |e| {
+                    e.u64("rack_mask", u64::from(rack_mask));
+                });
+                self.record_link_utilisation(now);
+            }
+            FaultKind::PartitionHeal { rack_mask } => {
+                if let Some(pos) = self.partition_masks.iter().position(|&m| m == rack_mask) {
+                    self.partition_masks.remove(pos);
+                    let mut back = 0u64;
+                    for rack in self.domains.masked_racks(rack_mask) {
+                        let (uplinks, members) = match self.domains.rack(rack) {
+                            Some(d) => (d.uplinks.clone(), d.members.clone()),
+                            None => (Vec::new(), Vec::new()),
+                        };
+                        for link in uplinks {
+                            self.repair_link_cause(link);
+                        }
+                        for &m in &members {
+                            self.rpc.unblock(m);
+                        }
+                        for &m in &members {
+                            if self.node_reachable_ground_truth(m) {
+                                back += self.close_windows_on(m, now, "reconnected");
+                            }
+                        }
+                    }
+                    self.reconnects += back;
+                    self.telem.tracer.emit(now, "partition_heal", |e| {
+                        e.u64("rack_mask", u64::from(rack_mask))
+                            .u64("reconnected", back);
+                    });
+                }
+                self.note_reachability();
+                self.record_link_utilisation(now);
+            }
+            FaultKind::SdCardDegraded { node, permille } => {
+                self.gray_faults += 1;
+                self.storage_slow.insert(node, permille.clamp(1, 1000));
+                self.telem.tracer.emit(now, "sd_degraded", |e| {
+                    e.u64("node", u64::from(node.0))
+                        .u64("permille", u64::from(permille));
+                });
+            }
+            FaultKind::SdCardHealed { node } => {
+                self.storage_slow.remove(&node);
+                self.telem.tracer.emit(now, "sd_healed", |e| {
+                    e.u64("node", u64::from(node.0));
+                });
+            }
+            FaultKind::LossyLink {
+                link,
+                loss_permille,
+            } => {
+                self.gray_faults += 1;
+                // Only host access links carry management RPCs one-to-one;
+                // a lossy fabric link is beyond this plane's resolution.
+                if let Some(node) = self.domains.node_of_access(link) {
+                    self.rpc.set_loss(node, loss_permille);
+                }
+                self.telem.tracer.emit(now, "lossy_link", |e| {
+                    e.u64("link", u64::from(link.0))
+                        .u64("loss_permille", u64::from(loss_permille));
+                });
+            }
+            FaultKind::LossyLinkHealed { link } => {
+                if let Some(node) = self.domains.node_of_access(link) {
+                    self.rpc.clear_loss(node);
+                }
+                self.telem.tracer.emit(now, "lossy_link_healed", |e| {
+                    e.u64("link", u64::from(link.0));
+                });
+            }
+            FaultKind::SlowNode { node, permille } => {
+                self.gray_faults += 1;
+                self.cpu_slow.insert(node, permille.clamp(1, 1000));
+                self.rpc.set_slow(node, permille);
+                self.telem.tracer.emit(now, "slow_node", |e| {
+                    e.u64("node", u64::from(node.0))
+                        .u64("permille", u64::from(permille));
+                });
+            }
+            FaultKind::SlowNodeHealed { node } => {
+                self.cpu_slow.remove(&node);
+                self.rpc.clear_slow(node);
+                self.telem.tracer.emit(now, "slow_node_healed", |e| {
+                    e.u64("node", u64::from(node.0));
+                });
+            }
             FaultKind::LinkDown { link } => {
                 self.link_downs += 1;
-                self.mask.fail_link(link);
+                self.fail_link_cause(link);
                 self.note_reachability();
                 self.telem.tracer.emit(now, "link_down", |e| {
                     e.u64("link", u64::from(link.0));
@@ -368,7 +731,7 @@ impl RecoveryWorld {
             }
             FaultKind::LinkUp { link } => {
                 self.link_ups += 1;
-                self.mask.repair_link(link);
+                self.repair_link_cause(link);
                 self.note_reachability();
                 self.telem.tracer.emit(now, "link_up", |e| {
                     e.u64("link", u64::from(link.0));
@@ -385,6 +748,7 @@ impl RecoveryWorld {
                     });
             }
         }
+        self.verify_invariants(now);
     }
 
     /// Re-measures fabric reachability under the current mask and keeps
@@ -398,8 +762,8 @@ impl RecoveryWorld {
     }
 
     /// One heartbeat round: poll every daemon over RPC, feed the
-    /// detector, recover anything newly declared dead, and reschedule
-    /// the next round.
+    /// detector, recover anything newly declared dead, retry parked
+    /// victims, and reschedule the next round.
     fn sweep(&mut self, ctx: &mut EventContext<RecoveryWorld>) {
         let now = ctx.now();
         let nodes: Vec<NodeId> = self.cloud.node_ids().collect();
@@ -444,6 +808,14 @@ impl RecoveryWorld {
             });
             self.recover(dead, now, ctx);
         }
+        // Parked victims get another chance each round: capacity may have
+        // come back with a rejoined node or a healed rack.
+        let retry = std::mem::take(&mut self.parked);
+        for (name, image, req) in retry {
+            self.in_flight.insert(name.clone());
+            self.start_respawn(name, image, req, ctx);
+        }
+        self.verify_invariants(now);
         if now < self.horizon_end {
             ctx.schedule_in(self.config.detector.heartbeat_interval, |w, ctx| {
                 w.sweep(ctx)
@@ -452,8 +824,8 @@ impl RecoveryWorld {
     }
 
     /// Failover for one declared-dead node: garbage-collect its container
-    /// records (DNS included), free its placements, and schedule every
-    /// victim's restart on a survivor after the restart latency.
+    /// records (DNS included), free its placements, and start every
+    /// victim's respawn.
     fn recover(&mut self, dead: NodeId, now: SimTime, ctx: &mut EventContext<RecoveryWorld>) {
         self.view.cordon(dead);
         let victims = self.deployments.remove(&dead).unwrap_or_default();
@@ -470,9 +842,7 @@ impl RecoveryWorld {
                 },
                 now,
             );
-            // Close `detect`, mark the (instantaneous) `reschedule`
-            // decision, and open `image_pull` covering the restart
-            // latency until the respawn fires.
+            // Close `detect`; the chain continues in `start_respawn`.
             if self.telem.is_enabled() {
                 let root = match self.recovery_spans.remove(&d.name) {
                     Some((root, detect)) => {
@@ -490,55 +860,53 @@ impl RecoveryWorld {
                                 .bool("spurious", true);
                         }),
                 };
-                let decide = self.telem.tracer.span_start(now, "reschedule", root, |e| {
-                    e.u64("from_node", u64::from(dead.0));
-                });
-                self.telem.tracer.span_end(now, decide, |_| {});
-                let pull = self.telem.tracer.span_start(now, "image_pull", root, |e| {
-                    e.str("image", &d.image);
-                });
-                self.recovery_spans.insert(d.name.clone(), (root, pull));
+                self.recovery_spans
+                    .insert(d.name.clone(), (root, SpanId::NONE));
             }
-            let (name, image, req) = (d.name, d.image, d.req);
-            ctx.schedule_in(
-                self.config.restart_latency,
-                move |w: &mut RecoveryWorld, ctx| {
-                    w.respawn(name, image, req, ctx.now());
-                },
-            );
+            self.in_flight.insert(d.name.clone());
+            self.start_respawn(d.name, d.image, d.req, ctx);
         }
     }
 
-    /// Restarts one victim on a survivor chosen by the placement policy.
-    /// An unresponsive pick (crashed since the last sweep, or hung) costs
-    /// a failed spawn RPC and the loop moves to the next candidate.
-    fn respawn(&mut self, name: String, image: String, req: PlacementRequest, now: SimTime) {
-        // End `image_pull` and open `container_start`; the spawn-probe
-        // RPCs below become its children. Ids are NONE when telemetry is
-        // disabled, making every span call a no-op.
-        let (root, pull) = self
+    /// Picks a survivor for one victim and commits the restart: probe
+    /// candidates over RPC (an unresponsive pick costs a failed call and
+    /// the loop moves on), reserve the slot, and schedule the landing
+    /// after the image pull — stretched by the target's gray state (a
+    /// degraded SD card or throttled CPU multiplies the pull). With no
+    /// survivor in reach the victim parks for retry at the next sweep.
+    fn start_respawn(
+        &mut self,
+        name: String,
+        image: String,
+        req: PlacementRequest,
+        ctx: &mut EventContext<RecoveryWorld>,
+    ) {
+        let now = ctx.now();
+        let (root, prev) = self
             .recovery_spans
             .remove(&name)
             .unwrap_or((SpanId::NONE, SpanId::NONE));
-        self.telem.tracer.span_end(now, pull, |_| {});
-        let start_span = self
+        self.telem.tracer.span_end(now, prev, |_| {});
+        let sched = self
             .telem
             .tracer
-            .span_start(now, "container_start", root, |_| {});
+            .span_start(now, "reschedule", root, |_| {});
+        let blind = self.sabotage == Sabotage::BlindPlacement;
         let mut tried_off: Vec<NodeId> = Vec::new();
         let target = loop {
             match self.policy.place(&self.view, &req) {
                 None => break None,
+                Some(t) if blind => break Some(t),
                 Some(t)
                     if self
                         .rpc
-                        .call_traced(t, now, &mut self.telem.tracer, SpanContext::of(start_span))
+                        .call_traced(t, now, &mut self.telem.tracer, SpanContext::of(sched))
                         .is_ok() =>
                 {
                     break Some(t)
                 }
                 Some(t) => {
-                    // Spawn RPC timed out: exclude the node for this
+                    // Spawn-probe timed out: exclude the node for this
                     // search only (the detector owns its lasting state).
                     self.view.cordon(t);
                     tried_off.push(t);
@@ -550,20 +918,96 @@ impl RecoveryWorld {
                 self.view.uncordon(n);
             }
         }
+        self.telem.tracer.span_end(now, sched, |_| {});
         let Some(target) = target else {
+            // Nowhere to go *right now* — park and retry every sweep
+            // until capacity comes back.
             self.stranded += 1;
-            self.telem.tracer.span_end(now, start_span, |e| {
-                e.bool("ok", false);
-            });
-            self.telem.tracer.span_end(now, root, |e| {
-                e.str("outcome", "stranded");
-            });
-            self.telem.tracer.emit(now, "container_stranded", |e| {
+            self.in_flight.remove(&name);
+            self.telem.tracer.emit(now, "container_parked", |e| {
                 e.str("container", &name);
             });
+            if self.telem.is_enabled() {
+                let wait = self.telem.tracer.span_start(now, "parked", root, |_| {});
+                self.recovery_spans.insert(name.clone(), (root, wait));
+            }
+            self.parked.push((name, image, req));
             return;
         };
         let ticket = self.view.commit(target, req);
+        self.reserved.insert(ticket);
+        // Image pull + cold start, stretched by the target's gray state.
+        let storage = self.storage_slow.get(&target).copied().unwrap_or(1000);
+        let cpu = self.cpu_slow.get(&target).copied().unwrap_or(1000);
+        let pull = self
+            .config
+            .restart_latency
+            .mul_f64(1000.0 / f64::from(storage.max(1)))
+            .mul_f64(1000.0 / f64::from(cpu.max(1)));
+        if self.telem.is_enabled() {
+            let span = self.telem.tracer.span_start(now, "image_pull", root, |e| {
+                e.str("image", &image).u64("node", u64::from(target.0));
+            });
+            self.recovery_spans.insert(name.clone(), (root, span));
+        }
+        ctx.schedule_in(pull, move |w: &mut RecoveryWorld, ctx| {
+            w.finish_respawn(name, image, req, target, ticket, ctx);
+        });
+    }
+
+    /// The image pull finished: probe the target one last time (it may
+    /// have died mid-pull) and either land the container — closing its
+    /// blackout window — or release the slot and start over.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_respawn(
+        &mut self,
+        name: String,
+        image: String,
+        req: PlacementRequest,
+        target: NodeId,
+        ticket: PlacementTicket,
+        ctx: &mut EventContext<RecoveryWorld>,
+    ) {
+        let now = ctx.now();
+        let (root, pull) = self
+            .recovery_spans
+            .remove(&name)
+            .unwrap_or((SpanId::NONE, SpanId::NONE));
+        self.telem.tracer.span_end(now, pull, |_| {});
+        let start_span = self
+            .telem
+            .tracer
+            .span_start(now, "container_start", root, |_| {});
+        let blind = self.sabotage == Sabotage::BlindPlacement;
+        let alive = blind
+            || self
+                .rpc
+                .call_traced(
+                    target,
+                    now,
+                    &mut self.telem.tracer,
+                    SpanContext::of(start_span),
+                )
+                .is_ok();
+        if !alive {
+            // The target died (or lost reachability) during the pull:
+            // give the slot back and run the placement again.
+            self.view.release(ticket);
+            self.reserved.remove(&ticket);
+            self.telem.tracer.span_end(now, start_span, |e| {
+                e.bool("ok", false);
+            });
+            if self.telem.is_enabled() {
+                self.recovery_spans
+                    .insert(name.clone(), (root, SpanId::NONE));
+            }
+            self.telem.tracer.emit(now, "respawn_retry", |e| {
+                e.str("container", &name).u64("node", u64::from(target.0));
+            });
+            self.start_respawn(name, image, req, ctx);
+            return;
+        }
+        self.reserved.remove(&ticket);
         match self.cloud.api(
             ApiRequest::SpawnContainer {
                 node: target,
@@ -574,6 +1018,13 @@ impl RecoveryWorld {
         ) {
             Ok(ApiResponse::Spawned { container, .. }) => {
                 // The API re-leased DHCP and re-registered DNS on the way.
+                if self.check_invariants && !self.node_reachable_ground_truth(target) {
+                    self.fail_invariant(
+                        "placed-on-unreachable-host",
+                        now,
+                        format!("container {name} landed on unreachable {target}"),
+                    );
+                }
                 let downtime = self.ledger.close(&name, now);
                 self.rescheduled += 1;
                 if self.telem.is_enabled() {
@@ -604,6 +1055,7 @@ impl RecoveryWorld {
                         e.f64("downtime_s", d.as_secs_f64());
                     }
                 });
+                self.in_flight.remove(&name);
                 self.deployments
                     .entry(target)
                     .or_default()
@@ -618,18 +1070,183 @@ impl RecoveryWorld {
                 self.record_fleet(now);
             }
             _ => {
+                // The management API refused the spawn: give the slot
+                // back and park for retry.
                 self.view.release(ticket);
                 self.stranded += 1;
+                self.in_flight.remove(&name);
                 self.telem.tracer.span_end(now, start_span, |e| {
                     e.bool("ok", false);
                 });
-                self.telem.tracer.span_end(now, root, |e| {
-                    e.str("outcome", "stranded");
-                });
-                self.telem.tracer.emit(now, "container_stranded", |e| {
+                if self.telem.is_enabled() {
+                    let wait = self.telem.tracer.span_start(now, "parked", root, |_| {});
+                    self.recovery_spans.insert(name.clone(), (root, wait));
+                }
+                self.telem.tracer.emit(now, "container_parked", |e| {
                     e.str("container", &name);
                 });
+                self.parked.push((name, image, req));
             }
+        }
+        self.verify_invariants(now);
+    }
+
+    /// Records the first invariant violation; later ones are ignored
+    /// (the run keeps going so the report stays complete).
+    fn fail_invariant(&mut self, invariant: &str, at: SimTime, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(InvariantViolation {
+                invariant: invariant.to_owned(),
+                at,
+                detail,
+            });
+        }
+    }
+
+    /// The chaos harness's safety-invariant registry, checked after every
+    /// fault event, every sweep, and every respawn landing:
+    ///
+    /// 1. `deployment-on-dead-host` — no container record persists on a
+    ///    node the detector declared dead or the view cordoned.
+    /// 2. `exactly-once-placement` — every fleet container exists exactly
+    ///    once, across deployments, in-flight respawns and the park queue.
+    /// 3. `outage-ledger-balance` — a container is booked dark iff its
+    ///    host is unreachable (ground truth), both directions.
+    /// 4. `view-accounting` — the placement view's tickets are exactly
+    ///    the deployed tickets plus reserved in-flight ones.
+    fn verify_invariants(&mut self, now: SimTime) {
+        if !self.check_invariants || self.violation.is_some() {
+            return;
+        }
+        let mut found: Option<(&'static str, String)> = None;
+
+        // 1: no deployment on a dead/cordoned host.
+        'outer: for (&node, ds) in &self.deployments {
+            if ds.is_empty() {
+                continue;
+            }
+            if self.detector.health(node) == NodeHealth::Dead {
+                found = Some((
+                    "deployment-on-dead-host",
+                    format!(
+                        "{} containers still booked on declared-dead {node}",
+                        ds.len()
+                    ),
+                ));
+                break 'outer;
+            }
+            if !self.view.node(node).powered_on {
+                found = Some((
+                    "deployment-on-dead-host",
+                    format!("{} containers booked on cordoned {node}", ds.len()),
+                ));
+                break 'outer;
+            }
+        }
+
+        // 2: exactly-once placement.
+        if found.is_none() {
+            let mut count: BTreeMap<&str, u32> = BTreeMap::new();
+            for ds in self.deployments.values() {
+                for d in ds {
+                    *count.entry(d.name.as_str()).or_insert(0) += 1;
+                }
+            }
+            for n in &self.in_flight {
+                *count.entry(n.as_str()).or_insert(0) += 1;
+            }
+            for (n, _, _) in &self.parked {
+                *count.entry(n.as_str()).or_insert(0) += 1;
+            }
+            for name in &self.fleet_names {
+                let c = count.get(name.as_str()).copied().unwrap_or(0);
+                if c != 1 {
+                    found = Some((
+                        "exactly-once-placement",
+                        format!("container {name} tracked {c} times (expected exactly 1)"),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // 3: outage-ledger balance, both directions.
+        if found.is_none() {
+            'balance: for (&node, ds) in &self.deployments {
+                let reachable = self.node_reachable_ground_truth(node);
+                for d in ds {
+                    let dark = self.ledger.is_dark(&d.name);
+                    if reachable && dark {
+                        found = Some((
+                            "outage-ledger-balance",
+                            format!("{} booked dark but its host {node} is reachable", d.name),
+                        ));
+                        break 'balance;
+                    }
+                    if !reachable && !dark {
+                        found = Some((
+                            "outage-ledger-balance",
+                            format!(
+                                "{} booked serving but its host {node} is unreachable",
+                                d.name
+                            ),
+                        ));
+                        break 'balance;
+                    }
+                }
+            }
+        }
+
+        // 4: view accounting.
+        if found.is_none() {
+            let mut expected: BTreeSet<PlacementTicket> = self.reserved.clone();
+            for ds in self.deployments.values() {
+                for d in ds {
+                    expected.insert(d.ticket);
+                }
+            }
+            let actual: BTreeSet<PlacementTicket> =
+                self.view.placements().map(|(t, _, _)| t).collect();
+            if expected != actual {
+                found = Some((
+                    "view-accounting",
+                    format!(
+                        "view holds {} tickets, controller books {}",
+                        actual.len(),
+                        expected.len()
+                    ),
+                ));
+            }
+        }
+
+        if let Some((invariant, detail)) = found {
+            self.fail_invariant(invariant, now, detail);
+        }
+    }
+
+    /// End-of-run check for schedules that guarantee every fault heals:
+    /// with the slack the chaos profile reserves, every workload must be
+    /// serving again — nothing parked, nothing mid-flight, nothing dark.
+    fn verify_eventual_recovery(&mut self, now: SimTime) {
+        if !self.check_invariants || self.violation.is_some() {
+            return;
+        }
+        if !self.parked.is_empty() || !self.in_flight.is_empty() {
+            let detail = format!(
+                "{} parked, {} in flight after all faults healed",
+                self.parked.len(),
+                self.in_flight.len()
+            );
+            self.fail_invariant("eventual-recovery", now, detail);
+            return;
+        }
+        let dark = self.ledger.dark_count();
+        if dark > 0 {
+            self.fail_invariant(
+                "eventual-recovery",
+                now,
+                format!("{dark} containers still dark after all faults healed"),
+            );
         }
     }
 
@@ -658,7 +1275,7 @@ impl RecoveryWorld {
         self.record_link_utilisation(now);
         self.record_fleet(now);
         let reg = &mut self.telem.registry;
-        self.rpc.stats().record_telemetry(reg);
+        self.rpc.record_telemetry(reg, now);
         self.detector.record_telemetry(reg, now);
         self.ledger.record_telemetry(reg, now);
         self.cloud.pimaster_mut().record_telemetry(reg, now);
@@ -667,7 +1284,7 @@ impl RecoveryWorld {
             let node = d.node().0.to_string();
             d.host().record_telemetry(reg, &node, now);
         }
-        let totals: [(&str, u64); 8] = [
+        let totals: [(&str, u64); 13] = [
             ("recovery_crashes_total", self.crashes),
             ("recovery_repairs_total", self.repairs),
             ("recovery_detections_total", self.detections),
@@ -676,6 +1293,11 @@ impl RecoveryWorld {
             ("recovery_stranded_total", self.stranded),
             ("recovery_local_restarts_total", self.local_restarts),
             ("recovery_daemon_hangs_total", self.daemon_hangs),
+            ("recovery_rack_power_losses_total", self.rack_power_losses),
+            ("recovery_tor_outages_total", self.tor_outages),
+            ("recovery_partitions_total", self.partitions),
+            ("recovery_gray_faults_total", self.gray_faults),
+            ("recovery_reconnects_total", self.reconnects),
         ];
         for (name, total) in totals {
             let c = self.telem.registry.counter(name, &[]);
@@ -702,7 +1324,15 @@ pub fn run_recovery(
     horizon: SimDuration,
     seed: u64,
 ) -> RecoveryReport {
-    run_recovery_with_telemetry(config, timeline, horizon, seed, TelemetrySink::disabled()).0
+    run_recovery_inner(
+        config,
+        timeline,
+        horizon,
+        seed,
+        TelemetrySink::disabled(),
+        None,
+    )
+    .0
 }
 
 /// Like [`run_recovery`], but records into the supplied [`TelemetrySink`]
@@ -726,6 +1356,40 @@ pub fn run_recovery_with_telemetry(
     seed: u64,
     sink: TelemetrySink,
 ) -> (RecoveryReport, TelemetrySink) {
+    let (report, sink, _) = run_recovery_inner(config, timeline, horizon, seed, sink, None);
+    (report, sink)
+}
+
+/// Chaos-harness entry: like [`run_recovery`], but with the safety
+/// invariants armed (checked after every fault, sweep and landing) and an
+/// optional deliberate [`Sabotage`]. Returns the first violation, if any.
+pub(crate) fn run_recovery_chaos(
+    config: &RecoveryConfig,
+    timeline: &FaultTimeline,
+    horizon: SimDuration,
+    seed: u64,
+    chaos: ChaosMode,
+) -> (RecoveryReport, Option<InvariantViolation>) {
+    let (report, _, violation) = run_recovery_inner(
+        config,
+        timeline,
+        horizon,
+        seed,
+        TelemetrySink::disabled(),
+        Some(chaos),
+    );
+    (report, violation)
+}
+
+/// Shared body of the `run_recovery*` entry points.
+fn run_recovery_inner(
+    config: &RecoveryConfig,
+    timeline: &FaultTimeline,
+    horizon: SimDuration,
+    seed: u64,
+    sink: TelemetrySink,
+    chaos: Option<ChaosMode>,
+) -> (RecoveryReport, TelemetrySink, Option<InvariantViolation>) {
     let mut cloud = PiCloud::builder().seed(seed).build();
     let node_count = cloud.node_count();
     let racks = cloud.racks().len().max(1);
@@ -734,9 +1398,14 @@ pub fn run_recovery_with_telemetry(
         (node_count / racks) as u32,
         cloud.node_spec(),
     );
+    if config.cpu_overcommit > 1.0 {
+        view = view.with_cpu_overcommit(config.cpu_overcommit);
+    }
+    let domains = DomainTree::from_topology(cloud.topology());
     let mut detector = FailureDetector::new(config.detector);
     let rpc = RpcPlane::new(config.rpc, &cloud.seeds().child("recovery"));
     let mut deployments: BTreeMap<NodeId, Vec<Deployment>> = BTreeMap::new();
+    let mut fleet_names = BTreeSet::new();
 
     // The steady-state fleet: lighttpd everywhere, as §II-B deploys.
     let req = PlacementRequest::new(Bytes::mib(30), 100e6);
@@ -754,11 +1423,13 @@ pub fn run_recovery_with_telemetry(
                     },
                     SimTime::ZERO,
                 )
+                // lint: allow(P1) reason=fleet sizing is a config invariant — 192 MiB guest RAM admits 6 containers/node and every built-in config stays within it
                 .expect("initial fleet fits the cluster");
             let ApiResponse::Spawned { container, .. } = resp else {
                 unreachable!("spawn returns Spawned");
             };
             let ticket = view.commit(node, req);
+            fleet_names.insert(name.clone());
             deployments.entry(node).or_default().push(Deployment {
                 name,
                 image: "lighttpd".to_owned(),
@@ -779,8 +1450,19 @@ pub fn run_recovery_with_telemetry(
         policy: config.policy.build(policy_seed),
         mask: FailureMask::none(),
         ledger: OutageLedger::new(config.request_rate_hz),
+        domains,
         deployments,
         crashed_at: BTreeMap::new(),
+        down_reasons: BTreeMap::new(),
+        tor_down: BTreeMap::new(),
+        partition_masks: Vec::new(),
+        link_faults: BTreeMap::new(),
+        storage_slow: BTreeMap::new(),
+        cpu_slow: BTreeMap::new(),
+        in_flight: BTreeSet::new(),
+        parked: Vec::new(),
+        reserved: BTreeSet::new(),
+        fleet_names,
         config: *config,
         horizon_end,
         crashes: 0,
@@ -788,15 +1470,22 @@ pub fn run_recovery_with_telemetry(
         daemon_hangs: 0,
         link_downs: 0,
         link_ups: 0,
+        rack_power_losses: 0,
+        tor_outages: 0,
+        partitions: 0,
+        gray_faults: 0,
         detections: 0,
         rejoins: 0,
         rescheduled: 0,
         stranded: 0,
         local_restarts: 0,
+        reconnects: 0,
         detect_delay_sum: SimDuration::ZERO,
         detect_delay_count: 0,
         min_reachability: ConnectivityReport::measure(cloud.topology()).reachability(),
-        down_nodes: BTreeSet::new(),
+        sabotage: chaos.map_or(Sabotage::None, |c| c.sabotage),
+        check_invariants: chaos.is_some(),
+        violation: None,
         recovery_spans: BTreeMap::new(),
         telem: sink,
         cloud,
@@ -822,6 +1511,10 @@ pub fn run_recovery_with_telemetry(
     let events_fired = engine.events_fired();
 
     let mut w = engine.into_world();
+    if chaos.is_some_and(|c| c.heals_all) {
+        w.verify_eventual_recovery(horizon_end);
+    }
+    let unplaced_at_end = (w.parked.len() + w.in_flight.len()) as u64;
     w.ledger.close_all_unrecovered(horizon_end);
     w.finish_telemetry(horizon_end);
     let report = RecoveryReport {
@@ -832,12 +1525,18 @@ pub fn run_recovery_with_telemetry(
         daemon_hangs: w.daemon_hangs,
         link_downs: w.link_downs,
         link_ups: w.link_ups,
+        rack_power_losses: w.rack_power_losses,
+        tor_outages: w.tor_outages,
+        partitions: w.partitions,
+        gray_faults: w.gray_faults,
         detections: w.detections,
         false_suspicions: w.detector.false_suspicions(),
         rejoins: w.rejoins,
         rescheduled: w.rescheduled,
         stranded: w.stranded,
         local_restarts: w.local_restarts,
+        reconnects: w.reconnects,
+        unplaced_at_end,
         mean_time_to_detect: if w.detect_delay_count == 0 {
             None
         } else {
@@ -852,7 +1551,7 @@ pub fn run_recovery_with_telemetry(
         rpc: w.rpc.stats(),
         events_fired,
     };
-    (report, w.telem)
+    (report, w.telem, w.violation)
 }
 
 /// One scripted crash → detect → reschedule → restart cycle on the full
@@ -948,6 +1647,180 @@ mod tests {
         assert_eq!(r.rescheduled, 2);
         assert!(r.mean_time_to_detect.is_none(), "no real crash to time");
         assert_eq!(r.rejoins, 1, "the hung node comes back");
+    }
+
+    #[test]
+    fn rack_power_loss_fans_out_to_every_member() {
+        let mut tl = FaultTimeline::new();
+        tl.push(SimTime::from_secs(10), FaultKind::RackPowerLoss { rack: 1 });
+        tl.push(
+            SimTime::from_secs(100),
+            FaultKind::RackPowerRestore { rack: 1 },
+        );
+        let r = run_recovery(
+            &RecoveryConfig::lan_default(),
+            &tl,
+            SimDuration::from_secs(150),
+            3,
+        );
+        assert_eq!(r.rack_power_losses, 1);
+        assert_eq!(r.crashes, 0, "no independent crashes were injected");
+        assert_eq!(r.detections, 14, "every member of the rack goes dark");
+        assert_eq!(r.rescheduled, 28, "all 28 victims fail over");
+        assert_eq!(r.stranded, 0, "three racks of headroom remain");
+        assert_eq!(r.rejoins, 14, "the whole rack rejoins after restore");
+        assert_eq!(r.unplaced_at_end, 0);
+        assert!(r.availability < 1.0);
+    }
+
+    #[test]
+    fn overlapping_crash_and_rack_loss_need_both_heals() {
+        // Node 14 (rack 1) crashes on its own, then the rack browns out.
+        // Restoring rack power alone must NOT revive the node; its own
+        // repair later does — and windows close exactly once.
+        let mut tl = FaultTimeline::new();
+        tl.push(
+            SimTime::from_secs(5),
+            FaultKind::NodeCrash { node: NodeId(14) },
+        );
+        tl.push(SimTime::from_secs(6), FaultKind::RackPowerLoss { rack: 1 });
+        tl.push(
+            SimTime::from_secs(7),
+            FaultKind::RackPowerRestore { rack: 1 },
+        );
+        // Restore beats detection for the 13 healthy members; node 14 is
+        // still down (own crash) until its repair at 8 s.
+        tl.push(
+            SimTime::from_secs(8),
+            FaultKind::NodeRepair { node: NodeId(14) },
+        );
+        let r = run_recovery(
+            &RecoveryConfig::lan_default(),
+            &tl,
+            SimDuration::from_secs(30),
+            3,
+        );
+        assert_eq!(r.detections, 0, "all heals beat the death verdict");
+        assert_eq!(
+            r.local_restarts, 28,
+            "13 members restart at rack restore, node 14 at its repair"
+        );
+        assert_eq!(r.rescheduled, 0);
+    }
+
+    #[test]
+    fn short_tor_outage_reconnects_without_failover() {
+        // ToR down for 5 s — under the 8 s death verdict, so the rack's
+        // containers go dark and come back with the switch, no failover.
+        let mut tl = FaultTimeline::new();
+        tl.push(SimTime::from_secs(10), FaultKind::TorSwitchDown { rack: 0 });
+        tl.push(SimTime::from_secs(15), FaultKind::TorSwitchUp { rack: 0 });
+        let r = run_recovery(
+            &RecoveryConfig::lan_default(),
+            &tl,
+            SimDuration::from_secs(40),
+            5,
+        );
+        assert_eq!(r.tor_outages, 1);
+        assert_eq!(r.reconnects, 28, "every rack-0 container reconnects");
+        assert_eq!(r.rescheduled, 0);
+        assert_eq!(r.detections, 0);
+        assert!(r.min_reachability < 1.0, "the outage dents the fabric");
+        assert!(r.availability < 1.0, "5 s of darkness is booked");
+    }
+
+    #[test]
+    fn partial_partition_blocks_the_masked_racks() {
+        let mut tl = FaultTimeline::new();
+        tl.push(
+            SimTime::from_secs(10),
+            FaultKind::PartialPartition { rack_mask: 0b0011 },
+        );
+        tl.push(
+            SimTime::from_secs(14),
+            FaultKind::PartitionHeal { rack_mask: 0b0011 },
+        );
+        let r = run_recovery(
+            &RecoveryConfig::lan_default(),
+            &tl,
+            SimDuration::from_secs(40),
+            5,
+        );
+        assert_eq!(r.partitions, 1);
+        assert_eq!(r.reconnects, 56, "two racks' containers reconnect");
+        assert_eq!(r.detections, 0, "the heal beats the death verdict");
+        assert!(r.min_reachability < 1.0);
+    }
+
+    #[test]
+    fn degraded_sd_card_stretches_the_image_pull() {
+        // Crash node 3 twice — once with every survivor's SD card at
+        // 200 ‰, once clean. Same detection path; only the pull differs,
+        // so MTTR must stretch by roughly the throughput ratio.
+        let crash = |degrade: bool| {
+            let mut tl = FaultTimeline::new();
+            if degrade {
+                for n in 0..56 {
+                    tl.push(
+                        SimTime::from_secs(1),
+                        FaultKind::SdCardDegraded {
+                            node: NodeId(n),
+                            permille: 200,
+                        },
+                    );
+                }
+            }
+            tl.push(
+                SimTime::from_secs(10),
+                FaultKind::NodeCrash { node: NodeId(3) },
+            );
+            run_recovery(
+                &RecoveryConfig::lan_default(),
+                &tl,
+                SimDuration::from_secs(60),
+                9,
+            )
+        };
+        let slow = crash(true);
+        let fast = crash(false);
+        assert_eq!(slow.rescheduled, 2);
+        assert_eq!(fast.rescheduled, 2);
+        let mttr_slow = slow.mean_time_to_restore.expect("restored");
+        let mttr_fast = fast.mean_time_to_restore.expect("restored");
+        // 2 s pull at 200 ‰ becomes 10 s: MTTR grows by the 8 s delta.
+        let delta = mttr_slow.saturating_sub(mttr_fast);
+        assert!(
+            delta >= SimDuration::from_secs(7) && delta <= SimDuration::from_secs(9),
+            "pull stretch should be ~8 s, got {delta}"
+        );
+        assert_eq!(slow.gray_faults, 56);
+    }
+
+    #[test]
+    fn full_cluster_crash_parks_until_capacity_returns() {
+        // Crash a node while every other node is already full: the 2
+        // victims park. When the node repairs and rejoins, the parked
+        // retry lands them — recovery converges instead of stranding.
+        let config = RecoveryConfig {
+            containers_per_node: 6, // 6 × 30 MiB fills the 192 MiB guest RAM
+            ..RecoveryConfig::lan_default()
+        };
+        let mut tl = FaultTimeline::new();
+        tl.push(
+            SimTime::from_secs(10),
+            FaultKind::NodeCrash { node: NodeId(0) },
+        );
+        tl.push(
+            SimTime::from_secs(40),
+            FaultKind::NodeRepair { node: NodeId(0) },
+        );
+        let r = run_recovery(&config, &tl, SimDuration::from_secs(120), 11);
+        assert!(
+            r.stranded > 0,
+            "victims must park while the cluster is full"
+        );
+        assert_eq!(r.rescheduled, 6, "all 6 land once the node rejoins");
+        assert_eq!(r.unplaced_at_end, 0, "nothing left parked at the end");
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Correlated failure domains derived from the physical layout.
+//!
+//! The paper's testbed is physically organised into Lego racks of 14 Pis
+//! sharing a ToR switch and a power feed (§II), so real outages are
+//! *correlated*: a PSU brownout or a ToR failure takes the whole rack,
+//! not one board. A [`DomainTree`] reads that containment hierarchy —
+//! node → rack {PSU, ToR} → site — off a [`Topology`], giving the churn
+//! generator ([`crate::FaultTimeline::domain_churn`]) and the chaos
+//! scheduler ([`crate::chaos`]) the membership they need to fan one
+//! domain-level event out to every member deterministically.
+
+use picloud_hardware::dvfs::ScalableCpu;
+use picloud_hardware::node::NodeId;
+use picloud_network::topology::{DeviceKind, LinkId, Topology};
+use picloud_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One rack as a failure domain: the boards behind one PSU and one ToR
+/// switch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RackDomain {
+    /// The rack index (matches `DeviceKind::Host { rack }`).
+    pub rack: u16,
+    /// Member nodes, in id order.
+    pub members: Vec<NodeId>,
+    /// Fabric uplinks from the ToR towards aggregation/core — the links a
+    /// partition severs while intra-rack traffic keeps flowing.
+    pub uplinks: Vec<LinkId>,
+    /// Every link incident to the ToR (uplinks *and* host access links) —
+    /// what a ToR switch failure takes down.
+    pub tor_links: Vec<LinkId>,
+}
+
+/// The failure-domain hierarchy of one fabric: which nodes share a rack
+/// PSU and ToR, and which link each node hangs off.
+///
+/// Node ids follow the same convention the cluster builder uses:
+/// `NodeId(i)` is the *i*-th host device in rack-major
+/// (`Topology::hosts_by_rack`) order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainTree {
+    racks: Vec<RackDomain>,
+    rack_of: BTreeMap<NodeId, u16>,
+    access: BTreeMap<NodeId, LinkId>,
+    node_of_access: BTreeMap<LinkId, NodeId>,
+}
+
+impl DomainTree {
+    /// Derives the domain tree from a topology. Any fabric with
+    /// `DeviceKind::Host`/`TopOfRack` rack tags works (multi-root tree,
+    /// fat-tree, leaf-spine).
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut rack_of = BTreeMap::new();
+        let mut access = BTreeMap::new();
+        let mut node_of_access = BTreeMap::new();
+        let mut racks: BTreeMap<u16, RackDomain> = BTreeMap::new();
+
+        let mut next = 0u32;
+        for (&rack, hosts) in &topo.hosts_by_rack() {
+            let dom = racks.entry(rack).or_insert_with(|| RackDomain {
+                rack,
+                members: Vec::new(),
+                uplinks: Vec::new(),
+                tor_links: Vec::new(),
+            });
+            for &host in hosts {
+                let node = NodeId(next);
+                next += 1;
+                dom.members.push(node);
+                rack_of.insert(node, rack);
+                // A host's access link is its (single) incident link.
+                if let Some(&(_, link)) = topo.neighbours(host).first() {
+                    access.insert(node, link);
+                    node_of_access.insert(link, node);
+                }
+            }
+        }
+        for d in topo.devices() {
+            let DeviceKind::TopOfRack { rack } = d.kind else {
+                continue;
+            };
+            let Some(dom) = racks.get_mut(&rack) else {
+                continue;
+            };
+            for &(peer, link) in topo.neighbours(d.id) {
+                dom.tor_links.push(link);
+                if !topo.device(peer).kind.is_host() {
+                    dom.uplinks.push(link);
+                }
+            }
+            dom.uplinks.sort();
+            dom.tor_links.sort();
+        }
+        DomainTree {
+            racks: racks.into_values().collect(),
+            rack_of,
+            access,
+            node_of_access,
+        }
+    }
+
+    /// The racks, in rack order.
+    pub fn racks(&self) -> &[RackDomain] {
+        &self.racks
+    }
+
+    /// Number of racks.
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Total member nodes across all racks.
+    pub fn node_count(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// Every member node, in id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.rack_of.keys().copied().collect()
+    }
+
+    /// One rack's domain, if it exists.
+    pub fn rack(&self, rack: u16) -> Option<&RackDomain> {
+        self.racks.iter().find(|r| r.rack == rack)
+    }
+
+    /// The members of `rack` (empty for an unknown rack).
+    pub fn members(&self, rack: u16) -> &[NodeId] {
+        self.rack(rack).map_or(&[], |r| r.members.as_slice())
+    }
+
+    /// Which rack a node sits in.
+    pub fn rack_of(&self, node: NodeId) -> Option<u16> {
+        self.rack_of.get(&node).copied()
+    }
+
+    /// The node's host access link.
+    pub fn access_link(&self, node: NodeId) -> Option<LinkId> {
+        self.access.get(&node).copied()
+    }
+
+    /// The node behind a host access link (None for fabric links).
+    pub fn node_of_access(&self, link: LinkId) -> Option<NodeId> {
+        self.node_of_access.get(&link).copied()
+    }
+
+    /// The racks selected by a partition bitmask (bit *r* = rack *r*),
+    /// restricted to racks that exist.
+    pub fn masked_racks(&self, rack_mask: u16) -> Vec<u16> {
+        self.racks
+            .iter()
+            .map(|r| r.rack)
+            .filter(|&r| r < 16 && rack_mask & (1 << r) != 0)
+            .collect()
+    }
+}
+
+impl fmt::Display for DomainTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "domain tree: {} racks, {} nodes",
+            self.rack_count(),
+            self.node_count()
+        )
+    }
+}
+
+/// Domain-level and gray-fault churn rates, layered on top of the
+/// per-member [`crate::ChurnConfig`]. Every MTBF of `SimDuration::MAX`
+/// disables that fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainChurnConfig {
+    /// Mean time between rack PSU brownouts, per rack.
+    pub rack_power_mtbf: SimDuration,
+    /// Mean rack power outage.
+    pub rack_power_mttr: SimDuration,
+    /// Mean time between ToR switch failures, per rack.
+    pub tor_mtbf: SimDuration,
+    /// Mean ToR outage (swap in the spare switch).
+    pub tor_mttr: SimDuration,
+    /// Mean time between partial partitions, fabric-wide.
+    pub partition_mtbf: SimDuration,
+    /// Mean partition duration.
+    pub partition_mttr: SimDuration,
+    /// Mean time between SD-card degradations, per node.
+    pub sd_mtbf: SimDuration,
+    /// Mean time a degraded card stays degraded (until reflash).
+    pub sd_mttr: SimDuration,
+    /// Remaining storage throughput while degraded, permille of nominal.
+    pub sd_permille: u16,
+    /// Mean time between a host access link turning lossy, per node.
+    pub lossy_mtbf: SimDuration,
+    /// Mean time a lossy link stays lossy (until reseated).
+    pub lossy_mttr: SimDuration,
+    /// Per-attempt RPC drop probability while lossy, permille.
+    pub loss_permille: u16,
+    /// Mean time between thermal-throttle episodes, per node.
+    pub slow_mtbf: SimDuration,
+    /// Mean throttle episode duration.
+    pub slow_mttr: SimDuration,
+    /// Clock while throttled, permille of nominal (the DVFS floor).
+    pub slow_permille: u16,
+}
+
+impl DomainChurnConfig {
+    /// Scale-model rates tuned so even a 20-minute accelerated run
+    /// usually sees a rack-level event and a steady trickle of gray
+    /// faults — enough to exercise every correlated path without
+    /// drowning the independent churn. Gray-fault severities come from
+    /// the hardware models: the SD card at a fifth of nominal, the CPU
+    /// clamped to the BCM2835's DVFS floor.
+    pub fn accelerated() -> Self {
+        DomainChurnConfig {
+            rack_power_mtbf: SimDuration::from_secs(2 * 3600),
+            rack_power_mttr: SimDuration::from_secs(3 * 60),
+            tor_mtbf: SimDuration::from_secs(3 * 3600),
+            tor_mttr: SimDuration::from_secs(2 * 60),
+            partition_mtbf: SimDuration::from_secs(90 * 60),
+            partition_mttr: SimDuration::from_secs(90),
+            sd_mtbf: SimDuration::from_secs(8 * 3600),
+            sd_mttr: SimDuration::from_secs(10 * 60),
+            sd_permille: 200,
+            lossy_mtbf: SimDuration::from_secs(8 * 3600),
+            lossy_mttr: SimDuration::from_secs(5 * 60),
+            loss_permille: 250,
+            slow_mtbf: SimDuration::from_secs(8 * 3600),
+            slow_mttr: SimDuration::from_secs(10 * 60),
+            slow_permille: ScalableCpu::bcm2835().floor_permille(),
+        }
+    }
+
+    /// Every domain-level and gray fault class disabled — the layered
+    /// churn degenerates to the per-member base churn.
+    pub fn disabled() -> Self {
+        DomainChurnConfig {
+            rack_power_mtbf: SimDuration::MAX,
+            rack_power_mttr: SimDuration::MAX,
+            tor_mtbf: SimDuration::MAX,
+            tor_mttr: SimDuration::MAX,
+            partition_mtbf: SimDuration::MAX,
+            partition_mttr: SimDuration::MAX,
+            sd_mtbf: SimDuration::MAX,
+            sd_mttr: SimDuration::MAX,
+            sd_permille: 1000,
+            lossy_mtbf: SimDuration::MAX,
+            lossy_mttr: SimDuration::MAX,
+            loss_permille: 0,
+            slow_mtbf: SimDuration::MAX,
+            slow_mttr: SimDuration::MAX,
+            slow_permille: 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fabric_yields_four_racks_of_fourteen() {
+        let topo = Topology::multi_root_tree(4, 14, 2);
+        let tree = DomainTree::from_topology(&topo);
+        assert_eq!(tree.rack_count(), 4);
+        assert_eq!(tree.node_count(), 56);
+        for (i, r) in tree.racks().iter().enumerate() {
+            assert_eq!(r.rack, i as u16);
+            assert_eq!(r.members.len(), 14);
+            assert_eq!(r.uplinks.len(), 2, "two roots → two uplinks");
+            assert_eq!(r.tor_links.len(), 16, "14 access + 2 uplinks");
+        }
+        // Rack-major node numbering matches the cluster builder.
+        assert_eq!(tree.rack_of(NodeId(0)), Some(0));
+        assert_eq!(tree.rack_of(NodeId(13)), Some(0));
+        assert_eq!(tree.rack_of(NodeId(14)), Some(1));
+        assert_eq!(tree.rack_of(NodeId(55)), Some(3));
+    }
+
+    #[test]
+    fn access_links_round_trip() {
+        let topo = Topology::multi_root_tree(4, 14, 2);
+        let tree = DomainTree::from_topology(&topo);
+        for node in tree.nodes() {
+            let link = tree.access_link(node).expect("every host has a link");
+            assert_eq!(tree.node_of_access(link), Some(node));
+        }
+        // Uplinks are not access links.
+        for r in tree.racks() {
+            for &up in &r.uplinks {
+                assert_eq!(tree.node_of_access(up), None);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_racks_respects_the_bitmask() {
+        let topo = Topology::multi_root_tree(4, 14, 2);
+        let tree = DomainTree::from_topology(&topo);
+        assert_eq!(tree.masked_racks(0b0101), vec![0, 2]);
+        assert_eq!(tree.masked_racks(0), Vec::<u16>::new());
+        assert_eq!(tree.masked_racks(0b1111), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fat_tree_racks_are_edge_switch_groups() {
+        let topo = Topology::fat_tree(4);
+        let tree = DomainTree::from_topology(&topo);
+        assert_eq!(tree.rack_count(), 8);
+        assert_eq!(tree.node_count(), 16);
+        for r in tree.racks() {
+            assert_eq!(r.members.len(), 2);
+            assert_eq!(r.uplinks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn serialises() {
+        let tree = DomainTree::from_topology(&Topology::multi_root_tree(2, 3, 1));
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DomainTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn slow_permille_is_the_dvfs_floor() {
+        let c = DomainChurnConfig::accelerated();
+        assert_eq!(c.slow_permille, 428, "300/700 MHz in permille");
+    }
+}

@@ -16,18 +16,29 @@
 //! * [`rpc`] — an [`RpcPlane`]: the fallible pimaster↔daemon management
 //!   plane with sim-time timeouts and exponential backoff under
 //!   deterministic jitter.
+//! * [`domain`] — a [`DomainTree`]: the correlated failure-domain
+//!   hierarchy (node → rack PSU / ToR switch → site) read off the
+//!   physical topology, plus domain-level churn rates.
+//! * [`chaos`] — the deterministic chaos harness: seeded adversarial
+//!   [`ChaosSchedule`]s over the domain tree, [`InvariantViolation`]
+//!   reporting, and delta-debugging [`chaos::shrink`] to a minimal
+//!   reproducing schedule that replays from JSON.
 //!
-//! The recovery controller that consumes all three lives in
-//! `picloud::recovery`; this crate deliberately knows nothing about
-//! containers or placement so the failure model stays reusable by any
-//! layer.
+//! The recovery controller that consumes all of these lives in
+//! `picloud::recovery` (and the invariant registry in `picloud::chaos`);
+//! this crate deliberately knows nothing about containers or placement
+//! so the failure model stays reusable by any layer.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod detector;
+pub mod domain;
 pub mod rpc;
 pub mod timeline;
 
+pub use chaos::{shrink, ChaosProfile, ChaosSchedule, InvariantViolation};
 pub use detector::{DetectorConfig, FailureDetector, NodeHealth};
+pub use domain::{DomainChurnConfig, DomainTree, RackDomain};
 pub use rpc::{RpcConfig, RpcError, RpcPlane, RpcStats};
 pub use timeline::{ChurnConfig, FaultEvent, FaultKind, FaultTimeline};

@@ -84,25 +84,38 @@ pub struct RpcStats {
     pub failures: u64,
     /// Individual attempt timeouts (a failed call counts several).
     pub timeouts: u64,
+    /// Attempts lost to a lossy link (a subset of `timeouts`: the caller
+    /// cannot tell a drop from a dead daemon, only the fault plane can).
+    pub drops: u64,
     /// Retries performed.
     pub retries: u64,
+    /// Sim-time burned waiting on attempt timeouts.
+    pub timeout_wait: SimDuration,
+    /// Sim-time burned waiting in retry backoff.
+    pub backoff_wait: SimDuration,
 }
 
 impl RpcStats {
     /// Records these transport totals into `reg` at `now` as
-    /// `faults_rpc_*_total` counters (topped up to the running totals, so
-    /// repeated recording into the same registry never double-counts).
-    pub fn record_telemetry(&self, reg: &mut MetricsRegistry) {
+    /// `faults_rpc_*_total` counters plus the wait-time breakdown
+    /// (timeout vs backoff) as gauges (topped up to the running totals,
+    /// so repeated recording into the same registry never double-counts).
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry, now: SimTime) {
         for (name, total) in [
             ("faults_rpc_calls_total", self.calls),
             ("faults_rpc_replies_total", self.replies),
             ("faults_rpc_failures_total", self.failures),
             ("faults_rpc_timeouts_total", self.timeouts),
+            ("faults_rpc_drops_total", self.drops),
             ("faults_rpc_retries_total", self.retries),
         ] {
             let c = reg.counter(name, &[]);
             c.add(total - c.value());
         }
+        reg.gauge("faults_rpc_timeout_wait_seconds", &[])
+            .set(now, self.timeout_wait.as_secs_f64());
+        reg.gauge("faults_rpc_backoff_wait_seconds", &[])
+            .set(now, self.backoff_wait.as_secs_f64());
     }
 }
 
@@ -113,6 +126,17 @@ pub struct RpcPlane {
     jitter: ChaCha12Rng,
     down: BTreeSet<NodeId>,
     hung_until: BTreeMap<NodeId, SimTime>,
+    /// Gray fault: per-destination attempt-loss probability in permille
+    /// (a degraded access link drops management calls probabilistically).
+    loss: BTreeMap<NodeId, u16>,
+    /// Gray fault: per-destination clock permille — a DVFS-clamped node
+    /// answers at `rtt × 1000 / permille`.
+    slow: BTreeMap<NodeId, u16>,
+    /// Hard partition: reachability block counts (ToR outage and partial
+    /// partition can overlap, so this is a count, not a set).
+    blocked: BTreeMap<NodeId, u32>,
+    /// Per-destination calls that exhausted their retry budget.
+    exhausted: BTreeMap<NodeId, u64>,
     stats: RpcStats,
 }
 
@@ -126,6 +150,10 @@ impl RpcPlane {
             jitter: seeds.stream("rpc/jitter"),
             down: BTreeSet::new(),
             hung_until: BTreeMap::new(),
+            loss: BTreeMap::new(),
+            slow: BTreeMap::new(),
+            blocked: BTreeMap::new(),
+            exhausted: BTreeMap::new(),
             stats: RpcStats::default(),
         }
     }
@@ -155,9 +183,70 @@ impl RpcPlane {
         }
     }
 
-    /// Whether a call issued at `now` would get a reply.
+    /// Makes the link to `node` lossy: each attempt is independently
+    /// dropped with probability `permille / 1000` (drawn from the jitter
+    /// stream, so runs stay bit-reproducible). `0` clears the fault.
+    pub fn set_loss(&mut self, node: NodeId, permille: u16) {
+        if permille == 0 {
+            self.loss.remove(&node);
+        } else {
+            self.loss.insert(node, permille.min(1000));
+        }
+    }
+
+    /// Heals a lossy link to `node`.
+    pub fn clear_loss(&mut self, node: NodeId) {
+        self.loss.remove(&node);
+    }
+
+    /// Clamps `node`'s daemon clock to `permille` of nominal: replies
+    /// stretch to `rtt × 1000 / permille`. `1000` (or `0`) clears it.
+    pub fn set_slow(&mut self, node: NodeId, permille: u16) {
+        if permille == 0 || permille >= 1000 {
+            self.slow.remove(&node);
+        } else {
+            self.slow.insert(node, permille);
+        }
+    }
+
+    /// Restores `node`'s daemon to full clock.
+    pub fn clear_slow(&mut self, node: NodeId) {
+        self.slow.remove(&node);
+    }
+
+    /// Severs reachability to `node` (ToR outage, partial partition).
+    /// Blocks stack: two overlapping causes need two [`RpcPlane::unblock`]s.
+    pub fn block(&mut self, node: NodeId) {
+        *self.blocked.entry(node).or_insert(0) += 1;
+    }
+
+    /// Releases one reachability block on `node`.
+    pub fn unblock(&mut self, node: NodeId) {
+        if let Some(count) = self.blocked.get_mut(&node) {
+            *count -= 1;
+            if *count == 0 {
+                self.blocked.remove(&node);
+            }
+        }
+    }
+
+    /// Whether any reachability block is active on `node`.
+    pub fn is_blocked(&self, node: NodeId) -> bool {
+        self.blocked.contains_key(&node)
+    }
+
+    /// Per-destination counts of calls that exhausted their retry budget.
+    pub fn exhausted_by_node(&self) -> &BTreeMap<NodeId, u64> {
+        &self.exhausted
+    }
+
+    /// Whether a call issued at `now` would get a reply (loss is
+    /// probabilistic, so a lossy-but-alive node still counts as
+    /// responsive here).
     pub fn is_responsive(&self, node: NodeId, now: SimTime) -> bool {
-        !self.down.contains(&node) && self.hung_until.get(&node).is_none_or(|&t| t <= now)
+        !self.down.contains(&node)
+            && !self.blocked.contains_key(&node)
+            && self.hung_until.get(&node).is_none_or(|&t| t <= now)
     }
 
     /// Issues one management call to `node` at `now`.
@@ -222,13 +311,26 @@ impl RpcPlane {
                     });
                     tracer.span_end(now + waited + backoff, s, |_| {});
                 }
+                self.stats.backoff_wait = self.stats.backoff_wait.saturating_add(backoff);
                 waited = waited.saturating_add(backoff);
             }
-            if self.is_responsive(node, now + waited) {
-                // Reply: RTT with up to 25% deterministic jitter.
+            // Lossy link: the attempt may be eaten in flight. The draw
+            // only happens when the fault is installed, so healthy-path
+            // jitter sequences are untouched by this feature.
+            let dropped = match self.loss.get(&node) {
+                Some(&permille) => self.jitter.gen_range(0..1000u16) < permille,
+                None => false,
+            };
+            if !dropped && self.is_responsive(node, now + waited) {
+                // Reply: RTT with up to 25% deterministic jitter, stretched
+                // if the destination's clock is DVFS-clamped.
                 let jitter = self.jitter.gen_range(0.0..0.25);
                 self.stats.replies += 1;
-                let total = waited.saturating_add(self.config.rtt.mul_f64(1.0 + jitter));
+                let rtt = match self.slow.get(&node) {
+                    Some(&permille) => self.config.rtt.mul_f64(1000.0 / f64::from(permille.max(1))),
+                    None => self.config.rtt,
+                };
+                let total = waited.saturating_add(rtt.mul_f64(1.0 + jitter));
                 if let Some((tracer, _)) = &mut trace {
                     let s = tracer.span_start(now + waited, "rpc_reply", span, |e| {
                         e.u64("attempt", u64::from(attempt + 1));
@@ -241,15 +343,20 @@ impl RpcPlane {
                 return Ok(total);
             }
             self.stats.timeouts += 1;
+            if dropped {
+                self.stats.drops += 1;
+            }
             if let Some((tracer, _)) = &mut trace {
                 let s = tracer.span_start(now + waited, "rpc_timeout", span, |e| {
                     e.u64("attempt", u64::from(attempt + 1));
                 });
                 tracer.span_end(now + waited + self.config.timeout, s, |_| {});
             }
+            self.stats.timeout_wait = self.stats.timeout_wait.saturating_add(self.config.timeout);
             waited = waited.saturating_add(self.config.timeout);
         }
         self.stats.failures += 1;
+        *self.exhausted.entry(node).or_insert(0) += 1;
         if let Some((tracer, _)) = &mut trace {
             tracer.span_end(now + waited, span, |e| {
                 e.bool("ok", false);
@@ -276,6 +383,20 @@ impl RpcPlane {
     /// Accumulated counters.
     pub fn stats(&self) -> RpcStats {
         self.stats
+    }
+
+    /// Records the plane's totals into `reg` at `now`: the aggregate
+    /// [`RpcStats`] series plus one
+    /// `rpc_retry_budget_exhausted_total{node=…}` counter per destination
+    /// that has ever exhausted its budget. Topped up to running totals,
+    /// so repeated recording never double-counts.
+    pub fn record_telemetry(&self, reg: &mut MetricsRegistry, now: SimTime) {
+        self.stats.record_telemetry(reg, now);
+        for (node, &total) in &self.exhausted {
+            let label = node.0.to_string();
+            let c = reg.counter("rpc_retry_budget_exhausted_total", &[("node", &label)]);
+            c.add(total - c.value());
+        }
     }
 }
 
@@ -426,6 +547,105 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(off.emitted(), 0);
+    }
+
+    #[test]
+    fn fully_lossy_link_exhausts_the_budget_and_counts_drops() {
+        let mut p = plane(11);
+        p.set_loss(NodeId(2), 1000);
+        assert!(
+            p.is_responsive(NodeId(2), SimTime::ZERO),
+            "alive, just lossy"
+        );
+        assert!(p.call(NodeId(2), SimTime::ZERO).is_err());
+        assert_eq!(p.stats().drops, 2);
+        assert_eq!(p.stats().timeouts, 2);
+        assert_eq!(p.exhausted_by_node().get(&NodeId(2)), Some(&1));
+        p.clear_loss(NodeId(2));
+        assert!(p.call(NodeId(2), SimTime::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn partially_lossy_link_eventually_gets_through() {
+        let mut p = plane(12);
+        p.set_loss(NodeId(0), 300);
+        let mut replies = 0;
+        for i in 0..64 {
+            if p.call(NodeId(0), SimTime::from_secs(i)).is_ok() {
+                replies += 1;
+            }
+        }
+        let s = p.stats();
+        assert!(replies > 32, "most calls land: {replies}");
+        assert!(s.drops > 0, "some attempts dropped");
+        assert_eq!(s.drops, s.timeouts, "all timeouts here are drops");
+    }
+
+    #[test]
+    fn slow_node_stretches_the_reply() {
+        let mut fast = plane(13);
+        let mut slow = plane(13);
+        slow.set_slow(NodeId(0), 500);
+        let a = fast.call(NodeId(0), SimTime::ZERO).unwrap();
+        let b = slow.call(NodeId(0), SimTime::ZERO).unwrap();
+        // Same jitter draw, rtt doubled at 500‰.
+        assert!(b > a.mul_f64(1.9) && b < a.mul_f64(2.1), "{a} vs {b}");
+        slow.clear_slow(NodeId(0));
+        let c = slow.call(NodeId(0), SimTime::from_secs(1)).unwrap();
+        let d = fast.call(NodeId(0), SimTime::from_secs(1)).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn reachability_blocks_stack() {
+        let mut p = plane(14);
+        p.block(NodeId(5)); // ToR down
+        p.block(NodeId(5)); // and a partition over the same rack
+        assert!(!p.is_responsive(NodeId(5), SimTime::ZERO));
+        p.unblock(NodeId(5));
+        assert!(!p.is_responsive(NodeId(5), SimTime::ZERO), "one cause left");
+        assert!(p.is_blocked(NodeId(5)));
+        p.unblock(NodeId(5));
+        assert!(p.is_responsive(NodeId(5), SimTime::ZERO));
+        assert!(!p.is_blocked(NodeId(5)));
+    }
+
+    #[test]
+    fn wait_breakdown_splits_timeout_from_backoff() {
+        let mut p = plane(15);
+        p.node_down(NodeId(1));
+        let RpcError::Timeout { waited, .. } = p.call(NodeId(1), SimTime::ZERO).unwrap_err();
+        let s = p.stats();
+        let cfg = RpcConfig::lan_default();
+        assert_eq!(s.timeout_wait, cfg.timeout * 2);
+        assert!(s.backoff_wait >= cfg.backoff_base.mul_f64(0.5));
+        assert!(s.backoff_wait <= cfg.backoff_base);
+        assert_eq!(s.timeout_wait + s.backoff_wait, waited);
+    }
+
+    #[test]
+    fn exhaustion_telemetry_is_per_destination_and_idempotent() {
+        let mut p = plane(16);
+        p.node_down(NodeId(3));
+        p.node_down(NodeId(7));
+        let _ = p.call(NodeId(3), SimTime::ZERO);
+        let _ = p.call(NodeId(3), SimTime::from_secs(1));
+        let _ = p.call(NodeId(7), SimTime::from_secs(2));
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        let now = SimTime::from_secs(3);
+        p.record_telemetry(&mut reg, now);
+        p.record_telemetry(&mut reg, now); // top-up: no double count
+        assert_eq!(
+            reg.counter("rpc_retry_budget_exhausted_total", &[("node", "3")])
+                .value(),
+            2
+        );
+        assert_eq!(
+            reg.counter("rpc_retry_budget_exhausted_total", &[("node", "7")])
+                .value(),
+            1
+        );
+        assert_eq!(reg.counter("faults_rpc_failures_total", &[]).value(), 3);
     }
 
     #[test]

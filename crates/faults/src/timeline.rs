@@ -7,6 +7,7 @@
 //! makes the churn a pure function of `(seed, config, population)`: two
 //! runs with the same seed see bit-identical failures.
 
+use crate::domain::{DomainChurnConfig, DomainTree};
 use picloud_hardware::node::NodeId;
 use picloud_network::topology::LinkId;
 use picloud_simcore::engine::{Engine, EventContext};
@@ -15,6 +16,9 @@ use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Draws one fault/heal pair for an alternating churn process.
+type FaultPairDraw = Box<dyn FnMut(&mut ChaCha12Rng) -> (FaultKind, FaultKind)>;
 
 /// One kind of fault (or repair) hitting the testbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +54,115 @@ pub enum FaultKind {
         /// How long the hang lasts.
         lasting: SimDuration,
     },
+    /// A rack's shared PSU browns out: every board in the rack crashes at
+    /// the same instant. The correlated analogue of [`FaultKind::NodeCrash`];
+    /// membership comes from the [`crate::domain::DomainTree`].
+    RackPowerLoss {
+        /// The rack whose power feed fails.
+        rack: u16,
+    },
+    /// The rack PSU comes back and every board it starved reboots
+    /// (boards independently crashed remain down until their own repair).
+    RackPowerRestore {
+        /// The rack whose power feed returns.
+        rack: u16,
+    },
+    /// The rack's top-of-rack switch dies: boards keep running but
+    /// nothing — heartbeats, client traffic — reaches them.
+    TorSwitchDown {
+        /// The rack whose ToR switch fails.
+        rack: u16,
+    },
+    /// The ToR switch is replaced; surviving containers in the rack are
+    /// reachable again without any failover.
+    TorSwitchUp {
+        /// The rack whose ToR switch returns.
+        rack: u16,
+    },
+    /// A partial partition: the racks in `rack_mask` (bit *r* set = rack
+    /// *r*) lose their fabric uplinks, cutting them off from the
+    /// controller and from clients while intra-rack traffic still flows.
+    PartialPartition {
+        /// Bitmask of isolated racks.
+        rack_mask: u16,
+    },
+    /// The partition heals: the masked racks rejoin the fabric.
+    PartitionHeal {
+        /// Bitmask of racks rejoining (must match the partition event).
+        rack_mask: u16,
+    },
+    /// Gray fault: a node's SD card degrades to `permille`/1000 of its
+    /// nominal throughput, stretching image pulls and container starts.
+    SdCardDegraded {
+        /// The node with the flaky card.
+        node: NodeId,
+        /// Remaining throughput, in permille of nominal (e.g. 200 = 5×
+        /// slower).
+        permille: u16,
+    },
+    /// The flaky SD card is reflashed or replaced; storage throughput
+    /// returns to nominal.
+    SdCardHealed {
+        /// The node whose card recovered.
+        node: NodeId,
+    },
+    /// Gray fault: a link drops frames. RPC attempts crossing it fail
+    /// with probability `loss_permille`/1000 instead of always or never.
+    LossyLink {
+        /// The degraded link (meaningful for host access links).
+        link: LinkId,
+        /// Per-attempt drop probability, in permille.
+        loss_permille: u16,
+    },
+    /// The lossy link is reseated; loss returns to zero.
+    LossyLinkHealed {
+        /// The healed link.
+        link: LinkId,
+    },
+    /// Gray fault: a node's CPU is clamped to `permille`/1000 of nominal
+    /// (thermal throttling pinning DVFS to its floor), stretching every
+    /// reply and restart the node serves.
+    SlowNode {
+        /// The throttled node.
+        node: NodeId,
+        /// Remaining clock, in permille of nominal.
+        permille: u16,
+    },
+    /// The node cools off and runs at full clock again.
+    SlowNodeHealed {
+        /// The recovered node.
+        node: NodeId,
+    },
+}
+
+impl FaultKind {
+    /// Whether this is a correlated, domain-level fault or repair (rack
+    /// PSU, ToR switch, partition) rather than a single-member event.
+    pub fn is_domain_level(self) -> bool {
+        matches!(
+            self,
+            FaultKind::RackPowerLoss { .. }
+                | FaultKind::RackPowerRestore { .. }
+                | FaultKind::TorSwitchDown { .. }
+                | FaultKind::TorSwitchUp { .. }
+                | FaultKind::PartialPartition { .. }
+                | FaultKind::PartitionHeal { .. }
+        )
+    }
+
+    /// Whether this is a gray fault or its repair: the member stays up
+    /// but degraded (flaky storage, lossy link, clamped CPU).
+    pub fn is_gray(self) -> bool {
+        matches!(
+            self,
+            FaultKind::SdCardDegraded { .. }
+                | FaultKind::SdCardHealed { .. }
+                | FaultKind::LossyLink { .. }
+                | FaultKind::LossyLinkHealed { .. }
+                | FaultKind::SlowNode { .. }
+                | FaultKind::SlowNodeHealed { .. }
+        )
+    }
 }
 
 impl fmt::Display for FaultKind {
@@ -62,6 +175,29 @@ impl fmt::Display for FaultKind {
             FaultKind::DaemonHang { node, lasting } => {
                 write!(f, "daemon-hang {node} for {lasting}")
             }
+            FaultKind::RackPowerLoss { rack } => write!(f, "rack-power-loss rack-{rack}"),
+            FaultKind::RackPowerRestore { rack } => write!(f, "rack-power-restore rack-{rack}"),
+            FaultKind::TorSwitchDown { rack } => write!(f, "tor-down rack-{rack}"),
+            FaultKind::TorSwitchUp { rack } => write!(f, "tor-up rack-{rack}"),
+            FaultKind::PartialPartition { rack_mask } => {
+                write!(f, "partition racks:{rack_mask:#06b}")
+            }
+            FaultKind::PartitionHeal { rack_mask } => {
+                write!(f, "partition-heal racks:{rack_mask:#06b}")
+            }
+            FaultKind::SdCardDegraded { node, permille } => {
+                write!(f, "sd-degraded {node} to {permille}‰")
+            }
+            FaultKind::SdCardHealed { node } => write!(f, "sd-healed {node}"),
+            FaultKind::LossyLink {
+                link,
+                loss_permille,
+            } => write!(f, "lossy-link {link:?} at {loss_permille}‰"),
+            FaultKind::LossyLinkHealed { link } => write!(f, "lossy-link-healed {link:?}"),
+            FaultKind::SlowNode { node, permille } => {
+                write!(f, "slow-node {node} at {permille}‰")
+            }
+            FaultKind::SlowNodeHealed { node } => write!(f, "slow-node-healed {node}"),
         }
     }
 }
@@ -112,7 +248,7 @@ impl ChurnConfig {
 
 /// Draws an exponential wait with the given mean. The mean is clamped to
 /// at least 1 ns so a zero-mean config cannot produce an infinite loop.
-fn exponential(rng: &mut ChaCha12Rng, mean: SimDuration) -> SimDuration {
+pub(crate) fn exponential(rng: &mut ChaCha12Rng, mean: SimDuration) -> SimDuration {
     if mean == SimDuration::MAX {
         return SimDuration::MAX;
     }
@@ -175,6 +311,20 @@ impl FaultTimeline {
             .iter()
             .filter(|e| matches!(e.kind, FaultKind::LinkDown { .. }))
             .count()
+    }
+
+    /// Number of correlated, domain-level events (rack PSU, ToR,
+    /// partition — faults and repairs both).
+    pub fn domain_event_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind.is_domain_level())
+            .count()
+    }
+
+    /// Number of gray-fault events (degradations and their repairs).
+    pub fn gray_event_count(&self) -> usize {
+        self.events.iter().filter(|e| e.kind.is_gray()).count()
     }
 
     /// The instant of the last event, or `SimTime::ZERO` when empty.
@@ -266,6 +416,162 @@ impl FaultTimeline {
         // (node-major, then links), which is itself deterministic.
         events.sort_by_key(|e| e.at);
         FaultTimeline { events }
+    }
+
+    /// Layered churn: the per-member schedule of [`FaultTimeline::churn`]
+    /// plus correlated domain-level events (rack PSU, ToR switch, partial
+    /// partitions) and gray faults (SD degradation, lossy access links,
+    /// thermal throttling) drawn from the [`DomainTree`]'s membership at
+    /// the [`DomainChurnConfig`]'s rates.
+    ///
+    /// Every domain and every member keeps its own labelled stream
+    /// (`churn/rack-power/r`, `churn/tor/r`, `churn/partition`,
+    /// `churn/sd/i`, `churn/lossy/i`, `churn/slow/i`), so enabling one
+    /// class never perturbs another, and the whole schedule stays a pure
+    /// function of `(seed, configs, tree)`.
+    pub fn domain_churn(
+        base: &ChurnConfig,
+        domain: &DomainChurnConfig,
+        tree: &DomainTree,
+        links: &[LinkId],
+        horizon: SimDuration,
+        seeds: &SeedFactory,
+    ) -> Self {
+        let mut timeline = Self::churn(base, &tree.nodes(), links, horizon, seeds);
+        let end = SimTime::ZERO + horizon;
+        let mut events = Vec::new();
+        // Alternating fault/heal process: draws an exponential up-time,
+        // emits the fault, draws the outage, emits the heal. A heal past
+        // the horizon is dropped — the fault stays active to the end.
+        let alternate = |rng: &mut ChaCha12Rng,
+                         mtbf: SimDuration,
+                         mttr: SimDuration,
+                         events: &mut Vec<FaultEvent>,
+                         mut pair: FaultPairDraw| {
+            let mut t = SimTime::ZERO;
+            loop {
+                let gap = exponential(rng, mtbf);
+                if gap == SimDuration::MAX {
+                    break;
+                }
+                t = t.saturating_add(gap);
+                if t > end {
+                    break;
+                }
+                let (fault, heal) = pair(rng);
+                events.push(FaultEvent { at: t, kind: fault });
+                t = t.saturating_add(exponential(rng, mttr));
+                if t > end {
+                    break;
+                }
+                events.push(FaultEvent { at: t, kind: heal });
+            }
+        };
+        for r in tree.racks() {
+            let rack = r.rack;
+            let mut rng = seeds.indexed_stream("churn/rack-power", u64::from(rack));
+            alternate(
+                &mut rng,
+                domain.rack_power_mtbf,
+                domain.rack_power_mttr,
+                &mut events,
+                Box::new(move |_| {
+                    (
+                        FaultKind::RackPowerLoss { rack },
+                        FaultKind::RackPowerRestore { rack },
+                    )
+                }),
+            );
+            let mut rng = seeds.indexed_stream("churn/tor", u64::from(rack));
+            alternate(
+                &mut rng,
+                domain.tor_mtbf,
+                domain.tor_mttr,
+                &mut events,
+                Box::new(move |_| {
+                    (
+                        FaultKind::TorSwitchDown { rack },
+                        FaultKind::TorSwitchUp { rack },
+                    )
+                }),
+            );
+        }
+        let rack_bits = tree.rack_count().min(16) as u32;
+        if rack_bits >= 2 {
+            let mut rng = seeds.stream("churn/partition");
+            alternate(
+                &mut rng,
+                domain.partition_mtbf,
+                domain.partition_mttr,
+                &mut events,
+                Box::new(move |rng: &mut ChaCha12Rng| {
+                    // A proper, non-empty subset of the racks.
+                    let rack_mask = rng.gen_range(1..(1u32 << rack_bits) - 1) as u16;
+                    (
+                        FaultKind::PartialPartition { rack_mask },
+                        FaultKind::PartitionHeal { rack_mask },
+                    )
+                }),
+            );
+        }
+        for (i, node) in tree.nodes().into_iter().enumerate() {
+            let sd_permille = domain.sd_permille;
+            let mut rng = seeds.indexed_stream("churn/sd", i as u64);
+            alternate(
+                &mut rng,
+                domain.sd_mtbf,
+                domain.sd_mttr,
+                &mut events,
+                Box::new(move |_| {
+                    (
+                        FaultKind::SdCardDegraded {
+                            node,
+                            permille: sd_permille,
+                        },
+                        FaultKind::SdCardHealed { node },
+                    )
+                }),
+            );
+            if let Some(link) = tree.access_link(node) {
+                let loss_permille = domain.loss_permille;
+                let mut rng = seeds.indexed_stream("churn/lossy", i as u64);
+                alternate(
+                    &mut rng,
+                    domain.lossy_mtbf,
+                    domain.lossy_mttr,
+                    &mut events,
+                    Box::new(move |_| {
+                        (
+                            FaultKind::LossyLink {
+                                link,
+                                loss_permille,
+                            },
+                            FaultKind::LossyLinkHealed { link },
+                        )
+                    }),
+                );
+            }
+            let slow_permille = domain.slow_permille;
+            let mut rng = seeds.indexed_stream("churn/slow", i as u64);
+            alternate(
+                &mut rng,
+                domain.slow_mtbf,
+                domain.slow_mttr,
+                &mut events,
+                Box::new(move |_| {
+                    (
+                        FaultKind::SlowNode {
+                            node,
+                            permille: slow_permille,
+                        },
+                        FaultKind::SlowNodeHealed { node },
+                    )
+                }),
+            );
+        }
+        timeline.events.extend(events);
+        timeline.events.sort_by_key(|e| e.at);
+        timeline
     }
 
     /// Schedules every event onto `engine`, delivering each through

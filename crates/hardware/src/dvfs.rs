@@ -77,6 +77,15 @@ impl ScalableCpu {
         self
     }
 
+    /// The DVFS floor as a permille of the stock clock — the slowdown a
+    /// thermally throttled board pinned to `min_clock` suffers. For the
+    /// BCM2835 this is 300/700 ≈ 428‰, the clamp the `SlowNode` gray
+    /// fault applies.
+    pub fn floor_permille(&self) -> u16 {
+        let max = self.max_clock.as_hz().max(1);
+        u16::try_from(self.min_clock.as_hz().saturating_mul(1000) / max).unwrap_or(1000)
+    }
+
     /// The clock chosen for an offered `load` (fraction of *max-clock*
     /// capacity, clamped to `[0, 1]`).
     pub fn clock_at(&self, load: f64) -> Frequency {

@@ -78,6 +78,38 @@ impl StorageSpec {
         }
     }
 
+    /// The same card degraded to `permille`/1000 of its nominal
+    /// throughput in every quadrant of the matrix — the gray-fault model
+    /// of a worn or counterfeit SD card that still works, just slowly.
+    /// Access latency is unchanged (the controller still answers; the
+    /// flash behind it is what got slow). `permille` is clamped to at
+    /// least 1 so a degraded card never divides time by zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use picloud_hardware::storage::{AccessPattern, IoDirection, StorageSpec};
+    /// use picloud_simcore::units::Bytes;
+    ///
+    /// let sd = StorageSpec::sd_card_16gb();
+    /// let worn = sd.degraded(200); // 5× slower
+    /// let healthy = sd.service_time(Bytes::mib(8), AccessPattern::Sequential, IoDirection::Read);
+    /// let slow = worn.service_time(Bytes::mib(8), AccessPattern::Sequential, IoDirection::Read);
+    /// assert!(slow > healthy * 4);
+    /// ```
+    pub fn degraded(&self, permille: u16) -> StorageSpec {
+        let factor = f64::from(permille.max(1)) / 1000.0;
+        StorageSpec {
+            model: format!("{} (degraded {permille}‰)", self.model),
+            capacity: self.capacity,
+            seq_read: self.seq_read.mul_f64(factor),
+            seq_write: self.seq_write.mul_f64(factor),
+            rand_read: self.rand_read.mul_f64(factor),
+            rand_write: self.rand_write.mul_f64(factor),
+            access_latency: self.access_latency,
+        }
+    }
+
     /// Throughput for a given pattern and direction.
     pub fn throughput(&self, pattern: AccessPattern, dir: IoDirection) -> Bandwidth {
         match (pattern, dir) {

@@ -25,6 +25,11 @@ pub struct Pimaster {
     images: ImageStore,
     next_node: u32,
     next_client: u64,
+    /// DHCP client behind each container's bridged lease, so destroying
+    /// the container returns its address to the rack pool. Without this
+    /// a long churn of spawn/destroy cycles (every failover is one)
+    /// leaks the pool dry and every later spawn 507s.
+    container_leases: BTreeMap<(NodeId, ContainerId), ClientId>,
     /// Slot counter per rack for the naming policy.
     rack_slots: BTreeMap<u16, u16>,
     /// API calls handled, by [`ApiRequest::verb`].
@@ -96,6 +101,11 @@ impl Pimaster {
     /// The DNS zone.
     pub fn dns(&self) -> &DnsService {
         &self.dns
+    }
+
+    /// The DHCP service.
+    pub fn dhcp(&self) -> &DhcpServer {
+        &self.dhcp
     }
 
     /// The image store.
@@ -190,6 +200,9 @@ impl Pimaster {
                     self.dns
                         .unregister(&DnsService::container_name(&ct_name, &node_name));
                 }
+                if let Some(client) = self.container_leases.remove(&(node, container)) {
+                    self.dhcp.release(client);
+                }
                 Ok(ApiResponse::Destroyed { node, container })
             }
             ApiRequest::SetVmLimits {
@@ -269,6 +282,7 @@ impl Pimaster {
             .map_err(|e| ApiError::InsufficientStorage(e.to_string()))?;
         let dns_name = DnsService::container_name(&name, &node_name);
         self.dns.register(dns_name.clone(), lease.addr);
+        self.container_leases.insert((node, container), client);
         Ok(ApiResponse::Spawned {
             node,
             container,
@@ -331,6 +345,39 @@ mod tests {
         let b = m.dns().resolve("pi-3-0.picloud").unwrap();
         assert_eq!(a.0[2], 0);
         assert_eq!(b.0[2], 3);
+    }
+
+    #[test]
+    fn destroy_returns_the_lease_to_the_pool() {
+        // A long spawn/destroy churn (every failover is one cycle) must
+        // not drain the rack's DHCP pool: far more cycles than a /24
+        // holds addresses all succeed because destroy releases the lease.
+        let mut m = master_with(4);
+        for i in 0..600 {
+            let resp = m
+                .handle(
+                    ApiRequest::SpawnContainer {
+                        node: NodeId(0),
+                        name: format!("churn-{i}"),
+                        image: "lighttpd".into(),
+                    },
+                    SimTime::ZERO,
+                )
+                .expect("the pool never runs dry");
+            let ApiResponse::Spawned { container, .. } = resp else {
+                unreachable!("spawn returns Spawned");
+            };
+            m.handle(
+                ApiRequest::DestroyContainer {
+                    node: NodeId(0),
+                    container,
+                },
+                SimTime::ZERO,
+            )
+            .expect("destroy succeeds");
+        }
+        let leases = m.dhcp().active_leases();
+        assert!(leases <= 4, "only node leases remain, got {leases}");
     }
 
     #[test]

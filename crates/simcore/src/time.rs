@@ -193,6 +193,11 @@ impl SimDuration {
         SimDuration(self.0.saturating_add(rhs.0))
     }
 
+    /// Subtracts a span, saturating at [`SimDuration::ZERO`].
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
     /// Multiplies by a float factor, clamping negatives to zero.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         SimDuration::from_secs_f64(self.as_secs_f64() * factor)

@@ -14,6 +14,7 @@
 //! cargo run --bin picloud -- slo --experiment e17
 //! cargo run --bin picloud -- panel
 //! cargo run --bin picloud -- lint --format jsonl
+//! cargo run --bin picloud -- chaos --seed 100 --schedules 25 --profile e17
 //! ```
 //!
 //! `telemetry` exports an experiment's labeled metrics snapshot (JSONL,
@@ -30,6 +31,11 @@
 //! prints the report (text by default, `--format jsonl` for the export
 //! form) and checks the ratchet against `lint-baseline.json`, failing
 //! on any new violation. See `LINTS.md` for the rule book.
+//!
+//! `chaos` runs seeded adversarial fault schedules against the recovery
+//! stack with the invariant registry armed; violations are shrunk to
+//! 1-minimal reproducers and serialised as `chaos-shrunk-<seed>.json`
+//! for bit-for-bit replay. See `FAULTS.md` for the rule book.
 
 use picloud::experiments::{
     dvfs_exp::DvfsExperiment, failure_exp::FailureExperiment, fidelity::FidelityExperiment,
@@ -230,12 +236,92 @@ fn run_lint(format: Option<&str>, out: Option<&str>) -> bool {
     }
 }
 
+/// Runs the `chaos` subcommand: N seeded adversarial schedules against
+/// the recovery stack with the invariant registry armed, plus the
+/// gossip-tombstone and flow-conservation side checks. Any violating
+/// schedule is shrunk to a 1-minimal reproducer and serialised to
+/// `chaos-shrunk-<seed>.json` so the bug replays bit-for-bit; the exit
+/// code turns non-zero. See `FAULTS.md` for the invariant registry.
+fn run_chaos_cmd(seed: u64, schedules: usize, profile: &str, out: Option<&str>) -> bool {
+    use picloud::chaos::{
+        chaos_config_e17, chaos_config_oversub, domain_tree, run_chaos, run_chaos_schedule,
+        shrink_schedule, Sabotage,
+    };
+    use picloud_faults::{ChaosProfile, ChaosSchedule};
+
+    let config = match profile {
+        "e17" => chaos_config_e17(),
+        "oversub" => chaos_config_oversub(),
+        other => {
+            eprintln!("unknown --profile '{other}' (e17, oversub)");
+            return false;
+        }
+    };
+    println!("chaos: {schedules} schedule(s) from seed {seed}, profile {profile}");
+    let outcomes = run_chaos(
+        &config,
+        &ChaosProfile::standard(),
+        seed,
+        schedules,
+        Sabotage::None,
+    );
+    let mut clean = true;
+    for outcome in &outcomes {
+        match &outcome.violation {
+            None => println!(
+                "  seed {:>6}: ok  ({} events, {} rescheduled, {} reconnects, \
+                 availability {:.5})",
+                outcome.seed,
+                outcome.events,
+                outcome.report.rescheduled,
+                outcome.report.reconnects,
+                outcome.report.availability,
+            ),
+            Some(v) => {
+                clean = false;
+                println!("  seed {:>6}: VIOLATION {v}", outcome.seed);
+                // Shrink when the violation is schedule-driven; the
+                // gossip/flow side checks are seed-only and have no
+                // event list to minimise.
+                let tree = domain_tree();
+                let schedule =
+                    ChaosSchedule::generate(outcome.seed, &tree, &ChaosProfile::standard());
+                if run_chaos_schedule(&config, &schedule, Sabotage::None)
+                    .violation
+                    .is_some()
+                {
+                    let (shrunk, minimal) = shrink_schedule(&config, &schedule, Sabotage::None);
+                    let dir = out.unwrap_or(".");
+                    let path = format!("{dir}/chaos-shrunk-{}.json", outcome.seed);
+                    match std::fs::write(&path, shrunk.to_json()) {
+                        Ok(()) => println!(
+                            "    shrunk to {} event(s) still firing {}; replay from {path}",
+                            shrunk.timeline.len(),
+                            minimal.invariant
+                        ),
+                        Err(e) => eprintln!("    cannot write {path}: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    if clean {
+        println!(
+            "chaos: all {} schedule(s) hold every invariant",
+            outcomes.len()
+        );
+    }
+    clean
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 2013u64;
     let mut experiment: Option<String> = None;
     let mut format: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut schedules = 10usize;
+    let mut profile = String::from("e17");
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -268,6 +354,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--schedules" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => schedules = n,
+                None => {
+                    eprintln!("--schedules needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => match it.next() {
+                Some(p) => profile = p.to_owned(),
+                None => {
+                    eprintln!("--profile needs one of e17, oversub");
+                    return ExitCode::FAILURE;
+                }
+            },
             "-h" | "--help" | "help" => {
                 targets = vec!["list".into()];
                 break;
@@ -291,7 +391,11 @@ fn main() -> ExitCode {
                     "       picloud spans|critical-path|slo --experiment <id|eN> \
                      [--format jsonl] [--out FILE]"
                 );
-                println!("       picloud lint [--format text|jsonl] [--out FILE]\n");
+                println!("       picloud lint [--format text|jsonl] [--out FILE]");
+                println!(
+                    "       picloud chaos [--seed N] [--schedules N] \
+                     [--profile e17|oversub] [--out DIR]\n"
+                );
                 for (name, desc) in EXPERIMENTS {
                     println!("  {name:<10} {desc}");
                 }
@@ -316,6 +420,11 @@ fn main() -> ExitCode {
             }
             "lint" => {
                 if !run_lint(format.as_deref(), out.as_deref()) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "chaos" => {
+                if !run_chaos_cmd(seed, schedules, &profile, out.as_deref()) {
                     return ExitCode::FAILURE;
                 }
             }
