@@ -62,7 +62,10 @@ impl TrafficExperiment {
         };
         let topo = Topology::multi_root_tree_with(4, 14, 2, rates);
         let workload = pattern.generate(&topo, duration, seeds);
-        let mut sim = FlowSimulator::new(topo, RoutingPolicy::default(), allocator);
+        // Batched replay + the partitioned solver: same bits at any
+        // worker count, so the pool size can come from the environment.
+        let mut sim = FlowSimulator::new(topo, RoutingPolicy::default(), allocator)
+            .with_workers(picloud_network::flowsim::partition::default_workers());
         workload
             .replay_on(&mut sim)
             // lint: allow(P1) reason=the generator draws endpoints from this connected builder topology; no route can be missing

@@ -12,6 +12,8 @@
 //! * **D1** — no `std::collections::{HashMap,HashSet}` outside tests;
 //! * **D2** — no wall-clock time outside `crates/bench`;
 //! * **D3** — no ambient randomness;
+//! * **D4** — no thread spawning outside `crates/bench` and the
+//!   quarantined `flowsim::partition` pool;
 //! * **P1** — no `unwrap`/`expect`/`panic!`/literal-indexing in
 //!   non-test, non-bench library code;
 //! * **O1** — public items in `simcore`/`mgmt`/`faults` carry docs.

@@ -5,6 +5,7 @@
 //! | D1   | no `std::collections::{HashMap,HashSet}` outside tests — iteration order leaks nondeterminism into simulation state |
 //! | D2   | no wall-clock time (`Instant`, `SystemTime`, `UNIX_EPOCH`) outside `crates/bench` — sim time must come from the engine clock |
 //! | D3   | no ambient randomness (`thread_rng`, `rand::random`, `from_entropy`, `OsRng`) — all RNG flows through the experiment seed |
+//! | D4   | no thread spawning (`std::thread`, `thread::spawn/scope/Builder`) outside `crates/bench` — concurrency must go through the quarantined, order-restoring solver pool |
 //! | P1   | no `.unwrap()` / `.expect(..)` / `panic!`-family macros / indexing-by-integer-literal in non-test, non-bench library code |
 //! | O1   | public items in `simcore` / `mgmt` / `faults` must carry doc comments |
 //!
@@ -26,6 +27,8 @@ pub enum Rule {
     D2,
     /// Ambient (unseeded) randomness.
     D3,
+    /// Thread spawning outside the quarantined worker pool.
+    D4,
     /// Panic paths in library code.
     P1,
     /// Undocumented public items in the contract crates.
@@ -34,7 +37,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in canonical order.
-    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::P1, Rule::O1];
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::P1, Rule::O1];
 
     /// The short name used in reports, markers and the baseline.
     pub fn name(self) -> &'static str {
@@ -42,6 +45,7 @@ impl Rule {
             Rule::D1 => "D1",
             Rule::D2 => "D2",
             Rule::D3 => "D3",
+            Rule::D4 => "D4",
             Rule::P1 => "P1",
             Rule::O1 => "O1",
         }
@@ -53,6 +57,7 @@ impl Rule {
             "D1" => Some(Rule::D1),
             "D2" => Some(Rule::D2),
             "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
             "P1" => Some(Rule::P1),
             "O1" => Some(Rule::O1),
             _ => None,
@@ -65,6 +70,7 @@ impl Rule {
             Rule::D1 => "no std HashMap/HashSet outside tests (iteration order nondeterminism)",
             Rule::D2 => "no wall-clock time (Instant/SystemTime/UNIX_EPOCH) outside crates/bench",
             Rule::D3 => "no ambient randomness; RNG must flow from the experiment seed",
+            Rule::D4 => "no thread spawning outside crates/bench; use the quarantined solver pool",
             Rule::P1 => "no unwrap/expect/panic!/literal-indexing in non-test library code",
             Rule::O1 => "public items in simcore/mgmt/faults must carry doc comments",
         }
@@ -169,6 +175,33 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                 "ambient randomness (rand::random); seed all RNG via simcore::rng".to_string(),
                 &map,
             );
+        }
+        // D4 — thread spawning. Concurrency in simulation code must go
+        // through the quarantined, order-restoring pool in
+        // `flowsim::partition` (itself carrying justified markers); a
+        // rogue spawn can leak scheduling order into results.
+        if crate_name != "bench" {
+            for pat in [
+                "std::thread",
+                "thread::spawn",
+                "thread::scope",
+                "thread::Builder",
+                "scope.spawn",
+            ] {
+                if code.contains(pat) {
+                    push(
+                        &mut scan,
+                        Rule::D4,
+                        i,
+                        format!(
+                            "thread spawning ({pat}) in simulation code; route concurrency \
+                             through the quarantined flowsim::partition pool"
+                        ),
+                        &map,
+                    );
+                    break;
+                }
+            }
         }
         // P1 — panic paths in library code.
         if crate_name != "bench" {

@@ -1,0 +1,24 @@
+// Fixture: exercises D4 (thread-spawn quarantine) positives and the
+// justified-allow negative. Line numbers are asserted by
+// crates/lint/tests/lint_rules.rs — append, don't reorder.
+
+pub fn rogue_spawn() {
+    std::thread::spawn(|| {}); // line 6: D4 positive (std::thread)
+}
+
+pub fn rogue_scope() {
+    thread::scope(|_s| {}); // line 10: D4 positive (thread::scope)
+}
+
+pub fn quarantined_pool() {
+    // lint: allow(D4) reason=fixture pool: scoped, clock-free, order-restoring
+    std::thread::scope(|_s| {}); // line 15: D4 allowed by marker above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        std::thread::spawn(|| {}).join().unwrap(); // D4/P1 exempt here
+    }
+}

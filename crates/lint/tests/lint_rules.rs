@@ -21,6 +21,7 @@ fn scan() -> picloud_lint::report::Report {
 }
 
 const APP: &str = "crates/app/src/lib.rs";
+const POOLAPP: &str = "crates/poolapp/src/lib.rs";
 const SIMCORE: &str = "crates/simcore/src/lib.rs";
 
 #[test]
@@ -32,26 +33,28 @@ fn every_rule_fires_exactly_where_expected() {
         .map(|f| (f.rule.as_str(), f.file.as_str(), f.line))
         .collect();
     let expected = vec![
-        ("D1", APP, 5),     // use std::collections::HashMap
-        ("D2", APP, 11),    // Instant::now()
-        ("D3", APP, 16),    // thread_rng()
-        ("P1", APP, 21),    // .unwrap()
-        ("P1", APP, 22),    // .expect("..")
-        ("P1", APP, 24),    // panic!
-        ("P1", APP, 26),    // v[0]
-        ("P1", APP, 41),    // marker without reason= does not suppress
-        ("O1", SIMCORE, 6), // undocumented pub fn in a contract crate
+        ("D1", APP, 5),      // use std::collections::HashMap
+        ("D2", APP, 11),     // Instant::now()
+        ("D3", APP, 16),     // thread_rng()
+        ("P1", APP, 21),     // .unwrap()
+        ("P1", APP, 22),     // .expect("..")
+        ("P1", APP, 24),     // panic!
+        ("P1", APP, 26),     // v[0]
+        ("P1", APP, 41),     // marker without reason= does not suppress
+        ("D4", POOLAPP, 6),  // std::thread::spawn
+        ("D4", POOLAPP, 10), // thread::scope
+        ("O1", SIMCORE, 6),  // undocumented pub fn in a contract crate
     ];
     assert_eq!(got, expected, "full report:\n{}", report.to_text());
-    assert_eq!(report.files_scanned, 3);
+    assert_eq!(report.files_scanned, 4);
 }
 
 #[test]
 fn justified_markers_suppress_and_are_counted() {
     let report = scan();
     // app: D1 line 8, P1 lines 31 and 36 (trailing form);
-    // simcore: O1 line 19.
-    assert_eq!(report.allowed, 4, "full report:\n{}", report.to_text());
+    // poolapp: D4 line 15; simcore: O1 line 19.
+    assert_eq!(report.allowed, 5, "full report:\n{}", report.to_text());
 }
 
 #[test]

@@ -33,13 +33,35 @@
 //!   (`tests/flowsim_equiv.rs` proves it on seeded random workloads);
 //! * a **completion-time min-heap** with lazy invalidation (per-flow rate
 //!   epochs, like the engine's cancelled set) replacing the O(active)
-//!   scan in [`FlowSimulator::next_completion_time`].
+//!   scan in [`FlowSimulator::next_completion_time`] — sharded per
+//!   topology partition so each pod's churn only disturbs its own heap.
+//!
+//! # Partitioned parallel solve (DESIGN.md §4c)
+//!
+//! The [`partition`] module derives a [`partition::PartitionMap`] from
+//! the topology (pods on the fat-tree, racks on the multi-root tree;
+//! core/gateway links form the *shared spine*). Each recomputation
+//! splits the dirty set into its connected sharing components, solves
+//! the components concurrently on [`partition::map_ordered`] — a
+//! deterministic, scoped, clock-free worker pool — and merges the
+//! results in ascending flow-id order. Because disjoint components
+//! share no resource, per-component arithmetic is identical to the
+//! joint solve, so the result is **bit-for-bit independent of the
+//! worker count** ([`FlowSimulator::set_workers`]);
+//! `tests/flowsim_equiv.rs` pins this against the serial oracle at
+//! worker counts 1, 2 and 8. Cross-partition flows collapse their
+//! regions into a single shared-spine solve, which runs exactly like
+//! any other region — just attributed to the `shared` bucket in the
+//! `network_partition_solves_total` telemetry.
 //!
 //! Same-instant arrival bursts (traffic generator, MapReduce shuffle)
 //! should use [`FlowSimulator::inject_batch`], which triggers one
 //! recomputation for the whole burst instead of one per flow.
 
+pub mod partition;
+
 use crate::flow::{CompletedFlow, Flow, FlowId, FlowSpec};
+use crate::flowsim::partition::PartitionMap;
 use crate::routing::{Router, RoutingPolicy};
 use crate::topology::{LinkId, Topology};
 use picloud_simcore::telemetry::MetricsRegistry;
@@ -51,6 +73,11 @@ use std::fmt;
 
 /// Bits below which a flow is considered finished (guards float error).
 const EPSILON_BITS: f64 = 1e-6;
+
+/// Minimum total region-flow count before a multi-region recompute is
+/// worth fanning out to the worker pool: below this, thread start-up
+/// dwarfs the solve. Results are bit-identical either way.
+const PARALLEL_FLOWS_MIN: usize = 64;
 
 /// How link capacity is divided among contending flows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -141,7 +168,7 @@ pub struct FlowSimulator {
     allocator: RateAllocator,
     mode: RecomputeMode,
     now: SimTime,
-    active: BTreeMap<FlowId, ActiveFlow>,
+    active: ActiveTable,
     next_id: u64,
     completed: Vec<CompletedFlow>,
     /// Monotonic count of every completion ever recorded — survives
@@ -151,11 +178,13 @@ pub struct FlowSimulator {
     resource_capacity: Vec<f64>,
     /// Inverted index: the active flows crossing each resource.
     flows_on: Vec<BTreeSet<FlowId>>,
-    /// Resource-sharing adjacency, flattened `n_res × n_res`: entry
-    /// `[a * n_res + b]` counts the active flows crossing both `a` and
-    /// `b`. Lets the dirty-region walk stay purely on resources instead
-    /// of chasing per-flow sets.
-    res_adj: Vec<u32>,
+    /// Resource-sharing adjacency, one sparse row per resource: row `a`
+    /// maps each co-traversed resource `b` to the number of active flows
+    /// crossing both. Lets the dirty-region walk stay purely on
+    /// resources instead of chasing per-flow sets, at memory
+    /// proportional to actual sharing (a dense `n_res²` matrix is
+    /// ~151 MB on a 1024-host fat-tree).
+    res_adj: Vec<BTreeMap<u32, u32>>,
     /// Current allocated rate sum per resource, bits/s (kept in lock-step
     /// with `flows_on` at every recomputation point).
     resource_used: Vec<f64>,
@@ -163,8 +192,18 @@ pub struct FlowSimulator {
     resource_util: Vec<TimeWeightedGauge>,
     /// Total bits carried per resource.
     resource_bits: Vec<f64>,
-    /// Min-heap of predicted completion instants (lazy invalidation).
-    completions: BinaryHeap<Reverse<CompletionEntry>>,
+    /// Pod/rack ownership of every device and link direction, derived
+    /// once from the topology.
+    partitions: PartitionMap,
+    /// Worker threads for the partitioned solve (1 = fully serial).
+    workers: usize,
+    /// Min-heaps of predicted completion instants (lazy invalidation),
+    /// sharded per partition bucket — local partitions first, the
+    /// shared-spine bucket last — so pod-local churn stays pod-local.
+    completions: Vec<BinaryHeap<Reverse<CompletionEntry>>>,
+    /// Regions solved per partition bucket since construction (the
+    /// `network_partition_solves_total` telemetry counter).
+    partition_solves: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -175,6 +214,134 @@ struct ActiveFlow {
     /// Bumped on every rate change; completion-heap entries carrying an
     /// older epoch are stale.
     epoch: u64,
+    /// The shard this flow lives in — active table and completion heap
+    /// alike: its partition bucket, fixed for the flow's lifetime (paths
+    /// never change after injection).
+    bucket: u32,
+}
+
+/// The active-flow table, sharded by partition bucket (local partitions
+/// first, the shared-spine bucket last) so that a region solve only
+/// touches maps sized to its own partition — lookups during gather and
+/// apply stay cache-resident no matter how many flows the *other* pods
+/// carry. Shard key-sets are disjoint (a flow lives in exactly the
+/// bucket of its resources), so a k-way merge over the shards recovers
+/// the global ascending-id iteration order bit-for-bit.
+#[derive(Debug, Clone)]
+struct ActiveTable {
+    shards: Vec<BTreeMap<FlowId, ActiveFlow>>,
+    total: usize,
+}
+
+impl ActiveTable {
+    fn new(shards: usize) -> Self {
+        ActiveTable {
+            shards: vec![BTreeMap::new(); shards],
+            total: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.total
+    }
+
+    fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Inserts into the shard named by `af.bucket`.
+    fn insert(&mut self, id: FlowId, af: ActiveFlow) {
+        let b = af.bucket as usize;
+        if self.shards[b].insert(id, af).is_none() {
+            self.total += 1;
+        }
+    }
+
+    /// Lookup when the owning shard is known (completion-heap entries
+    /// always name their own shard).
+    fn get_in(&self, bucket: u32, id: &FlowId) -> Option<&ActiveFlow> {
+        self.shards[bucket as usize].get(id)
+    }
+
+    /// Lookup by id alone, probing shards in bucket order. Shards are
+    /// disjoint, so at most one can answer.
+    fn get_mut_any(&mut self, id: &FlowId) -> Option<&mut ActiveFlow> {
+        self.shards.iter_mut().find_map(|s| s.get_mut(id))
+    }
+
+    /// Removal when the owning shard is known.
+    fn remove_in(&mut self, bucket: u32, id: &FlowId) -> Option<ActiveFlow> {
+        let removed = self.shards[bucket as usize].remove(id);
+        if removed.is_some() {
+            self.total -= 1;
+        }
+        removed
+    }
+
+    /// Removal by id alone, probing shards in bucket order.
+    fn remove_any(&mut self, id: &FlowId) -> Option<ActiveFlow> {
+        for s in &mut self.shards {
+            if let Some(af) = s.remove(id) {
+                self.total -= 1;
+                return Some(af);
+            }
+        }
+        None
+    }
+
+    /// All flows in ascending id order — the k-way merge over the
+    /// disjoint shards, bit-identical to iterating one global map.
+    fn iter_merged(&self) -> impl Iterator<Item = (FlowId, &ActiveFlow)> {
+        let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter().peekable()).collect();
+        std::iter::from_fn(move || {
+            let mut best: Option<(FlowId, usize)> = None;
+            for (k, it) in iters.iter_mut().enumerate() {
+                if let Some(&(&id, _)) = it.peek() {
+                    if best.is_none_or(|(bid, _)| id < bid) {
+                        best = Some((id, k));
+                    }
+                }
+            }
+            let (_, k) = best?;
+            iters[k].next().map(|(id, af)| (*id, af))
+        })
+    }
+}
+
+/// Visits every flow across `shards` in ascending id order with mutable
+/// access — the `iter_mut` flavour of [`ActiveTable::iter_merged`],
+/// shared by the clock advance and the dense apply walk.
+fn for_each_merged_mut(
+    shards: &mut [BTreeMap<FlowId, ActiveFlow>],
+    mut f: impl FnMut(FlowId, &mut ActiveFlow),
+) {
+    let mut iters: Vec<_> = shards.iter_mut().map(|s| s.iter_mut().peekable()).collect();
+    loop {
+        let mut best: Option<(FlowId, usize)> = None;
+        for (k, it) in iters.iter_mut().enumerate() {
+            if let Some((&id, _)) = it.peek() {
+                if best.is_none_or(|(bid, _)| id < bid) {
+                    best = Some((id, k));
+                }
+            }
+        }
+        let Some((_, k)) = best else { break };
+        let Some((id, af)) = iters[k].next() else {
+            break;
+        };
+        f(*id, af);
+    }
+}
+
+/// One disjoint dirty region prepared for solving: its resources plus
+/// its flow table (ids ascending, weights and path slices index-aligned)
+/// — the unit of work handed to [`partition::map_ordered`].
+struct RegionJob<'a> {
+    res_list: Vec<usize>,
+    bucket: u32,
+    flows: Vec<FlowId>,
+    weight: Vec<f64>,
+    paths: Vec<&'a [ResourceId]>,
 }
 
 /// The instant at which `remaining_bits` drains at `rate_bps`, rounded
@@ -199,26 +366,64 @@ impl FlowSimulator {
                 [c, c]
             })
             .collect();
+        let partitions = PartitionMap::derive(&topo);
+        let shards = partitions.shard_count();
         FlowSimulator {
             router: Router::new(policy),
             allocator,
             mode: RecomputeMode::default(),
             now: SimTime::ZERO,
-            active: BTreeMap::new(),
+            active: ActiveTable::new(shards),
             next_id: 0,
             completed: Vec::new(),
             completed_total: 0,
             resource_capacity,
             flows_on: vec![BTreeSet::new(); n_res],
-            res_adj: vec![0; n_res * n_res],
+            res_adj: vec![BTreeMap::new(); n_res],
             resource_used: vec![0.0; n_res],
             resource_util: (0..n_res)
                 .map(|_| TimeWeightedGauge::new(SimTime::ZERO, 0.0))
                 .collect(),
             resource_bits: vec![0.0; n_res],
-            completions: BinaryHeap::new(),
+            partitions,
+            workers: 1,
+            completions: vec![BinaryHeap::new(); shards],
+            partition_solves: vec![0; shards],
             topo,
         }
+    }
+
+    /// Builder-style variant of [`FlowSimulator::set_workers`].
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// The pod/rack partition map derived from the topology.
+    pub fn partition_map(&self) -> &PartitionMap {
+        &self.partitions
+    }
+
+    /// Worker threads used by the partitioned solve (1 = serial).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the worker-thread count for the partitioned solve (clamped
+    /// to at least 1). Purely a speed knob: results are bit-for-bit
+    /// identical at every worker count, because disjoint sharing
+    /// components solve with unchanged arithmetic and merge in a fixed
+    /// order (see the module docs and DESIGN.md §4c).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Dirty regions solved per partition bucket since construction —
+    /// index `i` is local partition `i`, the last entry is the shared
+    /// spine. The live view behind `network_partition_solves_total`.
+    pub fn partition_solves(&self) -> &[u64] {
+        &self.partition_solves
     }
 
     /// The topology being simulated.
@@ -268,8 +473,8 @@ impl FlowSimulator {
     /// flow, ascending by id.
     pub fn active_rates(&self) -> Vec<(FlowId, f64)> {
         self.active
-            .iter()
-            .map(|(id, af)| (*id, af.flow.rate_bps))
+            .iter_merged()
+            .map(|(id, af)| (id, af.flow.rate_bps))
             .collect()
     }
 
@@ -359,6 +564,7 @@ impl FlowSimulator {
             };
             self.index_add(id, &resources);
             seeds.extend(resources.iter().copied());
+            let bucket = self.flow_bucket(&resources);
             self.active.insert(
                 id,
                 ActiveFlow {
@@ -366,6 +572,7 @@ impl FlowSimulator {
                     resources,
                     prop_latency,
                     epoch: 0,
+                    bucket,
                 },
             );
         }
@@ -378,7 +585,7 @@ impl FlowSimulator {
     /// Cancels an in-flight flow (a failed request, an aborted migration).
     /// Returns the partially-transferred flow if it was active.
     pub fn cancel(&mut self, id: FlowId) -> Option<Flow> {
-        let af = self.active.remove(&id)?;
+        let af = self.active.remove_any(&id)?;
         self.index_remove(id, &af.resources);
         self.recompute_rates(&af.resources);
         Some(af.flow)
@@ -387,39 +594,47 @@ impl FlowSimulator {
     /// Earliest instant at which an active flow completes its transfer, or
     /// `None` if nothing is active (or everything is rate-starved).
     ///
-    /// Served from the completion min-heap: stale entries (flow gone, or
-    /// re-rated since the prediction) are popped lazily here. Completion
-    /// delays are rounded *up* to the next nanosecond, so the clock
-    /// always makes progress.
+    /// Served from the per-partition completion min-heaps: stale entries
+    /// (flow gone, or re-rated since the prediction) are popped lazily
+    /// here, then the earliest live prediction across the shards wins
+    /// (ties broken by flow id, so the scan order is immaterial).
+    /// Completion delays are rounded *up* to the next nanosecond, so the
+    /// clock always makes progress.
     pub fn next_completion_time(&mut self) -> Option<SimTime> {
-        loop {
-            let top = match self.completions.peek() {
-                Some(Reverse(e)) => *e,
-                None => return None,
-            };
-            let Some(af) = self.active.get(&top.id) else {
-                self.completions.pop();
-                continue;
-            };
-            if af.epoch != top.epoch {
-                self.completions.pop();
-                continue;
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for s in 0..self.completions.len() {
+            while let Some(Reverse(e)) = self.completions[s].peek() {
+                let top = *e;
+                let Some(af) = self.active.get_in(s as u32, &top.id) else {
+                    self.completions[s].pop();
+                    continue;
+                };
+                if af.epoch != top.epoch {
+                    self.completions[s].pop();
+                    continue;
+                }
+                if top.at <= self.now && af.flow.remaining_bits > EPSILON_BITS {
+                    // A sub-nanosecond residual survived the predicted
+                    // instant; re-predict from the current remaining
+                    // volume (≥ 1 ns ahead, so this cannot loop).
+                    let at = completion_at(self.now, af.flow.remaining_bits, af.flow.rate_bps);
+                    let entry = CompletionEntry {
+                        at,
+                        id: top.id,
+                        epoch: af.epoch,
+                    };
+                    self.completions[s].pop();
+                    self.completions[s].push(Reverse(entry));
+                    continue;
+                }
+                match best {
+                    Some(b) if b <= (top.at, top.id) => {}
+                    _ => best = Some((top.at, top.id)),
+                }
+                break;
             }
-            if top.at <= self.now && af.flow.remaining_bits > EPSILON_BITS {
-                // A sub-nanosecond residual survived the predicted
-                // instant; re-predict from the current remaining volume
-                // (≥ 1 ns ahead, so this cannot loop).
-                let at = completion_at(self.now, af.flow.remaining_bits, af.flow.rate_bps);
-                self.completions.pop();
-                self.completions.push(Reverse(CompletionEntry {
-                    at,
-                    id: top.id,
-                    epoch: af.epoch,
-                }));
-                continue;
-            }
-            return Some(top.at);
         }
+        best.map(|(at, _)| at)
     }
 
     /// Advances the clock to `deadline`, completing flows as they finish.
@@ -519,7 +734,11 @@ impl FlowSimulator {
     /// since start), `network_link_bytes_carried{link}` and
     /// `network_link_active_flows{link}` (queue-depth proxy), plus the
     /// cluster-wide `network_active_flows` gauge and
-    /// `network_completed_flows_total` counter.
+    /// `network_completed_flows_total` counter. The partitioned solver
+    /// adds the `network_partitions` gauge (local partition count) and
+    /// the `network_partition_solves_total{partition}` counter — one
+    /// series per pod/rack bucket plus `partition="shared"` for
+    /// spine-crossing regions.
     pub fn record_telemetry(&self, reg: &mut MetricsRegistry) {
         let now = self.now;
         for l in self.topo.links() {
@@ -542,6 +761,14 @@ impl FlowSimulator {
         // underflow.
         let done = reg.counter("network_completed_flows_total", &[]);
         done.add(self.completed_total.saturating_sub(done.value()));
+        reg.gauge("network_partitions", &[])
+            .set(now, self.partitions.partition_count() as f64);
+        for (b, &solves) in self.partition_solves.iter().enumerate() {
+            let label = self.partitions.bucket_label(b as u32);
+            let labels = [("partition", label.as_str())];
+            let c = reg.counter("network_partition_solves_total", &labels);
+            c.add(solves.saturating_sub(c.value()));
+        }
     }
 
     /// The `n` links with the highest time-weighted mean utilisation,
@@ -572,53 +799,82 @@ impl FlowSimulator {
         out
     }
 
+    /// The completion-heap shard for a flow crossing `resources`: its
+    /// partition if every resource agrees, the shared-spine bucket
+    /// otherwise (cross-pod paths, or paths touching a spine link).
+    fn flow_bucket(&self, resources: &[ResourceId]) -> u32 {
+        let shared = self.partitions.shared_id();
+        let mut owner: Option<u32> = None;
+        for r in resources {
+            let b = self.partitions.resource_bucket(r.0);
+            match owner {
+                None => owner = Some(b),
+                Some(o) if o == b => {}
+                Some(_) => return shared,
+            }
+        }
+        owner.unwrap_or(shared)
+    }
+
     /// Hooks a flow into the inverted index and the resource-sharing
     /// adjacency. `resources` is a simple path, so every entry is unique.
     fn index_add(&mut self, id: FlowId, resources: &[ResourceId]) {
-        let n = self.resource_capacity.len();
         for r in resources {
             self.flows_on[r.0].insert(id);
         }
         for a in resources {
+            let row = &mut self.res_adj[a.0];
             for b in resources {
-                self.res_adj[a.0 * n + b.0] += 1;
+                *row.entry(b.0 as u32).or_insert(0) += 1;
             }
         }
     }
 
-    /// Unhooks a flow from the inverted index and the adjacency counts.
+    /// Unhooks a flow from the inverted index and the adjacency counts,
+    /// dropping rows' entries that reach zero so the sparse adjacency
+    /// never outgrows the live sharing structure.
     fn index_remove(&mut self, id: FlowId, resources: &[ResourceId]) {
-        let n = self.resource_capacity.len();
         for r in resources {
             self.flows_on[r.0].remove(&id);
         }
         for a in resources {
+            let row = &mut self.res_adj[a.0];
             for b in resources {
-                self.res_adj[a.0 * n + b.0] -= 1;
+                let k = b.0 as u32;
+                if let Some(count) = row.get_mut(&k) {
+                    *count -= 1;
+                    if *count == 0 {
+                        row.remove(&k);
+                    }
+                }
             }
         }
     }
 
     /// Moves the clock forward, draining `remaining_bits` at current
     /// rates and integrating utilisation gauges. Returns the flows that
-    /// drained dry during this step, in ascending id order — the same
-    /// set and order a post-hoc scan would find, without a second walk.
-    fn advance_clock(&mut self, to: SimTime) -> Vec<FlowId> {
+    /// drained dry during this step (with their owning shard), in
+    /// ascending id order — the same set and order a post-hoc scan would
+    /// find, without a second walk. The merged shard walk preserves the
+    /// global ascending-id order, so the per-resource bit accumulation
+    /// stays bit-identical to a single-map iteration.
+    fn advance_clock(&mut self, to: SimTime) -> Vec<(FlowId, u32)> {
         if to == self.now {
             return Vec::new();
         }
         let dt = to.duration_since(self.now).as_secs_f64();
         let mut finished = Vec::new();
-        for (id, af) in self.active.iter_mut() {
+        let resource_bits = &mut self.resource_bits;
+        for_each_merged_mut(&mut self.active.shards, |id, af| {
             let moved = af.flow.rate_bps * dt;
             af.flow.remaining_bits = (af.flow.remaining_bits - moved).max(0.0);
             if af.flow.remaining_bits <= EPSILON_BITS {
-                finished.push(*id);
+                finished.push((id, af.bucket));
             }
             for r in &af.resources {
-                self.resource_bits[r.0] += moved;
+                resource_bits[r.0] += moved;
             }
-        }
+        });
         self.now = to;
         finished
     }
@@ -628,10 +884,10 @@ impl FlowSimulator {
     /// recompute. Active flows always carry `remaining_bits` above the
     /// epsilon outside [`FlowSimulator::advance_clock`], so the drain
     /// walk's harvest list is exhaustive.
-    fn harvest_completions(&mut self, finished: Vec<FlowId>) -> Vec<ResourceId> {
+    fn harvest_completions(&mut self, finished: Vec<(FlowId, u32)>) -> Vec<ResourceId> {
         let mut seeds = Vec::new();
-        for id in finished {
-            let Some(af) = self.active.remove(&id) else {
+        for (id, bucket) in finished {
+            let Some(af) = self.active.remove_in(bucket, &id) else {
                 continue; // id came from self.active moments ago
             };
             self.index_remove(id, &af.resources);
@@ -647,142 +903,252 @@ impl FlowSimulator {
         seeds
     }
 
-    /// The region a change seeded at `seeds` can influence: in
-    /// [`RecomputeMode::Full`], everything; in
+    /// The regions a change seeded at `seeds` can influence, one per
+    /// connected component of the sharing graph: in
+    /// [`RecomputeMode::Full`], a single region spanning everything; in
     /// [`RecomputeMode::Incremental`], the transitive closure of flows
-    /// and resources reachable from the seed resources through the
-    /// flow–resource sharing graph. The closure is bi-closed (every flow
-    /// of a region resource is in the region and vice versa), which is
-    /// exactly what makes the restricted solve bit-identical to the full
-    /// one.
-    fn dirty_region(&self, seeds: &[ResourceId]) -> Vec<usize> {
+    /// and resources reachable from each seed resource through the
+    /// flow–resource sharing graph. Every region is bi-closed (every
+    /// flow of a region resource is in the region and vice versa) and
+    /// regions are mutually disjoint, which is exactly what makes the
+    /// restricted solves bit-identical to the full one *and* safe to run
+    /// concurrently. Regions are ordered by first seed, resources
+    /// ascending within each.
+    fn dirty_regions(&self, seeds: &[ResourceId]) -> Vec<Vec<usize>> {
         let n_res = self.resource_capacity.len();
         match self.mode {
-            RecomputeMode::Full => (0..n_res).collect(),
+            RecomputeMode::Full => vec![(0..n_res).collect()],
             RecomputeMode::Incremental => {
                 // Walk the resource-sharing adjacency — no per-flow set
-                // chasing; a resource joins the region iff some flow
-                // crosses both it and a resource already inside.
+                // chasing; a resource joins a region iff some flow
+                // crosses both it and a resource already inside. Seeds
+                // landing in an already-built region are skipped, so a
+                // burst spanning several components yields one region
+                // per component.
                 let mut res_in = vec![false; n_res];
-                let mut res_list: Vec<usize> = Vec::new();
-                let mut frontier: Vec<usize> = Vec::with_capacity(seeds.len());
-                for r in seeds {
-                    if !res_in[r.0] {
-                        res_in[r.0] = true;
-                        frontier.push(r.0);
+                let mut regions: Vec<Vec<usize>> = Vec::new();
+                let mut frontier: Vec<usize> = Vec::new();
+                for seed in seeds {
+                    if res_in[seed.0] {
+                        continue;
                     }
-                }
-                while let Some(r) = frontier.pop() {
-                    res_list.push(r);
-                    let row = &self.res_adj[r * n_res..(r + 1) * n_res];
-                    for (r2, &shared) in row.iter().enumerate() {
-                        if shared > 0 && !res_in[r2] {
-                            res_in[r2] = true;
-                            frontier.push(r2);
+                    res_in[seed.0] = true;
+                    frontier.push(seed.0);
+                    let mut res_list: Vec<usize> = Vec::new();
+                    while let Some(r) = frontier.pop() {
+                        res_list.push(r);
+                        for (&r2, &shared) in &self.res_adj[r] {
+                            if shared > 0 && !res_in[r2 as usize] {
+                                res_in[r2 as usize] = true;
+                                frontier.push(r2 as usize);
+                            }
                         }
                     }
+                    res_list.sort_unstable();
+                    regions.push(res_list);
                 }
-                res_list.sort_unstable();
-                res_list
+                regions
             }
         }
     }
 
     /// The region's flow table in one pass: ids (ascending), weights and
     /// path slices, index-aligned. A region spanning every resource is
-    /// gathered by a single ordered walk of the active map; a partial
+    /// gathered by a merged ordered walk of the active shards; a partial
     /// region unions the inverted-index rows. (The two differ only by
     /// flows traversing no resources, which the solvers rate 0.0 without
     /// side effects either way.)
+    ///
+    /// `bucket` is the region's partition bucket: a local region's flows
+    /// all live in that one shard (a flow of any other bucket on a region
+    /// resource would have dragged the closure across the spine), so the
+    /// lookups never touch maps owned by other partitions.
     #[allow(clippy::type_complexity)]
-    fn region_flow_table(&self, res_list: &[usize]) -> (Vec<FlowId>, Vec<f64>, Vec<&[ResourceId]>) {
+    fn region_flow_table(
+        &self,
+        res_list: &[usize],
+        bucket: u32,
+    ) -> (Vec<FlowId>, Vec<f64>, Vec<&[ResourceId]>) {
         let n_res = self.resource_capacity.len();
         if res_list.len() == n_res {
             let mut flows = Vec::with_capacity(self.active.len());
             let mut weight = Vec::with_capacity(self.active.len());
             let mut paths = Vec::with_capacity(self.active.len());
-            for (id, af) in &self.active {
-                flows.push(*id);
+            for (id, af) in self.active.iter_merged() {
+                flows.push(id);
                 weight.push(af.flow.spec.weight);
                 paths.push(af.resources.as_slice());
             }
             return (flows, weight, paths);
         }
-        // The region is bi-closed, so its flow set is exactly the union
-        // of the inverted-index rows.
-        let mut flows: Vec<FlowId> = res_list
+        // The region is bi-closed: a flow with *any* resource inside has
+        // *all* of them inside, so its flow set is both the union of the
+        // inverted-index rows and — equivalently — the flows whose first
+        // path hop lands in the region. `rows` (the summed index-row
+        // lengths, ≈ flows × path length) tells which gather is cheaper
+        // before building either: a dense region is read with one
+        // ordered walk of the owning shard(s) filtered by a region
+        // bitmap (no union, no sort — shard order *is* ascending id
+        // order), a sparse one unions the rows and probes per id.
+        let rows: usize = res_list.iter().map(|&r| self.flows_on[r].len()).sum();
+        let local = (bucket as usize) < self.active.shards.len().saturating_sub(1);
+        let mut flows: Vec<FlowId> = Vec::new();
+        let mut weight: Vec<f64> = Vec::new();
+        let mut paths: Vec<&[ResourceId]> = Vec::new();
+        let dense = if local {
+            rows >= self.active.shards[bucket as usize].len()
+        } else {
+            rows >= self.active.len()
+        };
+        if dense {
+            let mut in_region = vec![false; n_res];
+            for &r in res_list {
+                in_region[r] = true;
+            }
+            // A plain fn, not a closure: the pushed path slice must
+            // carry `self`'s lifetime, which closure inference would
+            // shorten.
+            #[allow(clippy::too_many_arguments)]
+            fn take<'a>(
+                flows: &mut Vec<FlowId>,
+                weight: &mut Vec<f64>,
+                paths: &mut Vec<&'a [ResourceId]>,
+                in_region: &[bool],
+                id: FlowId,
+                af: &'a ActiveFlow,
+            ) {
+                if af.resources.first().is_some_and(|r| in_region[r.0]) {
+                    flows.push(id);
+                    weight.push(af.flow.spec.weight);
+                    paths.push(af.resources.as_slice());
+                }
+            }
+            if local {
+                for (&id, af) in &self.active.shards[bucket as usize] {
+                    take(&mut flows, &mut weight, &mut paths, &in_region, id, af);
+                }
+            } else {
+                for (id, af) in self.active.iter_merged() {
+                    take(&mut flows, &mut weight, &mut paths, &in_region, id, af);
+                }
+            }
+            return (flows, weight, paths);
+        }
+        flows = res_list
             .iter()
             .flat_map(|&r| self.flows_on[r].iter().copied())
             .collect();
         flows.sort_unstable();
         flows.dedup();
-        let mut weight = Vec::with_capacity(flows.len());
-        let mut paths: Vec<&[ResourceId]> = Vec::with_capacity(flows.len());
-        if flows.len() * 4 >= self.active.len() {
-            // Dense region: one ordered walk instead of per-key descents.
-            let mut it = self.active.iter().peekable();
+        weight.reserve(flows.len());
+        paths.reserve(flows.len());
+        if local {
+            // Local region: every flow lives in this partition's shard.
+            let shard = &self.active.shards[bucket as usize];
             for id in &flows {
-                while it.peek().is_some_and(|(aid, _)| *aid < id) {
-                    it.next();
-                }
-                match it.peek().copied() {
-                    Some((aid, af)) if aid == id => {
-                        weight.push(af.flow.spec.weight);
-                        paths.push(af.resources.as_slice());
-                    }
-                    _ => {
-                        weight.push(0.0);
-                        paths.push(&[]);
-                    }
-                }
+                // lint: allow(P1) reason=flows_on rows only hold active ids, and bucket purity pins a local region's flows to this shard
+                let af = shard.get(id).expect("inverted-index ids are active");
+                weight.push(af.flow.spec.weight);
+                paths.push(af.resources.as_slice());
             }
         } else {
+            // Spine-crossing region: probe the shards per id (at most
+            // one answers — shard key-sets are disjoint).
             for id in &flows {
-                match self.active.get(id) {
-                    Some(af) => {
-                        weight.push(af.flow.spec.weight);
-                        paths.push(af.resources.as_slice());
-                    }
-                    None => {
-                        weight.push(0.0);
-                        paths.push(&[]);
-                    }
-                }
+                let af = self
+                    .active
+                    .shards
+                    .iter()
+                    .find_map(|s| s.get(id))
+                    // lint: allow(P1) reason=flows_on rows only hold active ids; every active flow lives in exactly one shard
+                    .expect("inverted-index ids are active");
+                weight.push(af.flow.spec.weight);
+                paths.push(af.resources.as_slice());
             }
         }
         (flows, weight, paths)
     }
 
-    /// Recomputes rates for the region dirtied by a change at `seeds` and
-    /// updates the per-resource rate sums and utilisation gauges —
+    /// Recomputes rates for the regions dirtied by a change at `seeds`
+    /// and updates the per-resource rate sums and utilisation gauges —
     /// applying only the *differences*, so both recompute modes leave
     /// identical state behind.
+    ///
+    /// Disjoint regions are solved independently — concurrently on the
+    /// worker pool when there is more than one and enough flows to pay
+    /// for the threads — then merged in ascending flow-id order. Each
+    /// region's arithmetic is identical whether it is solved jointly
+    /// with the others, alone, or on another thread, so the merged
+    /// result is bit-for-bit independent of both the region split and
+    /// the worker count.
     fn recompute_rates(&mut self, seeds: &[ResourceId]) {
-        let res_list = self.dirty_region(seeds);
-        let (flows, new_rates) = {
-            let (flows, weight, paths) = self.region_flow_table(&res_list);
-            let rates = match self.allocator {
-                RateAllocator::MaxMin => self.solve_max_min(&weight, &paths, &res_list),
-                RateAllocator::EqualShare => self.solve_equal_share(&paths, &res_list),
+        let regions = self.dirty_regions(seeds);
+        let buckets: Vec<u32> = regions
+            .iter()
+            .map(|r| self.partitions.region_bucket(r))
+            .collect();
+        for &bucket in &buckets {
+            self.partition_solves[bucket as usize] += 1;
+        }
+        let (solved_regions, res_union) = {
+            let jobs: Vec<RegionJob<'_>> = regions
+                .into_iter()
+                .zip(&buckets)
+                .map(|(res_list, &bucket)| {
+                    let (flows, weight, paths) = self.region_flow_table(&res_list, bucket);
+                    RegionJob {
+                        res_list,
+                        bucket,
+                        flows,
+                        weight,
+                        paths,
+                    }
+                })
+                .collect();
+            let total_flows: usize = jobs.iter().map(|j| j.flows.len()).sum();
+            let pool = if jobs.len() > 1 && total_flows >= PARALLEL_FLOWS_MIN {
+                self.workers
+            } else {
+                1
             };
-            (flows, rates)
+            let this = &*self;
+            let solved = partition::map_ordered(pool, &jobs, |_, job| match this.allocator {
+                RateAllocator::MaxMin => this.solve_max_min(&job.weight, &job.paths, &job.res_list),
+                RateAllocator::EqualShare => this.solve_equal_share(&job.paths, &job.res_list),
+            });
+            // Fixed-order merge: regions stay in dirty-region order
+            // (first-seed order), flows ascending by id within each —
+            // independent of which worker solved what.
+            let mut solved_regions: Vec<(u32, Vec<FlowId>, Vec<f64>)> =
+                Vec::with_capacity(jobs.len());
+            let mut res_union: Vec<usize> = Vec::new();
+            for (job, rates) in jobs.into_iter().zip(solved) {
+                solved_regions.push((job.bucket, job.flows, rates));
+                res_union.extend(job.res_list);
+            }
+            (solved_regions, res_union)
         };
-        // Apply the solution in ascending flow-id order, accumulating the
-        // per-resource rate sums in the same pass. Each region resource
+        // Apply the solution region by region, flows ascending within
+        // each, accumulating the per-resource rate sums in the same
+        // pass. Regions are resource-disjoint, so every resource
         // receives its sharers' contributions in ascending id order —
-        // exactly the `flows_on` iteration order — so the sums stay
-        // bit-identical across recompute modes. Dense regions walk the
-        // active map once instead of descending the tree per flow.
+        // exactly the `flows_on` iteration order — and the sums stay
+        // bit-identical whether the regions were solved jointly (the
+        // full oracle), one by one, or concurrently. Dense regions walk
+        // their owning shard once instead of descending the tree per
+        // flow.
         let now = self.now;
         let n_res = self.resource_capacity.len();
+        let n_local = self.active.shards.len().saturating_sub(1);
         let mut used_new = vec![0.0f64; n_res];
+        let completions = &mut self.completions;
         let mut apply = |af: &mut ActiveFlow, id: FlowId, rate: f64, used_new: &mut [f64]| {
             if af.flow.rate_bps.to_bits() != rate.to_bits() {
                 af.flow.rate_bps = rate;
                 af.epoch += 1;
                 if rate > 0.0 {
                     let at = completion_at(now, af.flow.remaining_bits, rate);
-                    self.completions.push(Reverse(CompletionEntry {
+                    completions[af.bucket as usize].push(Reverse(CompletionEntry {
                         at,
                         id,
                         epoch: af.epoch,
@@ -793,24 +1159,48 @@ impl FlowSimulator {
                 used_new[r.0] += af.flow.rate_bps;
             }
         };
-        if flows.len() * 4 >= self.active.len() {
-            let mut k = 0usize;
-            for (&id, af) in self.active.iter_mut() {
-                while k < flows.len() && flows[k] < id {
-                    k += 1;
+        for (bucket, flows, rates) in &solved_regions {
+            if (*bucket as usize) < n_local {
+                // Local region: all flows live in this one shard.
+                let shard = &mut self.active.shards[*bucket as usize];
+                if flows.len() * 4 >= shard.len() {
+                    let mut k = 0usize;
+                    for (&id, af) in shard.iter_mut() {
+                        while k < flows.len() && flows[k] < id {
+                            k += 1;
+                        }
+                        if k < flows.len() && flows[k] == id {
+                            apply(af, id, rates[k], &mut used_new);
+                        }
+                    }
+                } else {
+                    for (i, id) in flows.iter().enumerate() {
+                        if let Some(af) = shard.get_mut(id) {
+                            apply(af, *id, rates[i], &mut used_new);
+                        }
+                    }
                 }
-                if k < flows.len() && flows[k] == id {
-                    apply(af, id, new_rates[k], &mut used_new);
-                }
-            }
-        } else {
-            for (i, &id) in flows.iter().enumerate() {
-                if let Some(af) = self.active.get_mut(&id) {
-                    apply(af, id, new_rates[i], &mut used_new);
+            } else if flows.len() * 4 >= self.active.len() {
+                // Dense spine-crossing region: merged ordered walk.
+                let mut k = 0usize;
+                for_each_merged_mut(&mut self.active.shards, |id, af| {
+                    while k < flows.len() && flows[k] < id {
+                        k += 1;
+                    }
+                    if k < flows.len() && flows[k] == id {
+                        apply(af, id, rates[k], &mut used_new);
+                    }
+                });
+            } else {
+                // Sparse spine-crossing region: probe the shards per id.
+                for (i, id) in flows.iter().enumerate() {
+                    if let Some(af) = self.active.get_mut_any(id) {
+                        apply(af, *id, rates[i], &mut used_new);
+                    }
                 }
             }
         }
-        for &r in &res_list {
+        for &r in &res_union {
             let used = used_new[r];
             if used.to_bits() != self.resource_used[r].to_bits() {
                 self.resource_used[r] = used;
@@ -826,19 +1216,25 @@ impl FlowSimulator {
         self.maybe_compact_completions();
     }
 
-    /// Drops stale heap entries once they outnumber the live flows —
-    /// the same lazy-compaction rule the event engine applies to its
-    /// cancelled set.
+    /// Drops stale heap entries once they outnumber the live flows
+    /// across all shards — the same lazy-compaction rule the event
+    /// engine applies to its cancelled set.
     fn maybe_compact_completions(&mut self) {
-        if self.completions.len() <= 2 * self.active.len() + 64 {
+        let total: usize = self.completions.iter().map(BinaryHeap::len).sum();
+        if total <= 2 * self.active.len() + 64 {
             return;
         }
-        let live: Vec<Reverse<CompletionEntry>> = self
-            .completions
-            .drain()
-            .filter(|Reverse(e)| self.active.get(&e.id).is_some_and(|af| af.epoch == e.epoch))
-            .collect();
-        self.completions = BinaryHeap::from(live);
+        for s in 0..self.completions.len() {
+            let live: Vec<Reverse<CompletionEntry>> = self.completions[s]
+                .drain()
+                .filter(|Reverse(e)| {
+                    self.active
+                        .get_in(s as u32, &e.id)
+                        .is_some_and(|af| af.epoch == e.epoch)
+                })
+                .collect();
+            self.completions[s] = BinaryHeap::from(live);
+        }
     }
 
     /// Weighted progressive-filling water-fill restricted to the region.
@@ -1488,13 +1884,142 @@ mod tests {
                 .unwrap();
             s.cancel(id);
         }
+        let heap_total: usize = s.completions.iter().map(BinaryHeap::len).sum();
         assert!(
-            s.completions.len() <= 2 * s.active.len() + 64,
-            "heap grew to {} entries",
-            s.completions.len()
+            heap_total <= 2 * s.active.len() + 64,
+            "heap grew to {heap_total} entries"
         );
         s.run_to_completion();
         assert_eq!(s.completed().len(), 1);
+    }
+
+    #[test]
+    fn boundary_completions_are_harvested_exactly_once() {
+        // Two equal-sized rack-local flows live in *different* partition
+        // shards and complete at exactly the same instant — the partition
+        // boundary epoch. Advancing precisely to that instant (and then
+        // again to the same instant) must record each completion exactly
+        // once: the harvest removes a flow from the active set before its
+        // record is pushed, and advance_clock is a no-op on a zero-width
+        // step, so a double count cannot happen.
+        let topo = Topology::multi_root_tree(2, 2, 1);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut s = sim(topo);
+        assert_eq!(s.partition_map().partition_count(), 2);
+        s.inject(
+            FlowSpec::new(hosts[0], hosts[1], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        s.inject(
+            FlowSpec::new(hosts[2], hosts[3], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let boundary = s.next_completion_time().expect("two live flows");
+        s.advance_to(boundary);
+        assert_eq!(s.active_count(), 0);
+        assert_eq!(s.completed().len(), 2);
+        assert_eq!(s.completed_total(), 2);
+        // Re-advancing to the very same boundary must change nothing.
+        s.advance_to(boundary);
+        assert_eq!(s.completed().len(), 2);
+        assert_eq!(s.completed_total(), 2);
+        let mut ids: Vec<FlowId> = s.completed().iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2, "each flow completed exactly once");
+    }
+
+    #[test]
+    fn stepping_exactly_on_every_completion_boundary_counts_each_flow_once() {
+        // Walk the clock completion-by-completion, always stopping dead
+        // on the predicted boundary instant (the worst case for a
+        // harvest double count), across partitions and shared resources.
+        let topo = Topology::multi_root_tree(2, 4, 2);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut s = sim(topo);
+        let n = 6u64;
+        for i in 0..n {
+            s.inject(
+                FlowSpec::new(
+                    hosts[(i as usize) % hosts.len()],
+                    hosts[(i as usize * 3 + 1) % hosts.len()],
+                    Bytes::kib(256 + 64 * i),
+                ),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        while let Some(at) = s.next_completion_time() {
+            let before = s.completed_total();
+            s.advance_to(at);
+            assert!(s.completed_total() > before, "boundary step made progress");
+            s.advance_to(at); // zero-width re-advance at the boundary
+        }
+        assert_eq!(s.active_count(), 0);
+        assert_eq!(s.completed_total(), n);
+        let mut ids: Vec<FlowId> = s.completed().iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n as usize, "no flow was harvested twice");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // The same workload at 1, 2 and 8 workers must be bit-identical
+        // (the pool only reorders scheduling, never arithmetic).
+        let run = |workers: usize| {
+            let topo = Topology::fat_tree(4);
+            let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+            let mut s = FlowSimulator::new(
+                topo,
+                RoutingPolicy::Ecmp { max_paths: 4 },
+                RateAllocator::MaxMin,
+            )
+            .with_workers(workers);
+            // A burst big enough to clear PARALLEL_FLOWS_MIN, spread over
+            // several pods so multiple regions solve concurrently.
+            let specs: Vec<FlowSpec> = (0..96u64)
+                .map(|i| {
+                    let pod = (i % 4) as usize;
+                    let base = pod * 4; // k=4: 4 hosts per pod
+                    let src = hosts[base + (i as usize / 4) % 4];
+                    let dst = hosts[base + (i as usize / 4 + 1 + (i as usize % 3)) % 4];
+                    FlowSpec::new(src, dst, Bytes::kib(128 + 32 * (i % 7)))
+                })
+                .filter(|spec| spec.src != spec.dst)
+                .collect();
+            s.inject_batch(specs, SimTime::ZERO).unwrap();
+            s.run_to_completion();
+            format!("{:?} {:?}", s.completed(), s.partition_solves())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn partition_solves_attribute_local_and_shared_regions() {
+        let topo = Topology::fat_tree(4);
+        let hosts: Vec<DeviceId> = topo.hosts().map(|h| h.id).collect();
+        let mut s = sim(topo);
+        // Pod-local flow: solved in its pod's bucket.
+        s.inject(
+            FlowSpec::new(hosts[0], hosts[1], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let shared = s.partition_map().shared_id() as usize;
+        assert!(s.partition_solves()[0] > 0, "pod-0 region solved");
+        assert_eq!(s.partition_solves()[shared], 0);
+        // Cross-pod flow: its region crosses the spine → shared bucket.
+        s.inject(
+            FlowSpec::new(hosts[0], hosts[15], Bytes::mib(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert!(s.partition_solves()[shared] > 0, "spine region solved");
     }
 
     fn secs(s: f64) -> SimTime {

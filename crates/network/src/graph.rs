@@ -98,12 +98,23 @@ pub fn all_shortest_paths(
     if dist[dst.index()] == u32::MAX || limit == 0 {
         return Vec::new();
     }
+    // Reverse distances prune DFS branches that cannot lie on any shortest
+    // path (a node is on one iff dist_src + dist_dst == total). Without
+    // this the DFS walks every strictly-increasing-level path in the
+    // graph — on a k=16 fat-tree a same-rack pair explores ~60k dead-end
+    // paths through the core before giving up. The pruned branches yield
+    // no results, so the returned paths and their order are unchanged.
+    let rdist = bfs_distances(topo, dst);
+    let total = dist[dst.index()];
     // DFS forward along strictly-increasing BFS levels.
     let mut results = Vec::new();
     let mut stack: Vec<LinkId> = Vec::new();
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
     fn dfs(
         topo: &Topology,
         dist: &[u32],
+        rdist: &[u32],
+        total: u32,
         cur: DeviceId,
         dst: DeviceId,
         stack: &mut Vec<LinkId>,
@@ -122,16 +133,30 @@ pub fn all_shortest_paths(
             .neighbours(cur)
             .iter()
             .copied()
-            .filter(|(n, _)| dist[n.index()] == dist[cur.index()] + 1)
+            .filter(|(n, _)| {
+                dist[n.index()] == dist[cur.index()] + 1
+                    && rdist[n.index()] != u32::MAX
+                    && dist[n.index()] + rdist[n.index()] == total
+            })
             .collect();
         nexts.sort_by_key(|&(_, l)| l);
         for (next, link) in nexts {
             stack.push(link);
-            dfs(topo, dist, next, dst, stack, results, limit);
+            dfs(topo, dist, rdist, total, next, dst, stack, results, limit);
             stack.pop();
         }
     }
-    dfs(topo, &dist, src, dst, &mut stack, &mut results, limit);
+    dfs(
+        topo,
+        &dist,
+        &rdist,
+        total,
+        src,
+        dst,
+        &mut stack,
+        &mut results,
+        limit,
+    );
     results
 }
 

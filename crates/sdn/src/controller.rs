@@ -216,7 +216,11 @@ impl SdnController {
     /// so switch hit/miss counters and rule state match a sequence of
     /// [`SdnController::route`] calls exactly (path selection is
     /// deterministic, so the reused path is the one the search would
-    /// have found).
+    /// have found). Drivers that feed the flow fabric should route a
+    /// whole burst here and then inject it in one
+    /// `FlowSimulator::inject_batch` call: the batch dirties one region
+    /// per topology partition and the partitioned solver handles those
+    /// regions concurrently.
     ///
     /// # Panics
     ///

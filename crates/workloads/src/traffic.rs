@@ -218,8 +218,11 @@ impl TrafficWorkload {
     /// Replays the whole schedule onto `sim`, coalescing same-instant
     /// arrivals into one batched injection per burst
     /// ([`FlowSimulator::inject_batch`]) — one rate recomputation per
-    /// burst instead of one per flow. Returns the injected flow ids in
-    /// schedule order.
+    /// burst instead of one per flow. A burst whose flows span several
+    /// topology partitions (racks / pods) dirties one region per
+    /// partition, and the simulator solves those regions concurrently on
+    /// its worker pool — batching is what lets the partitioned solver
+    /// fan out. Returns the injected flow ids in schedule order.
     ///
     /// # Errors
     ///
