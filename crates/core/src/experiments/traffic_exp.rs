@@ -11,8 +11,9 @@ use crate::report::TextTable;
 use picloud_network::flowsim::{FlowSimulator, RateAllocator};
 use picloud_network::routing::RoutingPolicy;
 use picloud_network::topology::{DeviceKind, LinkRates, Topology};
+use picloud_simcore::telemetry::TelemetrySink;
 use picloud_simcore::units::Bandwidth;
-use picloud_simcore::{SeedFactory, SimDuration};
+use picloud_simcore::{SeedFactory, SimDuration, SimTime};
 use picloud_workloads::traffic::TrafficPattern;
 use std::fmt;
 
@@ -71,6 +72,84 @@ impl TrafficExperiment {
             // lint: allow(P1) reason=the generator draws endpoints from this connected builder topology; no route can be missing
             .expect("fabric is connected");
         sim.run_to_completion();
+        TrafficExperiment::summarise(&sim, pattern.intra_rack_fraction)
+    }
+
+    /// Replays `pattern` like [`TrafficExperiment::replay`], but steps
+    /// the fabric along the telemetry scrape grid: at every grid
+    /// instant the solver pauses, [`FlowSimulator::record_telemetry`]
+    /// refreshes the link and flow series in `sink`'s registry, and the
+    /// sink's tsdb scrapes them — so windowed queries over
+    /// `network_link_utilisation` and friends see the congestion
+    /// unfold. The grid interval comes from the sink's tsdb (1 s when
+    /// absent). Flow completions are still processed at their exact
+    /// instants and the run ends at the last completion, so the
+    /// returned summary matches [`TrafficExperiment::replay`]'s up to
+    /// floating-point accumulation order.
+    pub fn replay_live(
+        pattern: &TrafficPattern,
+        duration: SimDuration,
+        seeds: &SeedFactory,
+        allocator: RateAllocator,
+        sink: &mut TelemetrySink,
+    ) -> TrafficPoint {
+        let rates = LinkRates {
+            access: Bandwidth::mbps(100),
+            fabric: Bandwidth::mbps(200),
+        };
+        let topo = Topology::multi_root_tree_with(4, 14, 2, rates);
+        let workload = pattern.generate(&topo, duration, seeds);
+        let mut sim = FlowSimulator::new(topo, RoutingPolicy::default(), allocator)
+            .with_workers(picloud_network::flowsim::partition::default_workers());
+        let interval = sink
+            .tsdb()
+            .map(|db| db.interval())
+            .unwrap_or_else(|| SimDuration::from_secs(1));
+        let mut next_scrape = SimTime::ZERO;
+        let observe = |sim: &FlowSimulator, sink: &mut TelemetrySink, at: SimTime| {
+            if sink.is_enabled() {
+                sim.record_telemetry(&mut sink.registry);
+                sink.scrape_now(at);
+            }
+        };
+        // Injection phase: pause at every grid instant at or before the
+        // next burst, then hand the burst to the solver exactly as
+        // `TrafficWorkload::replay_on` would.
+        let mut burst = workload.events();
+        while let Some((at, _)) = burst.first() {
+            while next_scrape <= *at {
+                sim.advance_to(next_scrape);
+                observe(&sim, sink, next_scrape);
+                next_scrape = next_scrape.saturating_add(interval);
+            }
+            let n = burst.iter().take_while(|(t, _)| t == at).count();
+            let specs: Vec<_> = burst.iter().take(n).map(|(_, s)| s.clone()).collect();
+            sim.inject_batch(specs, *at)
+                // lint: allow(P1) reason=the generator draws endpoints from this connected builder topology; no route can be missing
+                .expect("fabric is connected");
+            burst = &burst[n..];
+        }
+        // Drain phase: keep pausing at grid instants until the last
+        // flow finishes, then stop at its exact completion instant (as
+        // `run_to_completion` would) so the time-weighted utilisation
+        // means cover the same span as the unobserved replay.
+        loop {
+            match sim.next_completion_time() {
+                None => break,
+                Some(nc) if nc > next_scrape => {
+                    sim.advance_to(next_scrape);
+                    observe(&sim, sink, next_scrape);
+                    next_scrape = next_scrape.saturating_add(interval);
+                }
+                Some(nc) => sim.advance_to(nc),
+            }
+        }
+        observe(&sim, sink, sim.now());
+        TrafficExperiment::summarise(&sim, pattern.intra_rack_fraction)
+    }
+
+    /// Condenses a finished replay into its [`TrafficPoint`].
+    fn summarise(sim: &FlowSimulator, locality: f64) -> TrafficPoint {
         let topo = sim.topology();
         let uplinks: Vec<_> = topo
             .links()
@@ -102,7 +181,7 @@ impl TrafficExperiment {
             .copied()
             .unwrap_or(0.0);
         TrafficPoint {
-            locality: pattern.intra_rack_fraction,
+            locality,
             flows: fcts.len(),
             mean_fct_secs: mean_fct,
             p99_fct_secs: p99,
@@ -222,6 +301,62 @@ mod tests {
         let a = TrafficExperiment::run(3, SimDuration::from_secs(10));
         let b = TrafficExperiment::run(3, SimDuration::from_secs(10));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn live_replay_matches_the_unobserved_one() {
+        let p = TrafficPattern::measured_dc().with_arrival_rate(10.0);
+        let seeds = SeedFactory::new(9);
+        let dur = SimDuration::from_secs(10);
+        let plain = TrafficExperiment::replay(&p, dur, &seeds, RateAllocator::MaxMin);
+        let mut sink = TelemetrySink::recording_with_tsdb(
+            SimTime::ZERO,
+            picloud_simcore::telemetry::tsdb::ScrapeConfig::every(SimDuration::from_secs(1)),
+        );
+        let live =
+            TrafficExperiment::replay_live(&p, dur, &seeds, RateAllocator::MaxMin, &mut sink);
+        assert_eq!(live.flows, plain.flows);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+        assert!(
+            close(live.mean_fct_secs, plain.mean_fct_secs),
+            "grid pauses must not perturb the solver: {} vs {}",
+            live.mean_fct_secs,
+            plain.mean_fct_secs
+        );
+        assert!(close(live.p99_fct_secs, plain.p99_fct_secs));
+        assert!(close(
+            live.mean_uplink_utilisation,
+            plain.mean_uplink_utilisation
+        ));
+        // And the tsdb saw the congestion: utilisation series exist with
+        // one sample per grid instant.
+        let db = sink.tsdb().unwrap();
+        assert!(db.scrape_times().len() > 5);
+        assert!(db
+            .all_series()
+            .iter()
+            .any(|s| s.name == "network_link_utilisation"));
+    }
+
+    #[test]
+    fn live_replay_is_deterministic() {
+        let p = TrafficPattern::measured_dc().with_arrival_rate(10.0);
+        let run = || {
+            let mut sink = TelemetrySink::recording_with_tsdb(
+                SimTime::ZERO,
+                picloud_simcore::telemetry::tsdb::ScrapeConfig::every(SimDuration::from_secs(1)),
+            );
+            let pt = TrafficExperiment::replay_live(
+                &p,
+                SimDuration::from_secs(10),
+                &SeedFactory::new(5),
+                RateAllocator::MaxMin,
+                &mut sink,
+            );
+            let db = sink.tsdb().unwrap();
+            (pt, db.samples(), db.bytes())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

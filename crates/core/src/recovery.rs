@@ -407,7 +407,11 @@ impl RecoveryWorld {
             .set(now, reach);
     }
 
-    /// Re-records the fleet-size gauge after containers move.
+    /// Re-records the fleet gauges after containers move or outage
+    /// windows open/close. `container_fleet_dark` mirrors the ledger's
+    /// dark count at every transition, so its time integral is exactly
+    /// the ledger's dark container-seconds — the availability SLI the
+    /// windowed burn-rate alerts read.
     fn record_fleet(&mut self, now: SimTime) {
         if !self.telem.is_enabled() {
             return;
@@ -422,6 +426,14 @@ impl RecoveryWorld {
             .registry
             .gauge("container_fleet_running", &[])
             .set(now, running as f64);
+        self.telem
+            .registry
+            .gauge("container_fleet_size", &[])
+            .set(now, self.fleet_names.len() as f64);
+        self.telem
+            .registry
+            .gauge("container_fleet_dark", &[])
+            .set(now, self.ledger.dark_count() as f64);
     }
 
     /// Ground truth: every container hosted on `node` goes dark now.
@@ -444,6 +456,7 @@ impl RecoveryWorld {
                 }
             }
         }
+        self.record_fleet(now);
     }
 
     /// Closes the blackout window of every container hosted on `node`
@@ -464,6 +477,9 @@ impl RecoveryWorld {
                     }
                 }
             }
+        }
+        if closed > 0 {
+            self.record_fleet(now);
         }
         closed
     }
@@ -816,6 +832,10 @@ impl RecoveryWorld {
             self.start_respawn(name, image, req, ctx);
         }
         self.verify_invariants(now);
+        // The tsdb scrape rides the heartbeat sweep the controller already
+        // runs: sampling only reads the registry and schedules nothing, so
+        // an observed run fires exactly the events of an unobserved one.
+        self.telem.scrape_due(now);
         if now < self.horizon_end {
             ctx.schedule_in(self.config.detector.heartbeat_interval, |w, ctx| {
                 w.sweep(ctx)
@@ -1307,6 +1327,10 @@ impl RecoveryWorld {
             .registry
             .gauge("network_min_reachability", &[])
             .set(now, self.min_reachability);
+        // Boundary scrape: the horizon sample makes full-run windows
+        // reproduce every snapshot mean/total exactly, and gives the
+        // end-of-run fold-in counters their one sample.
+        self.telem.scrape_now(now);
     }
 }
 
@@ -1498,6 +1522,9 @@ fn run_recovery_inner(
     }
     world.record_link_utilisation(SimTime::ZERO);
     world.record_fleet(SimTime::ZERO);
+    // Boundary scrape: every baseline series gets a t=0 sample, anchoring
+    // the full-window query identities (see simcore::telemetry::tsdb).
+    world.telem.scrape_now(SimTime::ZERO);
 
     let mut engine = Engine::new(world);
     timeline.install(&mut engine, |w: &mut RecoveryWorld, ctx, event| {

@@ -32,12 +32,16 @@ use crate::experiments::{
 };
 use crate::PiCloud;
 use picloud_mgmt::panel::ControlPanel;
+use picloud_network::flowsim::RateAllocator;
 use picloud_network::topology::Topology;
 use picloud_sdn::controller::{InstallMode, SdnController};
-use picloud_simcore::telemetry::slo::{SloPolicy, SloReport};
+use picloud_simcore::telemetry::slo::{AlertPolicy, AlertTimeline, SloPolicy, SloReport};
+use picloud_simcore::telemetry::tsdb::{QueryFn, ScrapeConfig, TimeSeriesDb};
 use picloud_simcore::telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink};
-use picloud_simcore::{SimDuration, SimTime, SpanContext, SpanForest};
+use picloud_simcore::{SeedFactory, SimDuration, SimTime, SpanContext, SpanForest};
 use picloud_workloads::mapreduce::MapReduceJob;
+use picloud_workloads::traffic::TrafficPattern;
+use picloud_workloads::websim::{self, WebSimConfig};
 
 /// Canonical experiment ids with their paper-style `eN` aliases, in the
 /// order the CLI lists them. `fig1` is a render-only artifact and has no
@@ -93,7 +97,15 @@ impl ExperimentTelemetry {
     /// Deterministic: same `(name, seed)` ⇒ byte-identical exports.
     pub fn collect(name: &str, seed: u64) -> Option<ExperimentTelemetry> {
         let id = canonical_id(name)?;
-        let mut sink = TelemetrySink::recording(SimTime::ZERO);
+        // Every collection scrapes a windowed time-series store alongside
+        // the registry: the stepped simulations (traffic replay, the SLA
+        // webserver) use a fine 1 s grid, the long E17 control loop the
+        // Prometheus-style 15 s default.
+        let scrape = match id {
+            "traffic" | "sla" => ScrapeConfig::every(SimDuration::from_secs(1)),
+            _ => ScrapeConfig::default(),
+        };
+        let mut sink = TelemetrySink::recording_with_tsdb(SimTime::ZERO, scrape);
         let taken_at = if id == "recovery" {
             // Live collection: series and trace accumulate as the
             // control loop runs.
@@ -107,10 +119,15 @@ impl ExperimentTelemetry {
             });
             let end = collect_summary(id, seed, &mut sink.registry);
             let span_end = collect_spans(id, seed, &mut sink);
-            sink.tracer.emit(end.max(span_end), "experiment_end", |e| {
+            let live_end = collect_live(id, seed, &mut sink);
+            let end = end.max(span_end).max(live_end);
+            sink.tracer.emit(end, "experiment_end", |e| {
                 e.str("experiment", id);
             });
-            end.max(span_end)
+            // Forced final scrape: windowed queries then cover the whole
+            // horizon, including the summary gauges folded in at the end.
+            sink.scrape_now(end);
+            end
         };
         Some(ExperimentTelemetry {
             id,
@@ -120,9 +137,11 @@ impl ExperimentTelemetry {
         })
     }
 
-    /// The metrics snapshot at the run's horizon.
+    /// The metrics snapshot at the run's horizon, including the sink's
+    /// self-observation series (`telemetry_series_count`,
+    /// `telemetry_trace_dropped_total`, `telemetry_tsdb_*`).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.sink.registry.snapshot(self.taken_at)
+        self.sink.snapshot(self.taken_at)
     }
 
     /// Metrics as JSON Lines (one object per series).
@@ -176,6 +195,109 @@ impl ExperimentTelemetry {
     /// metrics snapshot.
     pub fn slo_report(&self) -> SloReport {
         SloPolicy::picloud_default().evaluate(&self.snapshot())
+    }
+
+    /// The windowed time-series store the run scraped.
+    pub fn tsdb(&self) -> Option<&TimeSeriesDb> {
+        self.sink.tsdb()
+    }
+
+    /// The default multi-window burn-rate alert policy replayed over the
+    /// run's scrape timeline. `None` when collection had no tsdb.
+    pub fn alert_timeline(&self) -> Option<AlertTimeline> {
+        self.sink
+            .tsdb()
+            .map(|db| AlertPolicy::picloud_default().evaluate(db))
+    }
+
+    /// The alert timeline as fixed-width text.
+    pub fn alerts_text(&self) -> Option<String> {
+        let timeline = self.alert_timeline()?;
+        Some(format!(
+            "alerts \u{2014} experiment {} (seed {})\n{timeline}\n",
+            self.id, self.seed
+        ))
+    }
+
+    /// The alert timeline as JSON Lines (one object per transition).
+    pub fn alerts_jsonl(&self) -> Option<String> {
+        self.alert_timeline().map(|t| t.to_jsonl())
+    }
+
+    /// Evaluates `f` over trailing `window`s for every stored series
+    /// matching `metric` + `labels`, rendered as JSON Lines (one object
+    /// per instant per series, series then time order). `None` when
+    /// collection had no tsdb; an empty string when nothing matches.
+    pub fn query_jsonl(
+        &self,
+        metric: &str,
+        labels: &[(String, String)],
+        f: QueryFn,
+        window: SimDuration,
+        step: Option<SimDuration>,
+    ) -> Option<String> {
+        let db = self.sink.tsdb()?;
+        let mut out = String::new();
+        for series in db.series_matching(metric, labels) {
+            for p in db.eval_range(&series, f, window, step) {
+                out.push_str("{\"metric\":\"");
+                out.push_str(&series.name);
+                out.push_str("\",\"labels\":{");
+                for (i, (k, v)) in series.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{k}\":\"{}\"", v.replace('"', "\\\"")));
+                }
+                out.push_str(&format!(
+                    "}},\"fn\":\"{}\",\"window_secs\":{},\"t_ns\":{}",
+                    f.label(),
+                    window.as_secs_f64(),
+                    p.at.as_nanos()
+                ));
+                match p.value {
+                    Some(v) if v.is_finite() => out.push_str(&format!(",\"value\":{v}}}\n")),
+                    _ => out.push_str(",\"value\":null}\n"),
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// The same query rendered as deterministic text: one block per
+    /// matching series, one line per instant.
+    pub fn query_text(
+        &self,
+        metric: &str,
+        labels: &[(String, String)],
+        f: QueryFn,
+        window: SimDuration,
+        step: Option<SimDuration>,
+    ) -> Option<String> {
+        let db = self.sink.tsdb()?;
+        let mut out = format!(
+            "query \u{2014} experiment {} (seed {}): {}({}[{}s])\n",
+            self.id,
+            self.seed,
+            f.label(),
+            metric,
+            window.as_secs_f64()
+        );
+        let matching = db.series_matching(metric, labels);
+        if matching.is_empty() {
+            out.push_str("no matching series\n");
+            return Some(out);
+        }
+        for series in matching {
+            out.push_str(&format!("\n{series}\n"));
+            for p in db.eval_range(&series, f, window, step) {
+                match p.value {
+                    Some(v) => out.push_str(&format!("  t={}s {v}\n", p.at.as_secs_f64())),
+                    None => out.push_str(&format!("  t={}s -\n", p.at.as_secs_f64())),
+                }
+            }
+        }
+        Some(out)
     }
 
     /// Critical-path analysis of every root span, with per-segment blame.
@@ -569,6 +691,54 @@ fn collect_spans(id: &str, seed: u64, sink: &mut TelemetrySink) -> SimTime {
                 SpanContext::NONE,
             );
             SimTime::ZERO + out.makespan()
+        }
+        _ => SimTime::ZERO,
+    }
+}
+
+/// Live tsdb drivers for summary-style experiments whose simulators can
+/// be stepped along the scrape grid, so windowed queries have real
+/// congestion and load curves to chew on (the summary gauges are all
+/// set at one instant). Returns the last instant recorded
+/// (`SimTime::ZERO` when `id` has no live driver).
+fn collect_live(id: &str, seed: u64, sink: &mut TelemetrySink) -> SimTime {
+    match id {
+        "traffic" => {
+            // One fully remote (0 % locality) replay observed live: the
+            // congested case whose uplink hot-spots the windowed
+            // utilisation queries should resolve.
+            let p = TrafficPattern::measured_dc()
+                .with_arrival_rate(10.0)
+                .with_intra_rack_fraction(0.0);
+            let seeds = SeedFactory::new(seed);
+            TrafficExperiment::replay_live(
+                &p,
+                SimDuration::from_secs(30),
+                &seeds,
+                RateAllocator::MaxMin,
+                sink,
+            );
+            sink.tsdb()
+                .and_then(|db| db.scrape_times().last().copied())
+                .unwrap_or(SimTime::ZERO)
+        }
+        "sla" => {
+            // One webserver run near the knee (ρ ≈ 0.8): queue depth and
+            // latency series breathe without the backlog saturating.
+            let unit = WebSimConfig::pi_static(1.0);
+            let rho = unit.rho();
+            let cfg = if rho > 0.0 && rho.is_finite() {
+                WebSimConfig::pi_static(0.8 / rho)
+            } else {
+                unit
+            };
+            let seeds = SeedFactory::new(seed);
+            let sink_in = std::mem::replace(sink, TelemetrySink::disabled());
+            let (_, live) = websim::simulate_with_telemetry(&cfg, 20_000, &seeds, sink_in);
+            *sink = live;
+            sink.tsdb()
+                .and_then(|db| db.scrape_times().last().copied())
+                .unwrap_or(SimTime::ZERO)
         }
         _ => SimTime::ZERO,
     }

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod slo;
+pub mod tsdb;
 
 use crate::metrics::{Counter, Histogram, TimeWeightedGauge};
 use crate::spans::SpanId;
@@ -192,13 +193,42 @@ impl fmt::Display for SeriesKey {
     }
 }
 
+/// The error returned by the fallible registry accessors when creating a
+/// new series would exceed the configured ceiling — the symptom of an
+/// accidental per-flow or per-request label explosion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CardinalityLimitExceeded {
+    /// The configured series-count ceiling that was hit.
+    pub limit: usize,
+    /// The series whose creation was refused.
+    pub series: SeriesKey,
+}
+
+impl fmt::Display for CardinalityLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "registry series limit {} reached; refusing to create {}",
+            self.limit, self.series
+        )
+    }
+}
+
+impl std::error::Error for CardinalityLimitExceeded {}
+
 /// A central registry of labeled counter / gauge / histogram series.
 ///
 /// Keys are `(name, labels)`; all maps are `BTreeMap` so iteration — and
 /// therefore every exported snapshot — is deterministic.
+///
+/// An optional **cardinality guard** ([`MetricsRegistry::set_series_limit`])
+/// caps the total series count: the `try_*` accessors return
+/// [`CardinalityLimitExceeded`] instead of silently growing, and the
+/// infallible accessors panic. Unset by default.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     start: SimTime,
+    series_limit: Option<usize>,
     counters: BTreeMap<SeriesKey, Counter>,
     gauges: BTreeMap<SeriesKey, TimeWeightedGauge>,
     histograms: BTreeMap<SeriesKey, Histogram>,
@@ -213,27 +243,125 @@ impl MetricsRegistry {
         }
     }
 
+    /// The instant the registry's gauges started observing.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Builder form of [`MetricsRegistry::set_series_limit`].
+    pub fn with_series_limit(mut self, limit: usize) -> Self {
+        self.series_limit = Some(limit);
+        self
+    }
+
+    /// Caps the total series count at `limit` (`None` removes the cap).
+    /// Existing series always stay readable and writable; only *new*
+    /// series creation is refused at the ceiling.
+    pub fn set_series_limit(&mut self, limit: Option<usize>) {
+        self.series_limit = limit;
+    }
+
+    /// The configured series-count ceiling, if any.
+    pub fn series_limit(&self) -> Option<usize> {
+        self.series_limit
+    }
+
+    /// Returns an error if creating one more series (key not present in
+    /// `exists`-check form) would exceed the ceiling.
+    fn admit(&self, key: &SeriesKey, exists: bool) -> Result<(), CardinalityLimitExceeded> {
+        match self.series_limit {
+            Some(limit) if !exists && self.len() >= limit => Err(CardinalityLimitExceeded {
+                limit,
+                series: key.clone(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// The counter series `(name, labels)`, created at zero on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if creating the series would exceed a configured
+    /// [series limit](MetricsRegistry::set_series_limit); use
+    /// [`MetricsRegistry::try_counter`] to handle that as an error.
     pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Counter {
-        self.counters
-            .entry(SeriesKey::new(name, labels))
-            .or_default()
+        match self.try_counter(name, labels) {
+            Ok(c) => c,
+            // lint: allow(P1) reason=the documented cardinality-guard diagnostic; callers opting into a ceiling who want an error use try_counter
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`MetricsRegistry::counter`]: refuses to create a
+    /// new series past the configured ceiling.
+    pub fn try_counter(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<&mut Counter, CardinalityLimitExceeded> {
+        let key = SeriesKey::new(name, labels);
+        self.admit(&key, self.counters.contains_key(&key))?;
+        Ok(self.counters.entry(key).or_default())
     }
 
     /// The gauge series `(name, labels)`, created holding `0.0` on first
     /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if creating the series would exceed a configured
+    /// [series limit](MetricsRegistry::set_series_limit); use
+    /// [`MetricsRegistry::try_gauge`] to handle that as an error.
     pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut TimeWeightedGauge {
+        match self.try_gauge(name, labels) {
+            Ok(g) => g,
+            // lint: allow(P1) reason=the documented cardinality-guard diagnostic; callers opting into a ceiling who want an error use try_gauge
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`MetricsRegistry::gauge`]: refuses to create a
+    /// new series past the configured ceiling.
+    pub fn try_gauge(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<&mut TimeWeightedGauge, CardinalityLimitExceeded> {
+        let key = SeriesKey::new(name, labels);
+        self.admit(&key, self.gauges.contains_key(&key))?;
         let start = self.start;
-        self.gauges
-            .entry(SeriesKey::new(name, labels))
-            .or_insert_with(|| TimeWeightedGauge::new(start, 0.0))
+        Ok(self
+            .gauges
+            .entry(key)
+            .or_insert_with(|| TimeWeightedGauge::new(start, 0.0)))
     }
 
     /// The histogram series `(name, labels)`, created empty on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if creating the series would exceed a configured
+    /// [series limit](MetricsRegistry::set_series_limit); use
+    /// [`MetricsRegistry::try_histogram`] to handle that as an error.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Histogram {
-        self.histograms
-            .entry(SeriesKey::new(name, labels))
-            .or_default()
+        match self.try_histogram(name, labels) {
+            Ok(h) => h,
+            // lint: allow(P1) reason=the documented cardinality-guard diagnostic; callers opting into a ceiling who want an error use try_histogram
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`MetricsRegistry::histogram`]: refuses to create
+    /// a new series past the configured ceiling.
+    pub fn try_histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<&mut Histogram, CardinalityLimitExceeded> {
+        let key = SeriesKey::new(name, labels);
+        self.admit(&key, self.histograms.contains_key(&key))?;
+        Ok(self.histograms.entry(key).or_default())
     }
 
     /// Read-only lookup of a counter series.
@@ -875,11 +1003,15 @@ impl Tracer {
 
 /// A registry and tracer travelling together — the handle an instrumented
 /// run (e.g. `picloud::recovery::run_recovery_with_telemetry`) threads
-/// through its world.
+/// through its world — plus an optional windowed time-series store fed by
+/// the run's scrape hooks.
 ///
 /// When built [`TelemetrySink::disabled`], instrumented code must skip its
 /// recording blocks (check [`TelemetrySink::is_enabled`]) so a
-/// non-observed run does exactly the work of an unobserved one.
+/// non-observed run does exactly the work of an unobserved one. The same
+/// contract extends to the tsdb: a sink without one must leave the run
+/// byte-identical to an observed run with one — scraping only *reads* the
+/// registry and never touches the simulation.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetrySink {
     enabled: bool,
@@ -887,6 +1019,8 @@ pub struct TelemetrySink {
     pub registry: MetricsRegistry,
     /// Structured sim-time events recorded by the run.
     pub tracer: Tracer,
+    /// Windowed sample store, present when the run was asked to scrape.
+    pub tsdb: Option<tsdb::TimeSeriesDb>,
 }
 
 impl TelemetrySink {
@@ -903,6 +1037,7 @@ impl TelemetrySink {
             enabled: true,
             registry: MetricsRegistry::new(start),
             tracer: Tracer::unbounded(),
+            tsdb: None,
         }
     }
 
@@ -912,12 +1047,102 @@ impl TelemetrySink {
             enabled: true,
             registry: MetricsRegistry::new(start),
             tracer: Tracer::ring(capacity),
+            tsdb: None,
+        }
+    }
+
+    /// A recording sink that additionally samples every series into a
+    /// [`tsdb::TimeSeriesDb`] on the `scrape` grid.
+    pub fn recording_with_tsdb(start: SimTime, scrape: tsdb::ScrapeConfig) -> Self {
+        TelemetrySink {
+            tsdb: Some(tsdb::TimeSeriesDb::new(start, scrape)),
+            ..TelemetrySink::recording(start)
         }
     }
 
     /// Whether instrumented code should record at all.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The windowed sample store, if this sink scrapes.
+    pub fn tsdb(&self) -> Option<&tsdb::TimeSeriesDb> {
+        self.tsdb.as_ref()
+    }
+
+    /// Samples the registry at `now` if a scrape-grid instant has come
+    /// due. Drivers call this from periodic work they already do (e.g. a
+    /// heartbeat sweep) so observation adds no simulation events. Returns
+    /// whether a scrape happened.
+    pub fn scrape_due(&mut self, now: SimTime) -> bool {
+        match &mut self.tsdb {
+            Some(db) if db.due(now) => {
+                db.record(&self.registry, now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Unconditionally samples the registry at `now` (deduplicated per
+    /// instant). Drivers call this at run start and run end so every
+    /// series has boundary samples — the anchor of the full-window
+    /// exactness guarantees in [`tsdb`].
+    pub fn scrape_now(&mut self, now: SimTime) {
+        if let Some(db) = &mut self.tsdb {
+            db.record(&self.registry, now);
+        }
+    }
+
+    /// Flattens the registry into a [`MetricsSnapshot`] and appends the
+    /// sink's own health series, so every export shows whether the
+    /// observation layer itself lost data:
+    ///
+    /// * `telemetry_series_count` — registry cardinality at snapshot time;
+    /// * `telemetry_trace_dropped_total` — events evicted by a ring
+    ///   tracer ([`Tracer::dropped`]);
+    /// * `telemetry_tsdb_samples_total` / `telemetry_tsdb_bytes_total` —
+    ///   scrape volume, present only when the sink scrapes.
+    ///
+    /// A disabled sink returns the plain (empty) registry snapshot.
+    pub fn snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot(now);
+        if !self.enabled {
+            return snap;
+        }
+        let count = self.registry.len() as f64;
+        snap.rows.push(MetricRow {
+            key: SeriesKey::new("telemetry_series_count", &[]),
+            value: MetricValue::Gauge {
+                value: count,
+                mean: count,
+                min: count,
+                max: count,
+                integral: 0.0,
+            },
+        });
+        snap.rows.push(MetricRow {
+            key: SeriesKey::new("telemetry_trace_dropped_total", &[]),
+            value: MetricValue::Counter {
+                total: self.tracer.dropped(),
+            },
+        });
+        if let Some(db) = &self.tsdb {
+            snap.rows.push(MetricRow {
+                key: SeriesKey::new("telemetry_tsdb_samples_total", &[]),
+                value: MetricValue::Counter {
+                    total: db.samples(),
+                },
+            });
+            snap.rows.push(MetricRow {
+                key: SeriesKey::new("telemetry_tsdb_bytes_total", &[]),
+                value: MetricValue::Counter {
+                    total: db.bytes() as u64,
+                },
+            });
+        }
+        snap.rows.sort_by(|a, b| a.key.cmp(&b.key));
+        snap
     }
 }
 
@@ -1157,5 +1382,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn series_limit_refuses_new_series_but_keeps_existing_writable() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO).with_series_limit(2);
+        reg.counter("a_total", &[]).add(1);
+        reg.gauge("b", &[]).set(SimTime::ZERO, 1.0);
+        let err = reg
+            .try_counter("c_total", &[("shard", "7")])
+            .expect_err("the third series must be refused");
+        assert_eq!(err.limit, 2);
+        assert_eq!(err.series.name, "c_total");
+        assert!(err.to_string().contains("c_total"), "{err}");
+        assert!(reg.try_histogram("d_seconds", &[]).is_err());
+        // Existing series stay writable at the ceiling; raising the cap
+        // admits new ones again.
+        reg.counter("a_total", &[]).add(1);
+        assert_eq!(reg.get_counter("a_total", &[]).map(Counter::value), Some(2));
+        reg.set_series_limit(None);
+        assert!(reg.try_counter("c_total", &[]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "series limit")]
+    fn infallible_accessor_panics_at_the_series_ceiling() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO).with_series_limit(1);
+        reg.gauge("a", &[]).set(SimTime::ZERO, 1.0);
+        reg.gauge("b", &[]).set(SimTime::ZERO, 2.0);
     }
 }

@@ -1,8 +1,25 @@
-//! Service-level objectives evaluated over a [`MetricsSnapshot`].
+//! Service-level objectives: whole-run verdicts and Google-SRE-style
+//! multi-window, multi-burn-rate alerting.
 //!
-//! An [`SloRule`] names one statistic of one metric series (e.g. the p99
-//! of `recovery_restore_seconds`) and bounds it by a `target`. The rule's
-//! **burn rate** is how fast the run is consuming its error budget:
+//! Two evaluation planes live here:
+//!
+//! 1. **Whole-run** — an [`SloRule`] reads one statistic out of the final
+//!    [`MetricsSnapshot`] and maps its burn to a [`Verdict`]. Cheap and
+//!    always available, but blind to transients: a five-minute brownout
+//!    that burns half the error budget vanishes into a 90-minute average.
+//! 2. **Windowed** — a [`BurnRateAlert`] evaluates an SLI ratio over a
+//!    *pair* of trailing windows of the scrape timeline in a
+//!    [`TimeSeriesDb`](super::tsdb::TimeSeriesDb) (the Google SRE
+//!    multi-window, multi-burn-rate pattern: the long window gives
+//!    significance, the short window makes the alert reset quickly). The
+//!    alert walks a `pending → firing → resolved` state machine at every
+//!    scrape instant and [`AlertPolicy::evaluate`] exports the resulting
+//!    [`AlertTimeline`] byte-deterministically. `tests/tsdb.rs` pins a
+//!    gray-fault scenario where the fast window PAGEs while the whole-run
+//!    report stays PASS — the whole reason this plane exists.
+//!
+//! The rule's **burn rate** is how fast the run is consuming its error
+//! budget:
 //!
 //! * [`Objective::UpperBound`] — `burn = observed / target`. At the
 //!   target the burn is exactly 1; twice the target burns at 2×.
@@ -21,7 +38,9 @@
 //! it. Evaluation is pure and deterministic: same snapshot, same report,
 //! byte for byte.
 
+use super::tsdb::{QueryFn, TimeSeriesDb};
 use super::{MetricValue, MetricsSnapshot};
+use crate::time::{SimDuration, SimTime};
 use std::fmt;
 
 /// Which summarised statistic of a series a rule reads.
@@ -360,9 +379,369 @@ impl fmt::Display for SloReport {
     }
 }
 
+/// Selects the series an alert's SLI reads: a metric name plus a label
+/// subset. Multiple matching series are summed (PromQL `sum()` style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSelector {
+    /// Metric name to match exactly.
+    pub metric: String,
+    /// Labels a series must carry (subset match; empty matches any).
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesSelector {
+    /// Selects every series named `metric`.
+    pub fn metric(metric: &str) -> Self {
+        SeriesSelector {
+            metric: metric.to_owned(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Sum of `avg_over_time` over all matching series in
+    /// `[at − window, at]`; `None` when nothing matched or no window had
+    /// samples.
+    fn avg(&self, db: &TimeSeriesDb, window: SimDuration, at: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut any = false;
+        for key in db.series_matching(&self.metric, &self.labels) {
+            if let Some(v) = db.eval_at(&key, QueryFn::AvgOverTime, window, at) {
+                sum += v;
+                any = true;
+            }
+        }
+        if any {
+            Some(sum)
+        } else {
+            None
+        }
+    }
+}
+
+/// Alert severity, ordered so [`AlertTimeline::worst_fired`] is a `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertSeverity {
+    /// Ticket-level: budget is burning but a human can look tomorrow.
+    Warn,
+    /// Page-level: budget is burning fast enough to exhaust soon.
+    Page,
+}
+
+impl fmt::Display for AlertSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AlertSeverity::Warn => "WARN",
+            AlertSeverity::Page => "PAGE",
+        })
+    }
+}
+
+/// One multi-window burn-rate alert (the Google SRE pattern, scaled to sim
+/// time).
+///
+/// The SLI is a bad-fraction ratio: `avg_over_time(numerator)` divided by
+/// `avg_over_time(denominator)` (or the raw numerator average when no
+/// denominator is configured). Its **burn rate** is the SLI divided by
+/// `budget`, the fraction of error budget the objective allows (e.g.
+/// `0.005` for a 99.5% availability target). The alert's condition holds
+/// at an instant when *both* the long- and short-window burns reach
+/// `burn_threshold`; it must hold for `for_duration` before the alert
+/// fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRateAlert {
+    /// Short stable alert name, e.g. `fleet_availability_page`.
+    pub name: String,
+    /// The bad-event series (e.g. dark containers).
+    pub numerator: SeriesSelector,
+    /// The total series (e.g. fleet size); `None` uses the numerator
+    /// average as the SLI directly.
+    pub denominator: Option<SeriesSelector>,
+    /// Error-budget fraction the SLI is allowed to average (`1 − target`).
+    pub budget: f64,
+    /// The long (significance) window.
+    pub long_window: SimDuration,
+    /// The short (reset) window.
+    pub short_window: SimDuration,
+    /// Burn rate both windows must reach for the condition to hold.
+    pub burn_threshold: f64,
+    /// How long the condition must hold before `pending` becomes
+    /// `firing`; zero fires at the first evaluation that holds.
+    pub for_duration: SimDuration,
+    /// What firing means.
+    pub severity: AlertSeverity,
+}
+
+impl BurnRateAlert {
+    /// Burn rate over one trailing window at `at`, or `None` without data.
+    pub fn burn(&self, db: &TimeSeriesDb, window: SimDuration, at: SimTime) -> Option<f64> {
+        if self.budget <= 0.0 {
+            return None;
+        }
+        let num = self.numerator.avg(db, window, at)?;
+        let sli = match &self.denominator {
+            Some(den) => {
+                let d = den.avg(db, window, at)?;
+                if d <= 0.0 {
+                    return None;
+                }
+                num / d
+            }
+            None => num,
+        };
+        Some(sli / self.budget)
+    }
+}
+
+/// The lifecycle states an alert reports on its timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition holds; waiting out `for_duration`.
+    Pending,
+    /// Condition held long enough — the alert is active.
+    Firing,
+    /// Condition stopped holding while firing.
+    Resolved,
+    /// Condition stopped holding while still pending (never fired).
+    Cancelled,
+}
+
+impl fmt::Display for AlertState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+            AlertState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// One state-machine transition on an [`AlertTimeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// The scrape instant the transition happened.
+    pub at: SimTime,
+    /// Which alert transitioned.
+    pub alert: String,
+    /// The alert's severity.
+    pub severity: AlertSeverity,
+    /// The state entered.
+    pub state: AlertState,
+    /// Long-window burn at the transition instant (`None` without data).
+    pub burn_long: Option<f64>,
+    /// Short-window burn at the transition instant.
+    pub burn_short: Option<f64>,
+}
+
+/// A named collection of burn-rate alerts evaluated together over a
+/// scrape timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AlertPolicy {
+    /// The alerts, evaluated in order.
+    pub alerts: Vec<BurnRateAlert>,
+}
+
+impl AlertPolicy {
+    /// The testbed-wide default: fleet availability against a 99.5%
+    /// objective (`budget = 0.005`), SLI = dark containers over fleet
+    /// size (`container_fleet_dark / container_fleet_size`), two window
+    /// pairs scaled to sim time from the SRE workbook's 1h/5m and
+    /// 6h/30m pairs:
+    ///
+    /// | alert | long | short | burn ≥ | for | severity |
+    /// |---|---|---|---|---|---|
+    /// | `fleet_availability_page` | 120 s | 30 s | 3 | 0 s | PAGE |
+    /// | `fleet_availability_warn` | 600 s | 120 s | 1 | 30 s | WARN |
+    pub fn picloud_default() -> Self {
+        let sli =
+            |name: &str, long: u64, short: u64, burn: f64, hold: u64, severity: AlertSeverity| {
+                BurnRateAlert {
+                    name: name.to_owned(),
+                    numerator: SeriesSelector::metric("container_fleet_dark"),
+                    denominator: Some(SeriesSelector::metric("container_fleet_size")),
+                    budget: 0.005,
+                    long_window: SimDuration::from_secs(long),
+                    short_window: SimDuration::from_secs(short),
+                    burn_threshold: burn,
+                    for_duration: SimDuration::from_secs(hold),
+                    severity,
+                }
+            };
+        AlertPolicy {
+            alerts: vec![
+                sli(
+                    "fleet_availability_page",
+                    120,
+                    30,
+                    3.0,
+                    0,
+                    AlertSeverity::Page,
+                ),
+                sli(
+                    "fleet_availability_warn",
+                    600,
+                    120,
+                    1.0,
+                    30,
+                    AlertSeverity::Warn,
+                ),
+            ],
+        }
+    }
+
+    /// Walks every alert's state machine over `db`'s scrape timeline and
+    /// returns the transitions, ordered by `(time, policy order)`. Pure
+    /// and deterministic: same store, same timeline, byte for byte.
+    pub fn evaluate(&self, db: &TimeSeriesDb) -> AlertTimeline {
+        let mut transitions = Vec::new();
+        let times: Vec<SimTime> = db.scrape_times().to_vec();
+        let mut states: Vec<Option<(AlertState, SimTime)>> = vec![None; self.alerts.len()];
+        for &now in &times {
+            for (i, alert) in self.alerts.iter().enumerate() {
+                let burn_long = alert.burn(db, alert.long_window, now);
+                let burn_short = alert.burn(db, alert.short_window, now);
+                let holds = matches!((burn_long, burn_short), (Some(l), Some(s))
+                    if l >= alert.burn_threshold && s >= alert.burn_threshold);
+                let mut push = |state: AlertState| {
+                    transitions.push(AlertTransition {
+                        at: now,
+                        alert: alert.name.clone(),
+                        severity: alert.severity,
+                        state,
+                        burn_long,
+                        burn_short,
+                    });
+                };
+                states[i] = match (states[i], holds) {
+                    (None | Some((AlertState::Resolved | AlertState::Cancelled, _)), true) => {
+                        push(AlertState::Pending);
+                        if alert.for_duration.is_zero() {
+                            push(AlertState::Firing);
+                            Some((AlertState::Firing, now))
+                        } else {
+                            Some((AlertState::Pending, now))
+                        }
+                    }
+                    (Some((AlertState::Pending, since)), true) => {
+                        if now.duration_since(since) >= alert.for_duration {
+                            push(AlertState::Firing);
+                            Some((AlertState::Firing, since))
+                        } else {
+                            Some((AlertState::Pending, since))
+                        }
+                    }
+                    (Some((AlertState::Pending, _)), false) => {
+                        push(AlertState::Cancelled);
+                        Some((AlertState::Cancelled, now))
+                    }
+                    (Some((AlertState::Firing, _)), false) => {
+                        push(AlertState::Resolved);
+                        Some((AlertState::Resolved, now))
+                    }
+                    (s, _) => s,
+                };
+            }
+        }
+        AlertTimeline {
+            evaluated_at: times,
+            transitions,
+        }
+    }
+}
+
+/// The byte-deterministic product of [`AlertPolicy::evaluate`]: every
+/// state transition of every alert over the scrape timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTimeline {
+    /// The scrape instants the policy was evaluated at.
+    pub evaluated_at: Vec<SimTime>,
+    /// State transitions, ordered by `(time, policy order)`.
+    pub transitions: Vec<AlertTransition>,
+}
+
+impl AlertTimeline {
+    /// Transitions that entered [`AlertState::Firing`].
+    pub fn firings(&self) -> impl Iterator<Item = &AlertTransition> {
+        self.transitions
+            .iter()
+            .filter(|t| t.state == AlertState::Firing)
+    }
+
+    /// The most severe severity that ever fired, if any alert fired.
+    pub fn worst_fired(&self) -> Option<AlertSeverity> {
+        self.firings().map(|t| t.severity).max()
+    }
+
+    /// Whether any alert of `severity` fired.
+    pub fn fired(&self, severity: AlertSeverity) -> bool {
+        self.firings().any(|t| t.severity == severity)
+    }
+
+    /// One JSON object per transition per line:
+    /// `{"t_ns","alert","severity","state","burn_long","burn_short"}`
+    /// (burns are `null` without data).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(v) if v.is_finite() => format!("{v}"),
+            _ => "null".to_owned(),
+        };
+        for t in &self.transitions {
+            out.push_str(&format!(
+                "{{\"t_ns\":{},\"alert\":\"{}\",\"severity\":\"{}\",\"state\":\"{}\",\"burn_long\":{},\"burn_short\":{}}}\n",
+                t.at.as_nanos(),
+                t.alert,
+                t.severity,
+                t.state,
+                fmt_opt(t.burn_long),
+                fmt_opt(t.burn_short),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AlertTimeline {
+    /// Deterministic fixed-width table, one transition per line, followed
+    /// by a one-line summary.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:<28} {:<9} {:<10} {:>10} {:>10}",
+            "T", "ALERT", "SEVERITY", "STATE", "BURN-LONG", "BURN-SHORT"
+        )?;
+        let fmt_opt = |v: Option<f64>| {
+            v.filter(|v| v.is_finite())
+                .map_or("-".to_owned(), |v| format!("{v:.2}"))
+        };
+        for t in &self.transitions {
+            writeln!(
+                f,
+                "{:<12} {:<28} {:<9} {:<10} {:>10} {:>10}",
+                format!("{:.1}s", t.at.as_secs_f64()),
+                t.alert,
+                t.severity.to_string(),
+                t.state.to_string(),
+                fmt_opt(t.burn_long),
+                fmt_opt(t.burn_short),
+            )?;
+        }
+        let fired = self
+            .worst_fired()
+            .map_or("none fired".to_owned(), |s| format!("worst fired: {s}"));
+        write!(
+            f,
+            "{} transitions over {} evaluations; {fired}",
+            self.transitions.len(),
+            self.evaluated_at.len()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::tsdb::ScrapeConfig;
     use crate::telemetry::MetricsRegistry;
     use crate::time::SimTime;
 
@@ -473,5 +852,138 @@ mod tests {
             assert!(r.target > 0.0);
             assert!(r.warn_burn <= r.page_burn);
         }
+    }
+
+    /// Scrapes a synthetic 10-container fleet on a 10-second grid over
+    /// `secs` seconds; `dark_at(s)` is the dark-container gauge value set
+    /// at each scrape instant.
+    fn fleet_db(secs: u64, dark_at: impl Fn(u64) -> f64) -> TimeSeriesDb {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        let mut db = TimeSeriesDb::new(
+            SimTime::ZERO,
+            ScrapeConfig::every(SimDuration::from_secs(10)),
+        );
+        let mut s = 0u64;
+        while s <= secs {
+            let now = SimTime::from_secs(s);
+            reg.gauge("container_fleet_size", &[]).set(now, 10.0);
+            reg.gauge("container_fleet_dark", &[]).set(now, dark_at(s));
+            db.record(&reg, now);
+            s += 10;
+        }
+        db
+    }
+
+    fn fleet_alert(hold_secs: u64, severity: AlertSeverity) -> BurnRateAlert {
+        BurnRateAlert {
+            name: "fleet_alert".to_owned(),
+            numerator: SeriesSelector::metric("container_fleet_dark"),
+            denominator: Some(SeriesSelector::metric("container_fleet_size")),
+            budget: 0.005,
+            long_window: SimDuration::from_secs(60),
+            short_window: SimDuration::from_secs(30),
+            burn_threshold: 5.0,
+            for_duration: SimDuration::from_secs(hold_secs),
+            severity,
+        }
+    }
+
+    /// One dark container from t=100s to t=200s against a 60s/30s window
+    /// pair and burn ≥ 5: the long window crosses threshold at 120s and
+    /// the short window un-crosses first at 230s.
+    fn blackout(s: u64) -> f64 {
+        if (100..200).contains(&s) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn zero_hold_alert_fires_at_threshold_and_resolves() {
+        let db = fleet_db(300, blackout);
+        let policy = AlertPolicy {
+            alerts: vec![fleet_alert(0, AlertSeverity::Page)],
+        };
+        let timeline = policy.evaluate(&db);
+        let states: Vec<(u64, AlertState)> = timeline
+            .transitions
+            .iter()
+            .map(|t| (t.at.as_nanos() / 1_000_000_000, t.state))
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                (120, AlertState::Pending),
+                (120, AlertState::Firing),
+                (230, AlertState::Resolved),
+            ]
+        );
+        assert!(timeline.fired(AlertSeverity::Page));
+        assert_eq!(timeline.worst_fired(), Some(AlertSeverity::Page));
+        // Transition burns are recorded at the firing instant.
+        let firing = timeline.firings().next().unwrap();
+        let long = firing.burn_long.unwrap();
+        assert!((long - 20.0 / 3.0).abs() < 1e-9, "long burn was {long}");
+        for line in timeline.to_jsonl().lines() {
+            assert!(line.starts_with("{\"t_ns\":"));
+            assert!(line.contains("\"alert\":\"fleet_alert\""));
+        }
+    }
+
+    #[test]
+    fn for_duration_delays_firing_past_the_hold() {
+        let db = fleet_db(300, blackout);
+        let policy = AlertPolicy {
+            alerts: vec![fleet_alert(25, AlertSeverity::Warn)],
+        };
+        let timeline = policy.evaluate(&db);
+        let states: Vec<(u64, AlertState)> = timeline
+            .transitions
+            .iter()
+            .map(|t| (t.at.as_nanos() / 1_000_000_000, t.state))
+            .collect();
+        // Pending at 120s; the 25s hold is first satisfied at 150s.
+        assert_eq!(
+            states,
+            vec![
+                (120, AlertState::Pending),
+                (150, AlertState::Firing),
+                (230, AlertState::Resolved),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_short_burst_cancels_a_pending_alert() {
+        // Dark for only 30s: the condition holds from 120s to 150s, which
+        // never satisfies a 45s hold — the alert cancels without firing.
+        let db = fleet_db(300, |s| if (100..130).contains(&s) { 1.0 } else { 0.0 });
+        let policy = AlertPolicy {
+            alerts: vec![fleet_alert(45, AlertSeverity::Page)],
+        };
+        let timeline = policy.evaluate(&db);
+        let states: Vec<(u64, AlertState)> = timeline
+            .transitions
+            .iter()
+            .map(|t| (t.at.as_nanos() / 1_000_000_000, t.state))
+            .collect();
+        assert_eq!(
+            states,
+            vec![(120, AlertState::Pending), (160, AlertState::Cancelled)]
+        );
+        assert!(!timeline.fired(AlertSeverity::Page));
+        assert_eq!(timeline.worst_fired(), None);
+    }
+
+    #[test]
+    fn alert_severities_order_and_default_policy_is_sane() {
+        assert!(AlertSeverity::Page > AlertSeverity::Warn);
+        let p = AlertPolicy::picloud_default();
+        assert_eq!(p.alerts.len(), 2);
+        assert!(p
+            .alerts
+            .iter()
+            .all(|a| a.budget > 0.0 && a.short_window < a.long_window));
     }
 }

@@ -1,0 +1,893 @@
+//! An in-memory, delta-encoded time-series database fed by a sim-clock
+//! scrape loop.
+//!
+//! The whole-run [`MetricsSnapshot`](super::MetricsSnapshot) collapses a
+//! 90-minute churn run to one number per series, so a transient brownout
+//! that burns half the error budget in five minutes is invisible if the
+//! run-average recovers. This module is the windowed signal plane that the
+//! paper's live `pimaster` panel (Fig. 4) implies and the multi-window
+//! burn-rate alerts of [`super::slo`] require:
+//!
+//! * [`TimeSeriesDb`] — periodic samples of every series in a
+//!   [`MetricsRegistry`], stored as delta-encoded byte streams (LEB128
+//!   varint time deltas; zigzag varint deltas for integers; XOR-with-
+//!   previous bit patterns for floats). Unchanged samples cost ~2 bytes.
+//! * [`QueryFn`] — a deterministic query layer: `rate()`, `increase()`,
+//!   `avg_over_time`, `max_over_time`, `min_over_time` and windowed
+//!   quantiles, evaluated at sample-aligned instants.
+//!
+//! # Exactness
+//!
+//! Scraping stores each gauge's running *integral* (value × seconds)
+//! alongside its instantaneous value. `avg_over_time` divides an integral
+//! difference by the elapsed time between the window's boundary samples,
+//! which makes it **bitwise identical** to the snapshot's time-weighted
+//! `mean` when the window spans the whole run — the float expressions are
+//! the same. Likewise `increase` over a full-run window reproduces a
+//! counter's snapshot `total` exactly. `tests/tsdb.rs` pins both
+//! identities with property tests.
+//!
+//! # Determinism
+//!
+//! Everything here is a pure function of the scrape sequence: `BTreeMap`
+//! keyed streams, no wall clock, no ambient randomness. Two same-seed runs
+//! produce byte-identical query and alert output.
+//!
+//! # Example
+//!
+//! ```
+//! use picloud_simcore::telemetry::tsdb::{QueryFn, ScrapeConfig, TimeSeriesDb};
+//! use picloud_simcore::telemetry::MetricsRegistry;
+//! use picloud_simcore::{SimDuration, SimTime};
+//!
+//! let mut reg = MetricsRegistry::new(SimTime::ZERO);
+//! let mut db = TimeSeriesDb::new(SimTime::ZERO, ScrapeConfig::default());
+//! for s in 0..=60u64 {
+//!     reg.counter("req_total", &[]).add(2);
+//!     db.record(&reg, SimTime::from_secs(s));
+//! }
+//! let keys = db.series_matching("req_total", &[]);
+//! let v = db
+//!     .eval_at(
+//!         &keys[0],
+//!         QueryFn::Increase,
+//!         SimDuration::from_secs(30),
+//!         SimTime::from_secs(60),
+//!     )
+//!     .unwrap();
+//! // The window base is the last sample *strictly before* t=30 (t=29,
+//! // value 60), so the increase covers the 31 scrapes at t=30..=60.
+//! assert_eq!(v, 62.0);
+//! ```
+
+use super::{MetricsRegistry, SeriesKey};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How often the scrape loop samples the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrapeConfig {
+    /// Sim-time distance between scheduled scrapes.
+    pub interval: SimDuration,
+}
+
+impl ScrapeConfig {
+    /// The default scrape cadence: every 15 simulated seconds — Prometheus'
+    /// default, which the sim can afford exactly because scraping costs no
+    /// simulated time.
+    pub const DEFAULT_INTERVAL: SimDuration = SimDuration::from_secs(15);
+
+    /// A config scraping every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn every(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "scrape interval must be positive");
+        ScrapeConfig { interval }
+    }
+}
+
+impl Default for ScrapeConfig {
+    fn default() -> Self {
+        ScrapeConfig {
+            interval: ScrapeConfig::DEFAULT_INTERVAL,
+        }
+    }
+}
+
+/// Which sampled facet of a series a stream stores.
+///
+/// One registry series fans out into one or two streams: counters store
+/// their running `Total`; gauges store the instantaneous `Value` *and* the
+/// running time `Integral` (the latter is what makes `avg_over_time`
+/// exact); histograms store their observation `Count` and `Sum`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SampleField {
+    /// Counter running total (integer stream).
+    Total,
+    /// Gauge instantaneous value (float stream).
+    Value,
+    /// Gauge running integral, value × seconds (float stream).
+    Integral,
+    /// Histogram observation count (integer stream).
+    Count,
+    /// Histogram observation sum (float stream).
+    Sum,
+}
+
+impl SampleField {
+    /// Stable lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SampleField::Total => "total",
+            SampleField::Value => "value",
+            SampleField::Integral => "integral",
+            SampleField::Count => "count",
+            SampleField::Sum => "sum",
+        }
+    }
+}
+
+/// The identity of one stored stream: series plus sampled facet.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StreamKey {
+    /// The registry series the stream samples.
+    pub series: SeriesKey,
+    /// Which facet of the series it stores.
+    pub field: SampleField,
+}
+
+/// How a stream's 64-bit payloads are interpreted and delta-encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SampleKind {
+    /// Payload is a `u64`; deltas are zigzag-varint encoded.
+    U64,
+    /// Payload is `f64` bits; deltas are XOR-with-previous, varint encoded.
+    F64,
+}
+
+/// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation).
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `data` starting at `*pos`, advancing it.
+/// Returns `None` on truncated input (indicates stream corruption).
+fn get_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes of either sign
+/// varint-encode into few bytes.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// One series facet's sample history, delta-encoded.
+///
+/// Layout per sample: `varint(t_ns - prev_t_ns)` followed by the payload
+/// delta — `varint(zigzag(v - prev))` for integer streams,
+/// `varint(bits ^ prev_bits)` for float streams. Both `prev` registers
+/// start at zero.
+#[derive(Debug, Clone, PartialEq)]
+struct Stream {
+    kind: SampleKind,
+    len: u32,
+    prev_t: u64,
+    prev_bits: u64,
+    data: Vec<u8>,
+    /// Undo register for the most recent push: byte offset where its
+    /// encoding starts plus the `prev` registers it replaced. One level is
+    /// enough — amendment only ever rewrites the final sample.
+    undo_start: usize,
+    undo_prev_t: u64,
+    undo_prev_bits: u64,
+}
+
+impl Stream {
+    fn new(kind: SampleKind) -> Self {
+        Stream {
+            kind,
+            len: 0,
+            prev_t: 0,
+            prev_bits: 0,
+            data: Vec::new(),
+            undo_start: 0,
+            undo_prev_t: 0,
+            undo_prev_bits: 0,
+        }
+    }
+
+    /// Appends a sample; `bits` is the raw 64-bit payload.
+    fn push(&mut self, t_ns: u64, bits: u64) {
+        self.undo_start = self.data.len();
+        self.undo_prev_t = self.prev_t;
+        self.undo_prev_bits = self.prev_bits;
+        put_varint(&mut self.data, t_ns.wrapping_sub(self.prev_t));
+        match self.kind {
+            SampleKind::U64 => put_varint(
+                &mut self.data,
+                zigzag(bits.wrapping_sub(self.prev_bits) as i64),
+            ),
+            SampleKind::F64 => put_varint(&mut self.data, bits ^ self.prev_bits),
+        }
+        self.prev_t = t_ns;
+        self.prev_bits = bits;
+        self.len += 1;
+    }
+
+    /// Records a sample at `t_ns`, amending the final sample in place when
+    /// the stream already ends at that instant. A boundary scrape (run
+    /// end) can land on the same tick as a periodic grid scrape after more
+    /// recording happened in between; the later observation must win or
+    /// the exactness identity breaks. Returns whether a new sample was
+    /// appended (amendment keeps the count unchanged).
+    fn record_at(&mut self, t_ns: u64, bits: u64) -> bool {
+        if self.len > 0 && self.prev_t == t_ns {
+            if self.prev_bits != bits {
+                self.data.truncate(self.undo_start);
+                self.prev_t = self.undo_prev_t;
+                self.prev_bits = self.undo_prev_bits;
+                self.len -= 1;
+                self.push(t_ns, bits);
+            }
+            return false;
+        }
+        self.push(t_ns, bits);
+        true
+    }
+
+    /// Decodes every sample as `(t_ns, payload bits)`, oldest first.
+    fn decode(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut pos = 0usize;
+        let mut t: u64 = 0;
+        let mut bits: u64 = 0;
+        for _ in 0..self.len {
+            let Some(dt) = get_varint(&self.data, &mut pos) else {
+                debug_assert!(false, "truncated stream");
+                return out;
+            };
+            let Some(dv) = get_varint(&self.data, &mut pos) else {
+                debug_assert!(false, "truncated stream");
+                return out;
+            };
+            t = t.wrapping_add(dt);
+            bits = match self.kind {
+                SampleKind::U64 => bits.wrapping_add(unzigzag(dv) as u64),
+                SampleKind::F64 => bits ^ dv,
+            };
+            out.push((t, bits));
+        }
+        out
+    }
+}
+
+/// A windowed query over one series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryFn {
+    /// Counter increase over the window (`v(end) − v(before start)`).
+    Increase,
+    /// [`QueryFn::Increase`] divided by the window length in seconds.
+    Rate,
+    /// Time-weighted average over the window. For gauges this is exact:
+    /// an integral difference divided by the elapsed time between the
+    /// window's boundary samples. For other kinds it is the arithmetic
+    /// mean of the samples in the window.
+    AvgOverTime,
+    /// Largest sample in the window.
+    MaxOverTime,
+    /// Smallest sample in the window.
+    MinOverTime,
+    /// Nearest-rank quantile of the samples in the window; the argument
+    /// must be in `[0, 1]`.
+    QuantileOverTime(f64),
+}
+
+impl QueryFn {
+    /// Parses the CLI spelling: `rate`, `increase`, `avg_over_time`,
+    /// `max_over_time`, `min_over_time` or `quantile:<q>` (e.g.
+    /// `quantile:0.99`).
+    pub fn parse(s: &str) -> Option<QueryFn> {
+        match s {
+            "rate" => Some(QueryFn::Rate),
+            "increase" => Some(QueryFn::Increase),
+            "avg_over_time" => Some(QueryFn::AvgOverTime),
+            "max_over_time" => Some(QueryFn::MaxOverTime),
+            "min_over_time" => Some(QueryFn::MinOverTime),
+            _ => {
+                let q = s.strip_prefix("quantile:")?.parse::<f64>().ok()?;
+                if (0.0..=1.0).contains(&q) {
+                    Some(QueryFn::QuantileOverTime(q))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Stable name used in exports (`quantile:<q>` keeps its argument).
+    pub fn label(&self) -> String {
+        match self {
+            QueryFn::Increase => "increase".to_owned(),
+            QueryFn::Rate => "rate".to_owned(),
+            QueryFn::AvgOverTime => "avg_over_time".to_owned(),
+            QueryFn::MaxOverTime => "max_over_time".to_owned(),
+            QueryFn::MinOverTime => "min_over_time".to_owned(),
+            QueryFn::QuantileOverTime(q) => format!("quantile:{q}"),
+        }
+    }
+}
+
+/// One evaluated query instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPoint {
+    /// The window's right edge.
+    pub at: SimTime,
+    /// The query value, `None` when the window holds no samples.
+    pub value: Option<f64>,
+}
+
+/// The in-memory time-series store: one delta-encoded [`Stream`] per
+/// `(series, facet)`, plus the shared scrape timeline.
+///
+/// Populate it by calling [`TimeSeriesDb::record`] (or letting a
+/// [`TelemetrySink`](super::TelemetrySink) drive it via its scrape hooks),
+/// then query with [`TimeSeriesDb::eval_at`] / [`TimeSeriesDb::eval_range`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesDb {
+    /// The instant the observation window opened (gauge integrals measure
+    /// from here).
+    epoch: SimTime,
+    interval: SimDuration,
+    /// Next scheduled scrape instant for [`TimeSeriesDb::due`].
+    next_due: SimTime,
+    /// Every instant a scrape happened, ascending, deduplicated.
+    times: Vec<SimTime>,
+    streams: BTreeMap<StreamKey, Stream>,
+    samples: u64,
+}
+
+impl TimeSeriesDb {
+    /// An empty store whose scrape grid starts at `epoch`.
+    pub fn new(epoch: SimTime, config: ScrapeConfig) -> Self {
+        assert!(
+            !config.interval.is_zero(),
+            "scrape interval must be positive"
+        );
+        TimeSeriesDb {
+            epoch,
+            interval: config.interval,
+            next_due: epoch,
+            times: Vec::new(),
+            streams: BTreeMap::new(),
+            samples: 0,
+        }
+    }
+
+    /// The configured scrape interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The instant the observation window opened.
+    pub fn epoch(&self) -> SimTime {
+        self.epoch
+    }
+
+    /// Whether the scrape grid has a scheduled instant at or before `now`.
+    /// Drivers poll this from their existing periodic work (heartbeat
+    /// sweeps) so scraping adds no simulation events of its own.
+    pub fn due(&self, now: SimTime) -> bool {
+        now >= self.next_due
+    }
+
+    /// Samples every series of `registry` at `now` and advances the scrape
+    /// grid past `now`. Calling twice at the same instant records the
+    /// instant once but *amends*: series created or updated between the
+    /// two calls overwrite their final sample, so a forced boundary scrape
+    /// (run start / end) composes with a periodic grid scrape that landed
+    /// on the same tick — the last observation wins.
+    pub fn record(&mut self, registry: &MetricsRegistry, now: SimTime) {
+        let fresh_instant = self.times.last() != Some(&now);
+        debug_assert!(
+            self.times.last().is_none_or(|&t| t <= now),
+            "scrape time moved backwards"
+        );
+        let t_ns = now.as_nanos();
+        for (key, c) in registry.counters() {
+            self.push_sample(key, SampleField::Total, SampleKind::U64, t_ns, c.value());
+        }
+        for (key, g) in registry.gauges() {
+            self.push_sample(
+                key,
+                SampleField::Value,
+                SampleKind::F64,
+                t_ns,
+                g.value().to_bits(),
+            );
+            self.push_sample(
+                key,
+                SampleField::Integral,
+                SampleKind::F64,
+                t_ns,
+                g.integral(now).to_bits(),
+            );
+        }
+        for (key, h) in registry.histograms() {
+            self.push_sample(
+                key,
+                SampleField::Count,
+                SampleKind::U64,
+                t_ns,
+                h.len() as u64,
+            );
+            self.push_sample(
+                key,
+                SampleField::Sum,
+                SampleKind::F64,
+                t_ns,
+                h.sum().to_bits(),
+            );
+        }
+        if fresh_instant {
+            self.times.push(now);
+        }
+        while self.next_due <= now {
+            self.next_due = self.next_due.saturating_add(self.interval);
+        }
+    }
+
+    fn push_sample(
+        &mut self,
+        series: &SeriesKey,
+        field: SampleField,
+        kind: SampleKind,
+        t_ns: u64,
+        bits: u64,
+    ) {
+        let appended = self
+            .streams
+            .entry(StreamKey {
+                series: series.clone(),
+                field,
+            })
+            .or_insert_with(|| Stream::new(kind))
+            .record_at(t_ns, bits);
+        if appended {
+            self.samples += 1;
+        }
+    }
+
+    /// Every scrape instant, ascending.
+    pub fn scrape_times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Number of distinct `(series, facet)` streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Number of distinct registry series with at least one sample.
+    pub fn series_count(&self) -> usize {
+        let mut n = 0usize;
+        let mut last: Option<&SeriesKey> = None;
+        for key in self.streams.keys() {
+            if last != Some(&key.series) {
+                n += 1;
+                last = Some(&key.series);
+            }
+        }
+        n
+    }
+
+    /// Total samples stored across all streams.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total encoded payload bytes across all streams.
+    pub fn bytes(&self) -> usize {
+        self.streams.values().map(|s| s.data.len()).sum()
+    }
+
+    /// Mean encoded bytes per stored sample (`0.0` when empty).
+    pub fn bytes_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.bytes() as f64 / self.samples as f64
+        }
+    }
+
+    /// Series whose metric name is `metric` and whose labels are a
+    /// superset of `labels`, in `(name, labels)` order.
+    pub fn series_matching(&self, metric: &str, labels: &[(String, String)]) -> Vec<SeriesKey> {
+        let mut out: Vec<SeriesKey> = Vec::new();
+        for key in self.streams.keys() {
+            if key.series.name != metric {
+                continue;
+            }
+            if !labels
+                .iter()
+                .all(|(k, v)| key.series.labels.get(k) == Some(v.as_str()))
+            {
+                continue;
+            }
+            if out.last() != Some(&key.series) {
+                out.push(key.series.clone());
+            }
+        }
+        out
+    }
+
+    /// Every distinct series with at least one sample, in order.
+    pub fn all_series(&self) -> Vec<SeriesKey> {
+        let mut out: Vec<SeriesKey> = Vec::new();
+        for key in self.streams.keys() {
+            if out.last() != Some(&key.series) {
+                out.push(key.series.clone());
+            }
+        }
+        out
+    }
+
+    fn stream(&self, series: &SeriesKey, field: SampleField) -> Option<&Stream> {
+        self.streams.get(&StreamKey {
+            series: series.clone(),
+            field,
+        })
+    }
+
+    /// The series' "natural" instantaneous stream: gauge `Value`, counter
+    /// `Total` or histogram `Count`, whichever exists.
+    fn natural(&self, series: &SeriesKey) -> Option<(&Stream, SampleKind)> {
+        for field in [SampleField::Value, SampleField::Total, SampleField::Count] {
+            if let Some(s) = self.stream(series, field) {
+                return Some((s, s.kind));
+            }
+        }
+        None
+    }
+
+    /// Evaluates `f` over the window `[at − window, at]`.
+    ///
+    /// Windows are *sample-aligned*: boundary lookups resolve to the
+    /// nearest stored sample at or before the boundary, so results are a
+    /// pure function of the scrape sequence. Returns `None` when the
+    /// series is absent or the window holds no usable samples.
+    pub fn eval_at(
+        &self,
+        series: &SeriesKey,
+        f: QueryFn,
+        window: SimDuration,
+        at: SimTime,
+    ) -> Option<f64> {
+        let start = SimTime::from_nanos(at.as_nanos().saturating_sub(window.as_nanos()));
+        match f {
+            QueryFn::Increase => self.increase(series, start, at),
+            QueryFn::Rate => {
+                let secs = window.as_secs_f64();
+                if secs <= 0.0 {
+                    return None;
+                }
+                Some(self.increase(series, start, at)? / secs)
+            }
+            QueryFn::AvgOverTime => self.avg_over_time(series, start, at),
+            QueryFn::MaxOverTime => self
+                .window_values(series, start, at)?
+                .into_iter()
+                .reduce(f64::max),
+            QueryFn::MinOverTime => self
+                .window_values(series, start, at)?
+                .into_iter()
+                .reduce(f64::min),
+            QueryFn::QuantileOverTime(q) => {
+                let mut vs = self.window_values(series, start, at)?;
+                if vs.is_empty() {
+                    return None;
+                }
+                vs.sort_by(f64::total_cmp);
+                let rank = ((q * vs.len() as f64).ceil() as usize).clamp(1, vs.len());
+                vs.get(rank - 1).copied()
+            }
+        }
+    }
+
+    /// Evaluates `f` at every instant of the scrape timeline (or a coarser
+    /// `step` grid anchored at the epoch), oldest first.
+    pub fn eval_range(
+        &self,
+        series: &SeriesKey,
+        f: QueryFn,
+        window: SimDuration,
+        step: Option<SimDuration>,
+    ) -> Vec<QueryPoint> {
+        let instants: Vec<SimTime> = match step {
+            None => self.times.clone(),
+            Some(step) if !step.is_zero() => {
+                let mut out = Vec::new();
+                let Some(&last) = self.times.last() else {
+                    return Vec::new();
+                };
+                let mut t = self.epoch;
+                while t <= last {
+                    out.push(t);
+                    t = t.saturating_add(step);
+                }
+                out
+            }
+            Some(_) => return Vec::new(),
+        };
+        instants
+            .into_iter()
+            .map(|at| QueryPoint {
+                at,
+                value: self.eval_at(series, f, window, at),
+            })
+            .collect()
+    }
+
+    /// Counter increase over `(start, at]`: the last sample at or before
+    /// `at`, minus the last sample *strictly before* `start` (zero when the
+    /// stream begins inside the window — a counter is born at zero). The
+    /// strict lower bound is what makes a full-run `increase` reproduce the
+    /// snapshot `total` even when increments land at the epoch itself.
+    fn increase(&self, series: &SeriesKey, start: SimTime, at: SimTime) -> Option<f64> {
+        let stream = self
+            .stream(series, SampleField::Total)
+            .or_else(|| self.stream(series, SampleField::Count))?;
+        let samples = stream.decode();
+        let end = last_at_or_before(&samples, at)?;
+        let base = samples
+            .iter()
+            .rev()
+            .find(|(t, _)| *t < start.as_nanos())
+            .map_or(0, |(_, bits)| *bits);
+        Some(end.1.saturating_sub(base) as f64)
+    }
+
+    /// Gauge time-weighted average via the integral stream; arithmetic
+    /// sample mean for other kinds.
+    fn avg_over_time(&self, series: &SeriesKey, start: SimTime, at: SimTime) -> Option<f64> {
+        if let Some(stream) = self.stream(series, SampleField::Integral) {
+            let samples = stream.decode();
+            let (e_t, e_bits) = last_at_or_before(&samples, at)?;
+            // The window-start boundary resolves to the last sample at or
+            // before it; if none exists the gauge's whole history is inside
+            // the window and the epoch (integral zero) is the boundary.
+            let (s_t, s_bits) = samples
+                .iter()
+                .rev()
+                .find(|(t, _)| *t <= start.as_nanos())
+                .copied()
+                .unwrap_or((self.epoch.as_nanos(), 0.0f64.to_bits()));
+            if e_t <= s_t {
+                return None;
+            }
+            let secs = SimDuration::from_nanos(e_t - s_t).as_secs_f64();
+            return Some((f64::from_bits(e_bits) - f64::from_bits(s_bits)) / secs);
+        }
+        let vs = self.window_values(series, start, at)?;
+        if vs.is_empty() {
+            None
+        } else {
+            Some(vs.iter().sum::<f64>() / vs.len() as f64)
+        }
+    }
+
+    /// The natural-stream sample values with `t` in `[start, at]`, as
+    /// floats. `None` when the series has no natural stream; an empty vec
+    /// when it has one but no samples land in the window.
+    fn window_values(&self, series: &SeriesKey, start: SimTime, at: SimTime) -> Option<Vec<f64>> {
+        let (stream, kind) = self.natural(series)?;
+        Some(
+            stream
+                .decode()
+                .into_iter()
+                .filter(|(t, _)| *t >= start.as_nanos() && *t <= at.as_nanos())
+                .map(|(_, bits)| match kind {
+                    SampleKind::U64 => bits as f64,
+                    SampleKind::F64 => f64::from_bits(bits),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The last `(t_ns, bits)` sample with `t ≤ at`, if any.
+fn last_at_or_before(samples: &[(u64, u64)], at: SimTime) -> Option<(u64, u64)> {
+    samples
+        .iter()
+        .rev()
+        .find(|(t, _)| *t <= at.as_nanos())
+        .copied()
+}
+
+impl fmt::Display for TimeSeriesDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tsdb: {} series, {} streams, {} scrapes, {} samples, {} bytes ({:.2} B/sample)",
+            self.series_count(),
+            self.stream_count(),
+            self.times.len(),
+            self.samples,
+            self.bytes(),
+            self.bytes_per_sample(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{MetricsRegistry, SeriesKey};
+
+    #[test]
+    fn varints_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 35, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0usize;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len(), "decoder consumed exactly the encoding");
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut pos = 0usize;
+        assert_eq!(get_varint(&[0x80], &mut pos), None, "truncated input");
+    }
+
+    #[test]
+    fn streams_decode_what_they_encoded() {
+        let mut f = Stream::new(SampleKind::F64);
+        let floats = [
+            (0u64, 1.5f64),
+            (1_000_000_000, 1.5),
+            (2_500_000_000, -3.25),
+            (4_000_000_000, 0.0),
+        ];
+        for (t, v) in floats {
+            f.push(t, v.to_bits());
+        }
+        let want: Vec<(u64, u64)> = floats.iter().map(|(t, v)| (*t, v.to_bits())).collect();
+        assert_eq!(f.decode(), want);
+
+        let mut u = Stream::new(SampleKind::U64);
+        let counts = [(0u64, 0u64), (5, 3), (9, 3), (12, 40)];
+        for (t, v) in counts {
+            u.push(t, v);
+        }
+        assert_eq!(u.decode(), counts.to_vec());
+    }
+
+    #[test]
+    fn same_instant_rerecord_amends_instead_of_dropping() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        let mut db = TimeSeriesDb::new(SimTime::ZERO, ScrapeConfig::default());
+        let t = SimTime::from_secs(5);
+        reg.gauge("g", &[]).set(t, 1.0);
+        reg.counter("c", &[]).add(2);
+        db.record(&reg, t);
+        // The end-of-run pattern: a grid scrape already landed at `t`, then
+        // more recording happens at the same instant — a new series appears
+        // and the counter moves — before the forced boundary scrape.
+        reg.counter("c", &[]).add(3);
+        reg.gauge("late", &[]).set(t, 7.0);
+        db.record(&reg, t);
+        assert_eq!(db.scrape_times(), &[t], "the instant is stored once");
+        let key = |name| SeriesKey::new(name, &[]);
+        let w = SimDuration::from_secs(5);
+        assert_eq!(db.eval_at(&key("c"), QueryFn::Increase, w, t), Some(5.0));
+        assert_eq!(
+            db.eval_at(&key("late"), QueryFn::MaxOverTime, w, t),
+            Some(7.0)
+        );
+        let before = db.samples();
+        db.record(&reg, t);
+        assert_eq!(db.samples(), before, "an identical re-record adds nothing");
+    }
+
+    #[test]
+    fn the_scrape_grid_advances_past_each_record() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        reg.gauge("g", &[]).set(SimTime::ZERO, 1.0);
+        let mut db = TimeSeriesDb::new(
+            SimTime::ZERO,
+            ScrapeConfig::every(SimDuration::from_secs(15)),
+        );
+        assert!(db.due(SimTime::ZERO));
+        db.record(&reg, SimTime::ZERO);
+        assert!(!db.due(SimTime::from_secs(14)));
+        assert!(db.due(SimTime::from_secs(15)));
+        // An off-grid forced scrape advances the grid past itself.
+        db.record(&reg, SimTime::from_secs(47));
+        assert!(!db.due(SimTime::from_secs(59)));
+        assert!(db.due(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn windowed_queries_agree_on_a_simple_staircase() {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        let mut db = TimeSeriesDb::new(SimTime::ZERO, ScrapeConfig::default());
+        for s in 0..=10u64 {
+            let now = SimTime::from_secs(s);
+            reg.gauge("g", &[]).set(now, s as f64);
+            db.record(&reg, now);
+            reg.counter("c", &[]).add(2);
+        }
+        let at = SimTime::from_secs(10);
+        let w = SimDuration::from_secs(10);
+        let key = |name| SeriesKey::new(name, &[]);
+        assert_eq!(db.eval_at(&key("c"), QueryFn::Increase, w, at), Some(20.0));
+        assert_eq!(db.eval_at(&key("c"), QueryFn::Rate, w, at), Some(2.0));
+        assert_eq!(
+            db.eval_at(&key("g"), QueryFn::MinOverTime, w, at),
+            Some(0.0)
+        );
+        assert_eq!(
+            db.eval_at(&key("g"), QueryFn::MaxOverTime, w, at),
+            Some(10.0)
+        );
+        assert_eq!(
+            db.eval_at(&key("g"), QueryFn::QuantileOverTime(0.5), w, at),
+            Some(5.0)
+        );
+        // A window that trails the data entirely evaluates to nothing.
+        assert_eq!(
+            db.eval_at(&key("g"), QueryFn::MaxOverTime, w, SimTime::from_secs(30)),
+            None
+        );
+        // eval_range visits every scrape instant when no step is given.
+        let pts = db.eval_range(&key("g"), QueryFn::MaxOverTime, w, None);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts.last().and_then(|p| p.value), Some(10.0));
+    }
+
+    #[test]
+    fn query_fn_parses_the_cli_spellings() {
+        assert_eq!(QueryFn::parse("rate"), Some(QueryFn::Rate));
+        assert_eq!(QueryFn::parse("increase"), Some(QueryFn::Increase));
+        assert_eq!(QueryFn::parse("avg_over_time"), Some(QueryFn::AvgOverTime));
+        assert_eq!(QueryFn::parse("max_over_time"), Some(QueryFn::MaxOverTime));
+        assert_eq!(QueryFn::parse("min_over_time"), Some(QueryFn::MinOverTime));
+        assert_eq!(
+            QueryFn::parse("quantile:0.99"),
+            Some(QueryFn::QuantileOverTime(0.99))
+        );
+        assert_eq!(QueryFn::parse("quantile:1.5"), None);
+        assert_eq!(QueryFn::parse("stddev"), None);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::httpd::{HttpRequest, HttpServerSpec};
 use picloud_simcore::engine::{Engine, EventContext};
+use picloud_simcore::telemetry::TelemetrySink;
 use picloud_simcore::units::Frequency;
 use picloud_simcore::{Histogram, SeedFactory, SimDuration, SimTime, TimeWeightedGauge};
 use rand::Rng;
@@ -121,6 +122,40 @@ struct World {
     arrivals_left: u64,
     rng: ChaCha12Rng,
     mean_interarrival: f64,
+    /// Observation plane; [`TelemetrySink::disabled`] for plain runs. The
+    /// report is identical either way — recording only reads world state.
+    telem: TelemetrySink,
+}
+
+impl World {
+    /// Mirrors queue depth and CPU state into the registry so the scrape
+    /// loop has live series to sample.
+    fn record_state(&mut self, now: SimTime) {
+        if !self.telem.is_enabled() {
+            return;
+        }
+        self.telem
+            .registry
+            .gauge("websim_queue_depth", &[])
+            .set(now, self.queue.len() as f64);
+        self.telem
+            .registry
+            .gauge("websim_utilisation", &[])
+            .set(now, f64::from(u8::from(self.busy)));
+    }
+}
+
+/// The periodic scrape tick: samples the registry and re-arms while the
+/// simulation still has work. Pure observation — it never touches queue
+/// state, so the report is byte-identical with or without it.
+fn scrape_tick(w: &mut World, ctx: &mut EventContext<World>) {
+    let now = ctx.now();
+    w.telem.scrape_now(now);
+    if w.arrivals_left > 0 || !w.queue.is_empty() || w.busy {
+        if let Some(db) = w.telem.tsdb() {
+            ctx.schedule_in(db.interval(), scrape_tick);
+        }
+    }
 }
 
 fn arrive(w: &mut World, ctx: &mut EventContext<World>) {
@@ -129,8 +164,21 @@ fn arrive(w: &mut World, ctx: &mut EventContext<World>) {
         // Admit or shed.
         if w.queue.len() >= w.backlog {
             w.shed += 1;
+            if w.telem.is_enabled() {
+                w.telem
+                    .registry
+                    .counter("websim_shed_total", &[])
+                    .increment();
+            }
         } else {
             w.queue.push_back(now);
+            if w.telem.is_enabled() {
+                w.telem
+                    .registry
+                    .counter("websim_requests_total", &[])
+                    .increment();
+                w.record_state(now);
+            }
             if !w.busy {
                 start_service(w, ctx);
             }
@@ -159,6 +207,7 @@ fn start_service(w: &mut World, ctx: &mut EventContext<World>) {
     if w.queue.front().is_some() {
         w.busy = true;
         w.util.set(ctx.now(), 1.0);
+        w.record_state(ctx.now());
         ctx.schedule_in(w.service, finish_service);
     }
 }
@@ -167,10 +216,21 @@ fn finish_service(w: &mut World, ctx: &mut EventContext<World>) {
     // lint: allow(P1) reason=finish_service only fires for a request previously queued by start_service
     let started = w.queue.pop_front().expect("a request was in service");
     w.served += 1;
-    w.latency
-        .observe(ctx.now().duration_since(started).as_secs_f64());
+    let wait = ctx.now().duration_since(started).as_secs_f64();
+    w.latency.observe(wait);
+    if w.telem.is_enabled() {
+        w.telem
+            .registry
+            .counter("websim_served_total", &[])
+            .increment();
+        w.telem
+            .registry
+            .histogram("websim_latency_seconds", &[])
+            .observe(wait);
+    }
     w.busy = false;
     w.util.set(ctx.now(), 0.0);
+    w.record_state(ctx.now());
     start_service(w, ctx);
 }
 
@@ -180,13 +240,34 @@ fn finish_service(w: &mut World, ctx: &mut EventContext<World>) {
 ///
 /// Panics if the config's arrival rate is not positive.
 pub fn simulate(config: &WebSimConfig, n_requests: u64, seeds: &SeedFactory) -> WebSimReport {
+    simulate_with_telemetry(config, n_requests, seeds, TelemetrySink::disabled()).0
+}
+
+/// Like [`simulate`], but records into `sink` as it goes: live
+/// `websim_queue_depth` / `websim_utilisation` gauges,
+/// `websim_requests_total` / `websim_served_total` / `websim_shed_total`
+/// counters and a `websim_latency_seconds` histogram. When the sink
+/// carries a tsdb, a periodic scrape tick samples them on its grid,
+/// giving the httpd workload a live time axis. The report is identical to
+/// the unobserved run's — observation only reads the world.
+///
+/// # Panics
+///
+/// Panics if the config's arrival rate is not positive.
+pub fn simulate_with_telemetry(
+    config: &WebSimConfig,
+    n_requests: u64,
+    seeds: &SeedFactory,
+    sink: TelemetrySink,
+) -> (WebSimReport, TelemetrySink) {
     assert!(
         config.arrival_rps.is_finite() && config.arrival_rps > 0.0,
         "arrival rate must be positive"
     );
     let cycles = config.server.cycles_per_request(&config.request);
     let service = config.clock.time_for(cycles);
-    let mut engine = Engine::new(World {
+    let scraping = sink.tsdb().is_some();
+    let mut world = World {
         queue: VecDeque::new(),
         busy: false,
         service,
@@ -198,18 +279,27 @@ pub fn simulate(config: &WebSimConfig, n_requests: u64, seeds: &SeedFactory) -> 
         arrivals_left: n_requests.saturating_sub(1),
         rng: seeds.stream("websim/arrivals"),
         mean_interarrival: 1.0 / config.arrival_rps,
-    });
+        telem: sink,
+    };
+    world.record_state(SimTime::ZERO);
+    let mut engine = Engine::new(world);
     engine.schedule_at(SimTime::ZERO, arrive);
+    if scraping {
+        engine.schedule_at(SimTime::ZERO, scrape_tick);
+    }
     engine.run();
     let end = engine.now();
-    let world = engine.into_world();
-    WebSimReport {
+    let mut world = engine.into_world();
+    // Boundary scrape: the end-of-run sample anchors full-window queries.
+    world.telem.scrape_now(end);
+    let report = WebSimReport {
         served: world.served,
         shed: world.shed,
         latency: world.latency,
         mean_utilisation: world.util.mean(end),
         duration: end.duration_since(SimTime::ZERO),
-    }
+    };
+    (report, world.telem)
 }
 
 #[cfg(test)]

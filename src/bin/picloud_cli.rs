@@ -11,7 +11,10 @@
 //! cargo run --bin picloud -- trace --experiment e17 --out e17-trace.jsonl
 //! cargo run --bin picloud -- spans --experiment e17 --format jsonl
 //! cargo run --bin picloud -- critical-path --experiment e17
-//! cargo run --bin picloud -- slo --experiment e17
+//! cargo run --bin picloud -- slo --experiment e17 --strict
+//! cargo run --bin picloud -- query --experiment e17 --metric container_fleet_dark \
+//!     --fn avg_over_time --window 120
+//! cargo run --bin picloud -- alerts --experiment e17 --format jsonl
 //! cargo run --bin picloud -- panel
 //! cargo run --bin picloud -- lint --format jsonl
 //! cargo run --bin picloud -- chaos --seed 100 --schedules 25 --profile e17
@@ -22,10 +25,16 @@
 //! JSONL; `spans` renders the causal span forest (text trees, or JSONL
 //! with `--format jsonl`); `critical-path` explains each root span's
 //! duration with per-segment blame; `slo` evaluates the suite's default
-//! burn-rate policy; `panel` prints the ASCII Fig. 4 control panel. All
+//! whole-run SLO policy; `query` evaluates a windowed function
+//! (`rate`, `increase`, `avg_over_time`, `max_over_time`,
+//! `min_over_time`, `quantile:<q>`) over the run's scraped time series;
+//! `alerts` replays the multi-window burn-rate alert policy over the
+//! scrape timeline; `panel` prints the ASCII Fig. 4 control panel. All
 //! accept canonical names (`recovery`) and paper-style aliases (`e17`),
-//! and are byte-deterministic for a fixed seed. See `OBSERVABILITY.md`
-//! for the formats, span catalogue and SLO rule schema.
+//! and are byte-deterministic for a fixed seed. `--strict` on `slo` and
+//! `alerts` turns a PAGE verdict into a non-zero exit code for CI
+//! gating. See `OBSERVABILITY.md` for the formats, span catalogue, SLO
+//! rule schema and the tsdb query semantics.
 //!
 //! `lint` is a passthrough to `picloud-lint`: it scans the workspace,
 //! prints the report (text by default, `--format jsonl` for the export
@@ -47,6 +56,8 @@ use picloud::experiments::{
 };
 use picloud::telemetry::ExperimentTelemetry;
 use picloud::PiCloud;
+use picloud_simcore::telemetry::slo::{AlertSeverity, Verdict};
+use picloud_simcore::telemetry::tsdb::QueryFn;
 use picloud_simcore::SimDuration;
 use std::process::ExitCode;
 
@@ -116,27 +127,44 @@ fn run_one(name: &str, seed: u64) -> bool {
     true
 }
 
-/// Runs the `telemetry` / `trace` subcommand: collect one experiment's
-/// metrics and trace, export in the requested format, print or write.
-fn export_telemetry(
-    subcommand: &str,
-    experiment: Option<&str>,
-    format: Option<&str>,
+/// Options shared by the telemetry-export subcommands.
+struct ExportOpts<'a> {
+    experiment: Option<&'a str>,
+    format: Option<&'a str>,
     seed: u64,
-    out: Option<&str>,
-) -> bool {
-    let Some(experiment) = experiment else {
+    out: Option<&'a str>,
+    /// `query`: metric name to evaluate.
+    metric: Option<&'a str>,
+    /// `query`: windowed function spelling (`rate`, `quantile:0.99`, ...).
+    query_fn: &'a str,
+    /// `query`: trailing window length, seconds.
+    window_secs: f64,
+    /// `query`: optional evaluation grid coarser than the scrape grid.
+    step_secs: Option<f64>,
+    /// `query`: `key=value` label filters (series must match all).
+    labels: &'a [(String, String)],
+    /// `slo`/`alerts`: non-zero exit when the run PAGEs.
+    strict: bool,
+}
+
+/// Runs the `telemetry` / `trace` / `spans` / `critical-path` / `slo` /
+/// `query` / `alerts` subcommands: collect one experiment's telemetry,
+/// export the requested view, print or write.
+fn export_telemetry(subcommand: &str, opts: &ExportOpts<'_>) -> bool {
+    let Some(experiment) = opts.experiment else {
         eprintln!("{subcommand} needs --experiment <id> (try 'picloud list')");
         return false;
     };
-    let Some(telemetry) = ExperimentTelemetry::collect(experiment, seed) else {
+    let Some(telemetry) = ExperimentTelemetry::collect(experiment, opts.seed) else {
         eprintln!("unknown experiment '{experiment}'; try 'picloud list'");
         return false;
     };
+    let format = opts.format;
     let text = match subcommand {
         "trace" => telemetry.trace_jsonl(),
-        // Span/SLO views default to their deterministic text rendering;
-        // `--format jsonl` switches to the machine-readable export.
+        // Span/SLO/alert/query views default to their deterministic text
+        // rendering; `--format jsonl` switches to the machine-readable
+        // export.
         "spans" => match format {
             Some("jsonl") => telemetry.spans_jsonl(),
             _ => telemetry.spans_text(),
@@ -146,6 +174,50 @@ fn export_telemetry(
             Some("jsonl") => telemetry.slo_report().to_jsonl(),
             _ => format!("{}\n", telemetry.slo_report()),
         },
+        "query" => {
+            let Some(metric) = opts.metric else {
+                eprintln!("query needs --metric <name>");
+                return false;
+            };
+            let Some(f) = QueryFn::parse(opts.query_fn) else {
+                eprintln!(
+                    "unknown --fn '{}' (rate, increase, avg_over_time, max_over_time, \
+                     min_over_time, quantile:<q>)",
+                    opts.query_fn
+                );
+                return false;
+            };
+            if !(opts.window_secs.is_finite() && opts.window_secs > 0.0) {
+                eprintln!("--window needs a positive number of seconds");
+                return false;
+            }
+            let window = SimDuration::from_secs_f64(opts.window_secs);
+            let step = opts.step_secs.map(SimDuration::from_secs_f64);
+            let rendered = match format {
+                Some("jsonl") => telemetry.query_jsonl(metric, opts.labels, f, window, step),
+                _ => telemetry.query_text(metric, opts.labels, f, window, step),
+            };
+            match rendered {
+                Some(t) => t,
+                None => {
+                    eprintln!("experiment '{experiment}' collected no time-series store");
+                    return false;
+                }
+            }
+        }
+        "alerts" => {
+            let rendered = match format {
+                Some("jsonl") => telemetry.alerts_jsonl(),
+                _ => telemetry.alerts_text(),
+            };
+            match rendered {
+                Some(t) => t,
+                None => {
+                    eprintln!("experiment '{experiment}' collected no time-series store");
+                    return false;
+                }
+            }
+        }
         _ => match format.unwrap_or("jsonl") {
             "jsonl" => telemetry.metrics_jsonl(),
             "csv" => telemetry.metrics_csv(),
@@ -156,7 +228,7 @@ fn export_telemetry(
             }
         },
     };
-    match out {
+    match opts.out {
         None => print!("{text}"),
         Some(path) => {
             if let Err(e) = std::fs::write(path, &text) {
@@ -164,6 +236,24 @@ fn export_telemetry(
                 return false;
             }
             eprintln!("wrote {} bytes to {path}", text.len());
+        }
+    }
+    if opts.strict {
+        match subcommand {
+            "slo" if telemetry.slo_report().worst() == Verdict::Page => {
+                eprintln!("slo: PAGE under --strict");
+                return false;
+            }
+            "alerts" => {
+                let paged = telemetry
+                    .alert_timeline()
+                    .is_some_and(|t| t.fired(AlertSeverity::Page));
+                if paged {
+                    eprintln!("alerts: PAGE fired under --strict");
+                    return false;
+                }
+            }
+            _ => {}
         }
     }
     true
@@ -322,6 +412,12 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut schedules = 10usize;
     let mut profile = String::from("e17");
+    let mut metric: Option<String> = None;
+    let mut query_fn = String::from("avg_over_time");
+    let mut window_secs = 60.0f64;
+    let mut step_secs: Option<f64> = None;
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let mut strict = false;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -368,6 +464,53 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metric" => match it.next() {
+                Some(m) => metric = Some(m.to_owned()),
+                None => {
+                    eprintln!("--metric needs a series name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fn" => match it.next() {
+                Some(f) => query_fn = f.to_owned(),
+                None => {
+                    eprintln!(
+                        "--fn needs one of rate, increase, avg_over_time, max_over_time, \
+                         min_over_time, quantile:<q>"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--window" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(w) => window_secs = w,
+                None => {
+                    eprintln!("--window needs a number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--step" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => step_secs = Some(s),
+                None => {
+                    eprintln!("--step needs a number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--labels" => match it.next() {
+                Some(spec) => {
+                    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+                        let Some((k, v)) = pair.split_once('=') else {
+                            eprintln!("--labels needs key=value pairs, got '{pair}'");
+                            return ExitCode::FAILURE;
+                        };
+                        labels.push((k.to_owned(), v.to_owned()));
+                    }
+                }
+                None => {
+                    eprintln!("--labels needs key=value[,key=value...]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--strict" => strict = true,
             "-h" | "--help" | "help" => {
                 targets = vec!["list".into()];
                 break;
@@ -389,7 +532,19 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "       picloud spans|critical-path|slo --experiment <id|eN> \
-                     [--format jsonl] [--out FILE]"
+                     [--format jsonl] [--out FILE] [--strict]"
+                );
+                println!(
+                    "       picloud query --experiment <id|eN> --metric NAME \
+                     [--fn rate|increase|avg_over_time|max_over_time|min_over_time|quantile:q]"
+                );
+                println!(
+                    "                      [--window SECS] [--step SECS] \
+                     [--labels k=v,...] [--format jsonl] [--out FILE]"
+                );
+                println!(
+                    "       picloud alerts --experiment <id|eN> \
+                     [--format jsonl] [--out FILE] [--strict]"
                 );
                 println!("       picloud lint [--format text|jsonl] [--out FILE]");
                 println!(
@@ -407,14 +562,20 @@ fn main() -> ExitCode {
                     println!();
                 }
             }
-            "telemetry" | "trace" | "spans" | "critical-path" | "slo" => {
-                if !export_telemetry(
-                    target.as_str(),
-                    experiment.as_deref(),
-                    format.as_deref(),
+            "telemetry" | "trace" | "spans" | "critical-path" | "slo" | "query" | "alerts" => {
+                let opts = ExportOpts {
+                    experiment: experiment.as_deref(),
+                    format: format.as_deref(),
                     seed,
-                    out.as_deref(),
-                ) {
+                    out: out.as_deref(),
+                    metric: metric.as_deref(),
+                    query_fn: &query_fn,
+                    window_secs,
+                    step_secs,
+                    labels: &labels,
+                    strict,
+                };
+                if !export_telemetry(target.as_str(), &opts) {
                     return ExitCode::FAILURE;
                 }
             }

@@ -1,0 +1,289 @@
+//! Windowed time-series pipeline guarantees.
+//!
+//! Three contracts anchor `simcore::telemetry::tsdb`:
+//!
+//! 1. **Exactness** — a full-horizon windowed query reproduces the
+//!    whole-run snapshot statistic *bitwise*: `avg_over_time` over the
+//!    whole run equals the gauge's time-weighted `mean`, `increase`
+//!    equals the counter's `total`. Scraping gauges as (value, running
+//!    integral) pairs is what makes this an identity instead of an
+//!    approximation.
+//! 2. **Non-perturbation** — scrapes ride existing periodic work, so an
+//!    observed run and an unobserved run of the same seed produce
+//!    byte-identical reports; and every export is byte-deterministic.
+//! 3. **Resolution** — the multi-window burn-rate alerts see what the
+//!    whole-run SLO integrates away: a gray-fault burst that pages on
+//!    the fast windows while the full-horizon burn still passes.
+
+use picloud::experiments::recovery_exp::RecoveryExperiment;
+use picloud::recovery::{run_recovery_with_telemetry, RecoveryConfig};
+use picloud::telemetry::ExperimentTelemetry;
+use picloud_faults::{FaultKind, FaultTimeline};
+use picloud_hardware::node::NodeId;
+use picloud_simcore::telemetry::slo::{AlertPolicy, AlertSeverity, SloPolicy, Verdict};
+use picloud_simcore::telemetry::tsdb::{QueryFn, ScrapeConfig, TimeSeriesDb};
+use picloud_simcore::telemetry::{MetricValue, MetricsRegistry, TelemetrySink};
+use picloud_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A churn horizon long enough to exercise every recovery path but short
+/// enough for the integration suite.
+const HORIZON: SimDuration = SimDuration::from_secs(20 * 60);
+
+/// Runs the seeded E17 churn with a scraping sink.
+fn observed_run(seed: u64) -> TelemetrySink {
+    let (_, sink) = RecoveryExperiment::run_with_telemetry(
+        seed,
+        HORIZON,
+        TelemetrySink::recording_with_tsdb(SimTime::ZERO, ScrapeConfig::default()),
+    );
+    sink
+}
+
+/// Full-horizon window: large enough that `[at − window, at]` covers the
+/// whole run from the epoch.
+fn full_window(db: &TimeSeriesDb, at: SimTime) -> SimDuration {
+    at.saturating_duration_since(db.epoch())
+}
+
+#[test]
+fn full_horizon_queries_reproduce_the_snapshot_exactly() {
+    let sink = observed_run(2013);
+    let db = sink.tsdb().expect("sink was built with a tsdb");
+    let at = *db.scrape_times().last().expect("the run scraped");
+    let window = full_window(db, at);
+    // Plain registry snapshot at the exact instant of the last scrape:
+    // every row has a scraped counterpart (the final forced scrape runs
+    // after all recording).
+    let snap = sink.registry.snapshot(at);
+    let mut gauges = 0usize;
+    let mut counters = 0usize;
+    for row in &snap.rows {
+        match &row.value {
+            MetricValue::Counter { total } => {
+                let inc = db
+                    .eval_at(&row.key, QueryFn::Increase, window, at)
+                    .unwrap_or_else(|| panic!("{} has no scraped increase", row.key));
+                assert_eq!(
+                    inc, *total as f64,
+                    "{}: full-run increase must equal the counter total",
+                    row.key
+                );
+                counters += 1;
+            }
+            MetricValue::Gauge { mean, .. } => {
+                let avg = db
+                    .eval_at(&row.key, QueryFn::AvgOverTime, window, at)
+                    .unwrap_or_else(|| panic!("{} has no scraped average", row.key));
+                assert_eq!(
+                    avg.to_bits(),
+                    mean.to_bits(),
+                    "{}: full-run avg_over_time must be bitwise the gauge mean \
+                     ({avg} vs {mean})",
+                    row.key
+                );
+                gauges += 1;
+            }
+            MetricValue::Histogram { .. } => {}
+        }
+    }
+    assert!(gauges > 50, "E17 records a real gauge population: {gauges}");
+    assert!(counters > 10, "and a real counter population: {counters}");
+}
+
+proptest! {
+    /// The identity holds for arbitrary update/scrape interleavings, not
+    /// just the E17 series: random gauge walks and counter bumps,
+    /// scraped on a random grid, still reproduce mean/total exactly.
+    #[test]
+    fn random_walks_reproduce_snapshot_statistics(
+        steps in prop::collection::vec(
+            (1u64..30_000_000_000u64, 0u32..1000u32, 0u64..50u64, prop::bool::ANY),
+            1..40,
+        ),
+    ) {
+        let mut reg = MetricsRegistry::new(SimTime::ZERO);
+        let mut db = TimeSeriesDb::new(SimTime::ZERO, ScrapeConfig::default());
+        db.record(&reg, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for (dt, gauge_permille, bump, scrape) in steps {
+            now = now.saturating_add(SimDuration::from_nanos(dt));
+            reg.gauge("walk", &[]).set(now, f64::from(gauge_permille) / 1000.0);
+            reg.counter("bumps", &[]).add(bump);
+            if scrape {
+                db.record(&reg, now);
+            }
+        }
+        db.record(&reg, now); // the forced end-of-run scrape
+        let at = *db.scrape_times().last().unwrap();
+        let window = at.saturating_duration_since(SimTime::ZERO);
+        let snap = reg.snapshot(at);
+        for row in &snap.rows {
+            match &row.value {
+                MetricValue::Counter { total } => {
+                    let inc = db.eval_at(&row.key, QueryFn::Increase, window, at).unwrap();
+                    prop_assert_eq!(inc, *total as f64);
+                }
+                MetricValue::Gauge { mean, .. } => {
+                    let avg = db.eval_at(&row.key, QueryFn::AvgOverTime, window, at).unwrap();
+                    prop_assert_eq!(avg.to_bits(), mean.to_bits());
+                }
+                MetricValue::Histogram { .. } => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn observed_and_unobserved_reports_are_identical() {
+    let (observed, _) = RecoveryExperiment::run_with_telemetry(
+        7,
+        HORIZON,
+        TelemetrySink::recording_with_tsdb(SimTime::ZERO, ScrapeConfig::default()),
+    );
+    let (unobserved, _) =
+        RecoveryExperiment::run_with_telemetry(7, HORIZON, TelemetrySink::disabled());
+    // The scrape loop rides the heartbeat sweep: adding a tsdb must not
+    // add events, shift timing, or change a single report field.
+    assert_eq!(observed.report, unobserved.report);
+    assert_eq!(observed.timeline, unobserved.timeline);
+}
+
+#[test]
+fn alert_timeline_and_queries_are_byte_deterministic() {
+    let collect = || {
+        let t = ExperimentTelemetry::collect("recovery", 2013).unwrap();
+        let alerts_jsonl = t.alerts_jsonl().unwrap();
+        let alerts_text = t.alerts_text().unwrap();
+        let query = t
+            .query_jsonl(
+                "container_fleet_dark",
+                &[],
+                QueryFn::AvgOverTime,
+                SimDuration::from_secs(120),
+                Some(SimDuration::from_secs(60)),
+            )
+            .unwrap();
+        (alerts_jsonl, alerts_text, query)
+    };
+    let a = collect();
+    let b = collect();
+    assert_eq!(a, b, "same seed must export identical alert/query bytes");
+    assert!(!a.0.is_empty(), "seeded churn must produce transitions");
+    assert!(a.0.lines().all(|l| l.starts_with("{\"t_ns\":")));
+}
+
+#[test]
+fn slow_node_burst_pages_fast_windows_but_passes_the_whole_run() {
+    // Gray-fault scenario: every node's CPU is clamped to 10 % before a
+    // 4-node crash burst, stretching the replacement restarts ~10×. The
+    // outage is sharp (~30 s of dark containers) but brief against a
+    // 30-minute horizon — exactly the shape a whole-run average washes
+    // out and a fast burn-rate window must catch.
+    let horizon = SimDuration::from_secs(1800);
+    let mut timeline = FaultTimeline::new();
+    for n in 0..56 {
+        timeline.push(
+            SimTime::from_secs(100),
+            FaultKind::SlowNode {
+                node: NodeId(n),
+                permille: 100,
+            },
+        );
+    }
+    for n in 0..4 {
+        timeline.push(
+            SimTime::from_secs(300),
+            FaultKind::NodeCrash { node: NodeId(n) },
+        );
+    }
+    for n in 0..56 {
+        timeline.push(
+            SimTime::from_secs(400),
+            FaultKind::SlowNodeHealed { node: NodeId(n) },
+        );
+    }
+    let (result, sink) = run_recovery_with_telemetry(
+        &RecoveryConfig::lan_default(),
+        &timeline,
+        horizon,
+        11,
+        TelemetrySink::recording_with_tsdb(SimTime::ZERO, ScrapeConfig::default()),
+    );
+    assert_eq!(result.crashes, 4);
+    let db = sink.tsdb().expect("scraping sink");
+    let at = *db.scrape_times().last().unwrap();
+
+    // Whole-run plane: the blackout is tiny against the horizon, so the
+    // availability burn over the full window stays under budget...
+    let policy = AlertPolicy::picloud_default();
+    let page = &policy.alerts[0];
+    assert_eq!(page.severity, AlertSeverity::Page);
+    let whole_run_burn = page
+        .burn(db, full_window(db, at), at)
+        .expect("fleet series were scraped");
+    assert!(
+        whole_run_burn < 1.0,
+        "whole-run burn must PASS (got {whole_run_burn:.3})"
+    );
+    // ...and the default whole-run SLO report agrees nothing pages.
+    let slo = SloPolicy::picloud_default().evaluate(&sink.snapshot(SimTime::ZERO + horizon));
+    assert_ne!(slo.worst(), Verdict::Page, "whole-run SLO must not page");
+
+    // Windowed plane: the fast windows resolve the burst and page.
+    let alerts = policy.evaluate(db);
+    assert!(
+        alerts.fired(AlertSeverity::Page),
+        "the page alert must fire on the burst:\n{alerts}"
+    );
+    // The firing lands while the outage is open, not at the end.
+    let first_page = alerts
+        .firings()
+        .find(|t| t.severity == AlertSeverity::Page)
+        .unwrap();
+    assert!(
+        first_page.at >= SimTime::from_secs(300) && first_page.at <= SimTime::from_secs(450),
+        "page must fire during the burst, fired at {}s",
+        first_page.at.as_secs_f64()
+    );
+}
+
+#[test]
+fn snapshot_exposes_the_sinks_self_series() {
+    let t = ExperimentTelemetry::collect("fig2", 1).unwrap();
+    let jsonl = t.metrics_jsonl();
+    assert!(
+        jsonl.contains("\"name\":\"telemetry_series_count\""),
+        "cardinality self-gauge missing"
+    );
+    assert!(
+        jsonl.contains("\"name\":\"telemetry_trace_dropped_total\""),
+        "trace drop counter missing"
+    );
+    assert!(
+        jsonl.contains("\"name\":\"telemetry_tsdb_samples_total\""),
+        "tsdb sample counter missing"
+    );
+    assert!(
+        jsonl.contains("\"name\":\"telemetry_tsdb_bytes_total\""),
+        "tsdb byte counter missing"
+    );
+}
+
+#[test]
+fn storage_stays_cheap_per_sample() {
+    let sink = observed_run(2013);
+    let db = sink.tsdb().unwrap();
+    assert!(
+        db.samples() > 10_000,
+        "a real run stores a real sample count"
+    );
+    let bps = db.bytes_per_sample();
+    // Delta-encoded streams: an unchanged sample costs ~2 bytes, a noisy
+    // float one up to ~11; the E17 mix lands near 9, well under the 16 a
+    // raw (t_ns, bits) pair would cost.
+    assert!(
+        bps < 12.0,
+        "delta encoding regressed: {bps:.2} bytes/sample"
+    );
+}
