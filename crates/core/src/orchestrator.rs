@@ -114,11 +114,8 @@ impl MigrationOrchestrator {
     ///
     /// [`ApiError::NotFound`] for unknown nodes/containers;
     /// [`ApiError::InsufficientStorage`] if the target cannot host the
-    /// container; [`ApiError::Conflict`] if the container is not running.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fabric is disconnected between the two nodes.
+    /// container; [`ApiError::Conflict`] if the container is not
+    /// running, or if the fabric is disconnected between the two nodes.
     #[allow(clippy::too_many_arguments)] // the seven collaborators are the point
     pub fn migrate(
         &self,
@@ -177,13 +174,14 @@ impl MigrationOrchestrator {
                     .with_weight(self.network_weight),
                 start,
             )
-            .expect("migration path must exist");
+            .map_err(|e| ApiError::Conflict(format!("no migration path {from} -> {to}: {e}")))?;
         let end = sim.run_to_completion();
         // The migration's own completion, not the last concurrent flow's.
         let migration_done = sim
             .completed()
             .iter()
             .find(|c| c.id == flow_id)
+            // lint: allow(P1) reason=the flow injected above must appear in completed() once run_to_completion returns
             .expect("migration flow completed")
             .finished;
         let network_time = migration_done.saturating_duration_since(start);
@@ -199,15 +197,19 @@ impl MigrationOrchestrator {
         let freeze_window = network_time.mul_f64(share);
 
         // --- LXC lifecycle: freeze, recreate, cut over, destroy --------
+        let gone = |node: NodeId| ApiError::NotFound(format!("no such node {node}"));
         {
             let src = cloud
                 .pimaster_mut()
                 .daemon_mut(from)
-                .expect("checked above");
+                .ok_or_else(|| gone(from))?;
             src.host_mut().freeze(container).map_err(ApiError::from)?;
         }
         let new_container = {
-            let dst = cloud.pimaster_mut().daemon_mut(to).expect("checked above");
+            let dst = cloud
+                .pimaster_mut()
+                .daemon_mut(to)
+                .ok_or_else(|| gone(to))?;
             match dst.spawn(name, config) {
                 Ok(id) => id,
                 Err(e) => {
@@ -215,10 +217,8 @@ impl MigrationOrchestrator {
                     let src = cloud
                         .pimaster_mut()
                         .daemon_mut(from)
-                        .expect("checked above");
-                    src.host_mut()
-                        .unfreeze(container)
-                        .expect("frozen container can thaw");
+                        .ok_or_else(|| gone(from))?;
+                    src.host_mut().unfreeze(container).map_err(ApiError::from)?;
                     return Err(e.into());
                 }
             }
@@ -227,7 +227,7 @@ impl MigrationOrchestrator {
             let src = cloud
                 .pimaster_mut()
                 .daemon_mut(from)
-                .expect("checked above");
+                .ok_or_else(|| gone(from))?;
             src.destroy(container).map_err(ApiError::from)?;
         }
         // --- retarget the network identity -----------------------------
@@ -237,7 +237,7 @@ impl MigrationOrchestrator {
         }
         let network_identity = fabric
             .migrate(label, dst_dev, end)
-            .expect("label bound just above");
+            .ok_or_else(|| ApiError::NotFound(format!("label {} not bound on fabric", label.0)))?;
 
         Ok(OrchestratedMigration {
             new_container,

@@ -159,6 +159,7 @@ mod tests {
                     line: i + 1,
                     message: "m".into(),
                     snippet: "s".into(),
+                    path: Vec::new(),
                 });
             }
         }

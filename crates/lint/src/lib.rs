@@ -14,9 +14,18 @@
 //! * **D3** — no ambient randomness;
 //! * **D4** — no thread spawning outside `crates/bench` and the
 //!   quarantined `flowsim::partition` pool;
+//! * **F1** — no non-total float ordering (`partial_cmp` comparators)
+//!   in sim-visible code;
 //! * **P1** — no `unwrap`/`expect`/`panic!`/literal-indexing in
 //!   non-test, non-bench library code;
 //! * **O1** — public items in `simcore`/`mgmt`/`faults` carry docs.
+//!
+//! On top of the per-line rules sits a lightweight front-end: a
+//! recursive-descent item parser ([`parser`]) feeds per-crate symbol
+//! tables and a workspace-wide call graph ([`symgraph`]), over which
+//! the interprocedural **D5** determinism-taint pass ([`taint`])
+//! reports every public simulation-facing function that transitively
+//! reaches a D1–D4/F1 source, with the shortest witness call path.
 //!
 //! Findings are reported deterministically ([`report`]) and ratcheted
 //! against the committed `lint-baseline.json` ([`baseline`]): new
@@ -28,8 +37,11 @@
 
 pub mod baseline;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symgraph;
+pub mod taint;
 
 use report::Report;
 use std::path::{Path, PathBuf};
@@ -107,9 +119,15 @@ impl Workspace {
         Ok(rel)
     }
 
-    /// Scans the whole workspace and returns the sorted report.
+    /// Scans the whole workspace: the per-line rules file by file, then
+    /// the interprocedural D5 taint pass over the assembled call graph.
+    /// Returns the sorted report.
     pub fn scan(&self) -> Result<Report, String> {
         let mut report = Report::default();
+        let mut models: Vec<(String, parser::FileModel)> = Vec::new();
+        let mut taints: Vec<taint::FileTaint> = Vec::new();
+        let mut sources_text: std::collections::BTreeMap<String, Vec<String>> =
+            std::collections::BTreeMap::new();
         for rel in self.source_files()? {
             let full = self.root.join(&rel);
             let src = std::fs::read_to_string(&full)
@@ -118,7 +136,21 @@ impl Workspace {
             report.findings.extend(scan.findings);
             report.allowed += scan.allowed;
             report.files_scanned += 1;
+            models.push((rel.clone(), scan.model));
+            taints.push((rel.clone(), scan.sources, scan.allows));
+            sources_text.insert(rel, src.lines().map(|l| l.trim().to_string()).collect());
         }
+        let graph = symgraph::CallGraph::build(&models);
+        let snippet = |file: &str, line: usize| -> String {
+            sources_text
+                .get(file)
+                .and_then(|lines| lines.get(line))
+                .cloned()
+                .unwrap_or_default()
+        };
+        let (d5, d5_allowed) = taint::propagate(&graph, &taints, &snippet);
+        report.findings.extend(d5);
+        report.allowed += d5_allowed;
         report.sort();
         Ok(report)
     }

@@ -3,6 +3,7 @@
 //! ```sh
 //! cargo run -p picloud-lint                     # full report (text)
 //! cargo run -p picloud-lint -- --format jsonl   # machine-readable
+//! cargo run -p picloud-lint -- --format github  # PR annotations
 //! cargo run -p picloud-lint -- --check-baseline # CI gate: fail on growth
 //! cargo run -p picloud-lint -- --write-baseline # re-anchor the ratchet
 //! cargo run -p picloud-lint -- --rules          # list the rule book
@@ -27,7 +28,7 @@ struct Options {
 fn usage() {
     eprintln!(
         "picloud-lint — determinism & panic-safety static analysis\n\n\
-         usage: picloud-lint [--root DIR] [--baseline FILE] [--format text|jsonl]\n\
+         usage: picloud-lint [--root DIR] [--baseline FILE] [--format text|jsonl|github]\n\
                 [--out FILE] [--check-baseline | --write-baseline] [--rules]\n\n\
          --check-baseline  compare against the committed lint-baseline.json:\n\
                            new violations fail (exit 1), fixed ones shrink the file\n\
@@ -59,9 +60,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 ))
             }
             "--format" => {
-                let f = it.next().ok_or("--format needs one of text, jsonl")?;
-                if f != "text" && f != "jsonl" {
-                    return Err(format!("unknown --format '{f}' (text, jsonl)"));
+                let f = it
+                    .next()
+                    .ok_or("--format needs one of text, jsonl, github")?;
+                if f != "text" && f != "jsonl" && f != "github" {
+                    return Err(format!("unknown --format '{f}' (text, jsonl, github)"));
                 }
                 opts.format = f.clone();
             }
@@ -114,6 +117,7 @@ fn run(opts: &Options) -> Result<bool, String> {
     let report = ws.scan()?;
     let rendered = match opts.format.as_str() {
         "jsonl" => report.to_jsonl(),
+        "github" => report.to_github(),
         _ => report.to_text(),
     };
     match &opts.out {

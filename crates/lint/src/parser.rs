@@ -1,0 +1,699 @@
+//! A recursive-descent *item* parser over the lexer's code shadow.
+//!
+//! The taint pass ([`crate::taint`]) needs three things the per-line
+//! rules cannot see: which `use` declarations bring which paths into
+//! scope (and under which aliases), where each function's body starts
+//! and ends, and which functions each body calls. This module extracts
+//! exactly that — no expressions, no types, no generics — from the
+//! comment/string-blanked code shadow produced by [`crate::lexer::lex`].
+//!
+//! The grammar subset is deliberately small:
+//!
+//! * `use` trees with groups and aliases
+//!   (`use a::b::{C as D, e::F};`) flatten into [`UseDecl`]s;
+//! * `fn` items — free functions and the methods of `impl Type` /
+//!   `impl Trait for Type` blocks — become [`FnDecl`]s with their
+//!   brace-matched body extent;
+//! * identifier-followed-by-`(` and `.ident(` inside a body become
+//!   [`CallRef`]s (macros, keywords and struct literals are excluded).
+//!
+//! Everything is resolved later by [`crate::symgraph`]; the parser
+//! itself never guesses. Parsing is total: malformed input degrades to
+//! fewer recognised items, never to an error.
+
+use crate::lexer::FileMap;
+
+/// One flattened `use` binding: `segments` is the full path, `alias`
+/// the name it is bound to in this file (the last segment unless
+/// `as` renamed it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Full path segments, e.g. `["std", "collections", "HashMap"]`.
+    pub segments: Vec<String>,
+    /// Local binding name (`Map` for `… as Map`, else the last segment).
+    pub alias: String,
+    /// 0-based line of the `use` keyword.
+    pub line: usize,
+    /// 0-based line of the terminating `;` (declarations may span lines).
+    pub end_line: usize,
+}
+
+/// One function item (free function or method) with its body extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDecl {
+    /// The function's bare name.
+    pub name: String,
+    /// `Some(type name)` for methods of an `impl` block.
+    pub owner: Option<String>,
+    /// Whether the item is `pub` (plain `pub` only; `pub(crate)` and
+    /// narrower are not public API).
+    pub is_pub: bool,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based first line of the body (the `{`), equal to `body_end`
+    /// for bodyless trait-method signatures.
+    pub body_start: usize,
+    /// 0-based last line of the body (the matching `}`).
+    pub body_end: usize,
+    /// Whether the declaration sits in `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+    /// Calls made from the body, in source order.
+    pub calls: Vec<CallRef>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRef {
+    /// Path segments as written: `["helper"]`, `["Type", "method"]`,
+    /// `["crate", "module", "f"]`. A method call `.m(` has one segment.
+    pub segments: Vec<String>,
+    /// True for `.m(…)` receiver-method syntax.
+    pub is_method: bool,
+    /// 0-based call-site line.
+    pub line: usize,
+}
+
+/// Everything the symbol/graph layer needs from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileModel {
+    /// Flattened `use` bindings.
+    pub uses: Vec<UseDecl>,
+    /// Function items, in source order.
+    pub fns: Vec<FnDecl>,
+}
+
+/// One shadow token: an identifier (with its line) or a punctuation
+/// character (with its line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String, usize),
+    Punct(char, usize),
+}
+
+impl Tok {
+    fn line(&self) -> usize {
+        match self {
+            Tok::Ident(_, l) | Tok::Punct(_, l) => *l,
+        }
+    }
+}
+
+/// Rust keywords that look like call heads but never are.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "in",
+    "as", "move", "ref", "mut", "fn", "impl", "trait", "struct", "enum", "union", "mod", "use",
+    "pub", "where", "unsafe", "async", "await", "dyn", "const", "static", "type", "crate", "self",
+    "Self", "super", "extern", "true", "false",
+];
+
+fn tokenize(map: &FileMap) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (line_no, code) in map.code.iter().enumerate() {
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(chars[start..i].iter().collect(), line_no));
+            } else if c.is_whitespace() {
+                i += 1;
+            } else {
+                toks.push(Tok::Punct(c, line_no));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Parses one file's shadow into its [`FileModel`].
+pub fn parse(map: &FileMap) -> FileModel {
+    let toks = tokenize(map);
+    let mut model = FileModel::default();
+    let mut p = Parser {
+        toks: &toks,
+        map,
+        pos: 0,
+    };
+    p.items(&mut model, None);
+    model
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    map: &'a FileMap,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn is_ident(&self, off: usize, s: &str) -> bool {
+        matches!(self.peek_at(off), Some(Tok::Ident(i, _)) if i == s)
+    }
+
+    fn is_punct(&self, off: usize, c: char) -> bool {
+        matches!(self.peek_at(off), Some(Tok::Punct(p, _)) if *p == c)
+    }
+
+    /// Skips one balanced `<…>` group if the cursor sits on `<`.
+    /// `>>` closers arrive as two `>` puncts, which balance naturally.
+    fn skip_generics(&mut self) {
+        if !self.is_punct(0, '<') {
+            return;
+        }
+        let mut depth = 0i64;
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Punct('<', _) => depth += 1,
+                Tok::Punct('>', _) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                // `->` and `=>` never appear inside a type-generic list
+                // we care about; a `{` or `;` means we mis-guessed (e.g.
+                // a `<` comparison) — bail without consuming it.
+                Tok::Punct('{', _) | Tok::Punct(';', _) => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skips tokens until just past the matching `}` of the `{` the
+    /// cursor must currently sit on. Returns the closing line.
+    fn skip_balanced_braces(&mut self) -> usize {
+        let mut depth = 0i64;
+        let mut last_line = self.peek().map(Tok::line).unwrap_or(0);
+        while let Some(t) = self.bump() {
+            last_line = t.line();
+            match t {
+                Tok::Punct('{', _) => depth += 1,
+                Tok::Punct('}', _) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return last_line;
+                    }
+                }
+                _ => {}
+            }
+        }
+        last_line
+    }
+
+    /// Parses a brace-delimited item region (`None` owner = module
+    /// level). Recognises `use`, `impl`, `trait`, `mod` and `fn`;
+    /// anything else is skipped token-wise.
+    fn items(&mut self, model: &mut FileModel, owner: Option<&str>) {
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Punct('}', _) => {
+                    self.pos += 1;
+                    return;
+                }
+                Tok::Ident(w, _) if w == "use" => {
+                    self.parse_use(model);
+                }
+                Tok::Ident(w, _) if w == "impl" => {
+                    self.parse_impl(model);
+                }
+                Tok::Ident(w, _) if w == "trait" => {
+                    // `trait Name { … }`: default method bodies are real
+                    // code; parse them with the trait as owner.
+                    self.pos += 1;
+                    let name = match self.peek() {
+                        Some(Tok::Ident(n, _)) => n.clone(),
+                        _ => String::new(),
+                    };
+                    self.advance_to_block_or_semi();
+                    if self.is_punct(0, '{') {
+                        self.pos += 1;
+                        self.items(model, Some(&name));
+                    }
+                }
+                Tok::Ident(w, _) if w == "mod" => {
+                    // `mod name { … }` — recurse; `mod name;` — skip.
+                    self.pos += 1;
+                    self.advance_to_block_or_semi();
+                    if self.is_punct(0, '{') {
+                        self.pos += 1;
+                        self.items(model, owner);
+                    } else if self.is_punct(0, ';') {
+                        self.pos += 1;
+                    }
+                }
+                Tok::Ident(w, _) if w == "fn" => {
+                    self.parse_fn(model, owner, self.saw_pub_before());
+                }
+                Tok::Punct('{', _) => {
+                    // A brace group of an item we don't model (struct,
+                    // enum, const initialiser…) — skip it balanced so
+                    // its `}` cannot end our region.
+                    self.skip_balanced_braces();
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether the tokens immediately before the cursor (`fn` keyword)
+    /// carry a plain `pub` visibility, looking back across modifiers
+    /// (`const`, `async`, `unsafe`, `extern ""`). `pub ( … )`
+    /// restrictions are not public API.
+    fn saw_pub_before(&self) -> bool {
+        let mut i = self.pos;
+        let mut steps = 0;
+        while i > 0 && steps < 6 {
+            i -= 1;
+            steps += 1;
+            match &self.toks[i] {
+                Tok::Ident(w, _)
+                    if w == "const" || w == "async" || w == "unsafe" || w == "extern" =>
+                {
+                    continue
+                }
+                Tok::Punct('"', _) => continue, // blanked extern ABI string
+                Tok::Ident(w, _) if w == "pub" => return true,
+                Tok::Punct(')', _) => {
+                    // Possible `pub(crate)` — find its `(` then check
+                    // for `pub` just before; restricted vis is not pub.
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Advances to the next `{` or `;` at angle-bracket depth 0 —
+    /// used to jump over generics / where-clauses / signatures.
+    fn advance_to_block_or_semi(&mut self) {
+        let mut angle = 0i64;
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Punct('<', _) => angle += 1,
+                Tok::Punct('>', _) => angle = (angle - 1).max(0),
+                Tok::Punct('{', _) | Tok::Punct(';', _) if angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `use a::b::{C as D, e::F, *};` → flattened [`UseDecl`]s.
+    fn parse_use(&mut self, model: &mut FileModel) {
+        let start_line = self.peek().map(Tok::line).unwrap_or(0);
+        self.pos += 1; // `use`
+        let mut prefix: Vec<String> = Vec::new();
+        self.parse_use_tree(&mut prefix, model, start_line);
+        // Consume through the terminating `;` if still pending.
+        while let Some(t) = self.peek() {
+            if matches!(t, Tok::Punct(';', _)) {
+                self.pos += 1;
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, model: &mut FileModel, start: usize) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(seg, _)) => {
+                    let seg = seg.clone();
+                    self.pos += 1;
+                    if seg == "as" {
+                        // alias for the path accumulated so far
+                        if let Some(Tok::Ident(alias, l)) = self.peek() {
+                            let alias = alias.clone();
+                            let end = *l;
+                            self.pos += 1;
+                            if !prefix.is_empty() {
+                                model.uses.push(UseDecl {
+                                    segments: prefix.clone(),
+                                    alias,
+                                    line: start,
+                                    end_line: end,
+                                });
+                            }
+                            prefix.truncate(depth_at_entry);
+                        }
+                        continue;
+                    }
+                    prefix.push(seg);
+                }
+                Some(Tok::Punct(':', _)) => {
+                    self.pos += 1; // `::` arrives as two `:`
+                }
+                Some(Tok::Punct('{', _)) => {
+                    self.pos += 1;
+                    // Each comma-separated subtree shares the prefix.
+                    loop {
+                        let before = prefix.len();
+                        self.parse_use_tree(prefix, model, start);
+                        self.finish_use_leaf(prefix, before, model, start);
+                        prefix.truncate(before);
+                        match self.peek() {
+                            Some(Tok::Punct(',', _)) => {
+                                self.pos += 1;
+                            }
+                            Some(Tok::Punct('}', _)) => {
+                                self.pos += 1;
+                                return;
+                            }
+                            _ => return,
+                        }
+                    }
+                }
+                Some(Tok::Punct('*', _)) => {
+                    // Glob: nothing nameable to record.
+                    self.pos += 1;
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                Some(Tok::Punct(',', _)) | Some(Tok::Punct('}', _)) => return,
+                Some(Tok::Punct(';', _)) => {
+                    self.finish_use_leaf(prefix, depth_at_entry, model, start);
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Records a plain (un-aliased) leaf accumulated beyond `base`.
+    fn finish_use_leaf(&self, prefix: &[String], base: usize, model: &mut FileModel, start: usize) {
+        if prefix.len() > base {
+            let last = prefix.last().cloned().unwrap_or_default();
+            if last == "self" {
+                // `a::b::{self}` binds `b`.
+                let segs: Vec<String> = prefix[..prefix.len() - 1].to_vec();
+                if let Some(alias) = segs.last().cloned() {
+                    model.uses.push(UseDecl {
+                        segments: segs,
+                        alias,
+                        line: start,
+                        end_line: self.peek().map(Tok::line).unwrap_or(start),
+                    });
+                }
+            } else {
+                model.uses.push(UseDecl {
+                    segments: prefix.to_vec(),
+                    alias: last,
+                    line: start,
+                    end_line: self.peek().map(Tok::line).unwrap_or(start),
+                });
+            }
+        }
+    }
+
+    /// `impl <…>? Path (for Path)? { items }` — methods get the
+    /// implementing type (the `for` type when present) as owner.
+    fn parse_impl(&mut self, model: &mut FileModel) {
+        self.pos += 1; // `impl`
+        self.skip_generics();
+        let first = self.parse_type_path_tail();
+        let mut owner = first;
+        if self.is_ident(0, "for") {
+            self.pos += 1;
+            owner = self.parse_type_path_tail();
+        }
+        // Jump over where-clauses to the block.
+        self.advance_to_block_or_semi();
+        if self.is_punct(0, '{') {
+            self.pos += 1;
+            self.items(model, owner.as_deref());
+        } else if self.is_punct(0, ';') {
+            self.pos += 1;
+        }
+    }
+
+    /// Reads a type path (`a::b::Name<…>`), returning the last plain
+    /// segment. Stops before `for`, `where`, `{` or `;`.
+    fn parse_type_path_tail(&mut self) -> Option<String> {
+        let mut last: Option<String> = None;
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(w, _)) if w == "for" || w == "where" => return last,
+                Some(Tok::Ident(w, _)) => {
+                    last = Some(w.clone());
+                    self.pos += 1;
+                    self.skip_generics();
+                }
+                Some(Tok::Punct(':', _)) | Some(Tok::Punct('&', _)) => {
+                    self.pos += 1;
+                }
+                Some(Tok::Punct('<', _)) => self.skip_generics(),
+                _ => return last,
+            }
+        }
+    }
+
+    /// `fn name <generics>? ( args ) (-> ret)? (where …)? { body }`.
+    fn parse_fn(&mut self, model: &mut FileModel, owner: Option<&str>, is_pub: bool) {
+        let decl_line = self.peek().map(Tok::line).unwrap_or(0);
+        self.pos += 1; // `fn`
+        let name = match self.peek() {
+            Some(Tok::Ident(n, _)) => {
+                let n = n.clone();
+                self.pos += 1;
+                n
+            }
+            _ => return,
+        };
+        self.advance_to_block_or_semi();
+        let is_test = self.map.test.get(decl_line).copied().unwrap_or(false);
+        match self.peek() {
+            Some(Tok::Punct('{', l)) => {
+                let body_start = *l;
+                let (calls, body_end) = self.parse_body_calls();
+                model.fns.push(FnDecl {
+                    name,
+                    owner: owner.map(str::to_string),
+                    is_pub,
+                    decl_line,
+                    body_start,
+                    body_end,
+                    is_test,
+                    calls,
+                });
+            }
+            Some(Tok::Punct(';', _)) => {
+                // Bodyless trait signature — record for completeness.
+                self.pos += 1;
+                model.fns.push(FnDecl {
+                    name,
+                    owner: owner.map(str::to_string),
+                    is_pub,
+                    decl_line,
+                    body_start: decl_line,
+                    body_end: decl_line,
+                    is_test,
+                    calls: Vec::new(),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Consumes the brace-balanced body at the cursor, extracting call
+    /// references. Nested items (closures are transparent; nested `fn`s
+    /// are rare and folded into the enclosing body) keep brace balance.
+    fn parse_body_calls(&mut self) -> (Vec<CallRef>, usize) {
+        let mut calls = Vec::new();
+        let mut depth = 0i64;
+        let mut end_line = self.peek().map(Tok::line).unwrap_or(0);
+        // A path accumulator: `a :: b :: c (` becomes a call to a::b::c.
+        let mut path: Vec<String> = Vec::new();
+        let mut path_is_method = false;
+        while let Some(t) = self.peek() {
+            end_line = t.line();
+            match t {
+                Tok::Punct('{', _) => {
+                    depth += 1;
+                    path.clear();
+                    self.pos += 1;
+                }
+                Tok::Punct('}', _) => {
+                    depth -= 1;
+                    path.clear();
+                    self.pos += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct('.', _) => {
+                    path.clear();
+                    path_is_method = true;
+                    self.pos += 1;
+                }
+                Tok::Punct(':', _) => {
+                    // keep the path alive across `::`
+                    self.pos += 1;
+                }
+                Tok::Ident(w, line) => {
+                    let line = *line;
+                    let w = w.clone();
+                    self.pos += 1;
+                    if NON_CALL_KEYWORDS.contains(&w.as_str()) {
+                        path.clear();
+                        path_is_method = false;
+                        continue;
+                    }
+                    path.push(w);
+                    match self.peek() {
+                        Some(Tok::Punct('(', _)) => {
+                            calls.push(CallRef {
+                                segments: if path_is_method {
+                                    vec![path.last().cloned().unwrap_or_default()]
+                                } else {
+                                    path.clone()
+                                },
+                                is_method: path_is_method,
+                                line,
+                            });
+                            path.clear();
+                            path_is_method = false;
+                        }
+                        Some(Tok::Punct('!', _)) => {
+                            // macro — not a call edge
+                            path.clear();
+                            path_is_method = false;
+                        }
+                        Some(Tok::Punct(':', _)) => {
+                            // path continues (`a::b`)
+                            path_is_method = false;
+                        }
+                        _ => {
+                            path.clear();
+                            path_is_method = false;
+                        }
+                    }
+                }
+                _ => {
+                    path.clear();
+                    path_is_method = false;
+                    self.pos += 1;
+                }
+            }
+        }
+        (calls, end_line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn flattens_use_trees_with_aliases() {
+        let m = model(
+            "use std::collections::HashMap as Map;\n\
+             use std::collections::{BTreeMap, HashSet as Set};\n\
+             use a::b::{self, c::D};\n",
+        );
+        let pairs: Vec<(String, String)> = m
+            .uses
+            .iter()
+            .map(|u| (u.segments.join("::"), u.alias.clone()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("std::collections::HashMap".into(), "Map".into()),
+                ("std::collections::BTreeMap".into(), "BTreeMap".into()),
+                ("std::collections::HashSet".into(), "Set".into()),
+                ("a::b".into(), "b".into()),
+                ("a::b::c::D".into(), "D".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn fns_and_impl_methods_with_bodies() {
+        let m = model(
+            "pub fn free() {\n    helper();\n}\n\
+             struct S;\n\
+             impl S {\n    fn method(&self) -> u32 {\n        free();\n        0\n    }\n}\n\
+             impl Clone for S {\n    fn clone(&self) -> S {\n        S\n    }\n}\n",
+        );
+        let names: Vec<(String, Option<String>, bool)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None, true),
+                ("method".into(), Some("S".into()), false),
+                ("clone".into(), Some("S".into()), false),
+            ]
+        );
+        assert_eq!(m.fns[0].calls.len(), 1);
+        assert_eq!(m.fns[0].calls[0].segments, vec!["helper".to_string()]);
+        assert_eq!(m.fns[1].calls[0].segments, vec!["free".to_string()]);
+    }
+
+    #[test]
+    fn method_and_qualified_calls() {
+        let m = model(
+            "fn f(x: &T) {\n    x.sample();\n    mod_a::g();\n    Type::assoc(1);\n    mac!(h());\n}\n",
+        );
+        let calls = &m.fns[0].calls;
+        assert!(calls
+            .iter()
+            .any(|c| c.is_method && c.segments == vec!["sample".to_string()]));
+        assert!(calls
+            .iter()
+            .any(|c| !c.is_method && c.segments == vec!["mod_a".to_string(), "g".to_string()]));
+        assert!(calls
+            .iter()
+            .any(|c| c.segments == vec!["Type".to_string(), "assoc".to_string()]));
+    }
+
+    #[test]
+    fn test_fns_are_flagged() {
+        let m = model(
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        x.unwrap();\n    }\n}\nfn lib() {}\n",
+        );
+        assert!(m.fns[0].is_test);
+        assert!(!m.fns[1].is_test);
+    }
+
+    #[test]
+    fn body_extents_cover_nested_braces() {
+        let m = model("fn f() {\n    if a {\n        g();\n    }\n}\nfn h() {}\n");
+        assert_eq!(m.fns[0].body_start, 0);
+        assert_eq!(m.fns[0].body_end, 4);
+        assert_eq!(m.fns[1].decl_line, 5);
+    }
+}

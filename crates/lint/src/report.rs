@@ -8,9 +8,9 @@
 use std::collections::BTreeMap;
 
 /// One rule violation at one source line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule short name (`D1` … `O1`).
+    /// Rule short name (`D1` … `O1`, `D5`, `F1`).
     pub rule: String,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -20,6 +20,10 @@ pub struct Finding {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For interprocedural findings (D5): the shortest witness call
+    /// path, public entry first, source function last. Empty for the
+    /// per-line rules.
+    pub path: Vec<String>,
 }
 
 /// The outcome of scanning a workspace.
@@ -58,6 +62,9 @@ impl Report {
                 "{}:{}: {} {}\n    {}\n",
                 f.file, f.line, f.rule, f.message, f.snippet
             ));
+            if !f.path.is_empty() {
+                out.push_str(&format!("    witness: {}\n", f.path.join(" -> ")));
+            }
         }
         out.push_str(&format!(
             "picloud-lint: {} finding(s) in {} file(s) scanned, {} allowed by marker\n",
@@ -80,10 +87,56 @@ impl Report {
             json_escape(&f.message, &mut out);
             out.push_str("\",\"snippet\":\"");
             json_escape(&f.snippet, &mut out);
-            out.push_str("\"}\n");
+            out.push('"');
+            if !f.path.is_empty() {
+                out.push_str(",\"path\":[");
+                for (i, hop) in f.path.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    json_escape(hop, &mut out);
+                    out.push('"');
+                }
+                out.push(']');
+            }
+            out.push_str("}\n");
         }
         out
     }
+
+    /// GitHub Actions workflow-command annotations: one
+    /// `::error file=…,line=…,title=…::message` per finding, so lint
+    /// findings surface inline on pull requests.
+    pub fn to_github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let mut message = f.message.clone();
+            if !f.path.is_empty() {
+                message.push_str(&format!(" [witness: {}]", f.path.join(" -> ")));
+            }
+            out.push_str(&format!(
+                "::error file={},line={},title=picloud-lint {}::{}\n",
+                gh_escape_property(&f.file),
+                f.line,
+                gh_escape_property(&f.rule),
+                gh_escape_data(&message)
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes workflow-command message data (`%`, CR, LF).
+fn gh_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes workflow-command property values (data escapes plus `:`, `,`).
+fn gh_escape_property(s: &str) -> String {
+    gh_escape_data(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 /// Minimal JSON string escaping (same dialect as the telemetry exporters).
@@ -112,6 +165,7 @@ mod tests {
             line,
             message: "m".into(),
             snippet: "s".into(),
+            path: Vec::new(),
         }
     }
 
@@ -144,5 +198,39 @@ mod tests {
         let j = r.to_jsonl();
         assert!(j.ends_with('\n'));
         assert!(j.contains("a\\\"b.rs"));
+    }
+
+    #[test]
+    fn witness_paths_render_in_every_format() {
+        let mut f = finding("D5", "a.rs", 2);
+        f.path = vec!["a::entry".into(), "a::mid".into(), "a::source".into()];
+        let r = Report {
+            findings: vec![f],
+            allowed: 0,
+            files_scanned: 1,
+        };
+        assert!(r
+            .to_text()
+            .contains("witness: a::entry -> a::mid -> a::source"));
+        assert!(r
+            .to_jsonl()
+            .contains(",\"path\":[\"a::entry\",\"a::mid\",\"a::source\"]}"));
+        assert!(r
+            .to_github()
+            .contains("[witness: a::entry -> a::mid -> a::source]"));
+    }
+
+    #[test]
+    fn github_annotations_escape_workflow_metacharacters() {
+        let mut f = finding("D1", "a.rs", 3);
+        f.message = "50% of\nruns".into();
+        let r = Report {
+            findings: vec![f],
+            allowed: 0,
+            files_scanned: 1,
+        };
+        let gh = r.to_github();
+        assert!(gh.starts_with("::error file=a.rs,line=3,title=picloud-lint D1::"));
+        assert!(gh.contains("50%25 of%0Aruns"));
     }
 }

@@ -6,16 +6,26 @@
 //! | D2   | no wall-clock time (`Instant`, `SystemTime`, `UNIX_EPOCH`) outside `crates/bench` — sim time must come from the engine clock |
 //! | D3   | no ambient randomness (`thread_rng`, `rand::random`, `from_entropy`, `OsRng`) — all RNG flows through the experiment seed |
 //! | D4   | no thread spawning (`std::thread`, `thread::spawn/scope/Builder`) outside `crates/bench` — concurrency must go through the quarantined, order-restoring solver pool |
+//! | D5   | no public simulation-facing function may *transitively* reach a D1–D4/F1 source along the call graph (see [`crate::taint`]) |
+//! | F1   | no non-total float ordering (`partial_cmp` inside a `sort_by`-family comparator) in sim-visible code — NaN breaks the order |
 //! | P1   | no `.unwrap()` / `.expect(..)` / `panic!`-family macros / indexing-by-integer-literal in non-test, non-bench library code |
-//! | O1   | public items in `simcore` / `mgmt` / `faults` must carry doc comments |
+//! | O1   | public items in `simcore` / `mgmt` / `faults` must carry doc comments (`///` or `#[doc = "…"]`) |
 //!
-//! Any finding can be suppressed in place with a justified marker:
-//! `// lint: allow(P1) reason=why this is a true invariant`. A marker on
-//! a code line covers that line; a marker on its own line covers the
-//! next code line. Markers without a non-empty `reason=` are ignored.
+//! D1–D3 match both the literal names and any `use … as` alias the
+//! file binds to them ([`crate::parser`] resolves the import table),
+//! so `use std::collections::HashMap as Map; Map::new()` is flagged at
+//! the use site too. Any finding can be suppressed in place with a
+//! justified marker: `// lint: allow(P1) reason=why this is a true
+//! invariant`. A marker on a code line covers that line; a marker on
+//! its own line covers the next code line. Markers without a non-empty
+//! `reason=` are ignored. A marker at a D1–D4/F1 *source* line also
+//! severs D5 taint for every transitive caller.
 
 use crate::lexer::{lex, FileMap};
+use crate::parser::{self, FileModel};
 use crate::report::Finding;
+use crate::symgraph::crate_of;
+use crate::taint::TaintSource;
 use std::collections::BTreeSet;
 
 /// The checkable rules, in report order.
@@ -29,6 +39,10 @@ pub enum Rule {
     D3,
     /// Thread spawning outside the quarantined worker pool.
     D4,
+    /// Public functions transitively reaching a nondeterminism source.
+    D5,
+    /// Non-total float ordering in sort comparators.
+    F1,
     /// Panic paths in library code.
     P1,
     /// Undocumented public items in the contract crates.
@@ -37,7 +51,16 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in canonical order.
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::P1, Rule::O1];
+    pub const ALL: [Rule; 8] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::D5,
+        Rule::F1,
+        Rule::P1,
+        Rule::O1,
+    ];
 
     /// The short name used in reports, markers and the baseline.
     pub fn name(self) -> &'static str {
@@ -46,6 +69,8 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::F1 => "F1",
             Rule::P1 => "P1",
             Rule::O1 => "O1",
         }
@@ -58,6 +83,8 @@ impl Rule {
             "D2" => Some(Rule::D2),
             "D3" => Some(Rule::D3),
             "D4" => Some(Rule::D4),
+            "D5" => Some(Rule::D5),
+            "F1" => Some(Rule::F1),
             "P1" => Some(Rule::P1),
             "O1" => Some(Rule::O1),
             _ => None,
@@ -71,6 +98,10 @@ impl Rule {
             Rule::D2 => "no wall-clock time (Instant/SystemTime/UNIX_EPOCH) outside crates/bench",
             Rule::D3 => "no ambient randomness; RNG must flow from the experiment seed",
             Rule::D4 => "no thread spawning outside crates/bench; use the quarantined solver pool",
+            Rule::D5 => {
+                "no public sim-facing fn may transitively reach a D1-D4/F1 source (call graph)"
+            }
+            Rule::F1 => "no partial_cmp in sort comparators on sim-visible floats; use total_cmp",
             Rule::P1 => "no unwrap/expect/panic!/literal-indexing in non-test library code",
             Rule::O1 => "public items in simcore/mgmt/faults must carry doc comments",
         }
@@ -86,29 +117,66 @@ const ITEM_KEYWORDS: &[&str] = &[
     "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
 ];
 
-/// Per-file scan outcome: surfaced findings plus how many were
-/// suppressed by justified allow markers.
+/// Method names whose comparator closure establishes an ordering —
+/// the F1 scan looks for `partial_cmp` inside their argument list.
+const SORT_CONTEXT_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+];
+
+/// Per-file scan outcome: surfaced findings, marker-suppression count,
+/// and everything the interprocedural pass needs (the parsed item
+/// model, the taint sources, and the per-line allow sets).
 #[derive(Debug, Default)]
 pub struct FileScan {
     /// Findings that survived marker filtering.
     pub findings: Vec<Finding>,
     /// Number of findings suppressed by `// lint: allow(..) reason=..`.
     pub allowed: usize,
+    /// Nondeterminism sources (D1–D4, F1) for the taint pass, severed
+    /// or not.
+    pub sources: Vec<TaintSource>,
+    /// The parsed `use`/`fn`/call model for the call-graph layer.
+    pub model: FileModel,
+    /// Per-line allow sets (0-based), for D5 marker filtering.
+    pub allows: Vec<BTreeSet<Rule>>,
 }
 
-/// Runs every rule over one file. `rel_path` is workspace-relative with
-/// forward slashes, e.g. `crates/network/src/routing.rs`.
+/// Runs every per-line rule over one file. `rel_path` is
+/// workspace-relative with forward slashes, e.g.
+/// `crates/network/src/routing.rs`. The interprocedural D5 rule runs
+/// afterwards, over all files at once, in [`crate::taint`].
 pub fn check_file(rel_path: &str, src: &str) -> FileScan {
     let map = lex(src);
     let crate_name = crate_of(rel_path);
     let allows = allow_markers(&map);
+    let model = parser::parse(&map);
     let mut scan = FileScan::default();
-    let push = |scan: &mut FileScan, rule: Rule, line: usize, message: String, map: &FileMap| {
-        if allows
-            .get(line)
-            .map(|set| set.contains(&rule))
-            .unwrap_or(false)
-        {
+    // `what` labels a D1–D4/F1 match as a taint source; a marker for
+    // the rule itself or for D5 at the same line severs the seed.
+    let push = |scan: &mut FileScan,
+                rule: Rule,
+                line: usize,
+                message: String,
+                what: Option<String>,
+                map: &FileMap| {
+        let line_allows = allows.get(line);
+        let allowed = line_allows.map(|set| set.contains(&rule)).unwrap_or(false);
+        if let Some(what) = what {
+            let d5_severed = line_allows
+                .map(|set| set.contains(&Rule::D5))
+                .unwrap_or(false);
+            scan.sources.push(TaintSource {
+                rule,
+                line,
+                what,
+                severed: allowed || d5_severed,
+            });
+        }
+        if allowed {
             scan.allowed += 1;
         } else {
             scan.findings.push(Finding {
@@ -117,12 +185,48 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                 line: line + 1,
                 message,
                 snippet: snippet_of(src, line, map),
+                path: Vec::new(),
             });
         }
     };
 
+    // Aliased bindings of the banned D1–D3 names: `use std::time::
+    // Instant as Clock` makes every later `Clock` a wall-clock read.
+    // The `use` line itself still matches the literal name, so only
+    // use *sites* are attributed to the alias (decl lines are skipped).
+    let mut alias_bans: Vec<(&str, Rule, String)> = Vec::new();
+    let mut use_decl_lines: BTreeSet<usize> = BTreeSet::new();
+    for u in &model.uses {
+        for l in u.line..=u.end_line {
+            use_decl_lines.insert(l);
+        }
+        let Some(tail) = u.segments.last() else {
+            continue;
+        };
+        if u.alias == *tail {
+            continue;
+        }
+        let rule = match tail.as_str() {
+            "HashMap" | "HashSet" => Some(Rule::D1),
+            "Instant" | "SystemTime" | "UNIX_EPOCH" => Some(Rule::D2),
+            "thread_rng" | "OsRng" => Some(Rule::D3),
+            _ => None,
+        };
+        if let Some(rule) = rule {
+            if rule == Rule::D2 && crate_name == "bench" {
+                continue;
+            }
+            alias_bans.push((u.alias.as_str(), rule, u.segments.join("::")));
+        }
+    }
+
+    // F1 sort-comparator context: >0 while inside the still-open
+    // argument list of a `sort_by`-family call.
+    let mut sort_depth: i64 = 0;
+
     for (i, code) in map.code.iter().enumerate() {
         if map.test[i] {
+            sort_depth = 0;
             continue;
         }
         // D1 — unordered hash collections.
@@ -136,6 +240,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                         "std {word} iterates in nondeterministic order; use the BTree \
                          equivalent in simulation-visible state"
                     ),
+                    Some(format!("hash-ordered {word} iteration")),
                     &map,
                 );
             }
@@ -150,6 +255,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                         Rule::D2,
                         i,
                         format!("wall-clock {word} in simulation code; use the sim clock"),
+                        Some(format!("wall-clock {word}")),
                         &map,
                     );
                 }
@@ -163,6 +269,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                     Rule::D3,
                     i,
                     format!("ambient randomness ({pat}); seed all RNG via simcore::rng"),
+                    Some(format!("ambient randomness ({pat})")),
                     &map,
                 );
             }
@@ -173,8 +280,28 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                 Rule::D3,
                 i,
                 "ambient randomness (rand::random); seed all RNG via simcore::rng".to_string(),
+                Some("ambient randomness (rand::random)".to_string()),
                 &map,
             );
+        }
+        // D1–D3 via `use … as` aliases (use sites only; the declaration
+        // line already matches the literal name).
+        if !use_decl_lines.contains(&i) {
+            for (alias, rule, resolved) in &alias_bans {
+                if has_word(code, alias) {
+                    push(
+                        &mut scan,
+                        *rule,
+                        i,
+                        format!(
+                            "`{alias}` is `{resolved}` (aliased import); the alias does not \
+                             launder the nondeterminism"
+                        ),
+                        Some(format!("aliased {resolved}")),
+                        &map,
+                    );
+                }
+            }
         }
         // D4 — thread spawning. Concurrency in simulation code must go
         // through the quarantined, order-restoring pool in
@@ -197,10 +324,43 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                             "thread spawning ({pat}) in simulation code; route concurrency \
                              through the quarantined flowsim::partition pool"
                         ),
+                        Some(format!("ad-hoc thread spawn ({pat})")),
                         &map,
                     );
                     break;
                 }
+            }
+        }
+        // F1 — non-total float ordering in sort comparators. The
+        // comparator may span lines, so the open-paren balance of the
+        // sort call keeps the context alive until its list closes.
+        if crate_name != "bench" {
+            let in_context = sort_depth > 0;
+            let opens_context = SORT_CONTEXT_FNS.iter().any(|f| has_word(code, f));
+            if (in_context || opens_context)
+                && has_word(code, "partial_cmp")
+                && !has_word(code, "total_cmp")
+            {
+                push(
+                    &mut scan,
+                    Rule::F1,
+                    i,
+                    "partial_cmp is not a total order on floats (NaN): the sort can panic \
+                     or reorder; use total_cmp"
+                        .to_string(),
+                    Some("non-total float ordering (partial_cmp)".to_string()),
+                    &map,
+                );
+            }
+            if opens_context {
+                let from = SORT_CONTEXT_FNS
+                    .iter()
+                    .filter_map(|f| find_word(code, f))
+                    .min()
+                    .unwrap_or(0);
+                sort_depth = paren_balance(&code[from..]).max(0);
+            } else if in_context {
+                sort_depth = (sort_depth + paren_balance(code)).max(0);
             }
         }
         // P1 — panic paths in library code.
@@ -212,6 +372,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                     i,
                     ".unwrap() in library code; return an error or justify the invariant"
                         .to_string(),
+                    None,
                     &map,
                 );
             }
@@ -222,6 +383,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                     i,
                     ".expect(..) in library code; return an error or justify the invariant"
                         .to_string(),
+                    None,
                     &map,
                 );
             }
@@ -232,6 +394,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                         Rule::P1,
                         i,
                         format!("{mac}! in library code; return an error or justify the invariant"),
+                        None,
                         &map,
                     );
                 }
@@ -243,6 +406,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                     i,
                     "indexing by integer literal can panic; use .get(..) or justify the bound"
                         .to_string(),
+                    None,
                     &map,
                 );
             }
@@ -262,6 +426,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
                         Rule::O1,
                         i,
                         format!("public `{keyword}` without a doc comment"),
+                        None,
                         &map,
                     );
                 }
@@ -271,16 +436,23 @@ pub fn check_file(rel_path: &str, src: &str) -> FileScan {
 
     scan.findings
         .sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    scan.model = model;
+    scan.allows = allows;
     scan
 }
 
-/// The crate a workspace-relative path belongs to (`crates/<name>/…`).
-fn crate_of(rel_path: &str) -> &str {
-    let mut parts = rel_path.split('/');
-    match (parts.next(), parts.next()) {
-        (Some("crates"), Some(name)) => name,
-        _ => "",
+/// Net `(` minus `)` over a code-shadow slice (literals are already
+/// blanked, so every paren is structural).
+fn paren_balance(code: &str) -> i64 {
+    let mut bal = 0i64;
+    for c in code.chars() {
+        match c {
+            '(' => bal += 1,
+            ')' => bal -= 1,
+            _ => {}
+        }
     }
+    bal
 }
 
 /// The trimmed original source line, capped for report readability.
@@ -458,13 +630,22 @@ fn public_item_keyword(code: &str) -> Option<&'static str> {
 }
 
 /// Whether the item on `line` has a doc comment attached (walking up
-/// over attributes, blank lines and plain comments).
+/// over attributes, blank lines and plain comments). `#[doc = "…"]`
+/// attribute docs — the form `///` desugars to, and the one macros
+/// emit — count the same as comment docs; the item's own line may
+/// carry one too (`#[doc = "…"] pub fn f()`).
 fn has_attached_doc(map: &FileMap, line: usize) -> bool {
+    if map.code[line].trim_start().starts_with("#[doc") {
+        return true;
+    }
     let mut l = line;
     let mut in_attr_tail = false;
     while l > 0 {
         l -= 1;
         let code = map.code[l].trim();
+        if code.starts_with("#[doc") {
+            return true;
+        }
         if in_attr_tail {
             // Inside a multi-line attribute: skip until its `#[` opener.
             if code.starts_with("#[") || code.starts_with("#!") {

@@ -1,0 +1,599 @@
+//! Per-crate symbol tables and the workspace-wide call graph.
+//!
+//! [`CallGraph::build`] takes every file's [`parser::FileModel`] and
+//! links call sites to function items *resolvable by name*:
+//!
+//! * `use` aliases expand first (`use crate::util as u; u::tick()`
+//!   resolves through the alias to `crate::util::tick`), which is the
+//!   same table that closes the D1–D3 alias-evasion hole in
+//!   [`crate::rules`];
+//! * paths rooted at `crate`, a workspace crate directory name, or its
+//!   `picloud_*` package name narrow the candidate set to that crate;
+//! * a `Type::name` qualifier narrows to inherent/trait methods of
+//!   `Type`;
+//! * remaining ambiguity is resolved by proximity: same file (all
+//!   candidates), then same crate (free calls: all; method calls: only
+//!   if unique), then workspace-wide only if unique. Unresolvable calls
+//!   produce no edge — the graph under-approximates rather than
+//!   connecting everything named `get` to everything else;
+//! * bare method calls named after std prelude methods ([`STD_METHODS`]:
+//!   `.collect()`, `.len()`, …) never resolve by name alone — a
+//!   workspace fn that shares the name would otherwise become a false
+//!   hub collecting every iterator call in the tree.
+//!
+//! The node and edge orders are fully determined by the sorted file
+//! walk, so every downstream report stays byte-deterministic.
+
+use crate::parser::{CallRef, FileModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function item in the workspace graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index into [`CallGraph::nodes`].
+    pub id: usize,
+    /// Crate directory name (`crates/<name>/…`).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Bare function name.
+    pub name: String,
+    /// Implementing type for methods.
+    pub owner: Option<String>,
+    /// Plain `pub` visibility.
+    pub is_pub: bool,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based body extent (inclusive).
+    pub body_start: usize,
+    /// 0-based body extent (inclusive).
+    pub body_end: usize,
+    /// Declared inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+}
+
+impl FnNode {
+    /// `crate::Type::name` / `crate::name` — the witness-path label.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{}::{}::{}", self.crate_name, t, self.name),
+            None => format!("{}::{}", self.crate_name, self.name),
+        }
+    }
+}
+
+/// The workspace call graph: nodes plus forward edges.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All function items, in sorted-file source order.
+    pub nodes: Vec<FnNode>,
+    /// `callees[id]` — sorted, deduplicated callee ids.
+    pub callees: Vec<Vec<usize>>,
+}
+
+/// Method names from the std prelude (iterators, collections, `Option`
+/// / `Result` combinators, numeric helpers). A bare `.collect()` or
+/// `.len()` is almost always the std trait method, not a workspace
+/// item that happens to share the name — resolving such calls by
+/// global uniqueness would create false hub edges (every iterator
+/// `.collect()` binding to the one workspace fn named `collect`), so
+/// bare method calls with these names never resolve by name alone.
+/// Qualified forms (`Telemetry::collect(..)`) still resolve.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_div",
+    "checked_mul",
+    "checked_sub",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "end",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fmt",
+    "fold",
+    "for_each",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "pop_front",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_back",
+    "push_str",
+    "read",
+    "remove",
+    "repeat",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_sub",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_at",
+    "split_whitespace",
+    "sqrt",
+    "start",
+    "starts_with",
+    "step_by",
+    "sum",
+    "swap",
+    "take",
+    "take_while",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "wrapping_add",
+    "wrapping_sub",
+    "write",
+    "zip",
+];
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`).
+pub fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "",
+    }
+}
+
+impl CallGraph {
+    /// Builds the graph from `(rel_path, model)` pairs in sorted-path
+    /// order (the order [`crate::Workspace::source_files`] produces).
+    pub fn build(files: &[(String, FileModel)]) -> CallGraph {
+        // ---- nodes -------------------------------------------------
+        let mut nodes: Vec<FnNode> = Vec::new();
+        let mut file_nodes: Vec<Vec<usize>> = vec![Vec::new(); files.len()];
+        for (fi, (rel, model)) in files.iter().enumerate() {
+            for f in &model.fns {
+                let id = nodes.len();
+                nodes.push(FnNode {
+                    id,
+                    crate_name: crate_of(rel).to_string(),
+                    file: rel.clone(),
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    is_pub: f.is_pub,
+                    decl_line: f.decl_line,
+                    body_start: f.body_start,
+                    body_end: f.body_end,
+                    is_test: f.is_test,
+                });
+                file_nodes[fi].push(id);
+            }
+        }
+        // ---- name index --------------------------------------------
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for n in &nodes {
+            by_name.entry(n.name.as_str()).or_default().push(n.id);
+        }
+        // Crate-name aliases: dir name, `picloud_<dir>`, and the
+        // `picloud` package that lives in `crates/core`.
+        let mut crate_alias: BTreeMap<String, String> = BTreeMap::new();
+        for (rel, _) in files {
+            let c = crate_of(rel).to_string();
+            if c.is_empty() {
+                continue;
+            }
+            crate_alias.insert(c.clone(), c.clone());
+            crate_alias.insert(format!("picloud_{c}"), c.clone());
+            if c == "core" {
+                crate_alias.insert("picloud".to_string(), c.clone());
+            }
+        }
+        // ---- edges -------------------------------------------------
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (fi, (rel, model)) in files.iter().enumerate() {
+            let caller_crate = crate_of(rel);
+            // Alias table for this file: binding name → full segments.
+            let aliases: BTreeMap<&str, &[String]> = model
+                .uses
+                .iter()
+                .map(|u| (u.alias.as_str(), u.segments.as_slice()))
+                .collect();
+            for (local_idx, f) in model.fns.iter().enumerate() {
+                let caller_id = file_nodes[fi][local_idx];
+                let mut out: BTreeSet<usize> = BTreeSet::new();
+                for call in &f.calls {
+                    for id in resolve(
+                        call,
+                        fi,
+                        caller_crate,
+                        &aliases,
+                        &by_name,
+                        &crate_alias,
+                        &nodes,
+                        &file_nodes,
+                    ) {
+                        if id != caller_id {
+                            out.insert(id);
+                        }
+                    }
+                }
+                callees[caller_id] = out.into_iter().collect();
+            }
+        }
+        CallGraph { nodes, callees }
+    }
+
+    /// Reverse adjacency (`callers[id]`), sorted.
+    pub fn callers(&self) -> Vec<Vec<usize>> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (caller, outs) in self.callees.iter().enumerate() {
+            for &callee in outs {
+                rev[callee].push(caller);
+            }
+        }
+        rev
+    }
+
+    /// The innermost function whose body contains `line` of `file`
+    /// (closures and nested blocks fold into the enclosing item).
+    pub fn enclosing_fn(&self, file: &str, line: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.file == file && n.body_start <= line && line <= n.body_end)
+            .max_by_key(|n| n.body_start)
+            .map(|n| n.id)
+    }
+}
+
+/// Resolves one call site to candidate node ids (possibly empty).
+#[allow(clippy::too_many_arguments)] // internal plumbing, not API
+fn resolve(
+    call: &CallRef,
+    caller_file: usize,
+    caller_crate: &str,
+    aliases: &BTreeMap<&str, &[String]>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    crate_alias: &BTreeMap<String, String>,
+    nodes: &[FnNode],
+    file_nodes: &[Vec<usize>],
+) -> Vec<usize> {
+    if call.segments.is_empty() {
+        return Vec::new();
+    }
+    // Bare method calls named after std prelude methods (`.collect()`,
+    // `.len()`, …) are overwhelmingly the std trait method; never bind
+    // them to same-named workspace items.
+    if call.is_method
+        && call.segments.len() == 1
+        && call
+            .segments
+            .first()
+            .is_some_and(|s| STD_METHODS.binary_search(&s.as_str()).is_ok())
+    {
+        return Vec::new();
+    }
+    // Expand a leading alias: `u::tick()` where `use crate::util as u`,
+    // or a bare aliased call `g()` where `use a::b::f as g`.
+    let mut segments: Vec<&str> = call.segments.iter().map(String::as_str).collect();
+    let mut expanded: Vec<&str>;
+    if !call.is_method {
+        if let Some(full) = segments.first().and_then(|s| aliases.get(s)) {
+            expanded = full.iter().map(String::as_str).collect();
+            expanded.extend_from_slice(&segments[1..]);
+            segments = expanded;
+        }
+    }
+    let Some(&name) = segments.last() else {
+        return Vec::new();
+    };
+    let Some(all) = by_name.get(name) else {
+        return Vec::new();
+    };
+
+    // A crate-qualified head narrows the crate; `crate`/`self`/`super`
+    // stay in the caller's crate.
+    let mut target_crate: Option<&str> = None;
+    let head = segments.first().copied().unwrap_or("");
+    if segments.len() > 1 {
+        if head == "crate" || head == "self" || head == "super" {
+            target_crate = Some(caller_crate);
+        } else if let Some(c) = crate_alias.get(head) {
+            target_crate = Some(c.as_str());
+        }
+    }
+    // A `Type::name` qualifier (uppercase head of the last pair) means
+    // an associated call on that type.
+    let type_qualifier = if segments.len() > 1 {
+        let q = segments[segments.len() - 2];
+        if q.chars().next().is_some_and(char::is_uppercase) {
+            Some(q)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let bare_free_call = !call.is_method && segments.len() == 1;
+    let matches = |id: &usize| -> bool {
+        let n = &nodes[*id];
+        if call.is_method && n.owner.is_none() {
+            return false;
+        }
+        // A bare `f(..)` cannot name an inherent or trait method — those
+        // need a receiver or a `Type::` qualifier — so only free
+        // functions are candidates (locals/closures shadowing a method
+        // name must not bind to it).
+        if bare_free_call && n.owner.is_some() {
+            return false;
+        }
+        if let Some(t) = type_qualifier {
+            if n.owner.as_deref() != Some(t) {
+                return false;
+            }
+        }
+        if let Some(c) = target_crate {
+            if n.crate_name != c {
+                return false;
+            }
+        }
+        true
+    };
+    let cands: Vec<usize> = all.iter().filter(|id| matches(id)).copied().collect();
+    if cands.is_empty() {
+        return Vec::new();
+    }
+    // Explicitly crate-qualified (or type-qualified) calls are already
+    // narrow: accept the whole candidate set.
+    if target_crate.is_some() || type_qualifier.is_some() {
+        return cands;
+    }
+    // Proximity: same file (all), then same crate (free calls: all;
+    // method calls only when unique), then workspace-wide when unique.
+    let same_file: Vec<usize> = cands
+        .iter()
+        .filter(|id| file_nodes[caller_file].contains(id))
+        .copied()
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .filter(|id| nodes[**id].crate_name == caller_crate)
+        .copied()
+        .collect();
+    if !same_crate.is_empty() {
+        if call.is_method && same_crate.len() > 1 {
+            return Vec::new();
+        }
+        return same_crate;
+    }
+    if cands.len() == 1 {
+        return cands;
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let models: Vec<(String, FileModel)> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), parse(&lex(src))))
+            .collect();
+        CallGraph::build(&models)
+    }
+
+    fn node<'g>(g: &'g CallGraph, name: &str) -> &'g FnNode {
+        g.nodes
+            .iter()
+            .find(|n| n.name == name)
+            .unwrap_or_else(|| panic!("no node {name}"))
+    }
+
+    #[test]
+    fn same_file_free_call_resolves() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn leaf() {}\nfn mid() {\n    leaf();\n}\n",
+        )]);
+        let mid = node(&g, "mid");
+        assert_eq!(g.callees[mid.id], vec![node(&g, "leaf").id]);
+    }
+
+    #[test]
+    fn cross_crate_qualified_call_resolves() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn tick() {}\n"),
+            (
+                "crates/b/src/lib.rs",
+                "fn drive() {\n    picloud_a::tick();\n}\n",
+            ),
+        ]);
+        let drive = node(&g, "drive");
+        assert_eq!(g.callees[drive.id], vec![node(&g, "tick").id]);
+    }
+
+    #[test]
+    fn alias_expanded_call_resolves() {
+        let g = graph(&[
+            ("crates/a/src/util.rs", "pub fn tick() {}\n"),
+            (
+                "crates/b/src/lib.rs",
+                "use picloud_a as u;\nfn drive() {\n    u::tick();\n}\n",
+            ),
+        ]);
+        let drive = node(&g, "drive");
+        assert_eq!(g.callees[drive.id], vec![node(&g, "tick").id]);
+    }
+
+    #[test]
+    fn type_qualified_and_method_calls() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub struct S;\nimpl S {\n    pub fn new() -> S { S }\n    fn go(&self) {}\n}\n\
+             fn f(s: &S) {\n    let s2 = S::new();\n    s.go();\n}\n",
+        )]);
+        let f = node(&g, "f");
+        let new_id = node(&g, "new").id;
+        let go_id = node(&g, "go").id;
+        assert_eq!(g.callees[f.id], vec![new_id, go_id]);
+    }
+
+    #[test]
+    fn ambiguous_method_calls_make_no_edge() {
+        let g = graph(&[
+            (
+                "crates/a/src/x.rs",
+                "pub struct A;\nimpl A { pub fn run(&self) {} }\n",
+            ),
+            (
+                "crates/a/src/y.rs",
+                "pub struct B;\nimpl B { pub fn run(&self) {} }\n",
+            ),
+            ("crates/a/src/z.rs", "fn f(t: &T) {\n    t.run();\n}\n"),
+        ]);
+        let f = node(&g, "f");
+        assert!(g.callees[f.id].is_empty());
+    }
+
+    #[test]
+    fn bare_free_calls_never_bind_to_methods() {
+        // A local closure named `run` shadows nothing: the bare call
+        // cannot reach `S::run`, which needs a receiver or `S::`.
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub struct S;\nimpl S {\n    pub fn run(&self) {}\n}\n\
+             fn f() {\n    let run = || 1;\n    run();\n}\n",
+        )]);
+        let f = node(&g, "f");
+        assert!(g.callees[f.id].is_empty());
+    }
+
+    #[test]
+    fn std_method_names_never_bind_bare_method_calls() {
+        // `collect` is unique in this workspace, but `.collect()` is the
+        // iterator method — no edge. The qualified form still resolves.
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub struct T;\nimpl T {\n    pub fn collect(&self) {}\n}\n\
+             fn f(xs: &[u32], t: &T) {\n    let v: Vec<u32> = xs.iter().collect();\n    \
+             T::collect(t);\n}\n",
+        )]);
+        let f = node(&g, "f");
+        assert_eq!(g.callees[f.id], vec![node(&g, "collect").id]);
+    }
+
+    #[test]
+    fn std_method_table_is_sorted_for_binary_search() {
+        let mut sorted = STD_METHODS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(STD_METHODS, sorted.as_slice());
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost_body() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn outer() {\n    let c = || {\n        1\n    };\n}\n",
+        )]);
+        assert_eq!(
+            g.enclosing_fn("crates/a/src/lib.rs", 2),
+            Some(node(&g, "outer").id)
+        );
+        assert_eq!(g.enclosing_fn("crates/a/src/lib.rs", 40), None);
+    }
+}

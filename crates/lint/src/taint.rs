@@ -1,0 +1,234 @@
+//! Interprocedural determinism taint (rule **D5**).
+//!
+//! The per-line rules (D1–D4, F1) flag a nondeterminism *source* where
+//! it is written; this pass follows the call graph to where it is
+//! *felt*. Every unsevered source seeds taint at its enclosing
+//! function; taint then propagates caller-ward along
+//! [`crate::symgraph::CallGraph`] edges, and every **public**,
+//! non-test, simulation-facing function that *transitively* reaches a
+//! source (at least one call away — the source function itself is
+//! already flagged by the local rule) earns a D5 finding carrying the
+//! shortest witness call path.
+//!
+//! Severing: a justified `// lint: allow(..) reason=..` marker at the
+//! source line — either for the source's own rule (D1–D4, F1) or for
+//! D5 itself — severs taint for *all* transitive callers; the
+//! quarantine is reviewed once, where the code is. A D5 finding can
+//! also be waived individually with an `allow(D5)` marker at the
+//! public function's declaration line.
+//!
+//! Propagation is a multi-seed BFS over the reverse graph with seeds
+//! and neighbours visited in sorted node order, so the chosen witness
+//! path — and therefore the rendered report — is byte-deterministic.
+
+use crate::report::Finding;
+use crate::rules::Rule;
+use crate::symgraph::CallGraph;
+use std::collections::{BTreeSet, VecDeque};
+
+/// One nondeterminism source found by the per-line rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintSource {
+    /// The local rule that matched (D1–D4 or F1).
+    pub rule: Rule,
+    /// 0-based source line.
+    pub line: usize,
+    /// Short human label, e.g. `wall-clock Instant`.
+    pub what: String,
+    /// True when a justified allow marker at the source severs taint.
+    pub severed: bool,
+}
+
+/// Crates whose public functions are not simulation-facing: `bench`
+/// times the real machine by design and `lint` is this tool itself.
+const D5_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+
+/// One file's input to the taint pass: workspace-relative path, the
+/// sources the per-line rules found, and the per-line allow sets
+/// (index = 0-based line).
+pub type FileTaint = (String, Vec<TaintSource>, Vec<BTreeSet<Rule>>);
+
+struct Seed<'a> {
+    node: usize,
+    source: &'a TaintSource,
+    file: &'a str,
+}
+
+/// Runs taint propagation. `files` pairs each workspace-relative path
+/// with its sources and per-line allow sets (index = 0-based line).
+/// Returns the D5 findings (unsorted — the caller merges and sorts)
+/// plus the number suppressed by `allow(D5)` markers.
+pub fn propagate(
+    graph: &CallGraph,
+    files: &[FileTaint],
+    original_lines: &dyn Fn(&str, usize) -> String,
+) -> (Vec<Finding>, usize) {
+    // ---- seed -----------------------------------------------------
+    let mut seeds: Vec<Seed<'_>> = Vec::new();
+    for (file, sources, _) in files {
+        for s in sources {
+            if s.severed {
+                continue;
+            }
+            if let Some(node) = graph.enclosing_fn(file, s.line) {
+                seeds.push(Seed {
+                    node,
+                    source: s,
+                    file,
+                });
+            }
+        }
+    }
+    // Deterministic seed order: by node id, then line.
+    seeds.sort_by_key(|s| (s.node, s.source.line));
+
+    // ---- BFS over the reverse graph -------------------------------
+    let callers = graph.callers();
+    let n = graph.nodes.len();
+    // For each node: (distance, next hop toward the source, seed idx).
+    let mut dist: Vec<Option<(usize, usize, usize)>> = vec![None; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (si, seed) in seeds.iter().enumerate() {
+        if dist[seed.node].is_none() {
+            dist[seed.node] = Some((0, seed.node, si));
+            queue.push_back(seed.node);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let Some((d, _, si)) = dist[u] else {
+            continue;
+        };
+        for &caller in &callers[u] {
+            if dist[caller].is_none() {
+                dist[caller] = Some((d + 1, u, si));
+                queue.push_back(caller);
+            }
+        }
+    }
+
+    // ---- report ---------------------------------------------------
+    let mut findings = Vec::new();
+    let mut allowed = 0usize;
+    for node in &graph.nodes {
+        let Some((d, _, si)) = dist[node.id] else {
+            continue;
+        };
+        if d == 0 || !node.is_pub || node.is_test {
+            continue;
+        }
+        if D5_EXEMPT_CRATES.contains(&node.crate_name.as_str()) {
+            continue;
+        }
+        let seed = &seeds[si];
+        // Walk the witness path: this node → … → source function.
+        let mut path = vec![node.display()];
+        let mut cur = node.id;
+        while let Some((dd, next, _)) = dist[cur] {
+            if dd == 0 {
+                break;
+            }
+            path.push(graph.nodes[next].display());
+            cur = next;
+        }
+        // allow(D5) at the declaration line waives this finding only.
+        let decl_allows = files
+            .iter()
+            .find(|(f, _, _)| f == &node.file)
+            .and_then(|(_, _, allows)| allows.get(node.decl_line))
+            .map(|set| set.contains(&Rule::D5))
+            .unwrap_or(false);
+        if decl_allows {
+            allowed += 1;
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::D5.name().to_string(),
+            file: node.file.clone(),
+            line: node.decl_line + 1,
+            message: format!(
+                "public fn `{}` transitively reaches {} ({} at {}:{}); fix the source \
+                 or sever the chain with a justified marker there",
+                node.name,
+                seed.source.what,
+                seed.source.rule.name(),
+                seed.file,
+                seed.source.line + 1
+            ),
+            snippet: original_lines(&node.file, node.decl_line),
+            path,
+        });
+    }
+    (findings, allowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::symgraph::CallGraph;
+
+    fn run(src: &str, sources: Vec<TaintSource>) -> (Vec<Finding>, usize) {
+        let rel = "crates/a/src/lib.rs".to_string();
+        let model = parse(&lex(src));
+        let graph = CallGraph::build(&[(rel.clone(), model)]);
+        let allows = vec![BTreeSet::new(); src.lines().count()];
+        let files = vec![(rel, sources, allows)];
+        let lines: Vec<String> = src.lines().map(|l| l.trim().to_string()).collect();
+        let get = move |_f: &str, l: usize| lines.get(l).cloned().unwrap_or_default();
+        propagate(&graph, &files, &get)
+    }
+
+    const CHAIN: &str = "fn source() -> u64 {\n    0\n}\nfn mid() -> u64 {\n    source()\n}\npub fn entry() -> u64 {\n    mid()\n}\n";
+
+    #[test]
+    fn taint_reaches_public_callers_with_shortest_path() {
+        let (findings, allowed) = run(
+            CHAIN,
+            vec![TaintSource {
+                rule: Rule::D2,
+                line: 1,
+                what: "wall-clock Instant".into(),
+                severed: false,
+            }],
+        );
+        assert_eq!(allowed, 0);
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.rule, "D5");
+        assert_eq!(f.line, 7); // `pub fn entry` decl line, 1-based
+        assert_eq!(f.path, vec!["a::entry", "a::mid", "a::source"]);
+        assert!(f.message.contains("D2 at crates/a/src/lib.rs:2"));
+    }
+
+    #[test]
+    fn severed_sources_do_not_seed() {
+        let (findings, _) = run(
+            CHAIN,
+            vec![TaintSource {
+                rule: Rule::D2,
+                line: 1,
+                what: "wall-clock Instant".into(),
+                severed: true,
+            }],
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn the_source_function_itself_is_not_reflagged() {
+        let (findings, _) = run(
+            "pub fn direct() -> u64 {\n    0\n}\n",
+            vec![TaintSource {
+                rule: Rule::D2,
+                line: 1,
+                what: "wall-clock Instant".into(),
+                severed: false,
+            }],
+        );
+        assert!(
+            findings.is_empty(),
+            "distance-0 nodes are the local rule's job"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture: D1/D2/D3 alias evasion — `use … as` renames are resolved
+// back to the banned name and flagged at every use site. Line numbers
+// are asserted by crates/lint/tests/lint_rules.rs — append only.
+
+use std::collections::HashMap as Map; // line 5: literal D1 (decl); alias flagged at use sites
+use std::collections::{BTreeMap, HashSet as Set}; // line 6: literal D1; grouped alias
+use std::time::Instant as Clock; // line 7: literal D2
+use rand::rngs::OsRng as Entropy; // line 8: literal D3
+
+pub fn hidden_map() -> usize {
+    let m: Map<u32, u32> = Map::new(); // line 11: D1 via alias
+    m.len()
+}
+
+pub fn hidden_set() -> usize {
+    Set::<u32>::new().len() // line 16: D1 via grouped alias
+}
+
+pub fn hidden_clock() -> u64 {
+    let _t = Clock::now(); // line 20: D2 via alias
+    0
+}
+
+pub fn hidden_rng() -> u64 {
+    let _r = Entropy; // line 25: D3 via alias
+    0
+}
+
+pub fn ordered_fine() -> usize {
+    BTreeMap::<u32, u32>::new().len() // BTreeMap is ordered: no finding
+}

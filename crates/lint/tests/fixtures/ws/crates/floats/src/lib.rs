@@ -1,0 +1,32 @@
+// Fixture: F1 — non-total float ordering in sort comparators, plus a
+// D5 chain seeded by an F1 source. Line numbers are asserted by
+// crates/lint/tests/lint_rules.rs — append only.
+
+pub fn sort_latencies(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)); // line 6: F1
+}
+
+pub fn sort_multiline(v: &mut [(f64, u32)]) {
+    v.sort_unstable_by(|a, b| {
+        a.0
+            .partial_cmp(&b.0) // line 12: F1 — the context spans the closure
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+}
+
+pub fn sort_total(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b)); // total order: no finding
+}
+
+pub fn sort_waived(v: &mut [f64]) {
+    // lint: allow(F1) reason=fixture: inputs are checked finite upstream
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)); // allowed
+}
+
+fn kernel(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)); // line 27: F1 seed
+}
+
+pub fn run_stats(v: &mut [f64]) {
+    kernel(v); // D5 fires at the `pub fn` line above (line 30)
+}

@@ -21,3 +21,6 @@ pub fn waived() {} // line 19: O1 allowed by marker above
 pub(crate) fn internal() {} // pub(crate) is not public API
 
 pub use std::time::Duration; // re-exports are exempt
+
+#[doc = "Documented through an attribute — O1 must accept this."]
+pub fn attr_documented() {} // line 26: `#[doc = ..]` counts as docs

@@ -1,0 +1,38 @@
+// Fixture: D5 — interprocedural determinism taint. A 3-hop chain from
+// a public entry point to a wall-clock source, a marker-severed twin,
+// and a method hop. Line numbers are asserted by lint_rules.rs.
+
+fn clock_source() -> u64 {
+    let _t = Instant::now(); // line 6: D2 positive — the taint seed
+    0
+}
+
+fn mid() -> u64 {
+    clock_source()
+}
+
+pub fn entry() -> u64 {
+    mid() // D5 fires at the `pub fn` line above (line 14)
+}
+
+fn severed_source() -> u64 {
+    // lint: allow(D2) reason=fixture: a marker at the source severs every caller
+    let _t = Instant::now();
+    0
+}
+
+pub fn severed_entry() -> u64 {
+    severed_source() // no D5: the chain is severed at its source
+}
+
+pub struct Sampler;
+
+impl Sampler {
+    fn sample(&self) -> u64 {
+        clock_source()
+    }
+
+    pub fn read(&self) -> u64 {
+        self.sample() // D5 fires at the `pub fn` line above (line 35)
+    }
+}

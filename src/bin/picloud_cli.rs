@@ -38,8 +38,9 @@
 //!
 //! `lint` is a passthrough to `picloud-lint`: it scans the workspace,
 //! prints the report (text by default, `--format jsonl` for the export
-//! form) and checks the ratchet against `lint-baseline.json`, failing
-//! on any new violation. See `LINTS.md` for the rule book.
+//! form, `--format github` for PR annotations) and checks the ratchet
+//! against `lint-baseline.json`, failing on any new violation. See
+//! `LINTS.md` for the rule book.
 //!
 //! `chaos` runs seeded adversarial fault schedules against the recovery
 //! stack with the invariant registry armed; violations are shrunk to
@@ -281,9 +282,10 @@ fn run_lint(format: Option<&str>, out: Option<&str>) -> bool {
     };
     let text = match format {
         Some("jsonl") => report.to_jsonl(),
+        Some("github") => report.to_github(),
         None | Some("text") => report.to_text(),
         Some(other) => {
-            eprintln!("unknown --format '{other}' (text, jsonl)");
+            eprintln!("unknown --format '{other}' (text, jsonl, github)");
             return false;
         }
     };

@@ -2,9 +2,11 @@
 //! more determinism/panic-safety debt than the committed
 //! `lint-baseline.json` tolerates.
 //!
-//! `cargo test` therefore fails on any new `HashMap`, wall-clock read,
-//! ambient RNG, unwrap-without-justification or undocumented public
-//! contract item — the same gate CI runs via
+//! `cargo test` therefore fails on any new `HashMap` (aliased or not),
+//! wall-clock read, ambient RNG, rogue thread spawn, non-total float
+//! ordering, unwrap-without-justification, undocumented public contract
+//! item — or any new public function transitively reaching one of those
+//! sources (D5) — the same gate CI runs via
 //! `cargo run -p picloud-lint -- --check-baseline`, minus the
 //! auto-shrink side effect (tests must not rewrite checked-in files).
 
@@ -52,4 +54,22 @@ fn lint_report_is_deterministic_at_workspace_scale() {
     let b = ws.scan().expect("scan");
     assert_eq!(a.to_text(), b.to_text());
     assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_github(), b.to_github());
+}
+
+#[test]
+fn every_d5_finding_carries_a_witness_path() {
+    let ws = Workspace::discover(None).expect("workspace root");
+    let report = ws.scan().expect("scan");
+    for f in report.findings.iter().filter(|f| f.rule == "D5") {
+        assert!(
+            f.path.len() >= 2,
+            "D5 at {}:{} has no witness chain: {:?}",
+            f.file,
+            f.line,
+            f.path
+        );
+        // The message names the source the chain ends at.
+        assert!(f.message.contains("transitively reaches"), "{}", f.message);
+    }
 }
