@@ -227,13 +227,14 @@ fn measure_concentration(
     pods: &[Vec<picloud_network::topology::DeviceId>],
     p: usize,
     workers: usize,
-) -> ConcentrationRow {
+) -> (ConcentrationRow, usize) {
     let mut sim = FlowSimulator::new(
         Topology::fat_tree(SCALE_K),
         RoutingPolicy::SingleShortest,
         RateAllocator::MaxMin,
     )
     .with_workers(workers);
+    let effective = sim.workers();
     sim.inject_batch(concentrated_specs(pods, p), SimTime::ZERO)
         .expect("pod-local endpoints are hosts of the connected fabric");
     assert!(
@@ -252,28 +253,40 @@ fn measure_concentration(
         sim.cancel(id);
         black_box(sim.active_count());
     });
-    ConcentrationRow {
-        partitions_loaded: p,
-        pod_flows: SCALE_FLOWS / p,
-        inject_ns,
-    }
+    (
+        ConcentrationRow {
+            partitions_loaded: p,
+            pod_flows: SCALE_FLOWS / p,
+            inject_ns,
+        },
+        effective,
+    )
 }
 
 /// The fat-tree scale sweep: same population, rising partition spread.
-fn measure_fat_tree_scale(workers: usize) -> Vec<ConcentrationRow> {
+/// Returns the rows plus the pool size the simulators actually ran with
+/// (the artifact records that, not the raw flag, so the CI partitions
+/// matrix uploads stay distinguishable even if the request gets
+/// clamped).
+fn measure_fat_tree_scale(workers: usize) -> (Vec<ConcentrationRow>, usize) {
     let topo = Topology::fat_tree(SCALE_K);
     let pods = hosts_by_pod(&topo);
-    [1usize, 4, 16]
+    let mut effective = workers.max(1);
+    let rows = [1usize, 4, 16]
         .iter()
-        .map(|&p| measure_concentration(&pods, p, workers))
-        .collect()
+        .map(|&p| {
+            let (row, used) = measure_concentration(&pods, p, workers);
+            effective = used;
+            row
+        })
+        .collect();
+    (rows, effective)
 }
 
 fn write_artifact() -> (Vec<ScaleRow>, Vec<ConcentrationRow>) {
     let probes = specs(64);
     let rows: Vec<ScaleRow> = SCALES.iter().map(|&s| measure(s, &probes)).collect();
-    let workers = scale_workers();
-    let scale_rows = measure_fat_tree_scale(workers);
+    let (scale_rows, workers) = measure_fat_tree_scale(scale_workers());
 
     let mut body = String::from(
         "{\n  \"bench\": \"flowsim\",\n  \"topology\": \"multi_root_tree(4,14,2)\",\n  \

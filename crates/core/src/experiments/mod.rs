@@ -21,12 +21,14 @@
 //! | §III power / cpufreq governors | [`dvfs_exp`] |
 //! | §IV SLA vs density | [`sla_exp`] |
 //! | §I failure recovery / self-healing | [`recovery_exp`] |
+//! | model-only: estimation mode vs exact oracle | [`estimate_exp`] |
 //!
 //! Every experiment is deterministic given its seed, returns a typed
 //! result, and `Display`s as an aligned text table so the bench harness
 //! regenerates paper-style output.
 
 pub mod dvfs_exp;
+pub mod estimate_exp;
 pub mod failure_exp;
 pub mod fidelity;
 pub mod fig2;

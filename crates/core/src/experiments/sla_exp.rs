@@ -113,7 +113,7 @@ impl SlaExperiment {
                         latencies.push(s * (1.0 + rho / (2.0 * (1.0 - rho))));
                     }
                 }
-                latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                latencies.sort_by(|a, b| a.total_cmp(b));
                 let meeting = latencies.iter().filter(|l| **l <= sla_secs).count();
                 let p95 = latencies
                     .get(((latencies.len() as f64 * 0.95).ceil() as usize).saturating_sub(1))

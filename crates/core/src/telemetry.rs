@@ -23,12 +23,12 @@
 //! per-experiment series catalogue in `EXPERIMENTS.md`.
 
 use crate::experiments::{
-    dvfs_exp::DvfsExperiment, failure_exp::FailureExperiment, fidelity::FidelityExperiment,
-    fig2::Fig2, fig3::Fig3, fig4::Fig4, image_dist::ImageDistributionExperiment,
-    migration_exp::MigrationExperiment, oversub_exp::OversubscriptionExperiment,
-    p2p_mgmt::P2pMgmtExperiment, placement_exp::PlacementExperiment, power::PowerExperiment,
-    recovery_exp::RecoveryExperiment, sdn_exp::SdnExperiment, sla_exp::SlaExperiment,
-    table1::Table1, traffic_exp::TrafficExperiment,
+    dvfs_exp::DvfsExperiment, estimate_exp::EstimateExperiment, failure_exp::FailureExperiment,
+    fidelity::FidelityExperiment, fig2::Fig2, fig3::Fig3, fig4::Fig4,
+    image_dist::ImageDistributionExperiment, migration_exp::MigrationExperiment,
+    oversub_exp::OversubscriptionExperiment, p2p_mgmt::P2pMgmtExperiment,
+    placement_exp::PlacementExperiment, power::PowerExperiment, recovery_exp::RecoveryExperiment,
+    sdn_exp::SdnExperiment, sla_exp::SlaExperiment, table1::Table1, traffic_exp::TrafficExperiment,
 };
 use crate::PiCloud;
 use picloud_mgmt::panel::ControlPanel;
@@ -65,6 +65,7 @@ pub const EXPERIMENT_IDS: &[(&str, &str)] = &[
     ("dvfs", "e15"),
     ("sla", "e16"),
     ("recovery", "e17"),
+    ("estimate", "s2"),
 ];
 
 /// Resolves a user-facing experiment name (canonical id or `eN` alias,
@@ -635,6 +636,38 @@ fn collect_summary(id: &str, seed: u64, reg: &mut MetricsRegistry) -> SimTime {
                     .set(t0, o.p95_latency_secs);
             }
             reg.gauge("sla_target_seconds", &[]).set(t0, e.sla_secs);
+        }
+        "estimate" => {
+            // A shortened S2 sweep (5 simulated seconds per scenario):
+            // telemetry wants the cluster/error shape, not the full
+            // bench-grade horizon.
+            let e = EstimateExperiment::run(seed, SimDuration::from_secs(5));
+            for p in &e.points {
+                let fabric = format!("{}M", p.fabric_mbps);
+                let loc = format!("{:.2}", p.locality);
+                let l = [("fabric", fabric.as_str()), ("locality", loc.as_str())];
+                reg.gauge("estimate_clusters", &l)
+                    .set(t0, p.clusters as f64);
+                reg.gauge("estimate_loaded_links", &l)
+                    .set(t0, p.loaded_links as f64);
+                reg.gauge("estimate_rep_flows", &l)
+                    .set(t0, p.rep_flows as f64);
+                reg.gauge("estimate_p99_rel_err", &l).set(t0, p.p99_rel_err);
+            }
+            // Membership breakdown for the hardest scenario (all-remote
+            // traffic on the tightest fabric).
+            for (i, &members) in e.hardest_cluster_sizes.iter().enumerate() {
+                let c = format!("c{i}");
+                let l = [("cluster", c.as_str())];
+                reg.gauge("estimate_cluster_members", &l)
+                    .set(t0, members as f64);
+            }
+            reg.gauge("estimate_max_p99_rel_err", &[])
+                .set(t0, e.max_p99_rel_err);
+            reg.gauge("estimate_error_bound", &[])
+                .set(t0, EstimateExperiment::P99_ERROR_BOUND);
+            reg.gauge("estimate_mean_compression", &[])
+                .set(t0, e.mean_compression);
         }
         other => unreachable!("canonical_id admitted unknown experiment {other}"),
     }

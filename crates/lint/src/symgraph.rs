@@ -1,6 +1,6 @@
 //! Per-crate symbol tables and the workspace-wide call graph.
 //!
-//! [`CallGraph::build`] takes every file's [`parser::FileModel`] and
+//! [`CallGraph::build`] takes every file's [`crate::parser::FileModel`] and
 //! links call sites to function items *resolvable by name*:
 //!
 //! * `use` aliases expand first (`use crate::util as u; u::tick()`
@@ -16,7 +16,7 @@
 //!   if unique), then workspace-wide only if unique. Unresolvable calls
 //!   produce no edge — the graph under-approximates rather than
 //!   connecting everything named `get` to everything else;
-//! * bare method calls named after std prelude methods ([`STD_METHODS`]:
+//! * bare method calls named after std prelude methods (`STD_METHODS`:
 //!   `.collect()`, `.len()`, …) never resolve by name alone — a
 //!   workspace fn that shares the name would otherwise become a false
 //!   hub collecting every iterator call in the tree.

@@ -58,10 +58,11 @@
 //! should use [`FlowSimulator::inject_batch`], which triggers one
 //! recomputation for the whole burst instead of one per flow.
 
+pub mod estimate;
 pub mod partition;
 
 use crate::flow::{CompletedFlow, Flow, FlowId, FlowSpec};
-use crate::flowsim::partition::PartitionMap;
+use crate::flowsim::partition::{PartitionMap, SolverPool};
 use crate::routing::{Router, RoutingPolicy};
 use crate::topology::{LinkId, Topology};
 use picloud_simcore::telemetry::MetricsRegistry;
@@ -70,6 +71,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Bits below which a flow is considered finished (guards float error).
 const EPSILON_BITS: f64 = 1e-6;
@@ -197,6 +199,10 @@ pub struct FlowSimulator {
     partitions: PartitionMap,
     /// Worker threads for the partitioned solve (1 = fully serial).
     workers: usize,
+    /// Persistent solver workers (present iff `workers > 1`); shared on
+    /// clone — `run_ordered` calls are independent, so two simulators
+    /// can safely queue onto the same workers.
+    pool: Option<Arc<SolverPool>>,
     /// Min-heaps of predicted completion instants (lazy invalidation),
     /// sharded per partition bucket — local partitions first, the
     /// shared-spine bucket last — so pod-local churn stays pod-local.
@@ -333,15 +339,168 @@ fn for_each_merged_mut(
     }
 }
 
-/// One disjoint dirty region prepared for solving: its resources plus
-/// its flow table (ids ascending, weights and path slices index-aligned)
-/// — the unit of work handed to [`partition::map_ordered`].
-struct RegionJob<'a> {
+/// One disjoint dirty region prepared for solving, fully **owned**: its
+/// resources (with capacities and inverted-index counts snapshotted from
+/// the simulator) plus its flow table (ids ascending; weights and
+/// CSR-flattened paths index-aligned). Owning the data lets the job ship
+/// to the persistent [`SolverPool`], whose workers outlive any single
+/// borrow of the simulator; the solve arithmetic below is a line-for-line
+/// transcription of the borrowed original, so results stay bit-for-bit
+/// identical (pinned by `tests/flowsim_equiv.rs`).
+struct SolveJob {
+    /// Global resource count — scratch vectors are dense and
+    /// resource-indexed, exactly like the pre-pool solver.
+    n_res: usize,
     res_list: Vec<usize>,
     bucket: u32,
     flows: Vec<FlowId>,
     weight: Vec<f64>,
-    paths: Vec<&'a [ResourceId]>,
+    /// CSR offsets: flow `i`'s path occupies
+    /// `path_res[path_start[i] as usize..path_start[i + 1] as usize]`.
+    path_start: Vec<u32>,
+    path_res: Vec<ResourceId>,
+    /// `resource_capacity[r]` for each `r` in `res_list`, index-aligned.
+    capacity: Vec<f64>,
+    /// `flows_on[r].len()` for each `r` in `res_list` — the equal-share
+    /// denominators.
+    flow_count: Vec<u32>,
+}
+
+impl SolveJob {
+    /// Flow `i`'s path resources, in traversal order.
+    fn path(&self, i: usize) -> &[ResourceId] {
+        &self.path_res[self.path_start[i] as usize..self.path_start[i + 1] as usize]
+    }
+
+    /// Solves this region under `allocator`, returning rates
+    /// index-aligned with `flows`.
+    fn solve(&self, allocator: RateAllocator) -> Vec<f64> {
+        match allocator {
+            RateAllocator::MaxMin => self.solve_max_min(),
+            RateAllocator::EqualShare => self.solve_equal_share(),
+        }
+    }
+
+    /// Weighted progressive-filling water-fill restricted to the region.
+    ///
+    /// The pick order (lowest-index resource among minima), freeze order
+    /// (ascending flow id) and arithmetic order are identical whether the
+    /// region is the whole graph or one closed component, which is what
+    /// makes incremental and full recomputes bit-for-bit equivalent.
+    fn solve_max_min(&self) -> Vec<f64> {
+        let n_res = self.n_res;
+        let n_flows = self.flows.len();
+        let mut cap_left = vec![0.0f64; n_res];
+        for (k, &r) in self.res_list.iter().enumerate() {
+            cap_left[r] = self.capacity[k];
+        }
+        let mut rates = vec![0.0f64; n_flows];
+        // A flow with no path (retired, or a degenerate same-host route)
+        // crosses no bottleneck; it keeps rate 0.0 without entering the
+        // fill at all.
+        let mut frozen: Vec<bool> = (0..n_flows).map(|i| self.path(i).is_empty()).collect();
+        let mut n_unfrozen = frozen.iter().filter(|f| !**f).count();
+        // Weighted max-min: each resource tracks the total weight of the
+        // unfrozen flows crossing it; the fair share is per unit weight.
+        let mut weight_on: Vec<f64> = vec![0.0; n_res];
+        for i in 0..n_flows {
+            for r in self.path(i) {
+                weight_on[r.0] += self.weight[i];
+            }
+        }
+        // CSR of region-flow indices per resource, ascending by flow id —
+        // the same order `flows_on` iterates, without any tree walks or
+        // searches in the fill loop below.
+        let mut start = vec![0u32; n_res + 1];
+        for r in &self.path_res {
+            start[r.0 + 1] += 1;
+        }
+        for r in 0..n_res {
+            start[r + 1] += start[r];
+        }
+        let mut idx_on = vec![0u32; start[n_res] as usize];
+        let mut cursor = start.clone();
+        for i in 0..n_flows {
+            for r in self.path(i) {
+                idx_on[cursor[r.0] as usize] = i as u32;
+                cursor[r.0] += 1;
+            }
+        }
+        while n_unfrozen > 0 {
+            // Find the tightest resource: min cap_left / weight_on.
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for &r in &self.res_list {
+                if weight_on[r] <= 0.0 {
+                    continue;
+                }
+                let fair = cap_left[r] / weight_on[r];
+                match bottleneck {
+                    Some((_, best)) if best <= fair => {}
+                    _ => bottleneck = Some((r, fair)),
+                }
+            }
+            let Some((bott, fair)) = bottleneck else {
+                // Remaining flows traverse no resources (can't happen for
+                // non-empty paths) — their rates stay 0.0.
+                break;
+            };
+            // Freeze every unfrozen flow crossing the bottleneck at its
+            // weighted share of the bottleneck's fair rate. The inverted
+            // index yields exactly those flows in ascending id order, so
+            // the fill never rescans flows the bottleneck doesn't touch.
+            let mut froze_any = false;
+            for &fi in &idx_on[start[bott] as usize..start[bott + 1] as usize] {
+                let i = fi as usize;
+                if frozen[i] {
+                    continue;
+                }
+                let w = self.weight[i];
+                let rate = fair * w;
+                rates[i] = rate;
+                frozen[i] = true;
+                froze_any = true;
+                n_unfrozen -= 1;
+                for r in self.path(i) {
+                    cap_left[r.0] = (cap_left[r.0] - rate).max(0.0);
+                    weight_on[r.0] -= w;
+                }
+            }
+            if !froze_any {
+                // Float residue left phantom weight on a resource whose
+                // flows are all frozen; retire it so the fill terminates.
+                weight_on[bott] = 0.0;
+            }
+        }
+        rates
+    }
+
+    /// Equal split per resource, minimum along the path, restricted to
+    /// the region (counts were snapshotted from the inverted index).
+    /// Returns rates index-aligned with the region flow table.
+    fn solve_equal_share(&self) -> Vec<f64> {
+        let n_res = self.n_res;
+        let mut shares = vec![f64::INFINITY; n_res];
+        for (k, &r) in self.res_list.iter().enumerate() {
+            let n = self.flow_count[k] as usize;
+            if n > 0 {
+                shares[r] = self.capacity[k] / n as f64;
+            }
+        }
+        (0..self.flows.len())
+            .map(|i| {
+                let rate = self
+                    .path(i)
+                    .iter()
+                    .map(|r| shares[r.0])
+                    .fold(f64::INFINITY, f64::min);
+                if rate.is_finite() {
+                    rate
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
 }
 
 /// The instant at which `remaining_bits` drains at `rate_bps`, rounded
@@ -387,6 +546,7 @@ impl FlowSimulator {
             resource_bits: vec![0.0; n_res],
             partitions,
             workers: 1,
+            pool: None,
             completions: vec![BinaryHeap::new(); shards],
             partition_solves: vec![0; shards],
             topo,
@@ -415,8 +575,19 @@ impl FlowSimulator {
     /// identical at every worker count, because disjoint sharing
     /// components solve with unchanged arithmetic and merge in a fixed
     /// order (see the module docs and DESIGN.md §4c).
+    ///
+    /// With more than one worker the simulator owns a persistent
+    /// [`SolverPool`]: the workers are spawned once here and reused by
+    /// every subsequent solve, so repeated recomputes pay no per-call
+    /// thread start-up.
     pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers.max(1);
+        let workers = workers.max(1);
+        self.workers = workers;
+        self.pool = if workers > 1 {
+            Some(Arc::new(SolverPool::new(workers)))
+        } else {
+            None
+        };
     }
 
     /// Dirty regions solved per partition bucket since construction —
@@ -1091,38 +1262,66 @@ impl FlowSimulator {
             self.partition_solves[bucket as usize] += 1;
         }
         let (solved_regions, res_union) = {
-            let jobs: Vec<RegionJob<'_>> = regions
+            let n_res_total = self.resource_capacity.len();
+            let jobs: Vec<SolveJob> = regions
                 .into_iter()
                 .zip(&buckets)
                 .map(|(res_list, &bucket)| {
                     let (flows, weight, paths) = self.region_flow_table(&res_list, bucket);
-                    RegionJob {
+                    // Flatten the borrowed path slices into CSR form so
+                    // the job owns every byte it needs: the persistent
+                    // pool's workers cannot borrow `self`.
+                    let mut path_start = Vec::with_capacity(flows.len() + 1);
+                    path_start.push(0u32);
+                    let mut path_res: Vec<ResourceId> = Vec::new();
+                    for p in &paths {
+                        path_res.extend_from_slice(p);
+                        path_start.push(path_res.len() as u32);
+                    }
+                    let capacity = res_list
+                        .iter()
+                        .map(|&r| self.resource_capacity[r])
+                        .collect();
+                    let flow_count = res_list
+                        .iter()
+                        .map(|&r| self.flows_on[r].len() as u32)
+                        .collect();
+                    SolveJob {
+                        n_res: n_res_total,
                         res_list,
                         bucket,
                         flows,
                         weight,
-                        paths,
+                        path_start,
+                        path_res,
+                        capacity,
+                        flow_count,
                     }
                 })
                 .collect();
             let total_flows: usize = jobs.iter().map(|j| j.flows.len()).sum();
-            let pool = if jobs.len() > 1 && total_flows >= PARALLEL_FLOWS_MIN {
-                self.workers
-            } else {
-                1
+            let parallel = jobs.len() > 1 && total_flows >= PARALLEL_FLOWS_MIN;
+            let allocator = self.allocator;
+            let solved: Vec<(SolveJob, Vec<f64>)> = match &self.pool {
+                Some(pool) if parallel => pool.run_ordered(jobs, move |_, job: SolveJob| {
+                    let rates = job.solve(allocator);
+                    (job, rates)
+                }),
+                _ => jobs
+                    .into_iter()
+                    .map(|job| {
+                        let rates = job.solve(allocator);
+                        (job, rates)
+                    })
+                    .collect(),
             };
-            let this = &*self;
-            let solved = partition::map_ordered(pool, &jobs, |_, job| match this.allocator {
-                RateAllocator::MaxMin => this.solve_max_min(&job.weight, &job.paths, &job.res_list),
-                RateAllocator::EqualShare => this.solve_equal_share(&job.paths, &job.res_list),
-            });
             // Fixed-order merge: regions stay in dirty-region order
             // (first-seed order), flows ascending by id within each —
             // independent of which worker solved what.
             let mut solved_regions: Vec<(u32, Vec<FlowId>, Vec<f64>)> =
-                Vec::with_capacity(jobs.len());
+                Vec::with_capacity(solved.len());
             let mut res_union: Vec<usize> = Vec::new();
-            for (job, rates) in jobs.into_iter().zip(solved) {
+            for (job, rates) in solved {
                 solved_regions.push((job.bucket, job.flows, rates));
                 res_union.extend(job.res_list);
             }
@@ -1235,133 +1434,6 @@ impl FlowSimulator {
                 .collect();
             self.completions[s] = BinaryHeap::from(live);
         }
-    }
-
-    /// Weighted progressive-filling water-fill restricted to the region.
-    ///
-    /// The pick order (lowest-index resource among minima), freeze order
-    /// (ascending flow id) and arithmetic order are identical whether the
-    /// region is the whole graph or one closed component, which is what
-    /// makes incremental and full recomputes bit-for-bit equivalent.
-    fn solve_max_min(
-        &self,
-        weight: &[f64],
-        paths: &[&[ResourceId]],
-        res_list: &[usize],
-    ) -> Vec<f64> {
-        let n_res = self.resource_capacity.len();
-        let mut cap_left = vec![0.0f64; n_res];
-        for &r in res_list {
-            cap_left[r] = self.resource_capacity[r];
-        }
-        let mut rates = vec![0.0f64; paths.len()];
-        // A flow with no path (retired, or a degenerate same-host route)
-        // crosses no bottleneck; it keeps rate 0.0 without entering the
-        // fill at all.
-        let mut frozen: Vec<bool> = paths.iter().map(|p| p.is_empty()).collect();
-        let mut n_unfrozen = frozen.iter().filter(|f| !**f).count();
-        // Weighted max-min: each resource tracks the total weight of the
-        // unfrozen flows crossing it; the fair share is per unit weight.
-        let mut weight_on: Vec<f64> = vec![0.0; n_res];
-        for (i, path) in paths.iter().enumerate() {
-            for r in *path {
-                weight_on[r.0] += weight[i];
-            }
-        }
-        // CSR of region-flow indices per resource, ascending by flow id —
-        // the same order `flows_on` iterates, without any tree walks or
-        // searches in the fill loop below.
-        let mut start = vec![0u32; n_res + 1];
-        for path in paths {
-            for r in *path {
-                start[r.0 + 1] += 1;
-            }
-        }
-        for r in 0..n_res {
-            start[r + 1] += start[r];
-        }
-        let mut idx_on = vec![0u32; start[n_res] as usize];
-        let mut cursor = start.clone();
-        for (i, path) in paths.iter().enumerate() {
-            for r in *path {
-                idx_on[cursor[r.0] as usize] = i as u32;
-                cursor[r.0] += 1;
-            }
-        }
-        while n_unfrozen > 0 {
-            // Find the tightest resource: min cap_left / weight_on.
-            let mut bottleneck: Option<(usize, f64)> = None;
-            for &r in res_list {
-                if weight_on[r] <= 0.0 {
-                    continue;
-                }
-                let fair = cap_left[r] / weight_on[r];
-                match bottleneck {
-                    Some((_, best)) if best <= fair => {}
-                    _ => bottleneck = Some((r, fair)),
-                }
-            }
-            let Some((bott, fair)) = bottleneck else {
-                // Remaining flows traverse no resources (can't happen for
-                // non-empty paths) — their rates stay 0.0.
-                break;
-            };
-            // Freeze every unfrozen flow crossing the bottleneck at its
-            // weighted share of the bottleneck's fair rate. The inverted
-            // index yields exactly those flows in ascending id order, so
-            // the fill never rescans flows the bottleneck doesn't touch.
-            let mut froze_any = false;
-            for &fi in &idx_on[start[bott] as usize..start[bott + 1] as usize] {
-                let i = fi as usize;
-                if frozen[i] {
-                    continue;
-                }
-                let w = weight[i];
-                let rate = fair * w;
-                rates[i] = rate;
-                frozen[i] = true;
-                froze_any = true;
-                n_unfrozen -= 1;
-                for r in paths[i] {
-                    cap_left[r.0] = (cap_left[r.0] - rate).max(0.0);
-                    weight_on[r.0] -= w;
-                }
-            }
-            if !froze_any {
-                // Float residue left phantom weight on a resource whose
-                // flows are all frozen; retire it so the fill terminates.
-                weight_on[bott] = 0.0;
-            }
-        }
-        rates
-    }
-
-    /// Equal split per resource, minimum along the path, restricted to
-    /// the region (counts come from the inverted index). Returns rates
-    /// index-aligned with the region flow table.
-    fn solve_equal_share(&self, paths: &[&[ResourceId]], res_list: &[usize]) -> Vec<f64> {
-        let n_res = self.resource_capacity.len();
-        let mut shares = vec![f64::INFINITY; n_res];
-        for &r in res_list {
-            let n = self.flows_on[r].len();
-            if n > 0 {
-                shares[r] = self.resource_capacity[r] / n as f64;
-            }
-        }
-        paths
-            .iter()
-            .map(|path| {
-                let rate = path
-                    .iter()
-                    .map(|r| shares[r.0])
-                    .fold(f64::INFINITY, f64::min);
-                if rate.is_finite() {
-                    rate
-                } else {
-                    0.0
-                }
-            })
-            .collect()
     }
 }
 

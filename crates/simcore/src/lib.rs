@@ -21,6 +21,9 @@
 //!   critical-path extraction with per-span blame attribution.
 //! * [`units`] — newtypes for bytes, bandwidth, power, cost and frequency
 //!   shared across the hardware and network models.
+//! * [`EDist`] — sorted empirical distributions (interpolated quantiles,
+//!   deterministic inverse-CDF draws) backing the network fabric's
+//!   estimation mode.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod edist;
 pub mod engine;
 pub mod metrics;
 pub mod rng;
@@ -52,6 +56,7 @@ pub mod telemetry;
 pub mod time;
 pub mod units;
 
+pub use edist::EDist;
 pub use engine::{Engine, EventContext, EventId};
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricSet, TimeWeightedGauge};
 pub use rng::SeedFactory;

@@ -9,7 +9,7 @@
 //!    that burns half the error budget vanishes into a 90-minute average.
 //! 2. **Windowed** — a [`BurnRateAlert`] evaluates an SLI ratio over a
 //!    *pair* of trailing windows of the scrape timeline in a
-//!    [`TimeSeriesDb`](super::tsdb::TimeSeriesDb) (the Google SRE
+//!    [`TimeSeriesDb`] (the Google SRE
 //!    multi-window, multi-burn-rate pattern: the long window gives
 //!    significance, the short window makes the alert reset quickly). The
 //!    alert walks a `pending → firing → resolved` state machine at every

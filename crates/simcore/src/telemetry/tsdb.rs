@@ -357,7 +357,7 @@ pub struct QueryPoint {
     pub value: Option<f64>,
 }
 
-/// The in-memory time-series store: one delta-encoded [`Stream`] per
+/// The in-memory time-series store: one delta-encoded `Stream` per
 /// `(series, facet)`, plus the shared scrape timeline.
 ///
 /// Populate it by calling [`TimeSeriesDb::record`] (or letting a

@@ -18,6 +18,7 @@
 //! cargo run --bin picloud -- panel
 //! cargo run --bin picloud -- lint --format jsonl
 //! cargo run --bin picloud -- chaos --seed 100 --schedules 25 --profile e17
+//! cargo run --bin picloud -- estimate --fidelity estimate --out sweep.jsonl
 //! ```
 //!
 //! `telemetry` exports an experiment's labeled metrics snapshot (JSONL,
@@ -46,14 +47,21 @@
 //! stack with the invariant registry armed; violations are shrunk to
 //! 1-minimal reproducers and serialised as `chaos-shrunk-<seed>.json`
 //! for bit-for-bit replay. See `FAULTS.md` for the rule book.
+//!
+//! `estimate` drives the S2 fidelity study: with no flags it prints the
+//! comparison table (exact oracle vs the Parsimon-style clustering
+//! estimator over the locality × oversubscription sweep); with
+//! `--fidelity exact|estimate` it runs the sweep at that single fidelity
+//! and emits a byte-deterministic JSONL report (the CI determinism gate
+//! runs it twice and `cmp`s). See `EXPERIMENTS.md` §S2.
 
 use picloud::experiments::{
-    dvfs_exp::DvfsExperiment, failure_exp::FailureExperiment, fidelity::FidelityExperiment,
-    fig2::Fig2, fig3::Fig3, fig4::Fig4, image_dist::ImageDistributionExperiment,
-    migration_exp::MigrationExperiment, oversub_exp::OversubscriptionExperiment,
-    p2p_mgmt::P2pMgmtExperiment, placement_exp::PlacementExperiment, power::PowerExperiment,
-    recovery_exp::RecoveryExperiment, sdn_exp::SdnExperiment, sla_exp::SlaExperiment,
-    table1::Table1, traffic_exp::TrafficExperiment,
+    dvfs_exp::DvfsExperiment, estimate_exp, estimate_exp::EstimateExperiment,
+    failure_exp::FailureExperiment, fidelity::FidelityExperiment, fig2::Fig2, fig3::Fig3,
+    fig4::Fig4, image_dist::ImageDistributionExperiment, migration_exp::MigrationExperiment,
+    oversub_exp::OversubscriptionExperiment, p2p_mgmt::P2pMgmtExperiment,
+    placement_exp::PlacementExperiment, power::PowerExperiment, recovery_exp::RecoveryExperiment,
+    sdn_exp::SdnExperiment, sla_exp::SlaExperiment, table1::Table1, traffic_exp::TrafficExperiment,
 };
 use picloud::telemetry::ExperimentTelemetry;
 use picloud::PiCloud;
@@ -86,6 +94,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "recovery",
         "E17: failure recovery / self-healing under churn",
+    ),
+    (
+        "estimate",
+        "S2: estimation mode (link clustering) vs the exact oracle",
     ),
 ];
 
@@ -123,7 +135,54 @@ fn run_one(name: &str, seed: u64) -> bool {
         "sla" => println!("{}", SlaExperiment::run(seed, 168, 0.05)),
         "dvfs" => println!("{}", DvfsExperiment::paper_scale()),
         "recovery" => println!("{}", RecoveryExperiment::run(seed)),
+        "estimate" => println!(
+            "{}",
+            EstimateExperiment::run(seed, SimDuration::from_secs(10))
+        ),
         _ => return false,
+    }
+    true
+}
+
+/// Runs the `estimate` target. Without `--fidelity` it prints the S2
+/// comparison table (both fidelities, relative errors, compression).
+/// With `--fidelity exact|estimate` it runs the sweep at that single
+/// fidelity and emits the per-scenario JSONL report — the artifact the
+/// CI determinism gate runs twice and `cmp`s byte-for-byte.
+fn run_estimate_cmd(
+    seed: u64,
+    fidelity: Option<&str>,
+    format: Option<&str>,
+    out: Option<&str>,
+) -> bool {
+    use estimate_exp::FidelityMode;
+    let duration = SimDuration::from_secs(10);
+    let text = match fidelity {
+        None => format!("{}", EstimateExperiment::run(seed, duration)),
+        Some(spec) => {
+            let Some(mode) = FidelityMode::parse(spec) else {
+                eprintln!("unknown --fidelity '{spec}' (exact, estimate)");
+                return false;
+            };
+            let lines = estimate_exp::sweep(mode, seed, duration);
+            match format.unwrap_or("jsonl") {
+                "jsonl" => estimate_exp::sweep_jsonl(mode, seed, &lines),
+                other => {
+                    eprintln!("unknown --format '{other}' for estimate (jsonl)");
+                    return false;
+                }
+            }
+        }
+    };
+    match out {
+        None => print!("{text}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return false;
+            }
+            eprintln!("wrote {} bytes to {path}", text.len());
+        }
     }
     true
 }
@@ -420,6 +479,7 @@ fn main() -> ExitCode {
     let mut step_secs: Option<f64> = None;
     let mut labels: Vec<(String, String)> = Vec::new();
     let mut strict = false;
+    let mut fidelity: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -512,6 +572,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--fidelity" => match it.next() {
+                Some(f) => fidelity = Some(f.to_owned()),
+                None => {
+                    eprintln!("--fidelity needs one of exact, estimate");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--strict" => strict = true,
             "-h" | "--help" | "help" => {
                 targets = vec!["list".into()];
@@ -548,6 +615,10 @@ fn main() -> ExitCode {
                     "       picloud alerts --experiment <id|eN> \
                      [--format jsonl] [--out FILE] [--strict]"
                 );
+                println!(
+                    "       picloud estimate [--seed N] [--fidelity exact|estimate] \
+                     [--format jsonl] [--out FILE]"
+                );
                 println!("       picloud lint [--format text|jsonl] [--out FILE]");
                 println!(
                     "       picloud chaos [--seed N] [--schedules N] \
@@ -578,6 +649,11 @@ fn main() -> ExitCode {
                     strict,
                 };
                 if !export_telemetry(target.as_str(), &opts) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "estimate" => {
+                if !run_estimate_cmd(seed, fidelity.as_deref(), format.as_deref(), out.as_deref()) {
                     return ExitCode::FAILURE;
                 }
             }
